@@ -1,0 +1,54 @@
+"""Shared benchmark fixtures: paper-scale workloads and result output.
+
+Every benchmark regenerates one table or figure from the paper's
+evaluation (§5). Reproduced numbers are written to
+``benchmarks/results/<name>.txt`` (and echoed to stdout) so the harness
+output survives pytest's capture; EXPERIMENTS.md records the
+paper-versus-measured comparison.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.apps.firewall import FirewallApp, parse_firewall_rules
+from repro.apps.ips import IpsApp, parse_snort_rules
+from repro.sim.rulesets import (
+    SNORT_VARIABLES,
+    generate_firewall_rules,
+    generate_snort_web_rules,
+)
+from repro.sim.traffic import TraceConfig, TrafficGenerator
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def write_result(name: str, text: str) -> None:
+    """Persist a reproduced table/figure and echo it."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{name}.txt"
+    path.write_text(text)
+    print(f"\n===== {name} =====\n{text}")
+
+
+@pytest.fixture(scope="session")
+def paper_workload():
+    """The paper's evaluation inputs at full scale (§5.2):
+
+    * two distinct 4560-rule firewall rulesets ("we split rules evenly"
+      for the two-firewall test -> two generators with different seeds);
+    * Snort web rules for the IPS;
+    * a campus-like packet trace.
+    """
+    fw_rules_a = parse_firewall_rules(generate_firewall_rules(4560, seed=4560))
+    fw_rules_b = parse_firewall_rules(generate_firewall_rules(4560, seed=9120))
+    snort = parse_snort_rules(generate_snort_web_rules(120), SNORT_VARIABLES)
+    packets = TrafficGenerator(TraceConfig(num_packets=800)).packets()
+    return {
+        "firewall1": FirewallApp("firewall1", fw_rules_a, alert_only=True),
+        "firewall2": FirewallApp("firewall2", fw_rules_b, alert_only=True),
+        "ips": IpsApp("ips", snort),
+        "packets": packets,
+    }

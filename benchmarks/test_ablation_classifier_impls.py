@@ -1,0 +1,83 @@
+"""Ablation — HeaderClassifier implementations (paper §2.1).
+
+"one block implementation might perform header classification using a
+trie in software while another might use a TCAM" — this ablation
+quantifies both the modelled data-plane effect and the *actual* Python
+lookup rates of the three interchangeable matchers on the 4560-rule
+firewall ruleset.
+"""
+
+import time
+
+import pytest
+
+from benchmarks.conftest import write_result
+from repro.core.classify.header import HeaderRuleSet, LinearMatcher
+from repro.core.classify.tcam import TcamMatcher
+from repro.core.classify.trie import TrieMatcher
+from repro.sim.costmodel import CostModel, VmSpec, measure_engine
+from repro.obi.translation import build_engine
+
+
+@pytest.fixture(scope="module")
+def ruleset(paper_workload):
+    graph = paper_workload["firewall1"].build_graph()
+    classifier = next(
+        block for block in graph.blocks.values() if block.type == "HeaderClassifier"
+    )
+    return HeaderRuleSet.from_config(classifier.config)
+
+
+def _modelled_throughput(app, packets, implementation):
+    graph = app.build_graph()
+    for block in graph.blocks.values():
+        if block.type == "HeaderClassifier":
+            block.implementation = implementation
+    engine = build_engine(graph.copy(rename=True))
+    measurement = measure_engine(engine, packets, CostModel())
+    return measurement.throughput_bps(VmSpec()) / 1e6
+
+
+def test_ablation_classifier_implementations(benchmark, paper_workload, ruleset):
+    packets = paper_workload["packets"][:300]
+    app = paper_workload["firewall1"]
+
+    # Modelled single-VM throughput per implementation.
+    modelled = {
+        implementation: _modelled_throughput(app, packets, implementation)
+        for implementation in ("linear", "trie", "tcam")
+    }
+
+    # Real wall-clock lookup rates of the matcher engines themselves.
+    matchers = {
+        "linear": LinearMatcher(ruleset),
+        "trie": TrieMatcher(ruleset),
+        "tcam": TcamMatcher(ruleset),
+    }
+    probe = packets[:50]
+    real_rates = {}
+    for name, matcher in matchers.items():
+        start = time.perf_counter()
+        loops = 0
+        while time.perf_counter() - start < 0.3:
+            for packet in probe:
+                matcher.match(packet)
+            loops += 1
+        elapsed = time.perf_counter() - start
+        real_rates[name] = loops * len(probe) / elapsed
+
+    lines = [f"{'impl':8s} {'modelled Mbps':>14s} {'python lookups/s':>17s}"]
+    for name in ("linear", "trie", "tcam"):
+        lines.append(f"{name:8s} {modelled[name]:14.0f} {real_rates[name]:17.0f}")
+    lines.append(f"\nTCAM entries after range expansion: "
+                 f"{TcamMatcher(ruleset).entry_count} "
+                 f"(from {len(ruleset)} rules)")
+    write_result("ablation_classifier_impls", "\n".join(lines) + "\n")
+
+    # Modelled: TCAM (constant lookup) beats trie beats linear at 4560 rules.
+    assert modelled["tcam"] > modelled["trie"] > modelled["linear"]
+    # Real software engines: the trie's candidate filtering beats the
+    # full linear scan by a wide margin at this rule count.
+    assert real_rates["trie"] > 5 * real_rates["linear"]
+
+    benchmark(lambda: [matchers["trie"].match(packet) for packet in probe])

@@ -1,0 +1,73 @@
+"""Ablation — which merge rewrite buys what (beyond the paper).
+
+Decomposes the Table 2 OpenBox FW+IPS gain into the contributions of the
+pipeline stages: naive merge, skeleton (normalize+concat+dedup only),
+statics combining, classifier merging, and the full pipeline.
+"""
+
+import pytest
+
+from benchmarks.conftest import write_result
+from repro.core.merge import MergePolicy, merge_graphs, naive_merge
+from repro.obi.translation import build_engine
+from repro.sim.costmodel import CostModel, VmSpec, measure_engine
+
+POLICIES = {
+    "naive": None,
+    "skeleton (no rewrites)": MergePolicy(merge_classifiers=False, combine_statics=False),
+    "statics combine only": MergePolicy(merge_classifiers=False, combine_statics=True),
+    "classifier merge only": MergePolicy(merge_classifiers=True, combine_statics=False),
+    "full merge": MergePolicy(),
+}
+
+
+def _measure(graph, packets):
+    engine = build_engine(graph.copy(rename=True))
+    measurement = measure_engine(engine, packets, CostModel())
+    vm = VmSpec()
+    return (
+        measurement.throughput_bps(vm) / 1e6,
+        measurement.latency_seconds(vm) * 1e6,
+        measurement.mean_path_length(),
+    )
+
+
+def test_ablation_merge_rewrites(benchmark, paper_workload):
+    graphs = [
+        paper_workload["firewall1"].build_graph(),
+        paper_workload["ips"].build_graph(),
+    ]
+    packets = paper_workload["packets"][:400]
+
+    rows = []
+    results = {}
+    for label, policy in POLICIES.items():
+        if policy is None:
+            merged = naive_merge(graphs)
+        else:
+            merged = merge_graphs(graphs, policy).graph
+        mbps, latency_us, mean_path = _measure(merged, packets)
+        classifiers = sum(
+            1 for block in merged.blocks.values() if block.type == "HeaderClassifier"
+        )
+        rows.append((label, mbps, latency_us, mean_path, merged.diameter(), classifiers))
+        results[label] = mbps
+
+    lines = [f"{'policy':24s} {'Mbps':>7s} {'lat us':>7s} {'path':>6s} "
+             f"{'diam':>5s} {'HCs':>4s}"]
+    for label, mbps, latency_us, mean_path, diameter, classifiers in rows:
+        lines.append(f"{label:24s} {mbps:7.0f} {latency_us:7.1f} "
+                     f"{mean_path:6.2f} {diameter:5d} {classifiers:4d}")
+    write_result("ablation_merge_policy", "\n".join(lines) + "\n")
+
+    # The skeleton must not change performance; classifier merging is the
+    # rewrite that actually pays (it removes a classification per packet).
+    assert results["skeleton (no rewrites)"] == pytest.approx(
+        results["naive"], rel=0.05
+    )
+    assert results["classifier merge only"] > 1.3 * results["naive"]
+    assert results["full merge"] >= 0.98 * results["classifier merge only"]
+
+    benchmark.pedantic(
+        lambda: merge_graphs(graphs, MergePolicy()), rounds=3, iterations=1
+    )

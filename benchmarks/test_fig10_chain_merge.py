@@ -1,0 +1,95 @@
+"""Figure 10 + §5.4.2 — graph-merge impact on a 4-NF service chain.
+
+"packets go through a first firewall and then through a web cache. If
+not dropped, they continue to another firewall, and eventually go
+through an L3 load balancer. ... When using a naive merge ... we obtain
+749 Mbps throughput (on a single VM, single core) for packets that do
+not match any rule that causes a drop or DPI. When using our graph merge
+algorithm, the throughput for the same packets is 890 Mbps (20%
+improvement)."
+"""
+
+import pytest
+
+from benchmarks.conftest import write_result
+from repro.apps.firewall import FirewallApp, parse_firewall_rules
+from repro.apps.loadbalancer import LoadBalancerApp
+from repro.apps.webcache import WebCacheApp
+from repro.core.merge import MergePolicy, merge_graphs, naive_merge
+from repro.obi.translation import build_engine
+from repro.sim.costmodel import CostModel, VmSpec, measure_engine
+from repro.sim.rulesets import generate_firewall_rules
+from repro.sim.traffic import TraceConfig, TrafficGenerator
+
+
+@pytest.fixture(scope="module")
+def chain_nfs():
+    gateway_rules = parse_firewall_rules(generate_firewall_rules(2280, seed=1))
+    dept_rules = parse_firewall_rules(generate_firewall_rules(2280, seed=2))
+    return [
+        FirewallApp("gateway_fw", gateway_rules, alert_only=True).build_graph(),
+        WebCacheApp("web_cache", {"www.cached.example": ["/hit"]}).build_graph(),
+        FirewallApp("dept_fw", dept_rules, alert_only=True).build_graph(),
+        LoadBalancerApp("lb", targets=["srv-a", "srv-b"]).build_graph(),
+    ]
+
+
+@pytest.fixture(scope="module")
+def no_drop_trace():
+    """Paper methodology: only packets that hit no drop/DPI-match rule."""
+    return TrafficGenerator(
+        TraceConfig(num_packets=600, attack_fraction=0.0)
+    ).packets()
+
+
+def _single_vm_throughput(graph, packets) -> float:
+    engine = build_engine(graph.copy(rename=True))
+    measurement = measure_engine(engine, packets, CostModel())
+    return measurement.throughput_bps(VmSpec()) / 1e6
+
+
+def test_fig10_naive_vs_full_merge(benchmark, chain_nfs, no_drop_trace):
+    naive = naive_merge(chain_nfs)
+    merged_result = merge_graphs(chain_nfs)
+    merged = merged_result.graph
+
+    naive_mbps = _single_vm_throughput(naive, no_drop_trace)
+    merged_mbps = _single_vm_throughput(merged, no_drop_trace)
+    improvement = merged_mbps / naive_mbps - 1
+
+    write_result("fig10_chain_merge", "\n".join([
+        "Gateway FW -> Web Cache -> Dept FW -> Load Balancer "
+        "(single VM, single core, no-drop traffic)",
+        "",
+        f"{'merge strategy':16s} {'Tput[Mbps]':>11s} {'diameter':>9s} "
+        f"{'classifiers':>11s}",
+        f"{'naive':16s} {naive_mbps:11.0f} {naive.diameter():9d} "
+        f"{sum(1 for b in naive.blocks.values() if b.type == 'HeaderClassifier'):11d}",
+        f"{'full merge':16s} {merged_mbps:11.0f} {merged.diameter():9d} "
+        f"{sum(1 for b in merged.blocks.values() if b.type == 'HeaderClassifier'):11d}",
+        "",
+        f"improvement: +{improvement * 100:.0f}%  (paper: 749 -> 890 Mbps, +20%)",
+    ]) + "\n")
+
+    # Shape criteria: the full merge wins by a noticeable but bounded
+    # margin (the paper reports +20%; accept 8-45% for the simulator).
+    assert 0.08 < improvement < 0.45
+    assert merged.diameter() < naive.diameter()
+    assert not merged_result.used_naive
+
+    # Benchmark kernel: the full merge pipeline on the 4-NF chain.
+    benchmark.pedantic(
+        lambda: merge_graphs(chain_nfs, MergePolicy()), rounds=3, iterations=1
+    )
+
+
+def test_fig10_merge_disabled_matches_naive(benchmark, chain_nfs, no_drop_trace):
+    """Ablation: with both rewrites disabled the pipeline deteriorates
+    to naive-merge performance, isolating the rewrites' contribution."""
+    policy = MergePolicy(merge_classifiers=False, combine_statics=False)
+    skeleton = merge_graphs(chain_nfs, policy).graph
+    naive = naive_merge(chain_nfs)
+    skeleton_mbps = _single_vm_throughput(skeleton, no_drop_trace)
+    naive_mbps = _single_vm_throughput(naive, no_drop_trace)
+    assert skeleton_mbps == pytest.approx(naive_mbps, rel=0.05)
+    benchmark.pedantic(lambda: naive_merge(chain_nfs), rounds=3, iterations=1)

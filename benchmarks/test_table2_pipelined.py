@@ -1,0 +1,113 @@
+"""Table 2 — performance of the pipelined-NF configuration (Figure 7).
+
+Paper rows (throughput Mbps / latency µs):
+
+    Firewall alone            1 VM   840 / 48
+    IPS alone                 1 VM   454 / 76
+    Regular FW+FW chain       2 VMs  840 / 96
+    OpenBox FW+FW OBI         2 VMs  1600 (+90%) / 48 (-50%)
+    Regular FW+IPS chain      2 VMs  454 / 124
+    OpenBox FW+IPS OBI        2 VMs  846 (+86%) / 80 (-35%)
+
+Shape criteria (DESIGN.md): merged FW+FW ~2x chain throughput at ~half
+latency; merged FW+IPS >=1.5x chain throughput at lower latency.
+"""
+
+import pytest
+
+from benchmarks.conftest import write_result
+from repro.sim.runner import measure_chain, measure_merged, measure_single
+
+
+@pytest.fixture(scope="module")
+def table2_rows(paper_workload):
+    fw1 = paper_workload["firewall1"]
+    fw2 = paper_workload["firewall2"]
+    ips = paper_workload["ips"]
+    packets = paper_workload["packets"]
+
+    rows = {}
+    rows["fw"] = measure_single(fw1, packets, name="Firewall")
+    rows["ips"] = measure_single(ips, packets, name="IPS")
+    rows["fwfw_chain"] = measure_chain([fw1, fw2], packets, name="Regular FW+FW chain")
+    rows["fwfw_openbox"] = measure_merged([fw1, fw2], packets, replicas=2,
+                                          name="OpenBox FW+FW OBI")
+    rows["fwips_chain"] = measure_chain([fw1, ips], packets, name="Regular FW+IPS chain")
+    rows["fwips_openbox"] = measure_merged([fw1, ips], packets, replicas=2,
+                                           name="OpenBox FW+IPS OBI")
+    return rows
+
+
+def _render(rows) -> str:
+    paper = {
+        "fw": (1, 840, 48), "ips": (1, 454, 76),
+        "fwfw_chain": (2, 840, 96), "fwfw_openbox": (2, 1600, 48),
+        "fwips_chain": (2, 454, 124), "fwips_openbox": (2, 846, 80),
+    }
+    lines = [
+        f"{'Network Functions':28s} {'VMs':>3s} {'Tput[Mbps]':>11s} "
+        f"{'Lat[us]':>8s} {'paper Tput':>10s} {'paper Lat':>9s}"
+    ]
+    for key, row in rows.items():
+        p_vms, p_tput, p_lat = paper[key]
+        lines.append(
+            f"{row.name:28s} {row.vms_used:3d} {row.throughput_mbps:11.0f} "
+            f"{row.latency_us:8.0f} {p_tput:10d} {p_lat:9d}"
+        )
+    fwfw_gain = rows["fwfw_openbox"].throughput_mbps / rows["fwfw_chain"].throughput_mbps
+    fwfw_lat = rows["fwfw_openbox"].latency_us / rows["fwfw_chain"].latency_us
+    fwips_gain = rows["fwips_openbox"].throughput_mbps / rows["fwips_chain"].throughput_mbps
+    fwips_lat = rows["fwips_openbox"].latency_us / rows["fwips_chain"].latency_us
+    lines.append(
+        f"\nOpenBox FW+FW : throughput +{(fwfw_gain - 1) * 100:.0f}% "
+        f"(paper +90%), latency {(fwfw_lat - 1) * 100:+.0f}% (paper -50%)"
+    )
+    lines.append(
+        f"OpenBox FW+IPS: throughput +{(fwips_gain - 1) * 100:.0f}% "
+        f"(paper +86%), latency {(fwips_lat - 1) * 100:+.0f}% (paper -35%)"
+    )
+    return "\n".join(lines) + "\n"
+
+
+def test_table2_pipelined_nfs(benchmark, table2_rows, paper_workload):
+    """Regenerate Table 2 and verify every paper relationship holds."""
+    rows = table2_rows
+    write_result("table2_pipelined", _render(rows))
+
+    # --- standalone anchors (calibration sanity, generous bands) ---
+    assert 700 < rows["fw"].throughput_mbps < 1000
+    assert 350 < rows["ips"].throughput_mbps < 560
+    assert 40 < rows["fw"].latency_us < 60
+    assert rows["ips"].latency_us > rows["fw"].latency_us
+
+    # --- chain relations ---
+    assert rows["fwfw_chain"].throughput_mbps == pytest.approx(
+        rows["fw"].throughput_mbps, rel=0.05
+    )
+    assert rows["fwfw_chain"].latency_us == pytest.approx(
+        2 * rows["fw"].latency_us, rel=0.05
+    )
+    assert rows["fwips_chain"].throughput_mbps == pytest.approx(
+        rows["ips"].throughput_mbps, rel=0.05
+    )
+
+    # --- OpenBox improvements (paper: +90%/-50% and +86%/-35%) ---
+    fwfw_gain = rows["fwfw_openbox"].throughput_mbps / rows["fwfw_chain"].throughput_mbps
+    assert 1.7 < fwfw_gain < 2.1
+    assert rows["fwfw_openbox"].latency_us < 0.6 * rows["fwfw_chain"].latency_us
+    fwips_gain = rows["fwips_openbox"].throughput_mbps / rows["fwips_chain"].throughput_mbps
+    assert 1.5 < fwips_gain < 2.1
+    assert rows["fwips_openbox"].latency_us < 0.8 * rows["fwips_chain"].latency_us
+
+    # Benchmark kernel: per-packet processing through the merged FW+IPS
+    # engine (the data-plane hot path of the OpenBox rows).
+    from repro.obi.translation import build_engine
+    merged = rows["fwips_openbox"].merge_result.graph
+    engine = build_engine(merged.copy(rename=True))
+    packets = paper_workload["packets"][:100]
+
+    def process_batch():
+        for packet in packets:
+            engine.process(packet.clone())
+
+    benchmark(process_batch)

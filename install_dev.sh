@@ -1,0 +1,8 @@
+#!/bin/sh
+# Editable install fallback for offline environments without the `wheel`
+# package: registers src/ on sys.path via a .pth file (equivalent to
+# `pip install -e .`).
+set -e
+SITE=$(python3 -c "import site; print(site.getsitepackages()[0])")
+echo "$(cd "$(dirname "$0")" && pwd)/src" > "$SITE/repro-dev.pth"
+echo "repro installed (editable) via $SITE/repro-dev.pth"

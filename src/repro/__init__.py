@@ -1,0 +1,59 @@
+"""OpenBox: a software-defined framework for network functions.
+
+A faithful Python reproduction of *OpenBox: A Software-Defined Framework
+for Developing, Deploying, and Managing Network Functions* (SIGCOMM 2016).
+
+Quickstart::
+
+    from repro import OpenBoxController, OpenBoxInstance, ObiConfig, connect_inproc
+    from repro.apps import FirewallApp, parse_firewall_rules
+
+    controller = OpenBoxController()
+    obi = OpenBoxInstance(ObiConfig(obi_id="obi-1", segment="corp"))
+    connect_inproc(controller, obi)
+    rules = parse_firewall_rules("deny tcp any any any 23\\nallow any any any any any")
+    controller.register_application(FirewallApp("fw", rules, segment="corp"))
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-versus-measured results of every table and figure.
+"""
+
+from repro.bootstrap import connect_inproc, connect_obi_rest, serve_controller_rest
+from repro.controller import (
+    AppStatement,
+    OpenBoxApplication,
+    OpenBoxController,
+    split_at_classifier,
+)
+from repro.core import (
+    Block,
+    BlockClass,
+    MergePolicy,
+    MergeResult,
+    ProcessingGraph,
+    merge_graphs,
+    naive_merge,
+)
+from repro.obi import ObiConfig, OpenBoxInstance
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AppStatement",
+    "Block",
+    "BlockClass",
+    "MergePolicy",
+    "MergeResult",
+    "ObiConfig",
+    "OpenBoxApplication",
+    "OpenBoxController",
+    "OpenBoxInstance",
+    "ProcessingGraph",
+    "connect_inproc",
+    "connect_obi_rest",
+    "merge_graphs",
+    "naive_merge",
+    "serve_controller_rest",
+    "split_at_classifier",
+    "__version__",
+]

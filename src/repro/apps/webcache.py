@@ -1,0 +1,177 @@
+"""A web-cache OpenBox application (paper §5.2, "Sample Web Cache").
+
+"Our web cache stores web pages of specific websites. If an HTTP request
+matches cached content, the web cache drops the request and returns the
+cached content to the sender. Otherwise, the packet continues untouched."
+
+Cache content is declared as ``{host: [uris]}``. The generated graph:
+
+* a header classifier isolates HTTP traffic (dst port 80);
+* a regex classifier matches requests against the cached (host, uri)
+  pairs;
+* hits are stored to the packet-storage service (the cache's hit log /
+  response hand-off point) and dropped — response synthesis happens
+  out-of-band, exactly like the paper's evaluation, which "only send[s]
+  packets that do not match cached content" when measuring chains.
+"""
+
+from __future__ import annotations
+
+from repro.controller.apps import AppStatement, OpenBoxApplication
+from repro.core.blocks import Block
+from repro.core.classify.rules import HeaderRule, PortRange
+from repro.core.graph import ProcessingGraph
+
+
+class WebCacheApp(OpenBoxApplication):
+    """The web-cache NF as an OpenBox application."""
+
+    def __init__(
+        self,
+        name: str,
+        cached_content: "dict[str, list[str] | dict[str, str]]",
+        segment: str = "",
+        obi_id: str | None = None,
+        priority: int = 30,
+        http_port: int = 80,
+        in_device: str = "in",
+        out_device: str = "out",
+        serve_responses: bool = False,
+        client_device: str = "client",
+    ) -> None:
+        """``cached_content`` maps host to a list of cached URIs, or —
+        when ``serve_responses=True`` — to a ``{uri: body}`` dict so the
+        cache can synthesize real HTTP 200 responses toward the client
+        (emitted on ``client_device``), the paper's full behaviour.
+        """
+        super().__init__(name, priority=priority)
+        self.cached_content = {
+            host: (dict(pages) if isinstance(pages, dict) else list(pages))
+            for host, pages in cached_content.items()
+        }
+        self.segment = segment
+        self.obi_id = obi_id
+        self.http_port = http_port
+        self.in_device = in_device
+        self.out_device = out_device
+        self.serve_responses = serve_responses
+        self.client_device = client_device
+        if serve_responses and not all(
+            isinstance(pages, dict) for pages in self.cached_content.values()
+        ):
+            raise ValueError(
+                "serve_responses=True needs {host: {uri: body}} cached_content"
+            )
+        self.hits = 0
+
+    def _uris_of(self, pages) -> list[str]:
+        return list(pages.keys()) if isinstance(pages, dict) else list(pages)
+
+    def _hit_patterns(self) -> list[dict]:
+        """One literal pattern per cached page.
+
+        Matches the request line + Host header as emitted by standard
+        clients (``GET <uri> HTTP/1.1\\r\\nHost: <host>``); requests with
+        intervening headers are treated as misses — a conservative cache.
+        """
+        patterns = []
+        for host, pages in sorted(self.cached_content.items()):
+            for uri in self._uris_of(pages):
+                patterns.append({
+                    "pattern": f"GET {uri} HTTP/1.1\r\nHost: {host}",
+                    "case_sensitive": False,
+                    "port": 1,
+                })
+        return patterns
+
+    def _build_serving_graph(self) -> ProcessingGraph:
+        """The full cache: hits answered with synthesized responses."""
+        graph = ProcessingGraph(self.name)
+        read = Block("FromDevice", name=f"{self.name}_read",
+                     config={"devname": self.in_device}, origin_app=self.name)
+        out = Block("ToDevice", name=f"{self.name}_out",
+                    config={"devname": self.out_device}, origin_app=self.name)
+        to_client = Block("ToDevice", name=f"{self.name}_client",
+                          config={"devname": self.client_device},
+                          origin_app=self.name)
+        classify = Block(
+            "HeaderClassifier",
+            name=f"{self.name}_classify",
+            config={
+                "rules": [
+                    HeaderRule(dst_port=PortRange.exact(self.http_port), port=1).to_dict()
+                ],
+                "default_port": 0,
+            },
+            origin_app=self.name,
+        )
+        responder = Block(
+            "HttpCacheResponder",
+            name=f"{self.name}_responder",
+            config={"cache": self.cached_content},
+            origin_app=self.name,
+        )
+        graph.add_blocks([read, out, to_client, classify, responder])
+        graph.connect(read, classify)
+        graph.connect(classify, out, 0)
+        graph.connect(classify, responder, 1)
+        graph.connect(responder, out, 0)        # miss: continue to server
+        graph.connect(responder, to_client, 1)  # hit: response to client
+        graph.validate()
+        return graph
+
+    def build_graph(self) -> ProcessingGraph:
+        if self.serve_responses:
+            return self._build_serving_graph()
+        return self._build_matching_graph()
+
+    def _build_matching_graph(self) -> ProcessingGraph:
+        graph = ProcessingGraph(self.name)
+        read = Block("FromDevice", name=f"{self.name}_read",
+                     config={"devname": self.in_device}, origin_app=self.name)
+        out = Block("ToDevice", name=f"{self.name}_out",
+                    config={"devname": self.out_device}, origin_app=self.name)
+        classify = Block(
+            "HeaderClassifier",
+            name=f"{self.name}_classify",
+            config={
+                "rules": [
+                    HeaderRule(dst_port=PortRange.exact(self.http_port), port=1).to_dict()
+                ],
+                "default_port": 0,
+            },
+            origin_app=self.name,
+        )
+        match = Block(
+            "RegexClassifier",
+            name=f"{self.name}_match",
+            config={"patterns": self._hit_patterns(), "default_port": 0},
+            origin_app=self.name,
+        )
+        store = Block(
+            "StorePacket",
+            name=f"{self.name}_store",
+            config={"namespace": f"{self.name}:hits"},
+            origin_app=self.name,
+        )
+        drop = Block("Discard", name=f"{self.name}_consume", origin_app=self.name)
+        graph.add_blocks([read, out, classify, match, store, drop])
+        graph.connect(read, classify)
+        graph.connect(classify, out, 0)
+        graph.connect(classify, match, 1)
+        graph.connect(match, out, 0)
+        graph.connect(match, store, 1)
+        graph.connect(store, drop)
+        graph.validate()
+        return graph
+
+    def statements(self) -> list[AppStatement]:
+        return [AppStatement(
+            graph=self.build_graph(), segment=self.segment, obi_id=self.obi_id
+        )]
+
+    def add_page(self, host: str, uri: str) -> None:
+        """Cache a new page and redeploy."""
+        self.cached_content.setdefault(host, []).append(uri)
+        if self.controller is not None:
+            self.update_logic()

@@ -1,0 +1,79 @@
+"""Wiring helpers: connect controllers and OBIs over a transport.
+
+These helpers encapsulate the connection choreography so tests,
+examples, and the simulator do not repeat it:
+
+* :func:`connect_inproc` — deterministic in-process wiring;
+* :func:`serve_controller_rest` / :func:`connect_obi_rest` — the paper's
+  dual REST channel: the controller listens, each OBI runs its own local
+  REST server and advertises it in ``Hello.callback_url``, and the
+  controller connects back.
+"""
+
+from __future__ import annotations
+
+from repro.controller.obc import OpenBoxController
+from repro.obi.instance import OpenBoxInstance
+from repro.protocol.messages import Hello, Message
+from repro.transport.inproc import InProcPair
+from repro.transport.rest import RestEndpoint, RestPeerChannel
+
+
+def connect_inproc(
+    controller: OpenBoxController, instance: OpenBoxInstance
+) -> InProcPair:
+    """Connect an OBI to a controller over an in-process channel pair.
+
+    Performs the Hello handshake and binds the controller's downstream
+    channel (triggering auto-deployment if enabled).
+    """
+    pair = InProcPair(left_name="obc", right_name=f"obi:{instance.config.obi_id}")
+    pair.left.set_handler(controller.handle_message)
+    instance.connect(pair.right)
+    controller.connect_obi(instance.config.obi_id, pair.left)
+    return pair
+
+
+def serve_controller_rest(
+    controller: OpenBoxController, host: str = "127.0.0.1", port: int = 0
+) -> RestEndpoint:
+    """Start the controller's REST endpoint.
+
+    Wraps the controller's handler so that when an OBI's ``Hello``
+    arrives with a callback URL, the controller dials back — the "dual"
+    half of the dual REST channel.
+    """
+    endpoint = RestEndpoint(host=host, port=port)
+
+    def handler(message: Message) -> Message | None:
+        response = controller.handle_message(message)
+        if isinstance(message, Hello) and message.callback_url:
+            controller.connect_obi(
+                message.obi_id, RestPeerChannel(message.callback_url)
+            )
+        return response
+
+    endpoint.set_handler(handler)
+    endpoint.start()
+    return endpoint
+
+
+def connect_obi_rest(
+    instance: OpenBoxInstance,
+    controller_url: str,
+    host: str = "127.0.0.1",
+    port: int = 0,
+) -> tuple[RestEndpoint, RestPeerChannel]:
+    """Start an OBI's local REST server and register with the controller.
+
+    Returns the OBI's endpoint and its upstream channel. The endpoint
+    serves downstream requests (SetProcessingGraph, handles, stats);
+    the channel carries upstream traffic (Hello, KeepAlive, Alerts).
+    """
+    endpoint = RestEndpoint(host=host, port=port)
+    endpoint.set_handler(instance.handle_message)
+    endpoint.start()
+    upstream = RestPeerChannel(controller_url)
+    instance.set_upstream(upstream)
+    upstream.request(instance.hello_message(callback_url=endpoint.url))
+    return endpoint, upstream

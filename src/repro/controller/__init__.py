@@ -1,0 +1,42 @@
+"""The OpenBox controller (OBC) and its northbound application API.
+
+The OBC (paper §3.3) is the logically-centralized control plane:
+
+* applications register and declare logic as processing graphs scoped to
+  *segments* (:mod:`repro.controller.apps`, :mod:`.segments`);
+* per OBI, the controller selects the applicable graphs, merges them
+  (:mod:`.aggregator`), and deploys the result;
+* upstream events (alerts, keepalives) are demultiplexed to the right
+  application (:mod:`.xid`, :mod:`.obc`);
+* load statistics drive scaling decisions (:mod:`.stats`, :mod:`.scaling`);
+* the steering module maps service chains onto the forwarding plane
+  (:mod:`.steering`), placement chooses which OBIs host which NFs
+  (:mod:`.placement`), and :mod:`.split` divides a graph between a
+  hardware-classifier OBI and a software OBI (paper Figures 5-6).
+"""
+
+from repro.controller.aggregator import GraphAggregator
+from repro.controller.apps import AppStatement, OpenBoxApplication
+from repro.controller.migration import StateMigrator
+from repro.controller.obc import ObiHandle, OpenBoxController
+from repro.controller.optimizer import optimize_graph
+from repro.controller.orchestrator import OrchestrationLoop
+from repro.controller.segments import SegmentHierarchy
+from repro.controller.split import deploy_split, split_at_classifier
+from repro.controller.verification import verify_application, verify_graph
+
+__all__ = [
+    "AppStatement",
+    "GraphAggregator",
+    "ObiHandle",
+    "OpenBoxApplication",
+    "OpenBoxController",
+    "OrchestrationLoop",
+    "SegmentHierarchy",
+    "StateMigrator",
+    "deploy_split",
+    "optimize_graph",
+    "split_at_classifier",
+    "verify_application",
+    "verify_graph",
+]

@@ -1,0 +1,121 @@
+"""Per-OBI graph selection and merging.
+
+"Upon connection of an OBI, the OBC determines the processing graphs
+that apply to this OBI in accordance with its location in the segment
+hierarchy. Then, for each OBI, the controller merges the corresponding
+graphs to a single graph and sends this merged processing graph to the
+instance" (paper §3.3).
+
+Applications flagged non-mergeable ("Applications that are expected to
+change their logic too frequently may be marked so that the merge
+algorithm will not be applied on them", §3.4) are chained naively in
+priority order; runs of consecutive mergeable applications are fully
+merged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import groupby
+
+from repro.controller.apps import OpenBoxApplication
+from repro.controller.segments import SegmentHierarchy
+from repro.core.graph import ProcessingGraph
+from repro.core.merge import MergePolicy, MergeResult, merge_graphs, naive_merge
+
+
+def _stamp_ownership(graph: ProcessingGraph, app_name: str) -> ProcessingGraph:
+    """Copy ``graph`` with every unlabeled block owned by ``app_name``.
+
+    Ownership labels survive merging (clones keep them), which is how
+    the controller later routes handle requests and demultiplexes alerts;
+    blocks the merge synthesizes itself (cross-product classifiers of
+    several tenants) end up with no owner and stay unaddressable.
+    """
+    stamped = graph.copy()
+    for block in stamped.blocks.values():
+        if block.origin_app is None:
+            block.origin_app = app_name
+    return stamped
+
+
+@dataclass
+class AggregationResult:
+    """The deployable graph for one OBI plus merge provenance."""
+
+    graph: ProcessingGraph
+    app_names: list[str]
+    merge_results: list[MergeResult]
+
+    @property
+    def used_naive(self) -> bool:
+        return any(result.used_naive for result in self.merge_results)
+
+
+class GraphAggregator:
+    """Builds each OBI's deployed graph from the application set."""
+
+    def __init__(
+        self,
+        hierarchy: SegmentHierarchy,
+        policy: MergePolicy | None = None,
+        optimize: bool = True,
+    ) -> None:
+        self.hierarchy = hierarchy
+        self.policy = policy or MergePolicy()
+        #: Apply the §6 control-level optimizations to deployable graphs.
+        self.optimize = optimize
+
+    def applicable_graphs(
+        self,
+        applications: list[OpenBoxApplication],
+        obi_id: str,
+        obi_segment: str,
+    ) -> list[tuple[OpenBoxApplication, ProcessingGraph]]:
+        """Graphs applying to an OBI, ordered by application priority.
+
+        Priority ties break by application name so deployment is
+        deterministic regardless of registration order.
+        """
+        selected: list[tuple[OpenBoxApplication, ProcessingGraph]] = []
+        for app in sorted(applications, key=lambda a: (a.priority, a.name)):
+            for statement in app.statements():
+                if statement.applies_to(obi_id, obi_segment, self.hierarchy):
+                    selected.append((app, _stamp_ownership(statement.graph, app.name)))
+        return selected
+
+    def aggregate(
+        self,
+        applications: list[OpenBoxApplication],
+        obi_id: str,
+        obi_segment: str,
+    ) -> AggregationResult | None:
+        """Build the merged graph for one OBI; None if nothing applies."""
+        selected = self.applicable_graphs(applications, obi_id, obi_segment)
+        if not selected:
+            return None
+
+        # Merge consecutive runs of mergeable apps; chain runs naively.
+        merge_results: list[MergeResult] = []
+        run_graphs: list[ProcessingGraph] = []
+        for mergeable, run in groupby(selected, key=lambda item: item[0].mergeable):
+            graphs = [graph for _app, graph in run]
+            if mergeable:
+                result = merge_graphs(graphs, self.policy)
+                merge_results.append(result)
+                run_graphs.append(result.graph)
+            else:
+                run_graphs.extend(graphs)
+
+        # Copy so the deployed graph never aliases an application's own
+        # statement graph (applications may mutate theirs later).
+        final = run_graphs[0].copy() if len(run_graphs) == 1 else naive_merge(run_graphs)
+        if self.optimize:
+            from repro.controller.optimizer import optimize_graph
+            optimize_graph(final)
+        final.validate()
+        return AggregationResult(
+            graph=final,
+            app_names=[app.name for app, _graph in selected],
+            merge_results=merge_results,
+        )

@@ -1,0 +1,85 @@
+"""Session-state migration between OBI replicas (paper §3.4.2).
+
+"Frameworks such as OpenNF [18] can be used as-is to allow replication
+and migration of OBIs along with their stored data, to ensure correct
+behavior of applications in such cases."
+
+This module implements the controller-side mechanism OpenNF would drive:
+export the session storage of one OBI, import it into another, with
+loss-free semantics for the scaling events this repo performs
+(scale-out: copy state so reassigned flows keep their session data;
+scale-in: fold the victim's state back into the survivors).
+
+The protocol grows two message pairs (ExportState / ImportState), which
+the OBI serves from its session storage.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any
+
+from repro.protocol.errors import ErrorCode, ProtocolError
+from repro.protocol.messages import ExportStateRequest, ExportStateResponse, ImportStateRequest, ImportStateResponse
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.controller.obc import OpenBoxController
+
+
+@dataclass
+class MigrationReport:
+    """What a migration moved."""
+
+    source: str
+    target: str
+    flows_exported: int
+    flows_imported: int
+
+
+class StateMigrator:
+    """Moves per-flow session state between OBIs through the protocol."""
+
+    def __init__(self, controller: "OpenBoxController") -> None:
+        self.controller = controller
+        self.reports: list[MigrationReport] = []
+
+    def _channel(self, obi_id: str) -> Any:
+        handle = self.controller.obis.get(obi_id)
+        if handle is None or handle.channel is None:
+            raise ProtocolError(ErrorCode.NOT_CONNECTED, f"OBI {obi_id!r} unavailable")
+        return handle.channel
+
+    def export_state(self, obi_id: str) -> list[dict[str, Any]]:
+        """Snapshot ``obi_id``'s session storage (one entry per flow)."""
+        response = self._channel(obi_id).request(ExportStateRequest())
+        if not isinstance(response, ExportStateResponse):
+            raise ProtocolError(
+                ErrorCode.INTERNAL_ERROR,
+                f"unexpected export response: {type(response).__name__}",
+            )
+        return response.state
+
+    def import_state(self, obi_id: str, state: list[dict[str, Any]]) -> int:
+        """Install exported state into ``obi_id``; returns flows imported."""
+        response = self._channel(obi_id).request(ImportStateRequest(state=state))
+        if not isinstance(response, ImportStateResponse):
+            raise ProtocolError(
+                ErrorCode.INTERNAL_ERROR,
+                f"unexpected import response: {type(response).__name__}",
+            )
+        return response.flows_imported
+
+    def migrate(self, source: str, target: str) -> MigrationReport:
+        """Copy all of ``source``'s session state to ``target``.
+
+        Used on scale-out (before steering moves flows to the new
+        replica) and scale-in (before a victim is deprovisioned).
+        """
+        state = self.export_state(source)
+        imported = self.import_state(target, state)
+        report = MigrationReport(
+            source=source, target=target,
+            flows_exported=len(state), flows_imported=imported,
+        )
+        self.reports.append(report)
+        return report

@@ -1,0 +1,379 @@
+"""The OpenBox controller (OBC) core.
+
+Responsibilities (paper §3.3):
+
+* accept OBI connections (Hello handshake), track capabilities;
+* determine which application graphs apply to each OBI, merge them with
+  the graph-merge algorithm, and deploy the merged graph;
+* demultiplex upstream events (alerts by origin application, keepalives
+  to the stats tracker, responses by transaction id);
+* serve the northbound API: application registration, read/write
+  requests with callbacks, stats requests, redeployment on logic change.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from repro.controller.aggregator import AggregationResult, GraphAggregator
+from repro.controller.apps import OpenBoxApplication
+from repro.controller.segments import SegmentHierarchy
+from repro.controller.stats import ObiStatsTracker
+from repro.controller.xid import RequestMultiplexer
+from repro.core.merge import MergePolicy
+from repro.protocol.codec import PROTOCOL_VERSION
+from repro.protocol.errors import ErrorCode, ProtocolError
+from repro.protocol.messages import (
+    Alert,
+    ErrorMessage,
+    GlobalStatsRequest,
+    GlobalStatsResponse,
+    Hello,
+    KeepAlive,
+    LogMessage,
+    Message,
+    ReadRequest,
+    ReadResponse,
+    SetProcessingGraphRequest,
+    SetProcessingGraphResponse,
+    WriteRequest,
+    WriteResponse,
+)
+
+
+@dataclass
+class ObiHandle:
+    """The controller's record of one connected OBI."""
+
+    obi_id: str
+    segment: str
+    capabilities: dict[str, list[str]]
+    channel: Any
+    supports_custom_modules: bool = False
+    capacity_hint: float = 1.0
+    callback_url: str = ""
+    deployed: AggregationResult | None = None
+    connected_at: float = 0.0
+    #: Deployment generation, bumped on every successful SetProcessingGraph.
+    generation: int = 0
+
+
+class OpenBoxController:
+    """A logically-centralized OpenBox controller."""
+
+    def __init__(
+        self,
+        merge_policy: MergePolicy | None = None,
+        clock: Callable[[], float] | None = None,
+        auto_deploy: bool = True,
+    ) -> None:
+        self.clock = clock or time.monotonic
+        self.segments = SegmentHierarchy()
+        self.aggregator = GraphAggregator(self.segments, merge_policy)
+        self.stats = ObiStatsTracker()
+        self.mux = RequestMultiplexer()
+        self.applications: dict[str, OpenBoxApplication] = {}
+        self.obis: dict[str, ObiHandle] = {}
+        self.auto_deploy = auto_deploy
+        self.alerts: list[Alert] = []
+        self.logs: list[LogMessage] = []
+        self.deploy_failures: list[tuple[str, str]] = []
+
+    # ------------------------------------------------------------------
+    # Northbound: application management
+    # ------------------------------------------------------------------
+    def register_application(self, app: OpenBoxApplication) -> None:
+        if app.name in self.applications:
+            raise ValueError(f"application {app.name!r} already registered")
+        self.applications[app.name] = app
+        app.controller = self
+        app.on_start(self)
+        if self.auto_deploy:
+            self.redeploy_all()
+
+    def unregister_application(self, name: str) -> None:
+        app = self.applications.pop(name, None)
+        if app is not None:
+            app.controller = None
+            if self.auto_deploy:
+                self.redeploy_all()
+
+    def redeploy_app(self, app: OpenBoxApplication) -> None:
+        """An application's logic changed; redeploy affected OBIs."""
+        for handle in self.obis.values():
+            if any(
+                statement.applies_to(handle.obi_id, handle.segment, self.segments)
+                for statement in app.statements()
+            ):
+                self.deploy(handle.obi_id)
+
+    # ------------------------------------------------------------------
+    # Southbound: OBI lifecycle
+    # ------------------------------------------------------------------
+    def handle_message(self, message: Message) -> Message | None:
+        """Entry point for everything arriving from the data plane."""
+        try:
+            return self._dispatch(message)
+        except ProtocolError as exc:
+            return ErrorMessage(xid=message.xid, code=exc.code, detail=exc.detail)
+
+    def _dispatch(self, message: Message) -> Message | None:
+        if isinstance(message, Hello):
+            return self._handle_hello(message)
+        if isinstance(message, KeepAlive):
+            self.stats.record_keepalive(message.obi_id, self.clock())
+            return None
+        if isinstance(message, Alert):
+            self._handle_alert(message)
+            return None
+        if isinstance(message, LogMessage):
+            self.logs.append(message)
+            return None
+        # Anything else is a response to an app-initiated request.
+        if self.mux.dispatch(message):
+            return None
+        raise ProtocolError(
+            ErrorCode.UNKNOWN_MESSAGE,
+            f"controller cannot handle unsolicited {message.TYPE}",
+        )
+
+    def _handle_hello(self, hello: Hello) -> Message:
+        if hello.version.split(".")[0] != PROTOCOL_VERSION.split(".")[0]:
+            raise ProtocolError(
+                ErrorCode.UNSUPPORTED_VERSION,
+                f"OBI speaks {hello.version}, controller speaks {PROTOCOL_VERSION}",
+            )
+        handle = ObiHandle(
+            obi_id=hello.obi_id,
+            segment=hello.segment,
+            capabilities=hello.capabilities,
+            channel=None,
+            supports_custom_modules=hello.supports_custom_modules,
+            capacity_hint=hello.capacity_hint,
+            callback_url=hello.callback_url,
+            connected_at=self.clock(),
+        )
+        existing = self.obis.get(hello.obi_id)
+        if existing is not None:
+            handle.channel = existing.channel
+        self.obis[hello.obi_id] = handle
+        self.segments.add(hello.segment)
+        self.stats.register(hello.obi_id, self.clock())
+        for app in self.applications.values():
+            app.on_obi_connected(hello.obi_id)
+        if self.auto_deploy and handle.channel is not None:
+            self.deploy(hello.obi_id)
+        return SetProcessingGraphResponse(xid=hello.xid, ok=True, detail="hello ack")
+
+    def connect_obi(self, obi_id: str, channel: Any) -> None:
+        """Bind the downstream channel for an OBI (after its Hello).
+
+        With the in-process transport the same channel carries both
+        directions; with REST this is a RestPeerChannel to the OBI's
+        callback URL.
+        """
+        handle = self._handle_of(obi_id)
+        handle.channel = channel
+        if self.auto_deploy:
+            self.deploy(obi_id)
+
+    def disconnect_obi(self, obi_id: str) -> None:
+        if self.obis.pop(obi_id, None) is not None:
+            for app in self.applications.values():
+                app.on_obi_disconnected(obi_id)
+        self.stats.forget(obi_id)
+
+    def _handle_of(self, obi_id: str) -> ObiHandle:
+        handle = self.obis.get(obi_id)
+        if handle is None:
+            raise ProtocolError(ErrorCode.NOT_CONNECTED, f"unknown OBI {obi_id!r}")
+        return handle
+
+    def _handle_alert(self, alert: Alert) -> None:
+        """Demultiplex an alert to its originating application (§6)."""
+        self.alerts.append(alert)
+        app = self.applications.get(alert.origin_app)
+        if app is not None:
+            app.on_alert(alert)
+
+    # ------------------------------------------------------------------
+    # Deployment
+    # ------------------------------------------------------------------
+    def compute_deployment(self, obi_id: str) -> AggregationResult | None:
+        """The merged graph that should run on ``obi_id`` right now."""
+        handle = self._handle_of(obi_id)
+        return self.aggregator.aggregate(
+            list(self.applications.values()), handle.obi_id, handle.segment
+        )
+
+    def deploy(self, obi_id: str) -> AggregationResult | None:
+        """Merge and push the applicable graphs to one OBI."""
+        handle = self._handle_of(obi_id)
+        if handle.channel is None:
+            raise ProtocolError(ErrorCode.NOT_CONNECTED, f"OBI {obi_id!r} has no channel")
+        result = self.compute_deployment(obi_id)
+        if result is None:
+            return None
+        response = handle.channel.request(
+            SetProcessingGraphRequest(graph=result.graph.to_dict())
+        )
+        if isinstance(response, SetProcessingGraphResponse) and response.ok:
+            handle.deployed = result
+            handle.generation += 1
+            return result
+        detail = getattr(response, "detail", "") or getattr(response, "code", "")
+        self.deploy_failures.append((obi_id, str(detail)))
+        raise ProtocolError(
+            ErrorCode.INVALID_GRAPH, f"OBI {obi_id!r} rejected graph: {detail}"
+        )
+
+    def redeploy_all(self) -> None:
+        for obi_id, handle in list(self.obis.items()):
+            if handle.channel is not None:
+                self.deploy(obi_id)
+
+    # ------------------------------------------------------------------
+    # Northbound: application-initiated requests (multiplexed, §4.1)
+    # ------------------------------------------------------------------
+    def _send_request(
+        self,
+        app: OpenBoxApplication,
+        obi_id: str,
+        message: Message,
+        callback: Callable[[Message], None] | None,
+        error_callback: Callable[[ErrorMessage], None] | None = None,
+    ) -> None:
+        handle = self._handle_of(obi_id)
+        if handle.channel is None:
+            raise ProtocolError(ErrorCode.NOT_CONNECTED, f"OBI {obi_id!r} has no channel")
+        if callback is not None:
+            self.mux.register(
+                message.xid, app.name, callback, self.clock(),
+                error_callback=error_callback,
+            )
+        response = handle.channel.request(message)
+        # The transports are synchronous RPC, so the response arrives
+        # immediately; route it through the demultiplexer exactly as an
+        # asynchronously delivered response would be.
+        if callback is not None:
+            self.mux.dispatch(response)
+
+    def resolve_blocks(self, app_name: str, obi_id: str, block: str) -> list[str]:
+        """Deployed block names realizing application block ``block``.
+
+        Merging renames (and may clone) application blocks, so requests
+        are routed via each deployed block's ``origin_block``/``origin_app``
+        provenance. A block merged *across* applications (e.g. a
+        cross-product classifier) is no longer individually addressable —
+        by design, since its state belongs to several tenants (paper §6).
+        """
+        handle = self._handle_of(obi_id)
+        if handle.deployed is None:
+            return []
+        graph = handle.deployed.graph
+        if block in graph.blocks and graph.blocks[block].origin_app == app_name:
+            return [block]
+        return [
+            deployed.name for deployed in graph.blocks.values()
+            if deployed.origin_block == block and deployed.origin_app == app_name
+        ]
+
+    def app_read(
+        self,
+        app: OpenBoxApplication,
+        obi_id: str,
+        block: str,
+        handle_name: str,
+        callback: Callable[[Any], None],
+    ) -> None:
+        """Read a handle on an application's block.
+
+        If merging cloned the block, numeric reads are summed across the
+        clones (e.g. a per-branch Alert's ``count``); non-numeric reads
+        return the list of per-clone values.
+        """
+        targets = self.resolve_blocks(app.name, obi_id, block)
+        if not targets:
+            raise ProtocolError(
+                ErrorCode.UNKNOWN_BLOCK,
+                f"application {app.name!r} has no deployed block {block!r} on {obi_id!r}",
+            )
+        values: list[Any] = []
+
+        def unwrap(message: Message) -> None:
+            if isinstance(message, ReadResponse):
+                values.append(message.value)
+            if len(values) == len(targets):
+                if len(values) == 1:
+                    callback(values[0])
+                elif all(isinstance(value, (int, float)) for value in values):
+                    callback(sum(values))
+                else:
+                    callback(values)
+
+        for target in targets:
+            self._send_request(
+                app, obi_id, ReadRequest(block=target, handle=handle_name), unwrap
+            )
+
+    def app_write(
+        self,
+        app: OpenBoxApplication,
+        obi_id: str,
+        block: str,
+        handle_name: str,
+        value: Any,
+        callback: Callable[[bool], None] | None = None,
+    ) -> None:
+        """Write a handle on an application's block (all deployed clones)."""
+        targets = self.resolve_blocks(app.name, obi_id, block)
+        if not targets:
+            raise ProtocolError(
+                ErrorCode.UNKNOWN_BLOCK,
+                f"application {app.name!r} has no deployed block {block!r} on {obi_id!r}",
+            )
+        results: list[bool] = []
+
+        def unwrap(message: Message) -> None:
+            if isinstance(message, WriteResponse):
+                results.append(message.ok)
+            if callback is not None and len(results) == len(targets):
+                callback(all(results))
+
+        for target in targets:
+            self._send_request(
+                app, obi_id,
+                WriteRequest(block=target, handle=handle_name, value=value),
+                unwrap if callback is not None else None,
+            )
+
+    def app_stats(
+        self,
+        app: OpenBoxApplication,
+        obi_id: str,
+        callback: Callable[[GlobalStatsResponse], None] | None = None,
+    ) -> None:
+        def unwrap(message: Message) -> None:
+            if isinstance(message, GlobalStatsResponse):
+                self.stats.record_stats(message, self.clock())
+                app.on_stats(message)
+                if callback is not None:
+                    callback(message)
+
+        self._send_request(app, obi_id, GlobalStatsRequest(), unwrap)
+
+    # ------------------------------------------------------------------
+    # Controller-initiated statistics polling
+    # ------------------------------------------------------------------
+    def poll_stats(self, obi_id: str) -> GlobalStatsResponse | None:
+        """Fetch and record GlobalStats from one OBI."""
+        handle = self._handle_of(obi_id)
+        if handle.channel is None:
+            return None
+        response = handle.channel.request(GlobalStatsRequest())
+        if isinstance(response, GlobalStatsResponse):
+            self.stats.record_stats(response, self.clock())
+            return response
+        return None

@@ -1,0 +1,107 @@
+"""The orchestration loop: stats → scaling → migration → steering.
+
+The paper's controller "can use this information to scale and provision
+additional service instances, or merge the tasks of multiple
+underutilized instances and take some of them down" (§3.3). This module
+closes that loop as one periodic tick:
+
+1. poll ``GlobalStats`` from every live OBI in each managed group;
+2. let the :class:`~repro.controller.scaling.ScalingManager` decide;
+3. on **scale-up**: copy session state from the template replica to the
+   new one (so reassigned flows keep their verdicts — the OpenNF hook),
+   then widen the steering hop;
+4. on **scale-down**: fold the victim's session state into a surviving
+   replica *before* the provisioner tears it down, then narrow steering.
+
+Drive it from any scheduler: ``scheduler.schedule_every(p, loop.tick)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from repro.controller.migration import StateMigrator
+from repro.controller.scaling import ScalingAction, ScalingManager
+from repro.controller.steering import TrafficSteering
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.controller.obc import OpenBoxController
+
+
+@dataclass
+class TickReport:
+    """What one orchestration tick observed and did."""
+
+    at: float
+    polled: list[str] = field(default_factory=list)
+    actions: list[ScalingAction] = field(default_factory=list)
+    migrations: list[tuple[str, str]] = field(default_factory=list)
+
+
+class OrchestrationLoop:
+    """Periodic controller housekeeping over scaling groups."""
+
+    def __init__(
+        self,
+        controller: "OpenBoxController",
+        scaling: ScalingManager,
+        steering: TrafficSteering | None = None,
+        migrate_state: bool = True,
+    ) -> None:
+        self.controller = controller
+        self.scaling = scaling
+        self.steering = steering
+        self.migrator = StateMigrator(controller) if migrate_state else None
+        self.reports: list[TickReport] = []
+
+    def tick(self) -> TickReport:
+        """One round: poll, decide, migrate, re-steer."""
+        now = self.controller.clock()
+        report = TickReport(at=now)
+
+        # 1. Poll stats for every group member still connected.
+        for group in list(self.scaling._groups):
+            for obi_id in self.scaling.group_members(group):
+                if obi_id in self.controller.obis:
+                    if self.controller.poll_stats(obi_id) is not None:
+                        report.polled.append(obi_id)
+
+        # 2-4. Scaling decisions with state-aware choreography.
+        #
+        # Scale-down needs the victim's state saved *before* the
+        # provisioner deprovisions it, so we pre-snapshot every member;
+        # the snapshot for the chosen victim is imported afterwards.
+        snapshots: dict[str, list] = {}
+        if self.migrator is not None:
+            for group in list(self.scaling._groups):
+                for obi_id in self.scaling.group_members(group):
+                    if obi_id in self.controller.obis:
+                        snapshots[obi_id] = self.migrator.export_state(obi_id)
+
+        for action in self.scaling.evaluate(now):
+            report.actions.append(action)
+            members = self.scaling.group_members(action.group)
+            if self.migrator is not None:
+                if action.kind == "scale_up":
+                    template = next(
+                        (m for m in members
+                         if m != action.obi_id and m in self.controller.obis),
+                        None,
+                    )
+                    if template is not None:
+                        self.migrator.migrate(template, action.obi_id)
+                        report.migrations.append((template, action.obi_id))
+                elif action.kind == "scale_down":
+                    survivor = next(
+                        (m for m in members if m in self.controller.obis), None
+                    )
+                    state = snapshots.get(action.obi_id)
+                    if survivor is not None and state:
+                        self.migrator.import_state(survivor, state)
+                        report.migrations.append((action.obi_id, survivor))
+            if self.steering is not None:
+                self.steering.update_replicas(action.group, members)
+
+        self.reports.append(report)
+        return report

@@ -1,0 +1,129 @@
+"""NF placement across candidate OBIs.
+
+The paper defers the full placement problem to Slick [2] ("the solutions
+to the placement problems presented in [2] can be implemented in the
+OpenBox control plane"); this module implements the controller-side
+mechanism plus a sensible default policy:
+
+* candidates are filtered by capability (an OBI must implement every
+  block type in the graph) and segment scope;
+* among feasible OBIs, a greedy scorer prefers (1) co-locating graphs of
+  the same chain — which is what enables merging — and (2) the most
+  spare capacity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.graph import ProcessingGraph
+
+
+@dataclass
+class PlacementCandidate:
+    """A data-plane location available for placement."""
+
+    obi_id: str
+    segment: str
+    capabilities: set[str]
+    capacity: float = 1.0
+    expected_load: float = 0.0
+    hosted_chains: set[str] = field(default_factory=set)
+
+    @property
+    def spare_capacity(self) -> float:
+        return max(0.0, self.capacity - self.expected_load)
+
+
+@dataclass
+class PlacementDecision:
+    obi_id: str
+    score: float
+    colocated: bool
+
+
+class PlacementError(ValueError):
+    """No feasible OBI exists for the graph."""
+
+
+class PlacementEngine:
+    """Greedy capability- and load-aware placement."""
+
+    #: Score bonus for placing on an OBI already hosting the same chain
+    #: (co-location enables the merge optimizations of §2.2).
+    COLOCATION_BONUS = 0.5
+
+    def __init__(self, candidates: list[PlacementCandidate] | None = None) -> None:
+        self.candidates: dict[str, PlacementCandidate] = {}
+        for candidate in candidates or []:
+            self.add_candidate(candidate)
+
+    def add_candidate(self, candidate: PlacementCandidate) -> None:
+        self.candidates[candidate.obi_id] = candidate
+
+    def remove_candidate(self, obi_id: str) -> None:
+        self.candidates.pop(obi_id, None)
+
+    def feasible(
+        self, graph: ProcessingGraph, segment_filter: str | None = None
+    ) -> list[PlacementCandidate]:
+        """Candidates that support every block type in ``graph``."""
+        needed = {block.type for block in graph.blocks.values()}
+        result = []
+        for candidate in self.candidates.values():
+            if segment_filter is not None and not candidate.segment.startswith(
+                segment_filter
+            ):
+                continue
+            if needed <= candidate.capabilities:
+                result.append(candidate)
+        return result
+
+    def place(
+        self,
+        graph: ProcessingGraph,
+        chain: str = "",
+        expected_load: float = 0.1,
+        segment_filter: str | None = None,
+    ) -> PlacementDecision:
+        """Pick the best OBI for ``graph`` and account its load there."""
+        feasible = self.feasible(graph, segment_filter)
+        if not feasible:
+            raise PlacementError(
+                f"no OBI supports all block types of graph {graph.name!r}"
+            )
+        best: tuple[float, bool, PlacementCandidate] | None = None
+        for candidate in feasible:
+            if candidate.spare_capacity < expected_load:
+                continue
+            colocated = bool(chain) and chain in candidate.hosted_chains
+            score = candidate.spare_capacity / max(candidate.capacity, 1e-9)
+            if colocated:
+                score += self.COLOCATION_BONUS
+            if best is None or score > best[0]:
+                best = (score, colocated, candidate)
+        if best is None:
+            raise PlacementError(
+                f"no OBI has {expected_load:.2f} spare capacity for {graph.name!r}"
+            )
+        score, colocated, candidate = best
+        candidate.expected_load += expected_load
+        if chain:
+            candidate.hosted_chains.add(chain)
+        return PlacementDecision(
+            obi_id=candidate.obi_id, score=score, colocated=colocated
+        )
+
+    def place_chain(
+        self,
+        graphs: list[ProcessingGraph],
+        chain: str,
+        expected_load: float = 0.1,
+        segment_filter: str | None = None,
+    ) -> list[PlacementDecision]:
+        """Place every NF of a chain, preferring co-location."""
+        return [
+            self.place(graph, chain=chain, expected_load=expected_load,
+                       segment_filter=segment_filter)
+            for graph in graphs
+        ]

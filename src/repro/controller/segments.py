@@ -1,0 +1,93 @@
+"""Hierarchical network segments (paper §3.3).
+
+"Different segments can describe different departments, administrative
+domains, or tenants ... Segments are hierarchical, so a segment can
+contain sub-segments. Each OBI belongs to a specific segment."
+
+Segments are named by slash-separated paths, e.g. ``corp/engineering``.
+An application statement scoped to ``corp`` applies to every OBI in
+``corp`` or any sub-segment — the micro-segmentation model the paper
+calls out.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+def _parts(path: str) -> tuple[str, ...]:
+    return tuple(part for part in path.strip("/").split("/") if part)
+
+
+@dataclass
+class Segment:
+    """A node in the segment tree."""
+
+    name: str
+    path: str
+    parent: "Segment | None" = None
+    children: dict[str, "Segment"] = field(default_factory=dict)
+    #: Per-segment free-form policy attributes (tenant, SLA class, ...).
+    attributes: dict[str, str] = field(default_factory=dict)
+
+
+class SegmentHierarchy:
+    """The segment tree plus scope queries."""
+
+    def __init__(self) -> None:
+        self._root = Segment(name="", path="")
+        self._by_path: dict[tuple[str, ...], Segment] = {(): self._root}
+
+    def add(self, path: str, **attributes: str) -> Segment:
+        """Create (or fetch) the segment at ``path``, creating ancestors."""
+        parts = _parts(path)
+        node = self._root
+        for depth, name in enumerate(parts):
+            key = parts[: depth + 1]
+            child = self._by_path.get(key)
+            if child is None:
+                child = Segment(
+                    name=name,
+                    path="/".join(key),
+                    parent=node,
+                )
+                node.children[name] = child
+                self._by_path[key] = child
+            node = child
+        node.attributes.update(attributes)
+        return node
+
+    def get(self, path: str) -> Segment | None:
+        return self._by_path.get(_parts(path))
+
+    def exists(self, path: str) -> bool:
+        return _parts(path) in self._by_path
+
+    def in_scope(self, obi_segment: str, scope: str) -> bool:
+        """True iff an OBI in ``obi_segment`` is covered by ``scope``.
+
+        The empty scope means "everywhere". An OBI in a segment unknown
+        to the hierarchy is still matched by prefix, so registration
+        order (segments vs OBIs) does not matter.
+        """
+        scope_parts = _parts(scope)
+        obi_parts = _parts(obi_segment)
+        return obi_parts[: len(scope_parts)] == scope_parts
+
+    def descendants(self, path: str) -> list[Segment]:
+        """The segment at ``path`` and everything below it."""
+        start = self.get(path)
+        if start is None:
+            return []
+        result: list[Segment] = []
+        stack = [start]
+        while stack:
+            node = stack.pop()
+            result.append(node)
+            stack.extend(node.children.values())
+        return result
+
+    def all_paths(self) -> list[str]:
+        return sorted(
+            "/".join(key) for key in self._by_path if key
+        )

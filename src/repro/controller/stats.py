@@ -1,0 +1,87 @@
+"""OBI liveness and load tracking.
+
+The controller "can request system information, such as CPU load and
+memory usage, from OBIs. It can use this information to scale and
+provision additional service instances, or merge the tasks of multiple
+underutilized instances and take some of them down" (paper §3.3).
+
+:class:`ObiStatsTracker` records keepalives and the latest GlobalStats
+per OBI; the scaling manager consumes its view.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.protocol.messages import GlobalStatsResponse
+
+
+@dataclass
+class ObiLoadView:
+    """The controller's current knowledge about one OBI."""
+
+    obi_id: str
+    last_keepalive: float = 0.0
+    keepalives: int = 0
+    last_stats: GlobalStatsResponse | None = None
+    stats_history: list[tuple[float, float]] = field(default_factory=list)
+
+    @property
+    def cpu_load(self) -> float:
+        return self.last_stats.cpu_load if self.last_stats is not None else 0.0
+
+    def smoothed_load(self, window: int = 5) -> float:
+        """Mean of the last ``window`` CPU-load samples (0 if none)."""
+        recent = self.stats_history[-window:]
+        if not recent:
+            return 0.0
+        return sum(load for _ts, load in recent) / len(recent)
+
+
+class ObiStatsTracker:
+    """Tracks liveness and load for every connected OBI."""
+
+    def __init__(self, liveness_timeout: float = 30.0, history_limit: int = 1000) -> None:
+        self.liveness_timeout = liveness_timeout
+        self.history_limit = history_limit
+        self._views: dict[str, ObiLoadView] = {}
+
+    def register(self, obi_id: str, now: float) -> ObiLoadView:
+        view = self._views.get(obi_id)
+        if view is None:
+            view = ObiLoadView(obi_id=obi_id, last_keepalive=now)
+            self._views[obi_id] = view
+        return view
+
+    def forget(self, obi_id: str) -> None:
+        self._views.pop(obi_id, None)
+
+    def record_keepalive(self, obi_id: str, now: float) -> None:
+        view = self.register(obi_id, now)
+        view.last_keepalive = now
+        view.keepalives += 1
+
+    def record_stats(self, stats: GlobalStatsResponse, now: float) -> None:
+        view = self.register(stats.obi_id, now)
+        view.last_stats = stats
+        view.stats_history.append((now, stats.cpu_load))
+        if len(view.stats_history) > self.history_limit:
+            del view.stats_history[: -self.history_limit]
+
+    def view(self, obi_id: str) -> ObiLoadView | None:
+        return self._views.get(obi_id)
+
+    def all_views(self) -> list[ObiLoadView]:
+        return list(self._views.values())
+
+    def live_obis(self, now: float) -> list[str]:
+        return [
+            view.obi_id for view in self._views.values()
+            if now - view.last_keepalive <= self.liveness_timeout
+        ]
+
+    def dead_obis(self, now: float) -> list[str]:
+        return [
+            view.obi_id for view in self._views.values()
+            if now - view.last_keepalive > self.liveness_timeout
+        ]

@@ -1,0 +1,118 @@
+"""Traffic steering: mapping flows to OBI service chains (paper §3.3).
+
+"In an SDN network, the OBC can be attached to a traffic-steering
+application to control chaining of instances and packet forwarding
+between them." The paper implements this as an OpenDaylight plugin; here
+the steering module programs the simulated forwarding plane directly:
+
+* a *chain* is an ordered list of steering hops;
+* each hop names a replica group; replicas are picked per flow with
+  consistent hashing (so a flow sticks to one replica — stateful NFs
+  need flow affinity) weighted by replica capacity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from hashlib import blake2b
+
+from repro.net.flow import FiveTuple
+from repro.net.packet import Packet
+
+
+@dataclass
+class SteeringHop:
+    """One hop of a service chain: a load-balanced OBI replica group."""
+
+    group: str
+    replicas: list[str]
+    weights: dict[str, float] = field(default_factory=dict)
+
+    def pick(self, flow_key: int) -> str:
+        """Choose a replica for a flow (highest-random-weight hashing).
+
+        Rendezvous hashing keeps most flows pinned to their replica when
+        the replica set changes — important for session storage locality.
+        """
+        if not self.replicas:
+            raise ValueError(f"steering hop {self.group!r} has no replicas")
+        best_id = None
+        best_score = -1.0
+        for obi_id in self.replicas:
+            digest = blake2b(
+                f"{flow_key}:{obi_id}".encode(), digest_size=8
+            ).digest()
+            score = int.from_bytes(digest, "big") / float(1 << 64)
+            weight = self.weights.get(obi_id, 1.0)
+            weighted = score ** (1.0 / weight) if weight > 0 else -1.0
+            if weighted > best_score:
+                best_score = weighted
+                best_id = obi_id
+        assert best_id is not None
+        return best_id
+
+
+@dataclass
+class ServiceChain:
+    """An ordered sequence of steering hops applied to matching flows."""
+
+    name: str
+    hops: list[SteeringHop]
+
+    def route(self, packet: Packet) -> list[str]:
+        """The OBI sequence this packet's flow traverses."""
+        tuple5 = FiveTuple.of(packet)
+        flow_key = hash(tuple5.bidirectional_key()) if tuple5 is not None else 0
+        return [hop.pick(flow_key) for hop in self.hops]
+
+
+class TrafficSteering:
+    """The controller's steering table: classifier from flows to chains.
+
+    Chains are selected by VLAN id (tenant networks) or by a default;
+    richer flow-space rules can be layered on by registering a custom
+    ``selector`` callable.
+    """
+
+    def __init__(self) -> None:
+        self.chains: dict[str, ServiceChain] = {}
+        self._by_vlan: dict[int, str] = {}
+        self._default: str | None = None
+        self._selector = None
+
+    def register_chain(self, chain: ServiceChain, vlan: int | None = None,
+                       default: bool = False) -> None:
+        self.chains[chain.name] = chain
+        if vlan is not None:
+            self._by_vlan[vlan] = chain.name
+        if default or self._default is None:
+            self._default = chain.name
+
+    def set_selector(self, selector) -> None:
+        """Install ``selector(packet) -> chain name | None``."""
+        self._selector = selector
+
+    def chain_for(self, packet: Packet) -> ServiceChain | None:
+        if self._selector is not None:
+            name = self._selector(packet)
+            if name is not None:
+                return self.chains.get(name)
+        eth = packet.eth
+        tag = eth.vlan if eth is not None else None
+        if tag is not None and tag.vid in self._by_vlan:
+            return self.chains[self._by_vlan[tag.vid]]
+        if self._default is not None:
+            return self.chains[self._default]
+        return None
+
+    def route(self, packet: Packet) -> list[str]:
+        """The OBI sequence for this packet (empty = forward directly)."""
+        chain = self.chain_for(packet)
+        return chain.route(packet) if chain is not None else []
+
+    def update_replicas(self, group: str, replicas: list[str]) -> None:
+        """Propagate a scaling action into every chain using ``group``."""
+        for chain in self.chains.values():
+            for hop in chain.hops:
+                if hop.group == group:
+                    hop.replicas = list(replicas)

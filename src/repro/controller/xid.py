@@ -1,0 +1,83 @@
+"""Request multiplexing / response demultiplexing (paper §4.1).
+
+"When an application sends a request, it provides the controller with
+callback functions that are called when a response arrives back at the
+controller. The controller handles multiplexing of requests and
+demultiplexing of responses."
+
+Every outgoing request is recorded under its ``xid``; when a response
+(or error) with that ``xid`` arrives, the registered callback fires and
+the entry is dropped. Entries also expire so a dead OBI cannot leak
+callbacks forever.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.protocol.messages import ErrorMessage, Message
+
+
+@dataclass
+class _Pending:
+    app_name: str
+    callback: Callable[[Message], None]
+    error_callback: Callable[[ErrorMessage], None] | None
+    deadline: float
+
+
+class RequestMultiplexer:
+    """Tracks in-flight application requests by transaction id."""
+
+    def __init__(self, default_timeout: float = 30.0) -> None:
+        self.default_timeout = default_timeout
+        self._pending: dict[int, _Pending] = {}
+        self.expired = 0
+        self.unmatched = 0
+
+    def __len__(self) -> int:
+        return len(self._pending)
+
+    def register(
+        self,
+        xid: int,
+        app_name: str,
+        callback: Callable[[Message], None],
+        now: float,
+        error_callback: Callable[[ErrorMessage], None] | None = None,
+        timeout: float | None = None,
+    ) -> None:
+        if xid in self._pending:
+            raise ValueError(f"xid {xid} already registered")
+        self._pending[xid] = _Pending(
+            app_name=app_name,
+            callback=callback,
+            error_callback=error_callback,
+            deadline=now + (timeout if timeout is not None else self.default_timeout),
+        )
+
+    def dispatch(self, response: Message) -> bool:
+        """Route ``response`` to its callback; True if a request matched."""
+        pending = self._pending.pop(response.xid, None)
+        if pending is None:
+            self.unmatched += 1
+            return False
+        if isinstance(response, ErrorMessage):
+            if pending.error_callback is not None:
+                pending.error_callback(response)
+            return True
+        pending.callback(response)
+        return True
+
+    def owner_of(self, xid: int) -> str | None:
+        pending = self._pending.get(xid)
+        return pending.app_name if pending is not None else None
+
+    def expire(self, now: float) -> list[int]:
+        """Drop requests whose deadline passed; returns their xids."""
+        stale = [xid for xid, pending in self._pending.items() if pending.deadline < now]
+        for xid in stale:
+            del self._pending[xid]
+            self.expired += 1
+        return stale

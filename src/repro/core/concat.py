@@ -1,0 +1,87 @@
+"""Stage 2 of the merge pipeline: concatenating processing trees.
+
+"Then, it concatenates the processing trees in the order in which the
+corresponding NFs are processed. ... A copy of the subsequent processing
+tree will be concatenated to each of these leaves" (paper §2.2.1).
+
+Concatenation splices the second NF's logic after every *output terminal*
+of the first: the first graph's ``ToDevice`` leaf and the second graph's
+``FromDevice`` root both disappear (packets flow on within the same OBI
+instead of leaving and re-entering a device), which is exactly why the
+naively merged Figure 3 has a 7-block diameter rather than 4+4.
+
+Leaves that terminate processing for good (``Discard``, ``ToDump``,
+``SendToController``) keep their meaning: nothing is appended after them.
+"""
+
+from __future__ import annotations
+
+from repro.core.graph import GraphValidationError, ProcessingGraph
+
+#: Terminals after which the packet continues through subsequent NFs.
+OUTPUT_TERMINALS = frozenset({"ToDevice"})
+
+#: Terminals that absorb the packet; later NFs never see it.
+ABSORBING_TERMINALS = frozenset({"Discard", "ToDump", "SendToController"})
+
+#: Terminals that inject packets (graph entry points).
+INPUT_TERMINALS = frozenset({"FromDevice", "FromDump"})
+
+
+def concatenate_trees(first: ProcessingGraph, second: ProcessingGraph) -> ProcessingGraph:
+    """Append a copy of ``second`` after every output terminal of ``first``.
+
+    Both inputs must be trees with a single input-terminal entry; the
+    result is a tree named after both. Inputs are not modified.
+    """
+    for tree, label in ((first, "first"), (second, "second")):
+        if not tree.is_tree():
+            raise GraphValidationError(f"{label} graph is not a tree")
+    second_entry = second.entry_point()
+    if second.blocks[second_entry].type not in INPUT_TERMINALS:
+        raise GraphValidationError(
+            f"second graph entry {second_entry!r} is not an input terminal"
+        )
+    second_successors = second.out_connectors(second_entry)
+    if len(second_successors) != 1:
+        raise GraphValidationError("second graph entry must have exactly one successor")
+
+    result = first.copy(name=f"{first.name}+{second.name}", rename=True)
+
+    output_leaves = [
+        name for name in result.leaves()
+        if result.blocks[name].type in OUTPUT_TERMINALS
+    ]
+    if not output_leaves:
+        raise GraphValidationError(
+            f"graph {first.name!r} has no output terminal to concatenate after"
+        )
+
+    body_root = second_successors[0].dst
+    for leaf in output_leaves:
+        in_connectors = result.in_connectors(leaf)
+        if not in_connectors:
+            raise GraphValidationError(
+                f"output terminal {leaf!r} is unreachable (single-block graph?)"
+            )
+        appended_root = _copy_subtree(second, body_root, result)
+        connector = in_connectors[0]
+        result.remove_connector(connector)
+        result.remove_block(leaf)
+        result.connect(connector.src, appended_root, connector.src_port)
+    return result
+
+
+def _copy_subtree(source: ProcessingGraph, root: str, target: ProcessingGraph) -> str:
+    """Copy ``source``'s subtree under ``root`` into ``target``; returns new root."""
+    root_clone = source.blocks[root].clone()
+    target.add_block(root_clone)
+    stack: list[tuple[str, str]] = [(root, root_clone.name)]
+    while stack:
+        name, clone_name = stack.pop()
+        for connector in source.out_connectors(name):
+            child_clone = source.blocks[connector.dst].clone()
+            target.add_block(child_clone)
+            target.connect(clone_name, child_clone.name, connector.src_port)
+            stack.append((connector.dst, child_clone.name))
+    return root_clone.name

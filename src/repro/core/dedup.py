@@ -1,0 +1,60 @@
+"""Stage 4 of the merge pipeline: duplicate-subtree elimination.
+
+"The last stage of our algorithm takes place after the merge process is
+completed. It eliminates copies of the same block and rewires the
+connectors to the remaining single copy, so that eventually the result is
+a graph ... and not necessarily a tree" (paper §2.2.1).
+
+Two blocks are merged only when they have identical type/config/origin
+*and* their successor subtrees are exact copies of each other — "we only
+eliminate a copy of a block if the remaining copy is pointing to exactly
+the same path (or its exact copy)". This is decided with a bottom-up
+structural hash over the tree.
+"""
+
+from __future__ import annotations
+
+from repro.core.graph import ProcessingGraph
+
+
+def deduplicate(tree: ProcessingGraph) -> ProcessingGraph:
+    """Collapse equal subtrees of ``tree`` into shared subgraphs.
+
+    Returns a new (possibly non-tree) graph; the input is unmodified.
+    Path lengths are unchanged — only the block count shrinks.
+    """
+    order = tree.topological_order()
+    signature: dict[str, str] = {}
+    canonical: dict[str, str] = {}
+
+    for name in reversed(order):
+        block = tree.blocks[name]
+        child_parts = [
+            f"{connector.src_port}:{signature[connector.dst]}"
+            for connector in sorted(
+                tree.out_connectors(name), key=lambda c: c.src_port
+            )
+        ]
+        sig = block.config_fingerprint() + "->(" + ",".join(child_parts) + ")"
+        signature[name] = sig
+        canonical.setdefault(sig, name)
+
+    result = ProcessingGraph(tree.name)
+    reachable: list[str] = []
+    seen: set[str] = set()
+    stack = [canonical[signature[root]] for root in tree.roots()]
+    while stack:
+        canon = stack.pop()
+        if canon in seen:
+            continue
+        seen.add(canon)
+        reachable.append(canon)
+        result.add_block(tree.blocks[canon])
+        for connector in tree.out_connectors(canon):
+            stack.append(canonical[signature[connector.dst]])
+    for canon in reachable:
+        for connector in tree.out_connectors(canon):
+            result.connect(
+                canon, canonical[signature[connector.dst]], connector.src_port
+            )
+    return result

@@ -1,0 +1,84 @@
+"""Convenience constructors for test and generator traffic."""
+
+from __future__ import annotations
+
+from repro.net.ethernet import EtherType, EthernetHeader, MacAddress, VlanTag
+from repro.net.ip import IpProto, Ipv4Header, ip_to_int
+from repro.net.packet import Packet
+from repro.net.tcp import TcpFlags, TcpHeader
+from repro.net.udp import UdpHeader
+
+DEFAULT_SRC_MAC = MacAddress.parse("02:00:00:00:00:01")
+DEFAULT_DST_MAC = MacAddress.parse("02:00:00:00:00:02")
+
+
+def _as_ip(value: int | str) -> int:
+    return ip_to_int(value) if isinstance(value, str) else value
+
+
+def make_tcp_packet(
+    src_ip: int | str,
+    dst_ip: int | str,
+    src_port: int,
+    dst_port: int,
+    payload: bytes = b"",
+    flags: int = TcpFlags.ACK,
+    seq: int = 0,
+    ack: int = 0,
+    ttl: int = 64,
+    vlan: int | None = None,
+    timestamp: float = 0.0,
+) -> Packet:
+    """Build a fully serialized Ethernet/IPv4/TCP packet."""
+    src, dst = _as_ip(src_ip), _as_ip(dst_ip)
+    tcp = TcpHeader(src_port=src_port, dst_port=dst_port, seq=seq, ack=ack, flags=flags)
+    segment = tcp.serialize(payload, src_ip=src, dst_ip=dst)
+    ipv4 = Ipv4Header(src=src, dst=dst, proto=IpProto.TCP, ttl=ttl)
+    ip_bytes = ipv4.serialize(payload_len=len(segment))
+    eth = EthernetHeader(dst=DEFAULT_DST_MAC, src=DEFAULT_SRC_MAC, ethertype=EtherType.IPV4)
+    if vlan is not None:
+        eth.push_vlan(VlanTag(vid=vlan))
+    return Packet(data=eth.serialize() + ip_bytes + segment, timestamp=timestamp)
+
+
+def make_udp_packet(
+    src_ip: int | str,
+    dst_ip: int | str,
+    src_port: int,
+    dst_port: int,
+    payload: bytes = b"",
+    ttl: int = 64,
+    vlan: int | None = None,
+    timestamp: float = 0.0,
+) -> Packet:
+    """Build a fully serialized Ethernet/IPv4/UDP packet."""
+    src, dst = _as_ip(src_ip), _as_ip(dst_ip)
+    udp = UdpHeader(src_port=src_port, dst_port=dst_port)
+    datagram = udp.serialize(payload, src_ip=src, dst_ip=dst)
+    ipv4 = Ipv4Header(src=src, dst=dst, proto=IpProto.UDP, ttl=ttl)
+    ip_bytes = ipv4.serialize(payload_len=len(datagram))
+    eth = EthernetHeader(dst=DEFAULT_DST_MAC, src=DEFAULT_SRC_MAC, ethertype=EtherType.IPV4)
+    if vlan is not None:
+        eth.push_vlan(VlanTag(vid=vlan))
+    return Packet(data=eth.serialize() + ip_bytes + datagram, timestamp=timestamp)
+
+
+def make_http_get(
+    src_ip: int | str,
+    dst_ip: int | str,
+    host: str,
+    uri: str = "/",
+    src_port: int = 40000,
+    dst_port: int = 80,
+    extra_headers: dict[str, str] | None = None,
+    timestamp: float = 0.0,
+) -> Packet:
+    """Build a TCP packet carrying a simple HTTP GET request."""
+    lines = [f"GET {uri} HTTP/1.1", f"Host: {host}"]
+    for name, value in (extra_headers or {}).items():
+        lines.append(f"{name}: {value}")
+    payload = ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1")
+    return make_tcp_packet(
+        src_ip, dst_ip, src_port, dst_port, payload=payload,
+        flags=TcpFlags.ACK | TcpFlags.PSH, timestamp=timestamp,
+    )

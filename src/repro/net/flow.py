@@ -1,0 +1,197 @@
+"""Flow identification and tracking.
+
+OpenBox's *session storage* (paper §3.4.2) is keyed by flow: a stateful NF
+application stores per-flow data (tags, gzip windows, DPI search state)
+that must live in the data plane. :class:`FlowTable` provides the flow
+lifecycle — creation on first packet, idle timeout, TCP FIN/RST teardown —
+on which the OBI's session storage is built.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterator
+
+from repro.net.ip import IpProto, int_to_ip
+from repro.net.packet import Packet
+from repro.net.tcp import TcpFlags
+
+
+@dataclass(frozen=True, slots=True)
+class FiveTuple:
+    """The canonical 5-tuple flow key."""
+
+    src_ip: int
+    dst_ip: int
+    src_port: int
+    dst_port: int
+    proto: int
+
+    @classmethod
+    def of(cls, packet: Packet) -> "FiveTuple | None":
+        """Extract the 5-tuple from ``packet``, or None for non-IP frames."""
+        ipv4 = packet.ipv4
+        if ipv4 is None:
+            return None
+        l4 = packet.l4
+        src_port = l4.src_port if l4 is not None else 0
+        dst_port = l4.dst_port if l4 is not None else 0
+        return cls(ipv4.src, ipv4.dst, src_port, dst_port, ipv4.proto)
+
+    def reversed(self) -> "FiveTuple":
+        """The 5-tuple of the reverse direction."""
+        return FiveTuple(self.dst_ip, self.src_ip, self.dst_port, self.src_port, self.proto)
+
+    def bidirectional_key(self) -> "FiveTuple":
+        """A direction-independent key (the lexicographically smaller side)."""
+        forward = (self.src_ip, self.src_port)
+        backward = (self.dst_ip, self.dst_port)
+        return self if forward <= backward else self.reversed()
+
+    def to_dict(self) -> dict[str, int]:
+        """JSON-safe form (used by state export/migration)."""
+        return {
+            "src_ip": self.src_ip, "dst_ip": self.dst_ip,
+            "src_port": self.src_port, "dst_port": self.dst_port,
+            "proto": self.proto,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FiveTuple":
+        return cls(
+            src_ip=int(data["src_ip"]), dst_ip=int(data["dst_ip"]),
+            src_port=int(data["src_port"]), dst_port=int(data["dst_port"]),
+            proto=int(data["proto"]),
+        )
+
+    def __str__(self) -> str:
+        proto = {IpProto.TCP: "tcp", IpProto.UDP: "udp"}.get(self.proto, str(self.proto))
+        return (
+            f"{proto} {int_to_ip(self.src_ip)}:{self.src_port} -> "
+            f"{int_to_ip(self.dst_ip)}:{self.dst_port}"
+        )
+
+
+@dataclass
+class Flow:
+    """Mutable per-flow state tracked by a :class:`FlowTable`."""
+
+    key: FiveTuple
+    created_at: float
+    last_seen: float
+    packets: int = 0
+    bytes: int = 0
+    fin_seen: bool = False
+    rst_seen: bool = False
+    session: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def closed(self) -> bool:
+        return self.rst_seen or self.fin_seen
+
+    def touch(self, packet: Packet, now: float) -> None:
+        self.last_seen = now
+        self.packets += 1
+        self.bytes += len(packet)
+        tcp = packet.tcp
+        if tcp is not None:
+            if tcp.has_flag(TcpFlags.FIN):
+                self.fin_seen = True
+            if tcp.has_flag(TcpFlags.RST):
+                self.rst_seen = True
+
+
+class FlowTable:
+    """Tracks active flows with idle-timeout eviction.
+
+    ``bidirectional`` controls whether both directions of a connection map
+    to the same flow entry (the default, matching how Snort-style NFs use
+    session state).
+    """
+
+    def __init__(
+        self,
+        idle_timeout: float = 60.0,
+        bidirectional: bool = True,
+        max_flows: int | None = None,
+    ) -> None:
+        if idle_timeout <= 0:
+            raise ValueError("idle_timeout must be positive")
+        self.idle_timeout = idle_timeout
+        self.bidirectional = bidirectional
+        self.max_flows = max_flows
+        self._flows: dict[FiveTuple, Flow] = {}
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        return len(self._flows)
+
+    def __iter__(self) -> Iterator[Flow]:
+        return iter(self._flows.values())
+
+    def _key_for(self, key: FiveTuple) -> FiveTuple:
+        return key.bidirectional_key() if self.bidirectional else key
+
+    def canonical_key(self, key: FiveTuple) -> FiveTuple:
+        """The table's internal key for ``key`` (direction-folded if
+        the table is bidirectional)."""
+        return self._key_for(key)
+
+    def install(self, flow: Flow) -> None:
+        """Insert a pre-built flow entry (state import/migration)."""
+        if self.max_flows is not None and len(self._flows) >= self.max_flows:
+            self._evict_oldest()
+        self._flows[flow.key] = flow
+
+    def lookup(self, key: FiveTuple) -> Flow | None:
+        """Return the flow for ``key`` without creating or touching it."""
+        return self._flows.get(self._key_for(key))
+
+    def observe(self, packet: Packet, now: float) -> Flow | None:
+        """Account ``packet`` to its flow, creating the flow if new.
+
+        Returns None for non-IP packets. Runs opportunistic expiry so the
+        table stays bounded even without explicit :meth:`expire` calls.
+        """
+        tuple5 = FiveTuple.of(packet)
+        if tuple5 is None:
+            return None
+        key = self._key_for(tuple5)
+        flow = self._flows.get(key)
+        if flow is None:
+            if self.max_flows is not None and len(self._flows) >= self.max_flows:
+                self._evict_oldest()
+            flow = Flow(key=key, created_at=now, last_seen=now)
+            self._flows[key] = flow
+        flow.touch(packet, now)
+        return flow
+
+    def expire(self, now: float) -> list[Flow]:
+        """Remove and return flows idle for longer than the timeout."""
+        expired = [
+            flow for flow in self._flows.values()
+            if now - flow.last_seen > self.idle_timeout
+        ]
+        for flow in expired:
+            del self._flows[flow.key]
+            self.evictions += 1
+        return expired
+
+    def remove(self, key: FiveTuple) -> Flow | None:
+        """Explicitly remove a flow (e.g. after FIN handshake completes)."""
+        return self._flows.pop(self._key_for(key), None)
+
+    def _evict_oldest(self) -> None:
+        oldest = min(self._flows.values(), key=lambda flow: flow.last_seen, default=None)
+        if oldest is not None:
+            del self._flows[oldest.key]
+            self.evictions += 1
+
+    def export_state(self) -> dict[str, dict[str, Any]]:
+        """Serializable snapshot of per-flow session state.
+
+        This is the hook an OpenNF-style migration framework would use to
+        move session storage between replicated OBIs (paper §3.4.2 defers
+        migration itself to OpenNF).
+        """
+        return {str(flow.key): dict(flow.session) for flow in self._flows.values()}

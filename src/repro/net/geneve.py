@@ -1,0 +1,140 @@
+"""Geneve encapsulation (draft-ietf-nvo3-geneve, paper §3.1 reference [19]).
+
+The third metadata channel the paper lists alongside NSH and VXLAN.
+Unlike VXLAN, Geneve has native TLV options, so the OpenBox metadata
+blob rides as a proper option — no shim needed. Layout::
+
+    |Ver|OptLen |O|C|  Reserved |     Protocol Type             |
+    |      VNI (24 bits)                        |   Reserved    |
+    |            ... variable-length options ...                |
+
+Each option: 2-byte class, 1-byte type, 3-bit reserved + 5-bit length
+(in 4-byte words), then the value padded to 4 bytes.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+
+#: Option class registered for OpenBox metadata in this repo.
+OPENBOX_OPT_CLASS = 0x0B0C
+OPENBOX_OPT_TYPE = 0x42
+
+GENEVE_PROTO_ETHERNET = 0x6558
+
+
+@dataclass(slots=True)
+class GeneveOption:
+    """One Geneve TLV option."""
+
+    opt_class: int
+    opt_type: int
+    value: bytes
+
+    def __post_init__(self) -> None:
+        if len(self.value) > 4 * 31:
+            raise ValueError("Geneve option value exceeds 124 bytes")
+
+    @property
+    def padded_value_len(self) -> int:
+        return (len(self.value) + 3) // 4 * 4
+
+    def serialize(self) -> bytes:
+        length_words = self.padded_value_len // 4
+        pad = self.padded_value_len - len(self.value)
+        return (
+            struct.pack("!HBB", self.opt_class, self.opt_type, length_words)
+            + self.value + b"\x00" * pad
+        )
+
+
+@dataclass(slots=True)
+class GeneveHeader:
+    """A Geneve header with TLV options."""
+
+    vni: int
+    protocol: int = GENEVE_PROTO_ETHERNET
+    critical: bool = False
+    options: list[GeneveOption] = field(default_factory=list)
+
+    BASE_LEN = 8
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.vni < (1 << 24):
+            raise ValueError(f"VNI out of range: {self.vni}")
+
+    @property
+    def options_len(self) -> int:
+        return sum(4 + option.padded_value_len for option in self.options)
+
+    @property
+    def header_len(self) -> int:
+        return self.BASE_LEN + self.options_len
+
+    def add_metadata(self, blob: bytes) -> None:
+        """Attach an OpenBox metadata blob as an option.
+
+        The option value length field is 5 bits of 4-byte words, so the
+        exact blob length must ride inside the value: 2-byte length prefix.
+        """
+        if len(blob) > 4 * 31 - 2:
+            raise ValueError("metadata blob too large for one Geneve option")
+        value = struct.pack("!H", len(blob)) + blob
+        self.options.append(GeneveOption(OPENBOX_OPT_CLASS, OPENBOX_OPT_TYPE, value))
+
+    def openbox_metadata(self) -> bytes | None:
+        for option in self.options:
+            if (option.opt_class, option.opt_type) == (OPENBOX_OPT_CLASS,
+                                                       OPENBOX_OPT_TYPE):
+                (length,) = struct.unpack_from("!H", option.value, 0)
+                return option.value[2 : 2 + length]
+        return None
+
+    @classmethod
+    def parse(cls, data: bytes | memoryview, offset: int = 0) -> "GeneveHeader":
+        buf = bytes(data)
+        if len(buf) - offset < cls.BASE_LEN:
+            raise ValueError("truncated Geneve header")
+        ver_optlen, flags, protocol, vni_word = struct.unpack_from(
+            "!BBHI", buf, offset
+        )
+        version = ver_optlen >> 6
+        if version != 0:
+            raise ValueError(f"unsupported Geneve version: {version}")
+        options_len = (ver_optlen & 0x3F) * 4
+        header = cls(
+            vni=vni_word >> 8,
+            protocol=protocol,
+            critical=bool(flags & 0x40),
+        )
+        pos = offset + cls.BASE_LEN
+        end = pos + options_len
+        if len(buf) < end:
+            raise ValueError("truncated Geneve options")
+        while pos < end:
+            if end - pos < 4:
+                raise ValueError("truncated Geneve option header")
+            opt_class, opt_type, length_words = struct.unpack_from("!HBB", buf, pos)
+            length_words &= 0x1F
+            pos += 4
+            value_len = length_words * 4
+            if pos + value_len > end:
+                raise ValueError("Geneve option overruns header")
+            header.options.append(
+                GeneveOption(opt_class, opt_type, buf[pos : pos + value_len])
+            )
+            pos += value_len
+        return header
+
+    def serialize(self) -> bytes:
+        options = b"".join(option.serialize() for option in self.options)
+        if len(options) % 4:
+            raise ValueError("Geneve options must align to 4 bytes")
+        optlen_words = len(options) // 4
+        if optlen_words > 0x3F:
+            raise ValueError("Geneve options too long")
+        flags = 0x40 if self.critical else 0x00
+        return struct.pack(
+            "!BBHI", optlen_words, flags, self.protocol, self.vni << 8
+        ) + options

@@ -1,0 +1,136 @@
+"""A minimal HTTP/1.x message parser.
+
+OpenBox's payload-processing blocks (web cache matching, gzip decompression,
+HTML normalization, protocol analysis) need to recognize HTTP requests and
+responses inside TCP payloads. This module provides a small, forgiving
+parser for single-packet HTTP messages: enough structure for classification
+without a full streaming implementation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(slots=True)
+class HttpMessage:
+    """Common parts of an HTTP request or response."""
+
+    version: str = "HTTP/1.1"
+    headers: dict[str, str] = field(default_factory=dict)
+    body: bytes = b""
+
+    def header(self, name: str, default: str | None = None) -> str | None:
+        """Case-insensitive header lookup."""
+        lowered = name.lower()
+        for key, value in self.headers.items():
+            if key.lower() == lowered:
+                return value
+        return default
+
+    @property
+    def is_gzip(self) -> bool:
+        encoding = self.header("Content-Encoding", "") or ""
+        return "gzip" in encoding.lower()
+
+    @property
+    def content_type(self) -> str:
+        return (self.header("Content-Type", "") or "").split(";")[0].strip().lower()
+
+
+@dataclass(slots=True)
+class HttpRequest(HttpMessage):
+    """An HTTP request line plus headers and body."""
+
+    method: str = "GET"
+    uri: str = "/"
+
+    @property
+    def host(self) -> str:
+        return self.header("Host", "") or ""
+
+    def start_line(self) -> str:
+        return f"{self.method} {self.uri} {self.version}"
+
+
+@dataclass(slots=True)
+class HttpResponse(HttpMessage):
+    """An HTTP status line plus headers and body."""
+
+    status: int = 200
+    reason: str = "OK"
+
+    def start_line(self) -> str:
+        return f"{self.version} {self.status} {self.reason}"
+
+
+_METHODS = (
+    b"GET ", b"POST ", b"PUT ", b"DELETE ", b"HEAD ", b"OPTIONS ",
+    b"PATCH ", b"TRACE ", b"CONNECT ",
+)
+
+
+def looks_like_http(payload: bytes) -> bool:
+    """Cheap test used by protocol-analysis blocks before full parsing."""
+    return payload.startswith(_METHODS) or payload.startswith(b"HTTP/1.")
+
+
+def parse_http(payload: bytes) -> HttpRequest | HttpResponse | None:
+    """Parse ``payload`` as an HTTP/1.x message, or return None.
+
+    Malformed messages return None rather than raising: classification
+    blocks must never crash on hostile traffic.
+    """
+    if not looks_like_http(payload):
+        return None
+    head, sep, body = payload.partition(b"\r\n\r\n")
+    if not sep:
+        head, sep, body = payload.partition(b"\n\n")
+        if not sep:
+            # Header section not terminated; treat whole payload as headers
+            # if it at least contains a start line.
+            head, body = payload, b""
+    try:
+        text = head.decode("latin-1")
+    except UnicodeDecodeError:  # pragma: no cover - latin-1 decodes anything
+        return None
+    lines = text.replace("\r\n", "\n").split("\n")
+    start = lines[0].strip()
+    headers: dict[str, str] = {}
+    for line in lines[1:]:
+        if not line.strip():
+            continue
+        name, colon, value = line.partition(":")
+        if not colon:
+            return None
+        headers[name.strip()] = value.strip()
+
+    parts = start.split(" ", 2)
+    if start.startswith("HTTP/1."):
+        if len(parts) < 2:
+            return None
+        try:
+            status = int(parts[1])
+        except ValueError:
+            return None
+        reason = parts[2] if len(parts) > 2 else ""
+        return HttpResponse(
+            version=parts[0], status=status, reason=reason,
+            headers=headers, body=body,
+        )
+    if len(parts) != 3:
+        return None
+    method, uri, version = parts
+    if not version.startswith("HTTP/"):
+        return None
+    return HttpRequest(
+        method=method, uri=uri, version=version, headers=headers, body=body,
+    )
+
+
+def serialize_http(message: HttpRequest | HttpResponse) -> bytes:
+    """Serialize a parsed HTTP message back to bytes."""
+    lines = [message.start_line()]
+    lines.extend(f"{name}: {value}" for name, value in message.headers.items())
+    head = "\r\n".join(lines).encode("latin-1")
+    return head + b"\r\n\r\n" + message.body

@@ -1,0 +1,99 @@
+"""ICMP message codec (echo, unreachable, time-exceeded).
+
+NFs interact with ICMP constantly — firewalls rate-limit echo floods,
+NATs must translate embedded headers in errors, TTL-expiry handling
+needs time-exceeded generation — so the packet substrate carries a
+proper codec rather than treating protocol 1 as opaque bytes.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+
+from repro.net.checksum import internet_checksum, verify_checksum
+
+
+class IcmpType:
+    """Common ICMP type values."""
+
+    ECHO_REPLY = 0
+    DEST_UNREACHABLE = 3
+    ECHO_REQUEST = 8
+    TIME_EXCEEDED = 11
+
+
+@dataclass(slots=True)
+class IcmpMessage:
+    """A generic ICMP message; echo id/seq unpacked when applicable."""
+
+    icmp_type: int
+    code: int = 0
+    checksum: int = 0
+    #: The 4 "rest of header" bytes (id+seq for echo, unused for errors).
+    rest: bytes = b"\x00\x00\x00\x00"
+    payload: bytes = b""
+
+    HEADER_LEN = 8
+
+    @property
+    def identifier(self) -> int:
+        return struct.unpack("!H", self.rest[:2])[0]
+
+    @property
+    def sequence(self) -> int:
+        return struct.unpack("!H", self.rest[2:4])[0]
+
+    @property
+    def is_echo(self) -> bool:
+        return self.icmp_type in (IcmpType.ECHO_REQUEST, IcmpType.ECHO_REPLY)
+
+    @classmethod
+    def echo_request(cls, identifier: int, sequence: int, payload: bytes = b"") -> "IcmpMessage":
+        return cls(
+            icmp_type=IcmpType.ECHO_REQUEST,
+            rest=struct.pack("!HH", identifier, sequence),
+            payload=payload,
+        )
+
+    @classmethod
+    def echo_reply_to(cls, request: "IcmpMessage") -> "IcmpMessage":
+        """The reply a host would send to ``request`` (same id/seq/data)."""
+        if request.icmp_type != IcmpType.ECHO_REQUEST:
+            raise ValueError("can only reply to an echo request")
+        return cls(
+            icmp_type=IcmpType.ECHO_REPLY,
+            rest=request.rest,
+            payload=request.payload,
+        )
+
+    @classmethod
+    def parse(cls, data: bytes | memoryview, offset: int = 0) -> "IcmpMessage":
+        buf = bytes(data)
+        if len(buf) - offset < cls.HEADER_LEN:
+            raise ValueError("truncated ICMP message")
+        icmp_type, code, checksum = struct.unpack_from("!BBH", buf, offset)
+        return cls(
+            icmp_type=icmp_type,
+            code=code,
+            checksum=checksum,
+            rest=buf[offset + 4 : offset + 8],
+            payload=buf[offset + 8 :],
+        )
+
+    def serialize(self) -> bytes:
+        if len(self.rest) != 4:
+            raise ValueError("ICMP rest-of-header must be 4 bytes")
+        header = struct.pack("!BBH", self.icmp_type, self.code, 0) + self.rest
+        self.checksum = internet_checksum(header + self.payload)
+        return (
+            struct.pack("!BBH", self.icmp_type, self.code, self.checksum)
+            + self.rest + self.payload
+        )
+
+    def checksum_valid(self) -> bool:
+        wire = (
+            struct.pack("!BBH", self.icmp_type, self.code, self.checksum)
+            + self.rest + self.payload
+        )
+        return verify_checksum(wire)

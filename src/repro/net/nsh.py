@@ -1,0 +1,149 @@
+"""Network Service Header (NSH) encapsulation.
+
+OpenBox attaches per-packet metadata when a processing graph is split
+across several OBIs (paper §3.1, Figures 5-6). The paper's implementation
+uses NSH (draft-quinn-sfc-nsh); we implement the MD type 2 format with
+variable-length context headers, which is what carrying an arbitrary
+OpenBox metadata blob requires.
+
+Layout (MD type 2)::
+
+    0                   1                   2                   3
+    |Ver|O|U|    TTL    |   Length  |U|U|U|U|MD Type| Next Proto |
+    |          Service Path Identifier (SPI)       | Service Index |
+    |               ... variable-length context headers ...        |
+
+Each context header is a TLV: 2-byte metadata class, 1-byte type,
+1-byte length, then the value padded to 4 bytes.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+
+#: Metadata class registered for OpenBox context headers in this repo.
+OPENBOX_MD_CLASS = 0x0B0C
+#: Context type carrying the serialized OpenBox metadata blob.
+OPENBOX_MD_TYPE = 0x01
+
+NSH_NEXT_PROTO_IPV4 = 0x01
+NSH_NEXT_PROTO_ETHERNET = 0x03
+
+
+@dataclass(slots=True)
+class NshContextHeader:
+    """A single MD type 2 variable-length context TLV."""
+
+    md_class: int
+    md_type: int
+    value: bytes
+
+    @property
+    def padded_len(self) -> int:
+        return 4 + (len(self.value) + 3) // 4 * 4
+
+    def serialize(self) -> bytes:
+        if len(self.value) > 255:
+            raise ValueError("NSH context value exceeds 255 bytes")
+        pad = (-len(self.value)) % 4
+        return (
+            struct.pack("!HBB", self.md_class, self.md_type, len(self.value))
+            + self.value
+            + b"\x00" * pad
+        )
+
+
+@dataclass(slots=True)
+class NshHeader:
+    """An NSH base + service-path header with MD type 2 context headers."""
+
+    spi: int
+    si: int = 255
+    ttl: int = 63
+    next_proto: int = NSH_NEXT_PROTO_ETHERNET
+    context: list[NshContextHeader] = field(default_factory=list)
+
+    BASE_LEN = 8
+    MD_TYPE = 0x2
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.spi < (1 << 24):
+            raise ValueError(f"SPI out of range: {self.spi}")
+        if not 0 <= self.si <= 255:
+            raise ValueError(f"service index out of range: {self.si}")
+
+    @property
+    def header_len(self) -> int:
+        return self.BASE_LEN + sum(ctx.padded_len for ctx in self.context)
+
+    def add_metadata(self, blob: bytes) -> None:
+        """Attach an OpenBox metadata blob as a context header."""
+        self.context.append(
+            NshContextHeader(OPENBOX_MD_CLASS, OPENBOX_MD_TYPE, blob)
+        )
+
+    def openbox_metadata(self) -> bytes | None:
+        """Return the OpenBox metadata blob, if one is attached."""
+        for ctx in self.context:
+            if ctx.md_class == OPENBOX_MD_CLASS and ctx.md_type == OPENBOX_MD_TYPE:
+                return ctx.value
+        return None
+
+    def decrement_si(self) -> None:
+        """Decrement the service index (one hop consumed on the path)."""
+        if self.si == 0:
+            raise ValueError("NSH service index underflow")
+        self.si -= 1
+
+    @classmethod
+    def parse(cls, data: bytes | memoryview, offset: int = 0) -> "NshHeader":
+        buf = bytes(data)
+        if len(buf) - offset < cls.BASE_LEN:
+            raise ValueError("truncated NSH header")
+        word0, spi_si = struct.unpack_from("!II", buf, offset)
+        version = (word0 >> 30) & 0x3
+        if version != 0:
+            raise ValueError(f"unsupported NSH version: {version}")
+        ttl = (word0 >> 22) & 0x3F
+        length_words = (word0 >> 16) & 0x3F
+        md_type = (word0 >> 8) & 0xF
+        next_proto = word0 & 0xFF
+        if md_type != cls.MD_TYPE:
+            raise ValueError(f"unsupported NSH MD type: {md_type}")
+        total_len = length_words * 4
+        if len(buf) - offset < total_len or total_len < cls.BASE_LEN:
+            raise ValueError("truncated NSH context headers")
+        header = cls(
+            spi=spi_si >> 8, si=spi_si & 0xFF, ttl=ttl, next_proto=next_proto,
+        )
+        pos = offset + cls.BASE_LEN
+        end = offset + total_len
+        while pos < end:
+            if end - pos < 4:
+                raise ValueError("truncated NSH context TLV")
+            md_class, ctx_type, value_len = struct.unpack_from("!HBB", buf, pos)
+            pos += 4
+            padded = (value_len + 3) // 4 * 4
+            if pos + padded > end:
+                raise ValueError("NSH context TLV overruns header")
+            header.context.append(
+                NshContextHeader(md_class, ctx_type, buf[pos : pos + value_len])
+            )
+            pos += padded
+        return header
+
+    def serialize(self) -> bytes:
+        length_words = self.header_len // 4
+        if length_words > 0x3F:
+            raise ValueError("NSH header too long")
+        word0 = (
+            (0 << 30)
+            | ((self.ttl & 0x3F) << 22)
+            | (length_words << 16)
+            | (self.MD_TYPE << 8)
+            | (self.next_proto & 0xFF)
+        )
+        parts = [struct.pack("!II", word0, (self.spi << 8) | self.si)]
+        parts.extend(ctx.serialize() for ctx in self.context)
+        return b"".join(parts)

@@ -1,0 +1,136 @@
+"""Classic libpcap file format reader/writer.
+
+Backs the FromDump/ToDump terminals and lets the traffic generator
+persist reproducible traces to disk — the equivalent of the paper's
+"packet trace captured from a campus wireless network" as an artifact.
+
+Implements the classic (non-ng) format: a 24-byte global header followed
+by 16-byte per-record headers. Both byte orders are read; writing uses
+the host-independent big-endian magic.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import BinaryIO, Iterable, Iterator
+
+from repro.net.packet import Packet
+
+MAGIC_BE = 0xA1B2C3D4
+MAGIC_LE = 0xD4C3B2A1
+
+#: Link type for Ethernet frames.
+LINKTYPE_ETHERNET = 1
+
+_GLOBAL_HEADER = "IHHiIII"  # magic, major, minor, tz, sigfigs, snaplen, network
+_RECORD_HEADER = "IIII"     # ts_sec, ts_usec, incl_len, orig_len
+
+
+class PcapError(ValueError):
+    """Malformed pcap data."""
+
+
+@dataclass(frozen=True)
+class PcapRecord:
+    """One captured frame."""
+
+    timestamp: float
+    data: bytes
+    original_length: int
+
+    @property
+    def truncated(self) -> bool:
+        return len(self.data) < self.original_length
+
+
+class PcapWriter:
+    """Streams packets into a classic pcap file."""
+
+    def __init__(self, stream: BinaryIO, snaplen: int = 65535,
+                 linktype: int = LINKTYPE_ETHERNET) -> None:
+        self._stream = stream
+        self.snaplen = snaplen
+        self.packets_written = 0
+        stream.write(struct.pack(
+            ">" + _GLOBAL_HEADER, MAGIC_BE, 2, 4, 0, 0, snaplen, linktype,
+        ))
+
+    def write(self, packet: Packet | bytes, timestamp: float | None = None) -> None:
+        if isinstance(packet, Packet):
+            packet.rebuild()
+            data = packet.data
+            when = timestamp if timestamp is not None else packet.timestamp
+        else:
+            data = bytes(packet)
+            when = timestamp or 0.0
+        captured = data[: self.snaplen]
+        seconds = int(when)
+        microseconds = int(round((when - seconds) * 1_000_000))
+        if microseconds >= 1_000_000:
+            seconds += 1
+            microseconds -= 1_000_000
+        self._stream.write(struct.pack(
+            ">" + _RECORD_HEADER, seconds, microseconds, len(captured), len(data),
+        ))
+        self._stream.write(captured)
+        self.packets_written += 1
+
+
+class PcapReader:
+    """Iterates records of a classic pcap file (either byte order)."""
+
+    def __init__(self, stream: BinaryIO) -> None:
+        self._stream = stream
+        header = stream.read(struct.calcsize(">" + _GLOBAL_HEADER))
+        if len(header) < struct.calcsize(">" + _GLOBAL_HEADER):
+            raise PcapError("truncated pcap global header")
+        (magic,) = struct.unpack_from(">I", header)
+        if magic == MAGIC_BE:
+            self._order = ">"
+        elif magic == MAGIC_LE:
+            self._order = "<"
+        else:
+            raise PcapError(f"bad pcap magic: {magic:#x}")
+        (_magic, self.version_major, self.version_minor, _tz, _sig,
+         self.snaplen, self.linktype) = struct.unpack(
+            self._order + _GLOBAL_HEADER, header
+        )
+
+    def __iter__(self) -> Iterator[PcapRecord]:
+        record_size = struct.calcsize(self._order + _RECORD_HEADER)
+        while True:
+            header = self._stream.read(record_size)
+            if not header:
+                return
+            if len(header) < record_size:
+                raise PcapError("truncated pcap record header")
+            seconds, microseconds, incl_len, orig_len = struct.unpack(
+                self._order + _RECORD_HEADER, header
+            )
+            data = self._stream.read(incl_len)
+            if len(data) < incl_len:
+                raise PcapError("truncated pcap record body")
+            yield PcapRecord(
+                timestamp=seconds + microseconds / 1_000_000,
+                data=data,
+                original_length=orig_len,
+            )
+
+
+def write_pcap(path: str, packets: Iterable[Packet]) -> int:
+    """Write ``packets`` to ``path``; returns the record count."""
+    with open(path, "wb") as stream:
+        writer = PcapWriter(stream)
+        for packet in packets:
+            writer.write(packet)
+        return writer.packets_written
+
+
+def read_pcap(path: str) -> list[Packet]:
+    """Load ``path`` into Packet objects (timestamps preserved)."""
+    with open(path, "rb") as stream:
+        return [
+            Packet(data=record.data, timestamp=record.timestamp)
+            for record in PcapReader(stream)
+        ]

@@ -1,0 +1,62 @@
+"""VXLAN encapsulation (RFC 7348).
+
+The paper lists VXLAN as an alternative to NSH for carrying OpenBox
+metadata between service instances (§3.1). VXLAN has no native metadata
+TLVs, so when used as the OpenBox metadata channel the blob rides as a
+shim between the VXLAN header and the inner frame (this mirrors how
+FlowTags-style deployments smuggle state, and is why the paper notes such
+schemes "may require increasing the MTU").
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+
+
+@dataclass(slots=True)
+class VxlanHeader:
+    """A VXLAN header: flags + 24-bit VNI."""
+
+    vni: int
+    flags: int = 0x08  # I flag set: VNI is valid.
+
+    HEADER_LEN = 8
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.vni < (1 << 24):
+            raise ValueError(f"VNI out of range: {self.vni}")
+
+    @classmethod
+    def parse(cls, data: bytes | memoryview, offset: int = 0) -> "VxlanHeader":
+        buf = bytes(data)
+        if len(buf) - offset < cls.HEADER_LEN:
+            raise ValueError("truncated VXLAN header")
+        flags_word, vni_word = struct.unpack_from("!II", buf, offset)
+        flags = (flags_word >> 24) & 0xFF
+        if not flags & 0x08:
+            raise ValueError("VXLAN I flag not set")
+        return cls(vni=vni_word >> 8, flags=flags)
+
+    def serialize(self) -> bytes:
+        return struct.pack("!II", self.flags << 24, self.vni << 8)
+
+
+def encap_with_metadata(vni: int, metadata: bytes, inner: bytes) -> bytes:
+    """Build ``VXLAN | len | metadata | inner-frame`` bytes."""
+    if len(metadata) > 0xFFFF:
+        raise ValueError("metadata blob too large for VXLAN shim")
+    return VxlanHeader(vni).serialize() + struct.pack("!H", len(metadata)) + metadata + inner
+
+
+def decap_with_metadata(data: bytes) -> tuple[VxlanHeader, bytes, bytes]:
+    """Split VXLAN-encapsulated bytes into (header, metadata, inner frame)."""
+    header = VxlanHeader.parse(data)
+    pos = VxlanHeader.HEADER_LEN
+    if len(data) - pos < 2:
+        raise ValueError("truncated VXLAN metadata shim")
+    (md_len,) = struct.unpack_from("!H", data, pos)
+    pos += 2
+    if len(data) - pos < md_len:
+        raise ValueError("truncated VXLAN metadata blob")
+    return header, data[pos : pos + md_len], data[pos + md_len :]

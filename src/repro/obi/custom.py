@@ -1,0 +1,138 @@
+"""Custom module injection (paper §3.2.1, §4.2).
+
+An application developer can extend a running OBI with new processing
+blocks "without having to change their code, or to compile and re-deploy
+them". In the paper the module binary is a compiled Click user-level
+module plus a Python translation object; in this reproduction the binary
+payload is Python source that must define:
+
+* ``BLOCK_TYPES`` — a list of block-type declarations in the protocol
+  schema (see :func:`repro.protocol.blocks_spec.spec_from_dict`);
+* ``ELEMENTS`` — a dict mapping each declared type name to an
+  :class:`~repro.obi.engine.Element` subclass implementing it.
+
+Security (paper §6): the loader optionally enforces a digital-signature
+check — here a SHA-256 allowlist standing in for signature verification —
+before executing module code.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.core.blocks import BlockTypeSpec, block_registry
+from repro.obi.engine import Element
+from repro.obi.translation import ElementFactory
+from repro.protocol.blocks_spec import spec_from_dict
+from repro.protocol.errors import ErrorCode, ProtocolError
+
+
+@dataclass
+class LoadedModule:
+    """Bookkeeping for one injected module."""
+
+    name: str
+    checksum: str
+    block_types: list[str] = field(default_factory=list)
+
+
+class CustomModuleLoader:
+    """Loads custom modules into an OBI's element factory."""
+
+    def __init__(
+        self,
+        factory: ElementFactory,
+        allowed_checksums: set[str] | None = None,
+    ) -> None:
+        """``allowed_checksums`` enables the signature-allowlist mode:
+        when not None, only modules whose SHA-256 appears in the set load.
+        """
+        self.factory = factory
+        self.allowed_checksums = allowed_checksums
+        self.modules: dict[str, LoadedModule] = {}
+
+    @staticmethod
+    def checksum(binary: bytes) -> str:
+        return hashlib.sha256(binary).hexdigest()
+
+    def load(
+        self,
+        module_name: str,
+        binary: bytes,
+        block_types: list[dict[str, Any]],
+        translation: dict[str, Any] | None = None,
+    ) -> LoadedModule:
+        """Verify, execute, and register a custom module.
+
+        ``translation`` may rename module element classes to protocol
+        block types (``{"element_map": {"BlockType": "ClassName"}}``) —
+        the analog of the paper's translation object that maps OpenBox
+        notation to the lower-level module code.
+        """
+        if module_name in self.modules:
+            raise ProtocolError(
+                ErrorCode.MODULE_REJECTED, f"module {module_name!r} already loaded"
+            )
+        digest = self.checksum(binary)
+        if self.allowed_checksums is not None and digest not in self.allowed_checksums:
+            raise ProtocolError(
+                ErrorCode.MODULE_REJECTED,
+                f"module {module_name!r} failed signature verification",
+            )
+        try:
+            source = binary.decode("utf-8")
+        except UnicodeDecodeError as exc:
+            raise ProtocolError(
+                ErrorCode.MODULE_REJECTED, f"module is not valid UTF-8: {exc}"
+            ) from exc
+
+        namespace: dict[str, Any] = {"Element": Element, "__name__": f"openbox_module_{module_name}"}
+        try:
+            exec(compile(source, f"<module {module_name}>", "exec"), namespace)
+        except Exception as exc:  # noqa: BLE001 - surface as protocol error
+            raise ProtocolError(
+                ErrorCode.MODULE_REJECTED, f"module failed to execute: {exc}"
+            ) from exc
+
+        elements = namespace.get("ELEMENTS")
+        if not isinstance(elements, dict) or not elements:
+            raise ProtocolError(
+                ErrorCode.MODULE_REJECTED, "module does not define ELEMENTS"
+            )
+        element_map = (translation or {}).get("element_map", {})
+
+        declared: list[str] = []
+        for type_data in block_types:
+            spec = spec_from_dict(type_data)
+            self._register_block_type(spec)
+            class_name = element_map.get(spec.name, spec.name)
+            element_cls = elements.get(class_name) or elements.get(spec.name)
+            if element_cls is None or not (
+                isinstance(element_cls, type) and issubclass(element_cls, Element)
+            ):
+                raise ProtocolError(
+                    ErrorCode.MODULE_REJECTED,
+                    f"module does not implement block type {spec.name!r}",
+                )
+            self.factory.register_custom(spec.name, element_cls)
+            declared.append(spec.name)
+
+        module = LoadedModule(name=module_name, checksum=digest, block_types=declared)
+        self.modules[module_name] = module
+        return module
+
+    @staticmethod
+    def _register_block_type(spec: BlockTypeSpec) -> None:
+        """Add the type to the global registry (idempotent re-declare)."""
+        if spec.name in block_registry:
+            existing = block_registry.get(spec.name)
+            if existing.block_class != spec.block_class:
+                raise ProtocolError(
+                    ErrorCode.MODULE_REJECTED,
+                    f"block type {spec.name!r} already exists with class "
+                    f"{existing.block_class!r}",
+                )
+            return
+        block_registry.register(spec)

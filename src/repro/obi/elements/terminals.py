@@ -1,0 +1,106 @@
+"""Terminal elements: packet sources and sinks."""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.net.packet import Packet
+from repro.obi.engine import Element
+
+
+class FromDeviceElement(Element):
+    """Graph entry point; the engine injects packets here.
+
+    In the paper's Click-based OBI this polls a NIC; in this reproduction
+    packets arrive from the traffic generator or the network simulator,
+    so the element simply forwards and tags the ingress device name.
+    """
+
+    def process(self, packet: Packet) -> list[tuple[int, Packet]]:
+        packet.ingress_port = self.config.get("devname", "")
+        return [(0, packet)]
+
+
+class ToDeviceElement(Element):
+    """Graph exit: records the packet as emitted on a device."""
+
+    def process(self, packet: Packet) -> list[tuple[int, Packet]]:
+        outcome = self.context.current if self.context is not None else None
+        if outcome is not None:
+            packet.rebuild()
+            outcome.outputs.append((self.config.get("devname", ""), packet))
+        return []
+
+
+class DiscardElement(Element):
+    """Drops every packet (the firewall's Drop action)."""
+
+    def process(self, packet: Packet) -> list[tuple[int, Packet]]:
+        outcome = self.context.current if self.context is not None else None
+        if outcome is not None:
+            outcome.dropped = True
+        return []
+
+    def read_handle(self, name: str) -> Any:
+        # "it can ask a Discard block how many packets it has dropped"
+        return super().read_handle(name)
+
+
+class FromDumpElement(Element):
+    """Entry terminal for replayed capture files.
+
+    Replay itself is driven by the traffic generator; within the graph
+    this behaves like FromDevice with the dump filename as ingress tag.
+    """
+
+    def process(self, packet: Packet) -> list[tuple[int, Packet]]:
+        packet.ingress_port = self.config.get("filename", "")
+        return [(0, packet)]
+
+
+class ToDumpElement(Element):
+    """Capture sink: buffers packets and, when ``filename`` is set,
+    streams them into a classic pcap file."""
+
+    def __init__(self, name: str, config: dict[str, Any], origin_app: str | None = None) -> None:
+        super().__init__(name, config, origin_app)
+        self.captured: list[bytes] = []
+        self._writer = None
+        self._stream = None
+
+    def _ensure_writer(self):
+        if self._writer is None and self.config.get("filename"):
+            from repro.net.pcap import PcapWriter
+            self._stream = open(self.config["filename"], "wb")
+            self._writer = PcapWriter(self._stream)
+        return self._writer
+
+    def process(self, packet: Packet) -> list[tuple[int, Packet]]:
+        packet.rebuild()
+        self.captured.append(packet.data)
+        writer = self._ensure_writer()
+        if writer is not None:
+            writer.write(packet)
+            self._stream.flush()
+        return []
+
+    def read_handle(self, name: str) -> Any:
+        if name == "captured":
+            return len(self.captured)
+        return super().read_handle(name)
+
+    def close(self) -> None:
+        if self._stream is not None:
+            self._stream.close()
+            self._stream = None
+            self._writer = None
+
+
+class SendToControllerElement(Element):
+    """Punts the packet to the control plane (packet-in analog)."""
+
+    def process(self, packet: Packet) -> list[tuple[int, Packet]]:
+        outcome = self.context.current if self.context is not None else None
+        if outcome is not None:
+            outcome.punted = True
+        return []

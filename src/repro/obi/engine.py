@@ -1,0 +1,218 @@
+"""The OBI execution engine — a push-based element engine (Click analog).
+
+The paper's OBI wraps the Click modular router; this module is the
+Python equivalent. A :class:`ProcessingGraph` is translated into a wired
+set of :class:`Element` instances (one per block) and packets are pushed
+through the wiring. The OpenBox protocol deliberately hides Click's
+push/pull distinction (paper §2.1), so everything here is push.
+
+For every injected packet the engine records a :class:`PacketOutcome`:
+which output devices received which packets, whether it was dropped, the
+side effects raised (alerts/logs), and the block path traversed — the
+path is what the simulator's cost model consumes to compute latency and
+throughput, since "the number of blocks in the graph has no effect on
+OBI performance. The significant parameter is the length of paths".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.core.graph import ProcessingGraph
+from repro.net.packet import Packet
+from repro.obi.storage import SessionStorage
+
+
+@dataclass
+class AlertEvent:
+    """An Alert block fired while processing a packet."""
+
+    block: str
+    origin_app: str | None
+    message: str
+    severity: str
+    packet_summary: str
+
+
+@dataclass
+class LogEvent:
+    """A Log block fired while processing a packet."""
+
+    block: str
+    origin_app: str | None
+    message: str
+    packet_summary: str
+
+
+@dataclass
+class PacketOutcome:
+    """Everything that happened to one injected packet."""
+
+    outputs: list[tuple[str, Packet]] = field(default_factory=list)
+    dropped: bool = False
+    punted: bool = False
+    alerts: list[AlertEvent] = field(default_factory=list)
+    logs: list[LogEvent] = field(default_factory=list)
+    path: list[str] = field(default_factory=list)
+
+    @property
+    def forwarded(self) -> bool:
+        return bool(self.outputs)
+
+    def effects_key(self) -> tuple:
+        """Canonical view of externally observable behaviour.
+
+        Used by equivalence tests: two graph executions are equivalent iff
+        their effects keys match (outputs with bytes, drop/punt status,
+        and the multiset of alerts/logs with origins).
+        """
+        outputs = sorted((dev, bytes(pkt.data)) for dev, pkt in self.outputs)
+        alerts = sorted(
+            (event.origin_app or "", event.message, event.severity)
+            for event in self.alerts
+        )
+        logs = sorted((event.origin_app or "", event.message) for event in self.logs)
+        return (tuple(outputs), self.dropped, self.punted, tuple(alerts), tuple(logs))
+
+
+@dataclass
+class EngineContext:
+    """Shared services available to elements while processing.
+
+    ``now`` is the engine clock (simulated time may be injected by the
+    network simulator); ``session`` is the OBI-wide session storage;
+    the sinks collect side effects into the current PacketOutcome.
+    """
+
+    clock: Callable[[], float]
+    session: SessionStorage
+    log_service: Any = None
+    storage_service: Any = None
+    current: PacketOutcome | None = None
+
+    @property
+    def now(self) -> float:
+        return self.clock()
+
+
+class Element:
+    """Base class for engine elements (one per processing block).
+
+    Subclasses implement :meth:`process`, returning a list of
+    ``(output_port, packet)`` pairs; the engine pushes each pair to the
+    wired successor. Returning an empty list absorbs the packet.
+    """
+
+    def __init__(self, name: str, config: dict[str, Any], origin_app: str | None = None) -> None:
+        self.name = name
+        self.config = config
+        self.origin_app = origin_app
+        self.count = 0
+        self.byte_count = 0
+        self._outputs: dict[int, "Element"] = {}
+        self.context: EngineContext | None = None
+
+    # ------------------------------------------------------------------
+    # Wiring (set up by the Engine)
+    # ------------------------------------------------------------------
+    def wire(self, port: int, successor: "Element") -> None:
+        if port in self._outputs:
+            raise ValueError(f"element {self.name} port {port} already wired")
+        self._outputs[port] = successor
+
+    def attach(self, context: EngineContext) -> None:
+        self.context = context
+
+    # ------------------------------------------------------------------
+    # Processing
+    # ------------------------------------------------------------------
+    def push(self, packet: Packet) -> None:
+        """Run ``packet`` through this element and everything downstream.
+
+        Traversal is an explicit depth-first stack (not recursion), so
+        arbitrarily deep processing graphs execute safely; the visiting
+        order matches Click's immediate push semantics.
+        """
+        stack: list[tuple["Element", Packet]] = [(self, packet)]
+        while stack:
+            element, current = stack.pop()
+            element.count += 1
+            element.byte_count += len(current)
+            outcome = element.context.current if element.context is not None else None
+            if outcome is not None:
+                outcome.path.append(element.name)
+            emissions = element.process(current)
+            # Reversed so the first emission is processed first (DFS).
+            for port, out_packet in reversed(emissions):
+                successor = element._outputs.get(port)
+                if successor is not None:
+                    stack.append((successor, out_packet))
+                # An unwired port absorbs the packet — matching a
+                # processing graph with a dangling classifier outcome.
+
+    def process(self, packet: Packet) -> list[tuple[int, Packet]]:
+        """Transform/route ``packet``; default is pass-through on port 0."""
+        return [(0, packet)]
+
+    # ------------------------------------------------------------------
+    # Handles (paper §3.2)
+    # ------------------------------------------------------------------
+    def read_handle(self, name: str) -> Any:
+        if name == "count":
+            return self.count
+        if name == "byte_count":
+            return self.byte_count
+        raise KeyError(f"element {self.name} has no read handle {name!r}")
+
+    def write_handle(self, name: str, value: Any) -> None:
+        if name == "reset_counts":
+            self.count = 0
+            self.byte_count = 0
+            return
+        raise KeyError(f"element {self.name} has no write handle {name!r}")
+
+
+class Engine:
+    """A wired element pipeline executing one processing graph."""
+
+    def __init__(
+        self,
+        graph: ProcessingGraph,
+        elements: dict[str, Element],
+        context: EngineContext,
+    ) -> None:
+        """Use :func:`repro.obi.translation.build_engine` to construct."""
+        self.graph = graph
+        self.elements = elements
+        self.context = context
+        entry = graph.entry_point()
+        self._entry = elements[entry]
+        for element in elements.values():
+            element.attach(context)
+        self.packets_processed = 0
+        self.bytes_processed = 0
+
+    def process(self, packet: Packet) -> PacketOutcome:
+        """Push one packet through the graph and collect its outcome."""
+        outcome = PacketOutcome()
+        self.context.current = outcome
+        try:
+            self._entry.push(packet)
+        finally:
+            self.context.current = None
+        self.packets_processed += 1
+        self.bytes_processed += len(packet)
+        return outcome
+
+    def element(self, name: str) -> Element:
+        try:
+            return self.elements[name]
+        except KeyError:
+            raise KeyError(f"no element named {name!r} in engine") from None
+
+    def read_handle(self, block: str, handle: str) -> Any:
+        return self.element(block).read_handle(handle)
+
+    def write_handle(self, block: str, handle: str, value: Any) -> None:
+        self.element(block).write_handle(handle, value)

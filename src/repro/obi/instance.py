@@ -1,0 +1,350 @@
+"""The OpenBox service instance (OBI) wrapper.
+
+This is the Python "generic wrapper" of paper §4.2: it speaks the
+OpenBox protocol with the controller, translates deployed graphs onto
+the execution engine, forwards alerts upstream, answers handle reads and
+writes, reports load, and accepts custom modules.
+
+The paper's Click engine has a hard-coded 1000 ms polling delay during
+reconfiguration, which dominates its measured ``SetProcessingGraph``
+round-trip of 1285 ms (Table 3, footnote 4). That delay is reproduced as
+``ObiConfig.reconfigure_poll_delay`` — 0 by default (tests), 1.0 s in the
+Table 3 benchmark.
+"""
+
+from __future__ import annotations
+
+import collections
+import threading
+import time
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from repro.core.graph import GraphValidationError, ProcessingGraph
+from repro.net.packet import Packet
+from repro.obi.custom import CustomModuleLoader
+from repro.obi.engine import Engine, PacketOutcome
+from repro.obi.services import LogService, PacketStorageService
+from repro.obi.storage import SessionStorage
+from repro.obi.translation import ElementFactory, build_engine
+from repro.protocol.codec import PROTOCOL_VERSION
+from repro.protocol.errors import ErrorCode, ProtocolError
+from repro.protocol.messages import (
+    AddCustomModuleRequest,
+    AddCustomModuleResponse,
+    Alert,
+    BarrierRequest,
+    BarrierResponse,
+    ErrorMessage,
+    ExportStateRequest,
+    ExportStateResponse,
+    ImportStateRequest,
+    ImportStateResponse,
+    PacketHistoryRequest,
+    PacketHistoryResponse,
+    GlobalStatsRequest,
+    GlobalStatsResponse,
+    Hello,
+    KeepAlive,
+    ListCapabilitiesRequest,
+    ListCapabilitiesResponse,
+    Message,
+    ReadRequest,
+    ReadResponse,
+    SetExternalServices,
+    SetProcessingGraphRequest,
+    SetProcessingGraphResponse,
+    WriteRequest,
+    WriteResponse,
+)
+
+
+@dataclass
+class ObiConfig:
+    """Static configuration of one OBI."""
+
+    obi_id: str
+    segment: str = ""
+    #: Relative packet-processing capacity (used by the controller's
+    #: scaling logic and the simulator's cost model).
+    capacity_hint: float = 1.0
+    supports_custom_modules: bool = True
+    #: Reproduction of Click's hard-coded 1000 ms reconfiguration poll
+    #: (paper Table 3 footnote); seconds slept inside SetProcessingGraph.
+    reconfigure_poll_delay: float = 0.0
+    #: SHA-256 allowlist for custom modules (None = accept all).
+    module_checksums: set[str] | None = None
+    keepalive_interval: float = 10.0
+    session_idle_timeout: float = 60.0
+    #: How many recent per-packet traversal records to retain for the
+    #: packet-history debugging facility (paper §6); 0 disables it.
+    history_size: int = 256
+
+
+class OpenBoxInstance:
+    """A software OBI: protocol endpoint + execution engine."""
+
+    def __init__(
+        self,
+        config: ObiConfig,
+        clock: Callable[[], float] | None = None,
+        log_service: LogService | None = None,
+        storage_service: PacketStorageService | None = None,
+    ) -> None:
+        self.config = config
+        self.clock = clock or time.monotonic
+        self.factory = ElementFactory()
+        self.loader = CustomModuleLoader(
+            self.factory, allowed_checksums=config.module_checksums
+        )
+        self.session = SessionStorage(idle_timeout=config.session_idle_timeout)
+        self.log_service = log_service or LogService()
+        self.storage_service = storage_service or PacketStorageService()
+        self.engine: Engine | None = None
+        self.graph: ProcessingGraph | None = None
+        self._channel: Any = None
+        self._started_at = self.clock()
+        self.packets_processed = 0
+        self.bytes_processed = 0
+        self.alerts_sent = 0
+        self.graph_version = 0
+        #: Serializes engine swaps against packet processing and handle
+        #: access: the REST endpoint is multi-threaded, so a
+        #: SetProcessingGraph must never tear the engine out from under
+        #: an in-flight packet.
+        self._lock = threading.RLock()
+        self.history: collections.deque = collections.deque(
+            maxlen=max(config.history_size, 0)
+        )
+
+    # ------------------------------------------------------------------
+    # Controller connection
+    # ------------------------------------------------------------------
+    def attach_channel(self, channel: Any) -> None:
+        """Bind the upstream channel and install the downstream handler."""
+        self._channel = channel
+        channel.set_handler(self.handle_message)
+
+    def set_upstream(self, channel: Any) -> None:
+        """Bind an upstream-only channel (downstream handled elsewhere,
+        e.g. by the OBI's own REST endpoint in the dual-channel setup)."""
+        self._channel = channel
+
+    def hello_message(self, callback_url: str = "") -> Hello:
+        return Hello(
+            obi_id=self.config.obi_id,
+            version=PROTOCOL_VERSION,
+            segment=self.config.segment,
+            capabilities=self.factory.supported_types(),
+            supports_custom_modules=self.config.supports_custom_modules,
+            capacity_hint=self.config.capacity_hint,
+            callback_url=callback_url,
+        )
+
+    def connect(self, channel: Any, callback_url: str = "") -> Message:
+        """Attach ``channel`` and perform the Hello handshake."""
+        self.attach_channel(channel)
+        return channel.request(self.hello_message(callback_url))
+
+    def send_keepalive(self) -> None:
+        if self._channel is not None:
+            self._channel.notify(KeepAlive(obi_id=self.config.obi_id))
+
+    # ------------------------------------------------------------------
+    # Packet processing
+    # ------------------------------------------------------------------
+    def process_packet(self, packet: Packet) -> PacketOutcome:
+        """Run one packet through the deployed graph.
+
+        Alerts raised by the graph are forwarded upstream on the
+        controller channel (paper §3.4: upstream events).
+        """
+        with self._lock:
+            if self.engine is None:
+                raise ProtocolError(
+                    ErrorCode.INVALID_GRAPH, "no processing graph deployed"
+                )
+            outcome = self.engine.process(packet)
+            self.packets_processed += 1
+            self.bytes_processed += len(packet)
+            if self.history.maxlen:
+                self.history.append({
+                    "packet": packet.summary(),
+                    "path": list(outcome.path),
+                    "dropped": outcome.dropped,
+                    "outputs": [device for device, _pkt in outcome.outputs],
+                    "alerts": [event.message for event in outcome.alerts],
+                    "at": self.clock(),
+                })
+        if outcome.alerts and self._channel is not None:
+            for event in outcome.alerts:
+                self._channel.notify(Alert(
+                    obi_id=self.config.obi_id,
+                    block=event.block,
+                    origin_app=event.origin_app or "",
+                    message=event.message,
+                    severity=event.severity,
+                    packet_summary=event.packet_summary,
+                ))
+                self.alerts_sent += 1
+        return outcome
+
+    # ------------------------------------------------------------------
+    # Downstream message handling
+    # ------------------------------------------------------------------
+    def handle_message(self, message: Message) -> Message | None:
+        """Protocol dispatch for messages arriving from the controller."""
+        try:
+            return self._dispatch(message)
+        except ProtocolError as exc:
+            return ErrorMessage(xid=message.xid, code=exc.code, detail=exc.detail)
+
+    def _dispatch(self, message: Message) -> Message | None:
+        if isinstance(message, SetProcessingGraphRequest):
+            return self._set_graph(message)
+        if isinstance(message, GlobalStatsRequest):
+            return self._global_stats(message)
+        if isinstance(message, ReadRequest):
+            return self._read(message)
+        if isinstance(message, WriteRequest):
+            return self._write(message)
+        if isinstance(message, AddCustomModuleRequest):
+            return self._add_module(message)
+        if isinstance(message, ListCapabilitiesRequest):
+            return ListCapabilitiesResponse(
+                xid=message.xid,
+                capabilities=self.factory.supported_types(),
+                supports_custom_modules=self.config.supports_custom_modules,
+            )
+        if isinstance(message, SetExternalServices):
+            self.config.keepalive_interval = message.keepalive_interval
+            return BarrierResponse(xid=message.xid)
+        if isinstance(message, BarrierRequest):
+            return BarrierResponse(xid=message.xid)
+        if isinstance(message, PacketHistoryRequest):
+            with self._lock:
+                records = list(self.history)
+            if message.limit > 0:
+                records = records[-message.limit:]
+            return PacketHistoryResponse(xid=message.xid, records=records)
+        if isinstance(message, ExportStateRequest):
+            return ExportStateResponse(
+                xid=message.xid, state=self.session.export_entries()
+            )
+        if isinstance(message, ImportStateRequest):
+            imported = self.session.import_entries(message.state, now=self.clock())
+            return ImportStateResponse(xid=message.xid, flows_imported=imported)
+        raise ProtocolError(
+            ErrorCode.UNKNOWN_MESSAGE, f"OBI cannot handle {message.TYPE}"
+        )
+
+    def _set_graph(self, message: SetProcessingGraphRequest) -> Message:
+        try:
+            graph = ProcessingGraph.from_dict(message.graph)
+            engine = build_engine(
+                graph,
+                factory=self.factory,
+                clock=self.clock,
+                session=self.session,
+                log_service=self.log_service,
+                storage_service=self.storage_service,
+            )
+        except (GraphValidationError, KeyError, ValueError) as exc:
+            raise ProtocolError(ErrorCode.INVALID_GRAPH, str(exc)) from exc
+        if self.config.reconfigure_poll_delay > 0:
+            # Reproduces Click's hard-coded 1000 ms element-update poll
+            # (paper Table 3, footnote 4).
+            time.sleep(self.config.reconfigure_poll_delay)
+        with self._lock:
+            self.graph = graph
+            self.engine = engine
+        self.graph_version += 1
+        return SetProcessingGraphResponse(
+            xid=message.xid, ok=True, detail=f"version {self.graph_version}"
+        )
+
+    def _global_stats(self, message: GlobalStatsRequest) -> Message:
+        return GlobalStatsResponse(
+            xid=message.xid,
+            obi_id=self.config.obi_id,
+            cpu_load=self.estimate_cpu_load(),
+            memory_used=self.estimate_memory_used(),
+            memory_total=1 << 30,
+            packets_processed=self.packets_processed,
+            bytes_processed=self.bytes_processed,
+            uptime=self.clock() - self._started_at,
+        )
+
+    def _read(self, message: ReadRequest) -> Message:
+        if self.engine is None:
+            raise ProtocolError(ErrorCode.INVALID_GRAPH, "no graph deployed")
+        try:
+            with self._lock:
+                value = self.engine.read_handle(message.block, message.handle)
+        except KeyError as exc:
+            code = (
+                ErrorCode.UNKNOWN_BLOCK
+                if message.block not in self.engine.elements
+                else ErrorCode.UNKNOWN_HANDLE
+            )
+            raise ProtocolError(code, str(exc)) from exc
+        return ReadResponse(
+            xid=message.xid, block=message.block, handle=message.handle, value=value
+        )
+
+    def _write(self, message: WriteRequest) -> Message:
+        if self.engine is None:
+            raise ProtocolError(ErrorCode.INVALID_GRAPH, "no graph deployed")
+        try:
+            with self._lock:
+                self.engine.write_handle(message.block, message.handle, message.value)
+        except KeyError as exc:
+            code = (
+                ErrorCode.UNKNOWN_BLOCK
+                if message.block not in self.engine.elements
+                else ErrorCode.UNKNOWN_HANDLE
+            )
+            raise ProtocolError(code, str(exc)) from exc
+        return WriteResponse(
+            xid=message.xid, block=message.block, handle=message.handle, ok=True
+        )
+
+    def _add_module(self, message: AddCustomModuleRequest) -> Message:
+        if not self.config.supports_custom_modules:
+            raise ProtocolError(
+                ErrorCode.MODULE_REJECTED, "this OBI does not accept custom modules"
+            )
+        module = self.loader.load(
+            module_name=message.module_name,
+            binary=message.binary(),
+            block_types=message.block_types,
+            translation=message.translation,
+        )
+        return AddCustomModuleResponse(
+            xid=message.xid,
+            module_name=module.name,
+            ok=True,
+            detail=f"registered {len(module.block_types)} block types",
+        )
+
+    # ------------------------------------------------------------------
+    # Load estimation (reported via GlobalStats, used for scaling)
+    # ------------------------------------------------------------------
+    def estimate_cpu_load(self) -> float:
+        """Fraction of capacity consumed, from recent packet accounting.
+
+        Real OBIs read /proc; this reproduction derives load from packets
+        processed per second of clock time against the capacity hint
+        (packets/second at full load per unit hint).
+        """
+        elapsed = max(self.clock() - self._started_at, 1e-9)
+        rate = self.packets_processed / elapsed
+        full_load_rate = 100_000.0 * self.config.capacity_hint
+        return min(1.0, rate / full_load_rate)
+
+    def estimate_memory_used(self) -> int:
+        base = 64 << 20
+        per_flow = 512
+        per_block = 4096
+        blocks = len(self.graph.blocks) if self.graph is not None else 0
+        return base + per_flow * self.session.flow_count() + per_block * blocks

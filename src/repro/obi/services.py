@@ -1,0 +1,106 @@
+"""External OBI services: packet logging and packet storage (paper §3.1).
+
+"An OBI can use external services for out-of-band operations such as
+logging and storage. The OpenBox protocol defines two such services ...
+provided by an external server, located either locally on the same
+machine as the OBI or remotely. The addresses and other parameters of
+these servers are set for the OBI by the OBC."
+
+Both services are modelled as in-process servers with the remote
+round-trip abstracted behind the same interface; the controller
+configures which instances an OBI uses via ``SetExternalServices``.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Any
+
+from repro.obi.engine import LogEvent
+
+
+@dataclass
+class LogRecord:
+    """One entry in the log service."""
+
+    sequence: int
+    block: str
+    origin_app: str | None
+    message: str
+    packet_summary: str
+
+
+class LogService:
+    """Collects log records from OBIs; queryable by origin application."""
+
+    def __init__(self, name: str = "log", capacity: int = 100_000) -> None:
+        self.name = name
+        self.capacity = capacity
+        self.records: list[LogRecord] = []
+        self._sequence = itertools.count(1)
+        self.overflowed = 0
+
+    def log(self, event: LogEvent) -> None:
+        if len(self.records) >= self.capacity:
+            self.overflowed += 1
+            self.records.pop(0)
+        self.records.append(LogRecord(
+            sequence=next(self._sequence),
+            block=event.block,
+            origin_app=event.origin_app,
+            message=event.message,
+            packet_summary=event.packet_summary,
+        ))
+
+    def query(self, origin_app: str | None = None) -> list[LogRecord]:
+        if origin_app is None:
+            return list(self.records)
+        return [record for record in self.records if record.origin_app == origin_app]
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+
+@dataclass
+class StoredPacket:
+    """One packet held by the storage service."""
+
+    key: int
+    namespace: str
+    data: bytes
+
+
+class PacketStorageService:
+    """Stores packet copies per namespace (caching / quarantine)."""
+
+    def __init__(self, name: str = "storage", capacity: int = 100_000) -> None:
+        self.name = name
+        self.capacity = capacity
+        self._packets: dict[str, list[StoredPacket]] = {}
+        self._keys = itertools.count(1)
+        self.dropped = 0
+
+    def store(self, namespace: str, data: bytes) -> int:
+        bucket = self._packets.setdefault(namespace, [])
+        if sum(len(items) for items in self._packets.values()) >= self.capacity:
+            self.dropped += 1
+            return -1
+        key = next(self._keys)
+        bucket.append(StoredPacket(key=key, namespace=namespace, data=bytes(data)))
+        return key
+
+    def fetch(self, namespace: str) -> list[StoredPacket]:
+        return list(self._packets.get(namespace, ()))
+
+    def purge(self, namespace: str) -> int:
+        removed = len(self._packets.get(namespace, ()))
+        self._packets.pop(namespace, None)
+        return removed
+
+    def stats(self) -> dict[str, Any]:
+        return {
+            "namespaces": len(self._packets),
+            "packets": sum(len(items) for items in self._packets.values()),
+            "dropped": self.dropped,
+        }

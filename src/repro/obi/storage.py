@@ -1,0 +1,150 @@
+"""OBI data-plane storages (paper §3.4.2).
+
+Two key-value stores back stateful NF applications:
+
+* **metadata storage** — short-lived, per-packet. Lives directly on
+  :attr:`repro.net.packet.Packet.metadata`; :class:`MetadataCodec`
+  serializes it into the NSH context header when a packet travels to the
+  next OBI in a split processing graph (§3.1), and restores it on arrival.
+* **session storage** — per-flow, valid while the flow is alive. Built on
+  :class:`repro.net.flow.FlowTable`; exposes export/import hooks so an
+  OpenNF-style framework could migrate state between OBI replicas.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from repro.net.flow import FiveTuple, FlowTable
+from repro.net.packet import Packet
+
+
+class MetadataCodec:
+    """Serializes the per-packet metadata store for inter-OBI transfer.
+
+    The wire form is compact JSON — the paper estimates "a few bytes" per
+    packet since metadata usually only names the processing-graph path
+    the next OBI should follow.
+    """
+
+    @staticmethod
+    def encode(metadata: dict[str, Any], keys: list[str] | None = None) -> bytes:
+        """Encode ``metadata`` (optionally only ``keys``) to bytes."""
+        if keys is not None:
+            metadata = {key: metadata[key] for key in keys if key in metadata}
+        return json.dumps(metadata, separators=(",", ":"), sort_keys=True).encode("utf-8")
+
+    @staticmethod
+    def decode(blob: bytes) -> dict[str, Any]:
+        data = json.loads(blob)
+        if not isinstance(data, dict):
+            raise ValueError("metadata blob must decode to an object")
+        return data
+
+
+class SessionStorage:
+    """Flow-scoped key-value storage for stateful applications.
+
+    "This storage is attached to a flow and is valid as long as the flow
+    is alive" — entries vanish when the underlying flow expires from the
+    flow table.
+    """
+
+    def __init__(
+        self,
+        idle_timeout: float = 60.0,
+        bidirectional: bool = True,
+        max_flows: int | None = 1_000_000,
+    ) -> None:
+        self._flows = FlowTable(
+            idle_timeout=idle_timeout,
+            bidirectional=bidirectional,
+            max_flows=max_flows,
+        )
+
+    @property
+    def flow_table(self) -> FlowTable:
+        return self._flows
+
+    def observe(self, packet: Packet, now: float) -> None:
+        """Track the packet's flow (called by FlowTracker blocks)."""
+        self._flows.observe(packet, now)
+
+    def get(self, packet: Packet, key: str, default: Any = None) -> Any:
+        tuple5 = FiveTuple.of(packet)
+        if tuple5 is None:
+            return default
+        flow = self._flows.lookup(tuple5)
+        if flow is None:
+            return default
+        return flow.session.get(key, default)
+
+    def put(self, packet: Packet, key: str, value: Any, now: float) -> bool:
+        """Store ``key: value`` for the packet's flow; creates the flow."""
+        flow = self._flows.observe(packet, now)
+        if flow is None:
+            return False
+        # observe() also counted the packet; undo the double count since
+        # this is a storage operation, not a forwarding observation.
+        flow.packets -= 1
+        flow.bytes -= len(packet)
+        flow.session[key] = value
+        return True
+
+    def expire(self, now: float) -> int:
+        """Evict idle flows; returns how many were removed."""
+        return len(self._flows.expire(now))
+
+    def flow_count(self) -> int:
+        return len(self._flows)
+
+    def export_state(self) -> dict[str, dict[str, Any]]:
+        """Human-readable snapshot keyed by flow string (debugging)."""
+        return self._flows.export_state()
+
+    def export_entries(self) -> list[dict[str, Any]]:
+        """Structured snapshot for OpenNF-style migration (paper §3.4.2).
+
+        Each entry carries the flow key, session data, and timestamps, so
+        an importing OBI can reconstruct live flow entries exactly.
+        """
+        return [
+            {
+                "key": flow.key.to_dict(),
+                "session": dict(flow.session),
+                "created_at": flow.created_at,
+                "last_seen": flow.last_seen,
+                "packets": flow.packets,
+                "bytes": flow.bytes,
+            }
+            for flow in self._flows
+        ]
+
+    def import_entries(self, entries: list[dict[str, Any]], now: float) -> int:
+        """Install exported flow entries; returns how many were imported.
+
+        Existing session entries for the same flow are merged (imported
+        values win), so repeated migrations are idempotent. Timestamps
+        are refreshed to ``now`` so imported flows do not expire
+        immediately on the new OBI.
+        """
+        from repro.net.flow import FiveTuple, Flow
+
+        imported = 0
+        for entry in entries:
+            key = self._flows.canonical_key(FiveTuple.from_dict(entry["key"]))
+            flow = self._flows.lookup(key)
+            if flow is None:
+                flow = Flow(
+                    key=key,
+                    created_at=float(entry.get("created_at", now)),
+                    last_seen=now,
+                    packets=int(entry.get("packets", 0)),
+                    bytes=int(entry.get("bytes", 0)),
+                )
+                self._flows.install(flow)
+            flow.session.update(entry.get("session", {}))
+            flow.last_seen = now
+            imported += 1
+        return imported

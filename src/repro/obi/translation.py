@@ -1,0 +1,89 @@
+"""Translating protocol processing graphs into engine element pipelines.
+
+The paper's OBI has a Python "generic wrapper" that "translates protocol
+directives to the specific underlying execution engine" (§4.2). This is
+that translation layer: it maps each abstract block to an element class
+(built-in or from an injected custom module), instantiates and wires the
+elements, and returns a runnable :class:`Engine`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.core.graph import ProcessingGraph
+from repro.obi.elements import element_registry
+from repro.obi.engine import Element, Engine, EngineContext
+from repro.obi.storage import SessionStorage
+from repro.protocol.errors import ErrorCode, ProtocolError
+
+
+class ElementFactory:
+    """Resolves abstract block types to element classes.
+
+    Custom modules injected via ``AddCustomModuleRequest`` register their
+    element classes here; lookups prefer custom registrations so a module
+    can override a built-in implementation (the paper lets the controller
+    pick among implementations the same way).
+    """
+
+    def __init__(self) -> None:
+        self._custom: dict[str, type[Element]] = {}
+
+    def register_custom(self, type_name: str, element_cls: type[Element]) -> None:
+        self._custom[type_name] = element_cls
+
+    def supported_types(self) -> dict[str, list[str]]:
+        """Abstract type -> implementation names, for Hello capabilities."""
+        capabilities: dict[str, list[str]] = {}
+        for type_name in element_registry:
+            if type_name == "HeaderClassifier":
+                capabilities[type_name] = ["linear", "trie", "tcam"]
+            else:
+                capabilities[type_name] = ["default"]
+        for type_name in self._custom:
+            capabilities.setdefault(type_name, []).append("custom")
+        return capabilities
+
+    def resolve(self, type_name: str) -> type[Element]:
+        element_cls = self._custom.get(type_name) or element_registry.get(type_name)
+        if element_cls is None:
+            raise ProtocolError(
+                ErrorCode.UNSUPPORTED_BLOCK_TYPE,
+                f"no implementation for block type {type_name!r}",
+            )
+        return element_cls
+
+
+def build_engine(
+    graph: ProcessingGraph,
+    factory: ElementFactory | None = None,
+    clock: Callable[[], float] | None = None,
+    session: SessionStorage | None = None,
+    log_service: Any = None,
+    storage_service: Any = None,
+) -> Engine:
+    """Instantiate and wire an :class:`Engine` for ``graph``."""
+    import time
+
+    graph.validate()
+    if factory is None:
+        factory = ElementFactory()
+    context = EngineContext(
+        clock=clock or time.monotonic,
+        session=session or SessionStorage(),
+        log_service=log_service,
+        storage_service=storage_service,
+    )
+    elements: dict[str, Element] = {}
+    for block in graph.blocks.values():
+        element_cls = factory.resolve(block.type)
+        config = dict(block.config)
+        if block.implementation is not None:
+            config.setdefault("implementation", block.implementation)
+        elements[block.name] = element_cls(
+            name=block.name, config=config, origin_app=block.origin_app
+        )
+    for connector in graph.connectors:
+        elements[connector.src].wire(connector.src_port, elements[connector.dst])
+    return Engine(graph=graph, elements=elements, context=context)

@@ -1,0 +1,69 @@
+"""The OpenBox protocol: messages exchanged between the OBC and OBIs.
+
+The protocol (paper §3.2, spec [35]) defines JSON-encoded messages over a
+dual REST channel. This package provides:
+
+* :mod:`repro.protocol.messages` — one dataclass per message type, with
+  transaction ids (``xid``) for request/response correlation;
+* :mod:`repro.protocol.codec` — the JSON wire codec with protocol
+  versioning;
+* :mod:`repro.protocol.blocks_spec` — serialization of the abstract
+  block-type registry for capability advertisement in ``Hello``;
+* :mod:`repro.protocol.errors` — protocol-level error codes.
+"""
+
+from repro.protocol.codec import PROTOCOL_VERSION, CodecError, decode_message, encode_message
+from repro.protocol.errors import ErrorCode, ProtocolError
+from repro.protocol.messages import (
+    AddCustomModuleRequest,
+    AddCustomModuleResponse,
+    Alert,
+    BarrierRequest,
+    BarrierResponse,
+    ErrorMessage,
+    GlobalStatsRequest,
+    GlobalStatsResponse,
+    Hello,
+    KeepAlive,
+    ListCapabilitiesRequest,
+    ListCapabilitiesResponse,
+    LogMessage,
+    Message,
+    ReadRequest,
+    ReadResponse,
+    SetExternalServices,
+    SetProcessingGraphRequest,
+    SetProcessingGraphResponse,
+    WriteRequest,
+    WriteResponse,
+)
+
+__all__ = [
+    "AddCustomModuleRequest",
+    "AddCustomModuleResponse",
+    "Alert",
+    "BarrierRequest",
+    "BarrierResponse",
+    "CodecError",
+    "ErrorCode",
+    "ErrorMessage",
+    "GlobalStatsRequest",
+    "GlobalStatsResponse",
+    "Hello",
+    "KeepAlive",
+    "ListCapabilitiesRequest",
+    "ListCapabilitiesResponse",
+    "LogMessage",
+    "Message",
+    "PROTOCOL_VERSION",
+    "ProtocolError",
+    "ReadRequest",
+    "ReadResponse",
+    "SetExternalServices",
+    "SetProcessingGraphRequest",
+    "SetProcessingGraphResponse",
+    "WriteRequest",
+    "WriteResponse",
+    "decode_message",
+    "encode_message",
+]

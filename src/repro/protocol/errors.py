@@ -1,0 +1,28 @@
+"""Protocol-level error codes and exceptions."""
+
+from __future__ import annotations
+
+
+class ErrorCode:
+    """Error codes carried by ``ErrorMessage`` responses."""
+
+    UNSUPPORTED_VERSION = "unsupported_version"
+    UNKNOWN_MESSAGE = "unknown_message"
+    MALFORMED_MESSAGE = "malformed_message"
+    UNKNOWN_BLOCK = "unknown_block"
+    UNKNOWN_HANDLE = "unknown_handle"
+    HANDLE_NOT_WRITABLE = "handle_not_writable"
+    INVALID_GRAPH = "invalid_graph"
+    UNSUPPORTED_BLOCK_TYPE = "unsupported_block_type"
+    MODULE_REJECTED = "module_rejected"
+    INTERNAL_ERROR = "internal_error"
+    NOT_CONNECTED = "not_connected"
+
+
+class ProtocolError(Exception):
+    """An error that maps to an ``ErrorMessage`` on the wire."""
+
+    def __init__(self, code: str, detail: str = "") -> None:
+        super().__init__(f"{code}: {detail}" if detail else code)
+        self.code = code
+        self.detail = detail

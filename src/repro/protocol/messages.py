@@ -1,0 +1,403 @@
+"""OpenBox protocol message types.
+
+Every message is a dataclass with a transaction id (``xid``) used by the
+controller's multiplexer to correlate responses with application requests
+(paper §4.1: "The controller handles multiplexing of requests and
+demultiplexing of responses"). Messages serialize to plain dicts; the
+wire format is JSON (paper §3.3: "protocol messages are encoded with
+JSON").
+"""
+
+from __future__ import annotations
+
+import base64
+import itertools
+from dataclasses import dataclass, field, fields
+from typing import Any, ClassVar
+
+_xids = itertools.count(1)
+
+
+def next_xid() -> int:
+    """Allocate a process-wide unique transaction id."""
+    return next(_xids)
+
+
+@dataclass
+class Message:
+    """Base class: concrete messages declare ``TYPE`` and their fields."""
+
+    TYPE: ClassVar[str] = ""
+
+    xid: int = field(default_factory=next_xid)
+
+    def to_dict(self) -> dict[str, Any]:
+        data: dict[str, Any] = {"type": self.TYPE}
+        for spec in fields(self):
+            data[spec.name] = getattr(self, spec.name)
+        return data
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "Message":
+        names = {spec.name for spec in fields(cls)}
+        kwargs = {key: value for key, value in data.items() if key in names}
+        return cls(**kwargs)
+
+
+_MESSAGE_TYPES: dict[str, type[Message]] = {}
+
+
+def register_message(cls: type[Message]) -> type[Message]:
+    """Class decorator adding the message to the codec registry."""
+    if not cls.TYPE:
+        raise ValueError(f"{cls.__name__} must define TYPE")
+    if cls.TYPE in _MESSAGE_TYPES:
+        raise ValueError(f"duplicate message type: {cls.TYPE}")
+    _MESSAGE_TYPES[cls.TYPE] = cls
+    return cls
+
+
+def message_class(type_name: str) -> type[Message] | None:
+    return _MESSAGE_TYPES.get(type_name)
+
+
+# ----------------------------------------------------------------------
+# Session establishment and liveness
+# ----------------------------------------------------------------------
+
+@register_message
+@dataclass
+class Hello(Message):
+    """OBI → OBC: first message after connecting.
+
+    ``capabilities`` lists, per supported abstract block type, the
+    concrete implementations the OBI offers (paper §3.1: the OBI
+    "declares its implementation block types and their corresponding
+    abstract block in the Hello message").
+    """
+
+    TYPE: ClassVar[str] = "Hello"
+
+    obi_id: str = ""
+    version: str = ""
+    segment: str = ""
+    capabilities: dict[str, list[str]] = field(default_factory=dict)
+    supports_custom_modules: bool = False
+    capacity_hint: float = 0.0
+    #: Where the OBC should send downstream requests (the OBI's local
+    #: REST server, paper §4.2); empty for in-process transports.
+    callback_url: str = ""
+
+
+@register_message
+@dataclass
+class KeepAlive(Message):
+    """OBI → OBC: periodic liveness beacon (interval set by the OBC)."""
+
+    TYPE: ClassVar[str] = "KeepAlive"
+
+    obi_id: str = ""
+
+
+# ----------------------------------------------------------------------
+# Capabilities and statistics
+# ----------------------------------------------------------------------
+
+@register_message
+@dataclass
+class ListCapabilitiesRequest(Message):
+    TYPE: ClassVar[str] = "ListCapabilitiesRequest"
+
+
+@register_message
+@dataclass
+class ListCapabilitiesResponse(Message):
+    TYPE: ClassVar[str] = "ListCapabilitiesResponse"
+
+    capabilities: dict[str, list[str]] = field(default_factory=dict)
+    supports_custom_modules: bool = False
+
+
+@register_message
+@dataclass
+class GlobalStatsRequest(Message):
+    """OBC → OBI: request system-load information (paper Table 3)."""
+
+    TYPE: ClassVar[str] = "GlobalStatsRequest"
+
+
+@register_message
+@dataclass
+class GlobalStatsResponse(Message):
+    TYPE: ClassVar[str] = "GlobalStatsResponse"
+
+    obi_id: str = ""
+    cpu_load: float = 0.0
+    memory_used: int = 0
+    memory_total: int = 0
+    packets_processed: int = 0
+    bytes_processed: int = 0
+    uptime: float = 0.0
+
+
+# ----------------------------------------------------------------------
+# Processing-graph deployment
+# ----------------------------------------------------------------------
+
+@register_message
+@dataclass
+class SetProcessingGraphRequest(Message):
+    """OBC → OBI: deploy a (merged) processing graph.
+
+    ``graph`` is the serialized :class:`~repro.core.graph.ProcessingGraph`.
+    """
+
+    TYPE: ClassVar[str] = "SetProcessingGraphRequest"
+
+    graph: dict[str, Any] = field(default_factory=dict)
+
+
+@register_message
+@dataclass
+class SetProcessingGraphResponse(Message):
+    TYPE: ClassVar[str] = "SetProcessingGraphResponse"
+
+    ok: bool = True
+    detail: str = ""
+
+
+# ----------------------------------------------------------------------
+# Read / write handles
+# ----------------------------------------------------------------------
+
+@register_message
+@dataclass
+class ReadRequest(Message):
+    """OBC → OBI: invoke a read handle on a block (paper §3.2)."""
+
+    TYPE: ClassVar[str] = "ReadRequest"
+
+    block: str = ""
+    handle: str = ""
+
+
+@register_message
+@dataclass
+class ReadResponse(Message):
+    TYPE: ClassVar[str] = "ReadResponse"
+
+    block: str = ""
+    handle: str = ""
+    value: Any = None
+
+
+@register_message
+@dataclass
+class WriteRequest(Message):
+    """OBC → OBI: invoke a write handle on a block (paper §3.2)."""
+
+    TYPE: ClassVar[str] = "WriteRequest"
+
+    block: str = ""
+    handle: str = ""
+    value: Any = None
+
+
+@register_message
+@dataclass
+class WriteResponse(Message):
+    TYPE: ClassVar[str] = "WriteResponse"
+
+    block: str = ""
+    handle: str = ""
+    ok: bool = True
+
+
+# ----------------------------------------------------------------------
+# Custom module injection
+# ----------------------------------------------------------------------
+
+@register_message
+@dataclass
+class AddCustomModuleRequest(Message):
+    """OBC → OBI: inject a custom module (paper §3.2.1).
+
+    ``module_binary`` is base64 on the wire (a compiled Click module in
+    the paper's implementation; Python source in this reproduction).
+    ``block_types`` declares the new blocks the module implements, in the
+    same schema as built-in block types; ``translation`` carries the
+    information needed to translate OpenBox configs to the module's
+    lower-level notation.
+    """
+
+    TYPE: ClassVar[str] = "AddCustomModuleRequest"
+
+    module_name: str = ""
+    module_binary: str = ""
+    block_types: list[dict[str, Any]] = field(default_factory=list)
+    translation: dict[str, Any] = field(default_factory=dict)
+
+    @classmethod
+    def from_binary(
+        cls,
+        module_name: str,
+        binary: bytes,
+        block_types: list[dict[str, Any]],
+        translation: dict[str, Any] | None = None,
+        **kwargs: Any,
+    ) -> "AddCustomModuleRequest":
+        return cls(
+            module_name=module_name,
+            module_binary=base64.b64encode(binary).decode("ascii"),
+            block_types=block_types,
+            translation=translation or {},
+            **kwargs,
+        )
+
+    def binary(self) -> bytes:
+        return base64.b64decode(self.module_binary)
+
+
+@register_message
+@dataclass
+class AddCustomModuleResponse(Message):
+    TYPE: ClassVar[str] = "AddCustomModuleResponse"
+
+    module_name: str = ""
+    ok: bool = True
+    detail: str = ""
+
+
+# ----------------------------------------------------------------------
+# Upstream events
+# ----------------------------------------------------------------------
+
+@register_message
+@dataclass
+class Alert(Message):
+    """OBI → OBC: an Alert block fired (paper §3.4: upstream events)."""
+
+    TYPE: ClassVar[str] = "Alert"
+
+    obi_id: str = ""
+    block: str = ""
+    origin_app: str = ""
+    message: str = ""
+    severity: str = "info"
+    packet_summary: str = ""
+    count: int = 1
+
+
+@register_message
+@dataclass
+class LogMessage(Message):
+    """OBI → OBC/log service: a Log block fired."""
+
+    TYPE: ClassVar[str] = "Log"
+
+    obi_id: str = ""
+    block: str = ""
+    origin_app: str = ""
+    message: str = ""
+    packet_summary: str = ""
+
+
+# ----------------------------------------------------------------------
+# External services & synchronization
+# ----------------------------------------------------------------------
+
+@register_message
+@dataclass
+class SetExternalServices(Message):
+    """OBC → OBI: addresses of the log and storage services (paper §3.1)."""
+
+    TYPE: ClassVar[str] = "SetExternalServices"
+
+    log_server: str = ""
+    storage_server: str = ""
+    keepalive_interval: float = 10.0
+
+
+@register_message
+@dataclass
+class PacketHistoryRequest(Message):
+    """OBC → OBI: fetch the recent per-packet traversal records.
+
+    The OpenBox answer to SDN packet-history debugging (paper §6 cites
+    "I know what your packet did last hop"): each record names the exact
+    block path a packet took, its verdict, outputs, and alerts.
+    """
+
+    TYPE: ClassVar[str] = "PacketHistoryRequest"
+
+    #: Return at most this many most-recent records (0 = all retained).
+    limit: int = 0
+
+
+@register_message
+@dataclass
+class PacketHistoryResponse(Message):
+    TYPE: ClassVar[str] = "PacketHistoryResponse"
+
+    records: list[dict[str, Any]] = field(default_factory=list)
+
+
+@register_message
+@dataclass
+class ExportStateRequest(Message):
+    """OBC → OBI: snapshot the session storage (OpenNF-style migration)."""
+
+    TYPE: ClassVar[str] = "ExportStateRequest"
+
+
+@register_message
+@dataclass
+class ExportStateResponse(Message):
+    TYPE: ClassVar[str] = "ExportStateResponse"
+
+    #: One entry per flow: {"key": five-tuple dict, "session": entries,
+    #: "created_at": float, "last_seen": float}.
+    state: list[dict[str, Any]] = field(default_factory=list)
+
+
+@register_message
+@dataclass
+class ImportStateRequest(Message):
+    """OBC → OBI: install exported session state before flows arrive."""
+
+    TYPE: ClassVar[str] = "ImportStateRequest"
+
+    state: list[dict[str, Any]] = field(default_factory=list)
+
+
+@register_message
+@dataclass
+class ImportStateResponse(Message):
+    TYPE: ClassVar[str] = "ImportStateResponse"
+
+    flows_imported: int = 0
+
+
+@register_message
+@dataclass
+class BarrierRequest(Message):
+    """OBC → OBI: flush — respond only after all prior messages applied."""
+
+    TYPE: ClassVar[str] = "BarrierRequest"
+
+
+@register_message
+@dataclass
+class BarrierResponse(Message):
+    TYPE: ClassVar[str] = "BarrierResponse"
+
+
+@register_message
+@dataclass
+class ErrorMessage(Message):
+    """Either direction: request failed; ``xid`` echoes the request."""
+
+    TYPE: ClassVar[str] = "Error"
+
+    code: str = ""
+    detail: str = ""

@@ -1,0 +1,79 @@
+"""A minimal discrete-event scheduler for the functional network sim."""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Callable
+
+
+class EventScheduler:
+    """Virtual-time event loop.
+
+    Events are (time, callback) pairs; ties break by scheduling order so
+    runs are deterministic.
+    """
+
+    def __init__(self, start: float = 0.0) -> None:
+        self.now = start
+        self._heap: list[tuple[float, int, Callable[[], None]]] = []
+        self._sequence = itertools.count()
+        self.executed = 0
+
+    def schedule(self, delay: float, callback: Callable[[], None]) -> None:
+        """Run ``callback`` ``delay`` seconds from the current time."""
+        if delay < 0:
+            raise ValueError("cannot schedule into the past")
+        heapq.heappush(self._heap, (self.now + delay, next(self._sequence), callback))
+
+    def schedule_at(self, when: float, callback: Callable[[], None]) -> None:
+        self.schedule(max(0.0, when - self.now), callback)
+
+    def schedule_every(
+        self, interval: float, callback: Callable[[], None],
+        until: float | None = None,
+    ) -> None:
+        """Run ``callback`` periodically (first firing after ``interval``)."""
+        if interval <= 0:
+            raise ValueError("interval must be positive")
+
+        def tick() -> None:
+            if until is not None and self.now > until:
+                return
+            callback()
+            self.schedule(interval, tick)
+
+        self.schedule(interval, tick)
+
+    def pending(self) -> int:
+        return len(self._heap)
+
+    def step(self) -> bool:
+        """Execute the earliest event; False if none remain."""
+        if not self._heap:
+            return False
+        when, _seq, callback = heapq.heappop(self._heap)
+        self.now = when
+        callback()
+        self.executed += 1
+        return True
+
+    def run_until(self, deadline: float, max_events: int = 1_000_000) -> int:
+        """Run events with time <= deadline; returns events executed."""
+        executed = 0
+        while self._heap and self._heap[0][0] <= deadline:
+            if executed >= max_events:
+                raise RuntimeError("event budget exhausted (runaway simulation?)")
+            self.step()
+            executed += 1
+        self.now = max(self.now, deadline)
+        return executed
+
+    def run(self, max_events: int = 1_000_000) -> int:
+        """Drain the event queue completely."""
+        executed = 0
+        while self.step():
+            executed += 1
+            if executed >= max_events:
+                raise RuntimeError("event budget exhausted (runaway simulation?)")
+        return executed

@@ -1,0 +1,123 @@
+"""Synthetic rule-set generators.
+
+Stand-ins for the paper's proprietary inputs (§5.2): a "ruleset of 4560
+firewall rules from a large firewall vendor" and "Snort web rules".
+Both generators are seeded; structure follows published ruleset studies:
+most firewall rules match a source or destination prefix plus a service
+port, with a default-allow (throughput tests) or default-deny tail.
+"""
+
+from __future__ import annotations
+
+import random
+
+_SERVICES = (
+    20, 21, 22, 23, 25, 53, 80, 110, 123, 143, 161, 389, 443, 445,
+    465, 514, 587, 636, 993, 995, 1433, 1521, 3306, 3389, 5060, 5432,
+    8080, 8443,
+)
+
+_INTERNAL_NETS = ("10.%d.0.0/16", "172.16.%d.0/24", "192.168.%d.0/24")
+_EXTERNAL_NETS = ("203.0.%d.0/24", "198.51.%d.0/24", "100.64.%d.0/24")
+
+_WEB_ATTACK_TOKENS = (
+    "/etc/passwd", "/etc/shadow", "cmd.exe", "union select", "script>alert",
+    "../..", "xp_cmdshell", "/bin/bash", "wp-admin", "%00", "<?php",
+    "eval(", "base64_decode", "onmouseover=", "document.cookie",
+    "/cgi-bin/", "passwd.txt", "boot.ini", "sqlmap", "information_schema",
+)
+
+
+def generate_firewall_rules(
+    count: int = 4560,
+    seed: int = 4560,
+    alert_fraction: float = 0.35,
+) -> str:
+    """Generate ``count`` ACL rules in the repro firewall file format.
+
+    Mirrors the paper's throughput methodology: no rule drops traffic
+    outright (drops would empty the measured stream), matching rules
+    raise alerts; the tail is allow-any. The header structure (prefix
+    lengths, service ports) follows the shape of vendor rulesets.
+    """
+    rnd = random.Random(seed)
+    lines = [f"# synthetic vendor-style firewall ruleset ({count} rules)"]
+    for _ in range(count - 1):
+        action = "alert" if rnd.random() < alert_fraction else "deny"
+        proto = rnd.choice(("tcp", "tcp", "tcp", "udp"))
+        inward = rnd.random() < 0.5
+        if inward:
+            src = rnd.choice(_EXTERNAL_NETS) % rnd.randrange(256)
+            dst = rnd.choice(_INTERNAL_NETS) % rnd.randrange(256)
+        else:
+            src = rnd.choice(_INTERNAL_NETS) % rnd.randrange(256)
+            dst = rnd.choice(_EXTERNAL_NETS) % rnd.randrange(256)
+        if rnd.random() < 0.15:
+            src = "any"
+        if rnd.random() < 0.10:
+            dst = "any"
+        service = rnd.choice(_SERVICES)
+        if rnd.random() < 0.12:
+            dport = f"{service}:{service + rnd.randrange(1, 64)}"
+        else:
+            dport = str(service)
+        lines.append(f"{action} {proto} {src} any {dst} {dport}")
+    lines.append("allow any any any any any")
+    return "\n".join(lines) + "\n"
+
+
+#: Header variants for synthetic web rules: (src, dst, dport) triples.
+#: Real Snort web rule files mix $EXTERNAL->$HOME with server-specific
+#: nets and alternate HTTP ports; the variety keeps the IPS's own header
+#: classifier realistic (it examines src/dst/proto/port, like the
+#: firewall's), which is what makes classifier merging pay off.
+_WEB_RULE_HEADERS = (
+    ("$EXTERNAL_NET", "$HOME_NET", "80"),
+    ("$EXTERNAL_NET", "$HOME_NET", "80"),
+    ("$EXTERNAL_NET", "$HOME_NET", "80"),
+    ("$EXTERNAL_NET", "192.168.10.0/24", "80"),
+    ("$EXTERNAL_NET", "192.168.20.0/24", "80"),
+    ("203.0.113.0/24", "$HOME_NET", "80"),
+    ("$EXTERNAL_NET", "$HOME_NET", "8080"),
+    ("$EXTERNAL_NET", "$HOME_NET", "8000:8099"),
+)
+
+
+def generate_snort_web_rules(count: int = 120, seed: int = 2971) -> str:
+    """Generate Snort-style web rules (the paper's IPS input).
+
+    Every rule targets HTTP toward web servers, with a content or pcre
+    option drawn from classic web-attack tokens, mirroring the structure
+    of the Snort web-* rule files.
+    """
+    rnd = random.Random(seed)
+    lines = ["# synthetic snort web rules"]
+    sid = 1000000
+    for index in range(count):
+        sid += 1
+        token = rnd.choice(_WEB_ATTACK_TOKENS)
+        suffix = rnd.randrange(10_000)
+        if rnd.random() < 0.15:
+            # pcre rule
+            pattern = token.replace("(", r"\(").replace(")", r"\)")
+            pattern = pattern.replace("/", r"\/").replace(" ", r"\s+")
+            option = f'pcre:"/{pattern}[a-z]{{0,4}}{suffix % 7}?/i"'
+        else:
+            nocase = "" if rnd.random() < 0.5 else " nocase;"
+            option = f'content:"{token}-{suffix}";{nocase}'
+            if rnd.random() < 0.4:
+                option = f'content:"{token}";{nocase}'
+        src, dst, dport = rnd.choice(_WEB_RULE_HEADERS)
+        lines.append(
+            f'alert tcp {src} any -> {dst} {dport} '
+            f'(msg:"WEB-ATTACK {token} #{index}"; {option} sid:{sid};)'
+        )
+    return "\n".join(lines) + "\n"
+
+
+#: Variable map used with the synthetic Snort rules.
+SNORT_VARIABLES = {
+    "EXTERNAL_NET": "any",
+    "HOME_NET": "any",
+    "HTTP_PORTS": "80",
+}

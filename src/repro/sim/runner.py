@@ -1,0 +1,190 @@
+"""The experiment harness: chain vs merged performance measurement.
+
+Reproduces the paper's two evaluation configurations (§5.3):
+
+* **pipelined** — packets traverse a service chain of NFs, one per VM:
+  chain throughput is the minimum over VMs, chain latency the sum
+  (Figure 7(a)/(b), the "Regular ... chain" rows of Table 2);
+* **merged/OpenBox** — the controller merges all NFs into one graph
+  deployed on ``n`` OBI replicas, traffic load-balanced across them:
+  throughput is the sum of replicas, latency that of a single traversal
+  (Figure 7(c), the "OpenBox ... OBI" rows).
+
+All numbers derive from the engine-reported block paths priced by the
+cost model — no fabricated constants per configuration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.controller.apps import OpenBoxApplication
+from repro.core.graph import ProcessingGraph
+from repro.core.merge import MergePolicy, MergeResult, merge_graphs
+from repro.net.packet import Packet
+from repro.obi.translation import build_engine
+from repro.sim.costmodel import (
+    CostModel,
+    GraphCostProfile,
+    VmMeasurement,
+    VmSpec,
+    measure_engine,
+)
+
+
+@dataclass
+class ChainMeasurement:
+    """Throughput/latency of one configuration."""
+
+    name: str
+    vms_used: int
+    throughput_bps: float
+    latency_seconds: float
+    per_vm: list[VmMeasurement]
+    merge_result: MergeResult | None = None
+
+    @property
+    def throughput_mbps(self) -> float:
+        return self.throughput_bps / 1e6
+
+    @property
+    def latency_us(self) -> float:
+        return self.latency_seconds * 1e6
+
+    def latency_percentile_us(self, percentile: float, vm: VmSpec | None = None) -> float:
+        """End-to-end per-packet latency percentile in microseconds.
+
+        Conservative composition for chains: the per-VM percentiles are
+        summed (exact for a single VM; an upper-bound tail estimate for
+        pipelines, since per-stage tails of one packet correlate through
+        its payload size).
+        """
+        vm = vm or VmSpec()
+        return sum(
+            m.latency_percentile(vm, percentile) for m in self.per_vm
+        ) * 1e6
+
+
+def _graph_of(nf: "OpenBoxApplication | ProcessingGraph") -> ProcessingGraph:
+    if isinstance(nf, ProcessingGraph):
+        return nf
+    statements = nf.statements()
+    if len(statements) != 1:
+        raise ValueError(f"NF {nf.name!r} must declare exactly one statement")
+    return statements[0].graph
+
+
+def measure_chain(
+    nfs: list,
+    packets: list[Packet],
+    vm: VmSpec | None = None,
+    model: CostModel | None = None,
+    name: str = "chain",
+) -> ChainMeasurement:
+    """Pipelined configuration: one NF per VM, packets traverse all.
+
+    Packets flow through NF *i*'s engine; its emitted packets feed NF
+    *i+1* (drops shorten downstream load, exactly as on the testbed).
+    """
+    vm = vm or VmSpec()
+    model = model or CostModel()
+    per_vm: list[VmMeasurement] = []
+    current = [packet.clone() for packet in packets]
+    for nf in nfs:
+        graph = _graph_of(nf).copy(rename=True)
+        engine = build_engine(graph)
+        profile = GraphCostProfile(graph, model)
+        measurement = VmMeasurement()
+        emitted: list[Packet] = []
+        for packet in current:
+            outcome = engine.process(packet)
+            cycles = profile.path_cost(outcome.path, packet)
+            measurement.add(len(packet) * 8, cycles, len(outcome.path))
+            emitted.extend(out for _dev, out in outcome.outputs)
+        per_vm.append(measurement)
+        current = emitted
+    throughput = min(m.throughput_bps(vm) for m in per_vm)
+    latency = sum(m.latency_seconds(vm) for m in per_vm)
+    return ChainMeasurement(
+        name=name,
+        vms_used=len(per_vm),
+        throughput_bps=throughput,
+        latency_seconds=latency,
+        per_vm=per_vm,
+    )
+
+
+def measure_merged(
+    nfs: list,
+    packets: list[Packet],
+    replicas: int = 2,
+    vm: VmSpec | None = None,
+    model: CostModel | None = None,
+    policy: MergePolicy | None = None,
+    name: str = "openbox",
+) -> ChainMeasurement:
+    """OpenBox configuration: merged graph on ``replicas`` OBIs.
+
+    The same merged graph runs on every replica; the forwarding plane
+    load-balances, so saturation throughput scales with the replica
+    count while latency stays that of a single traversal.
+    """
+    vm = vm or VmSpec()
+    model = model or CostModel()
+    graphs = [_graph_of(nf) for nf in nfs]
+    merge_result = merge_graphs(graphs, policy)
+    engine = build_engine(merge_result.graph.copy(rename=True))
+    measurement = measure_engine(engine, packets, model)
+    single_vm_bps = measurement.throughput_bps(vm)
+    return ChainMeasurement(
+        name=name,
+        vms_used=replicas,
+        throughput_bps=single_vm_bps * replicas,
+        latency_seconds=measurement.latency_seconds(vm),
+        per_vm=[measurement],
+        merge_result=merge_result,
+    )
+
+
+def measure_single(
+    nf,
+    packets: list[Packet],
+    vm: VmSpec | None = None,
+    model: CostModel | None = None,
+    name: str | None = None,
+) -> ChainMeasurement:
+    """One NF on one VM (the standalone rows of Table 2)."""
+    label = name or getattr(nf, "name", "nf")
+    return measure_chain([nf], packets, vm=vm, model=model, name=label)
+
+
+def throughput_region(
+    capacity_a_bps: float,
+    capacity_b_bps: float,
+    replicas: int = 2,
+    points: int = 21,
+) -> dict[str, list[tuple[float, float]]]:
+    """Achievable-throughput regions for the distinct-chain setup (Fig. 9).
+
+    ``capacity_*_bps`` are the measured single-VM saturation throughputs
+    of the two NFs. Returns the frontier of:
+
+    * ``static`` — each NF owns one VM: the rectangle corner path
+      ``(a <= cap_a, b <= cap_b)``;
+    * ``dynamic`` — both NFs merged on all ``replicas`` OBIs: the fluid
+      limit ``a/cap_a + b/cap_b <= replicas`` (each VM divides its cycle
+      budget between the two NFs' traffic).
+    """
+    static = [
+        (capacity_a_bps, 0.0),
+        (capacity_a_bps, capacity_b_bps),
+        (0.0, capacity_b_bps),
+    ]
+    dynamic: list[tuple[float, float]] = []
+    for index in range(points):
+        fraction = index / (points - 1)
+        # Offered mix: fraction of VM cycles devoted to NF A.
+        rate_a = replicas * fraction * capacity_a_bps
+        rate_b = replicas * (1.0 - fraction) * capacity_b_bps
+        dynamic.append((rate_a, rate_b))
+    return {"static": static, "dynamic": dynamic}

@@ -1,0 +1,164 @@
+"""Synthetic campus-like trace generation.
+
+Stand-in for the paper's "packet trace captured from a campus wireless
+network" (§5.1). The generator is seeded and reproduces the statistical
+properties the experiments depend on:
+
+* a trimodal packet-size mix (TCP-ack-sized, mid, MTU-sized) with a mean
+  around 800 bytes;
+* flow structure: packets arrive grouped into 5-tuple flows drawn from
+  configurable subnets;
+* application mix: HTTP requests with realistic Host/URI variety (what
+  the web cache and IPS inspect), DNS, TLS-port and bulk-TCP traffic;
+* a small fraction of packets carrying IPS-triggering payloads
+  (configurable, default 1%), so alert paths are exercised.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.net.builder import make_tcp_packet, make_udp_packet
+from repro.net.packet import Packet
+from repro.net.tcp import TcpFlags
+
+#: (payload size, weight) — sizes chosen so the overall mean frame size
+#: lands near the ~800-byte campus mix once headers are added.
+_SIZE_MIX = ((0, 0.30), (512, 0.25), (1400, 0.45))
+
+_HOSTS = (
+    "www.example.edu", "portal.example.edu", "cdn.example.net",
+    "mail.example.edu", "static.example.org", "video.example.net",
+)
+_URIS = (
+    "/", "/index.html", "/news", "/login", "/static/app.js",
+    "/images/logo.png", "/api/v1/items", "/search?q=network",
+)
+_ATTACK_PAYLOADS = (
+    b"GET /../../etc/passwd HTTP/1.1\r\nHost: victim.example.edu\r\n\r\n",
+    b"GET /item?id=1 union select password from users HTTP/1.1\r\n"
+    b"Host: shop.example.edu\r\n\r\n",
+    b"POST /cgi-bin/bash HTTP/1.1\r\nHost: x\r\n\r\n() { :;}; /bin/id",
+)
+
+
+@dataclass
+class TraceConfig:
+    """Knobs for the synthetic trace."""
+
+    seed: int = 20160822  # SIGCOMM'16 week, for flavour
+    num_packets: int = 2000
+    num_flows: int = 200
+    #: Client and server address pools (dotted-quad prefixes).
+    client_subnets: tuple[str, ...] = ("10.11", "10.12", "172.16")
+    server_subnets: tuple[str, ...] = ("192.168.10", "203.0.113", "198.51.100")
+    http_fraction: float = 0.55
+    dns_fraction: float = 0.10
+    tls_fraction: float = 0.15
+    attack_fraction: float = 0.01
+    mean_interarrival: float = 1e-5
+
+
+@dataclass
+class _Flow:
+    src_ip: str
+    dst_ip: str
+    src_port: int
+    dst_port: int
+    kind: str
+    host: str = ""
+
+
+class TrafficGenerator:
+    """Seeded generator producing reproducible packet lists."""
+
+    def __init__(self, config: TraceConfig | None = None) -> None:
+        self.config = config or TraceConfig()
+        self._random = random.Random(self.config.seed)
+        self._flows = [self._make_flow() for _ in range(self.config.num_flows)]
+
+    def _addr(self, subnets: tuple[str, ...]) -> str:
+        rnd = self._random
+        prefix = rnd.choice(subnets)
+        missing = 4 - len(prefix.split("."))
+        suffix = ".".join(str(rnd.randrange(1, 255)) for _ in range(missing))
+        return f"{prefix}.{suffix}"
+
+    def _make_flow(self) -> _Flow:
+        rnd = self._random
+        cfg = self.config
+        roll = rnd.random()
+        if roll < cfg.http_fraction:
+            kind, dst_port = "http", 80
+        elif roll < cfg.http_fraction + cfg.dns_fraction:
+            kind, dst_port = "dns", 53
+        elif roll < cfg.http_fraction + cfg.dns_fraction + cfg.tls_fraction:
+            kind, dst_port = "tls", 443
+        else:
+            kind, dst_port = "bulk", rnd.choice((21, 22, 25, 8080, 3306))
+        return _Flow(
+            src_ip=self._addr(cfg.client_subnets),
+            dst_ip=self._addr(cfg.server_subnets),
+            src_port=rnd.randrange(1024, 65535),
+            dst_port=dst_port,
+            kind=kind,
+            host=rnd.choice(_HOSTS),
+        )
+
+    def _payload_for(self, flow: _Flow) -> bytes:
+        rnd = self._random
+        if rnd.random() < self.config.attack_fraction:
+            return rnd.choice(_ATTACK_PAYLOADS)
+        size = self._pick_size()
+        if flow.kind == "http" and size > 0:
+            uri = rnd.choice(_URIS)
+            head = (
+                f"GET {uri} HTTP/1.1\r\nHost: {flow.host}\r\n"
+                f"User-Agent: repro/1.0\r\nAccept: */*\r\n\r\n"
+            ).encode("latin-1")
+            if len(head) >= size:
+                return head
+            return head + bytes(rnd.randrange(32, 127) for _ in range(size - len(head)))
+        if size == 0:
+            return b""
+        return bytes(rnd.randrange(256) for _ in range(size))
+
+    def _pick_size(self) -> int:
+        roll = self._random.random()
+        acc = 0.0
+        for size, weight in _SIZE_MIX:
+            acc += weight
+            if roll < acc:
+                return size
+        return _SIZE_MIX[-1][0]
+
+    def packets(self, count: int | None = None) -> list[Packet]:
+        """Generate ``count`` packets (default: config.num_packets)."""
+        rnd = self._random
+        cfg = self.config
+        total = count if count is not None else cfg.num_packets
+        now = 0.0
+        result: list[Packet] = []
+        for _ in range(total):
+            flow = rnd.choice(self._flows)
+            now += rnd.expovariate(1.0 / cfg.mean_interarrival)
+            if flow.kind == "dns":
+                name = flow.host.encode("latin-1")
+                packet = make_udp_packet(
+                    flow.src_ip, flow.dst_ip, flow.src_port, 53,
+                    payload=b"\x12\x34\x01\x00\x00\x01" + name,
+                    timestamp=now,
+                )
+            else:
+                packet = make_tcp_packet(
+                    flow.src_ip, flow.dst_ip, flow.src_port, flow.dst_port,
+                    payload=self._payload_for(flow),
+                    flags=TcpFlags.ACK | TcpFlags.PSH,
+                    timestamp=now,
+                )
+            result.append(packet)
+        return result
+
+    def mean_frame_size(self, packets: list[Packet]) -> float:
+        return sum(len(packet) for packet in packets) / len(packets) if packets else 0.0

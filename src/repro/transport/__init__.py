@@ -1,0 +1,24 @@
+"""Transport channels carrying OpenBox protocol messages.
+
+Two interchangeable implementations of the same :class:`Channel`
+interface:
+
+* :mod:`repro.transport.inproc` — synchronous in-process channels, used
+  by tests and the network simulator (deterministic, no threads);
+* :mod:`repro.transport.rest` — the dual REST channel of the paper
+  (§3.3): each side runs an HTTP server and POSTs JSON-encoded messages
+  to its peer. TLS is omitted (see DESIGN.md substitutions).
+"""
+
+from repro.transport.base import Channel, ChannelClosed, MessageHandler
+from repro.transport.inproc import InProcPair
+from repro.transport.rest import RestEndpoint, RestPeerChannel
+
+__all__ = [
+    "Channel",
+    "ChannelClosed",
+    "InProcPair",
+    "MessageHandler",
+    "RestEndpoint",
+    "RestPeerChannel",
+]

@@ -1,0 +1,31 @@
+"""The Channel abstraction shared by all transports."""
+
+from __future__ import annotations
+
+from typing import Callable, Protocol
+
+from repro.protocol.messages import Message
+
+#: A handler receives an incoming message and may return a response
+#: message (for requests) or None (for notifications).
+MessageHandler = Callable[[Message], Message | None]
+
+
+class ChannelClosed(ConnectionError):
+    """The peer is gone or the channel was shut down."""
+
+
+class Channel(Protocol):
+    """A bidirectional message channel to a single peer."""
+
+    def set_handler(self, handler: MessageHandler) -> None:
+        """Install the callback invoked for each incoming message."""
+
+    def request(self, message: Message, timeout: float = 10.0) -> Message:
+        """Send ``message`` and block for the peer's response."""
+
+    def notify(self, message: Message) -> None:
+        """Send ``message`` without waiting for a response."""
+
+    def close(self) -> None:
+        """Tear the channel down; further sends raise ChannelClosed."""

@@ -1,0 +1,81 @@
+"""Synchronous in-process transport.
+
+:class:`InProcPair` creates two linked channel endpoints. A ``request``
+on one endpoint invokes the peer's handler in the caller's thread and
+returns its response directly — deterministic and fast, which is what
+unit tests and the discrete-event simulator need. Notifications are
+delivered the same way (handler return value discarded).
+
+An optional per-direction latency callback lets the simulator charge
+modelled control-plane delay without real sleeping.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.protocol.errors import ErrorCode, ProtocolError
+from repro.protocol.messages import ErrorMessage, Message
+from repro.transport.base import ChannelClosed, MessageHandler
+
+
+class _InProcEndpoint:
+    """One side of an in-process channel pair."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._peer: "_InProcEndpoint | None" = None
+        self._handler: MessageHandler | None = None
+        self._closed = False
+        self.sent_messages = 0
+        self.received_messages = 0
+        self.on_deliver: Callable[[Message], None] | None = None
+
+    def set_handler(self, handler: MessageHandler) -> None:
+        self._handler = handler
+
+    def _deliver(self, message: Message) -> Message | None:
+        if self._closed:
+            raise ChannelClosed(f"endpoint {self.name} is closed")
+        self.received_messages += 1
+        if self.on_deliver is not None:
+            self.on_deliver(message)
+        if self._handler is None:
+            raise ProtocolError(ErrorCode.NOT_CONNECTED, f"{self.name} has no handler")
+        return self._handler(message)
+
+    def request(self, message: Message, timeout: float = 10.0) -> Message:
+        if self._closed or self._peer is None:
+            raise ChannelClosed(f"endpoint {self.name} is closed")
+        self.sent_messages += 1
+        response = self._peer._deliver(message)
+        if response is None:
+            return ErrorMessage(
+                xid=message.xid,
+                code=ErrorCode.INTERNAL_ERROR,
+                detail="peer returned no response",
+            )
+        return response
+
+    def notify(self, message: Message) -> None:
+        if self._closed or self._peer is None:
+            raise ChannelClosed(f"endpoint {self.name} is closed")
+        self.sent_messages += 1
+        self._peer._deliver(message)
+
+    def close(self) -> None:
+        self._closed = True
+
+
+class InProcPair:
+    """A linked pair of in-process channel endpoints."""
+
+    def __init__(self, left_name: str = "left", right_name: str = "right") -> None:
+        self.left = _InProcEndpoint(left_name)
+        self.right = _InProcEndpoint(right_name)
+        self.left._peer = self.right
+        self.right._peer = self.left
+
+    def close(self) -> None:
+        self.left.close()
+        self.right.close()

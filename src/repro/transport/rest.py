@@ -1,0 +1,187 @@
+"""The dual REST channel (paper §3.3).
+
+"OBC and OBIs communicate through a dual REST channel over HTTPS, and the
+protocol messages are encoded with JSON." Each party runs an HTTP server
+exposing ``POST /openbox/message``; a request's response message rides in
+the HTTP response body, while notifications get an empty ``204``.
+
+:class:`RestEndpoint` is the server side (one per process);
+:class:`RestPeerChannel` is a client-side handle for sending to one peer.
+An OBI bootstraps by POSTing ``Hello`` (carrying its own callback URL) to
+the controller's endpoint; the controller then opens a
+:class:`RestPeerChannel` back to the OBI — the "dual" part.
+
+TLS is intentionally omitted (DESIGN.md): the paper's Table 3 measures
+software delay with both parties on one machine, which loopback HTTP
+reproduces.
+"""
+
+from __future__ import annotations
+
+import http.client
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from urllib.parse import urlparse
+
+from repro.protocol.codec import CodecError, decode_message, encode_message
+from repro.protocol.errors import ErrorCode
+from repro.protocol.messages import ErrorMessage, Message
+from repro.transport.base import ChannelClosed, MessageHandler
+
+MESSAGE_PATH = "/openbox/message"
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """Request handler bridging HTTP to the endpoint's message handler."""
+
+    # Set by RestEndpoint when the server is created.
+    endpoint: "RestEndpoint"
+
+    protocol_version = "HTTP/1.1"
+
+    def log_message(self, format: str, *args: object) -> None:  # noqa: A002
+        """Silence per-request stderr logging."""
+
+    def do_POST(self) -> None:  # noqa: N802 - http.server API
+        if self.path != MESSAGE_PATH:
+            self.send_error(404, "unknown path")
+            return
+        length = int(self.headers.get("Content-Length", "0"))
+        body = self.rfile.read(length)
+        try:
+            message = decode_message(body)
+        except CodecError as exc:
+            self._respond(ErrorMessage(code=exc.code, detail=exc.detail), status=400)
+            return
+        handler = self.endpoint.handler
+        if handler is None:
+            self._respond(
+                ErrorMessage(
+                    xid=message.xid,
+                    code=ErrorCode.NOT_CONNECTED,
+                    detail="no handler installed",
+                ),
+                status=503,
+            )
+            return
+        try:
+            response = handler(message)
+        except Exception as exc:  # noqa: BLE001 - must answer the peer
+            self._respond(
+                ErrorMessage(
+                    xid=message.xid,
+                    code=ErrorCode.INTERNAL_ERROR,
+                    detail=f"{type(exc).__name__}: {exc}",
+                ),
+                status=500,
+            )
+            return
+        if response is None:
+            self.send_response(204)
+            self.send_header("Content-Length", "0")
+            self.end_headers()
+        else:
+            self._respond(response)
+
+    def _respond(self, message: Message, status: int = 200) -> None:
+        payload = encode_message(message)
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(payload)))
+        self.end_headers()
+        self.wfile.write(payload)
+
+
+class RestEndpoint:
+    """An HTTP server receiving OpenBox messages for this process."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 0) -> None:
+        handler_cls = type("BoundHandler", (_Handler,), {"endpoint": self})
+        self._server = ThreadingHTTPServer((host, port), handler_cls)
+        self._server.daemon_threads = True
+        self.handler: MessageHandler | None = None
+        self._thread = threading.Thread(
+            target=self._server.serve_forever, name="openbox-rest", daemon=True
+        )
+        self._started = False
+
+    def start(self) -> None:
+        if not self._started:
+            self._thread.start()
+            self._started = True
+
+    @property
+    def url(self) -> str:
+        host, port = self._server.server_address[:2]
+        return f"http://{host}:{port}{MESSAGE_PATH}"
+
+    def set_handler(self, handler: MessageHandler) -> None:
+        self.handler = handler
+
+    def close(self) -> None:
+        if self._started:
+            self._server.shutdown()
+        self._server.server_close()
+
+
+class RestPeerChannel:
+    """Client-side channel sending messages to one peer's REST endpoint.
+
+    Thread-safe: each call opens its own HTTP connection (keep-alive
+    pooling is deliberately avoided to keep failure modes simple — the
+    control plane is not the throughput-critical path).
+    """
+
+    def __init__(self, peer_url: str) -> None:
+        parsed = urlparse(peer_url)
+        if parsed.scheme != "http" or parsed.hostname is None:
+            raise ValueError(f"unsupported peer URL: {peer_url!r}")
+        self._host = parsed.hostname
+        self._port = parsed.port or 80
+        self._path = parsed.path or MESSAGE_PATH
+        self._closed = False
+        #: Incoming messages are delivered to the local RestEndpoint, not
+        #: here; set_handler exists to satisfy the Channel protocol for
+        #: callers that treat channels uniformly.
+        self._handler: MessageHandler | None = None
+
+    def set_handler(self, handler: MessageHandler) -> None:
+        self._handler = handler
+
+    def _post(self, message: Message, timeout: float) -> Message | None:
+        if self._closed:
+            raise ChannelClosed("channel is closed")
+        payload = encode_message(message)
+        connection = http.client.HTTPConnection(self._host, self._port, timeout=timeout)
+        try:
+            connection.request(
+                "POST",
+                self._path,
+                body=payload,
+                headers={"Content-Type": "application/json"},
+            )
+            response = connection.getresponse()
+            body = response.read()
+            if response.status == 204 or not body:
+                return None
+            return decode_message(body)
+        except (ConnectionError, OSError) as exc:
+            raise ChannelClosed(f"peer unreachable: {exc}") from exc
+        finally:
+            connection.close()
+
+    def request(self, message: Message, timeout: float = 10.0) -> Message:
+        response = self._post(message, timeout)
+        if response is None:
+            return ErrorMessage(
+                xid=message.xid,
+                code=ErrorCode.INTERNAL_ERROR,
+                detail="peer returned no response body",
+            )
+        return response
+
+    def notify(self, message: Message) -> None:
+        self._post(message, timeout=10.0)
+
+    def close(self) -> None:
+        self._closed = True

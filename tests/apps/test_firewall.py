@@ -1,0 +1,107 @@
+"""Firewall application tests: rule parsing, graph shape, behaviour."""
+
+import pytest
+
+from repro.apps.firewall import FirewallApp, FirewallRule, parse_firewall_rules
+from repro.core.classify.rules import HeaderRule, PortRange
+from repro.net.builder import make_tcp_packet, make_udp_packet
+from repro.obi.translation import build_engine
+
+RULES_TEXT = """
+# sample policy
+deny  tcp 10.0.0.0/8     any  any             22       # no ssh out
+alert udp any            any  192.168.0.0/16  53
+deny  tcp any            any  any             3306:3310
+allow any any            any  any             any
+"""
+
+
+class TestParser:
+    def test_parses_actions_and_fields(self):
+        rules = parse_firewall_rules(RULES_TEXT)
+        assert len(rules) == 4
+        assert rules[0].action == "deny"
+        assert rules[0].match.proto == 6
+        assert str(rules[0].match.src) == "10.0.0.0/8"
+        assert rules[0].match.dst_port == PortRange.exact(22)
+        assert rules[2].match.dst_port == PortRange(3306, 3310)
+        assert rules[3].match.is_catch_all
+
+    def test_comments_and_blanks_ignored(self):
+        assert parse_firewall_rules("# nothing\n\n") == []
+
+    def test_wrong_field_count_rejected(self):
+        with pytest.raises(ValueError, match="line 1"):
+            parse_firewall_rules("deny tcp any any any")
+
+    def test_unknown_protocol_rejected(self):
+        with pytest.raises(ValueError):
+            parse_firewall_rules("deny sctp any any any any")
+
+    def test_unknown_action_rejected(self):
+        with pytest.raises(ValueError):
+            parse_firewall_rules("reject tcp any any any any")
+
+
+class TestGraph:
+    def test_enforcing_graph_shape(self):
+        app = FirewallApp("fw", parse_firewall_rules(RULES_TEXT))
+        graph = app.build_graph()
+        types = {b.type for b in graph.blocks.values()}
+        assert types == {"FromDevice", "HeaderClassifier", "ToDevice", "Alert", "Discard"}
+        assert graph.diameter() == 4
+
+    def test_alert_only_graph_has_no_discard(self):
+        app = FirewallApp("fw", parse_firewall_rules(RULES_TEXT), alert_only=True)
+        graph = app.build_graph()
+        assert not any(b.type == "Discard" for b in graph.blocks.values())
+
+    def test_statement_scoping(self):
+        app = FirewallApp("fw", [], segment="corp/eng")
+        statement = app.statements()[0]
+        assert statement.segment == "corp/eng"
+
+
+class TestBehaviour:
+    def _engine(self, alert_only=False):
+        app = FirewallApp("fw", parse_firewall_rules(RULES_TEXT),
+                          alert_only=alert_only)
+        return build_engine(app.build_graph())
+
+    def test_deny_drops(self):
+        outcome = self._engine().process(
+            make_tcp_packet("10.3.3.3", "44.0.0.1", 5, 22)
+        )
+        assert outcome.dropped
+
+    def test_alert_rule_alerts_and_forwards(self):
+        outcome = self._engine().process(
+            make_udp_packet("44.0.0.1", "192.168.1.1", 5, 53)
+        )
+        assert outcome.forwarded
+        assert outcome.alerts[0].origin_app == "fw"
+
+    def test_default_allow(self):
+        outcome = self._engine().process(
+            make_tcp_packet("44.0.0.1", "44.0.0.2", 5, 443)
+        )
+        assert outcome.forwarded and not outcome.alerts
+
+    def test_alert_only_never_drops(self):
+        engine = self._engine(alert_only=True)
+        outcome = engine.process(make_tcp_packet("10.3.3.3", "44.0.0.1", 5, 22))
+        assert outcome.forwarded
+        assert outcome.alerts  # deny became alert
+
+    def test_block_source_prepends_rule(self, controller, connected_obi):
+        app = FirewallApp("fw", parse_firewall_rules(RULES_TEXT), segment="corp")
+        controller.register_application(app)
+        before = connected_obi.process_packet(
+            make_tcp_packet("99.9.9.9", "44.0.0.1", 5, 443)
+        )
+        assert before.forwarded and not before.dropped
+        app.block_source("99.0.0.0/8")
+        after = connected_obi.process_packet(
+            make_tcp_packet("99.9.9.9", "44.0.0.1", 5, 443)
+        )
+        assert after.dropped

@@ -1,0 +1,91 @@
+"""Stateful (quarantine) IPS tests: flow tagging in the data plane."""
+
+import pytest
+
+from repro.apps.ips import IpsApp, parse_snort_rules
+from repro.net.builder import make_tcp_packet
+from repro.obi.translation import build_engine
+
+RULES = 'alert tcp any any -> any 80 (msg:"bad"; content:"attack"; sid:1;)'
+
+
+@pytest.fixture
+def engine():
+    app = IpsApp("ips", parse_snort_rules(RULES), quarantine=True)
+    return build_engine(app.build_graph())
+
+
+class TestQuarantineIps:
+    def test_flow_blocked_after_alert(self, engine):
+        attack = make_tcp_packet("1.1.1.1", "2.2.2.2", 1000, 80,
+                                 payload=b"the attack begins")
+        first = engine.process(attack.clone())
+        assert first.alerts and first.forwarded  # alert raised, packet passes
+
+        # Every subsequent packet of the SAME flow is dropped, even clean.
+        followup = make_tcp_packet("1.1.1.1", "2.2.2.2", 1000, 80,
+                                   payload=b"innocent now")
+        second = engine.process(followup)
+        assert second.dropped and not second.alerts
+
+    def test_reverse_direction_also_blocked(self, engine):
+        attack = make_tcp_packet("1.1.1.1", "2.2.2.2", 1000, 80,
+                                 payload=b"attack")
+        engine.process(attack)
+        reverse = make_tcp_packet("2.2.2.2", "1.1.1.1", 80, 1000,
+                                  payload=b"response")
+        assert engine.process(reverse).dropped
+
+    def test_other_flows_unaffected(self, engine):
+        engine.process(make_tcp_packet("1.1.1.1", "2.2.2.2", 1000, 80,
+                                       payload=b"attack"))
+        other = make_tcp_packet("3.3.3.3", "2.2.2.2", 2000, 80, payload=b"clean")
+        assert engine.process(other).forwarded
+
+    def test_clean_flow_never_quarantined(self, engine):
+        for _ in range(3):
+            packet = make_tcp_packet("1.1.1.1", "2.2.2.2", 1000, 80,
+                                     payload=b"clean")
+            assert engine.process(packet).forwarded
+
+    def test_tag_handle_counts(self, engine):
+        engine.process(make_tcp_packet("1.1.1.1", "2.2.2.2", 1000, 80,
+                                       payload=b"attack"))
+        tagged = [
+            element.read_handle("tagged")
+            for name, element in engine.elements.items()
+            if name.startswith("ips_tag")
+        ]
+        assert sum(tagged) == 1
+
+    def test_stateless_mode_has_no_gate(self):
+        app = IpsApp("ips", parse_snort_rules(RULES), quarantine=False)
+        graph = app.build_graph()
+        types = [block.type for block in graph.blocks.values()]
+        assert "FlowClassifier" not in types
+        assert "SessionTag" not in types
+
+    def test_quarantine_state_migrates(self):
+        """The quarantine verdict survives an OpenNF-style migration."""
+        from repro.bootstrap import connect_inproc
+        from repro.controller.migration import StateMigrator
+        from repro.controller.obc import OpenBoxController
+        from repro.obi.instance import ObiConfig, OpenBoxInstance
+
+        controller = OpenBoxController()
+        source = OpenBoxInstance(ObiConfig(obi_id="src", segment="corp"))
+        target = OpenBoxInstance(ObiConfig(obi_id="dst", segment="corp"))
+        connect_inproc(controller, source)
+        connect_inproc(controller, target)
+        controller.register_application(IpsApp(
+            "ips", parse_snort_rules(RULES), segment="corp", quarantine=True,
+        ))
+
+        attack = make_tcp_packet("1.1.1.1", "2.2.2.2", 1000, 80, payload=b"attack")
+        source.process_packet(attack.clone())
+        # Target has no state: the (now clean) flow passes there.
+        clean = make_tcp_packet("1.1.1.1", "2.2.2.2", 1000, 80, payload=b"x")
+        assert target.process_packet(clean.clone()).forwarded
+
+        StateMigrator(controller).migrate("src", "dst")
+        assert target.process_packet(clean.clone()).dropped

@@ -1,0 +1,111 @@
+"""Web cache and load balancer application tests."""
+
+import pytest
+
+from repro.apps.loadbalancer import LoadBalancerApp
+from repro.apps.webcache import WebCacheApp
+from repro.net.builder import make_http_get, make_tcp_packet
+from repro.obi.services import PacketStorageService
+from repro.obi.translation import build_engine
+
+
+class TestWebCache:
+    def _engine(self, storage=None):
+        app = WebCacheApp("cache", {
+            "www.example.edu": ["/", "/index.html"],
+            "cdn.example.net": ["/logo.png"],
+        })
+        return app, build_engine(app.build_graph(), storage_service=storage)
+
+    def test_cache_hit_consumes_request(self):
+        storage = PacketStorageService()
+        _app, engine = self._engine(storage)
+        outcome = engine.process(
+            make_http_get("1.1.1.1", "2.2.2.2", "www.example.edu", "/index.html")
+        )
+        assert outcome.dropped  # request consumed; response served out-of-band
+        assert len(storage.fetch("cache:hits")) == 1
+
+    def test_cache_hit_case_insensitive_host(self):
+        _app, engine = self._engine()
+        outcome = engine.process(
+            make_http_get("1.1.1.1", "2.2.2.2", "WWW.EXAMPLE.EDU", "/index.html")
+        )
+        assert outcome.dropped
+
+    def test_cache_miss_passes_untouched(self):
+        _app, engine = self._engine()
+        packet = make_http_get("1.1.1.1", "2.2.2.2", "www.example.edu", "/uncached")
+        original = packet.data
+        outcome = engine.process(packet)
+        assert outcome.forwarded
+        assert outcome.outputs[0][1].data == original
+
+    def test_non_http_port_bypasses_matching(self):
+        _app, engine = self._engine()
+        outcome = engine.process(
+            make_tcp_packet("1.1.1.1", "2.2.2.2", 5, 443, payload=b"GET / HTTP/1.1")
+        )
+        assert outcome.forwarded
+        # Path went straight to out without the regex stage.
+        assert not any("match" in name for name in outcome.path)
+
+    def test_add_page_redeploys(self, controller, connected_obi):
+        app = WebCacheApp("cache", {"h.example": ["/a"]}, segment="corp")
+        controller.register_application(app)
+        miss = connected_obi.process_packet(
+            make_http_get("1.1.1.1", "2.2.2.2", "h.example", "/b")
+        )
+        assert miss.forwarded
+        app.add_page("h.example", "/b")
+        hit = connected_obi.process_packet(
+            make_http_get("1.1.1.1", "2.2.2.2", "h.example", "/b")
+        )
+        assert hit.dropped
+
+
+class TestLoadBalancer:
+    def test_explicit_rules(self):
+        app = LoadBalancerApp("lb", targets=["east", "west"], rules=[
+            ("10.0.0.0/8", "east"),
+            ("172.16.0.0/12", "west"),
+        ])
+        engine = build_engine(app.build_graph())
+        east = engine.process(make_tcp_packet("10.1.1.1", "2.2.2.2", 5, 80))
+        west = engine.process(make_tcp_packet("172.16.3.3", "2.2.2.2", 5, 80))
+        assert east.outputs[0][0] == "east"
+        assert west.outputs[0][0] == "west"
+
+    def test_explicit_rule_unknown_target_rejected(self):
+        app = LoadBalancerApp("lb", targets=["east"], rules=[("10.0.0.0/8", "ghost")])
+        with pytest.raises(ValueError):
+            app.build_graph()
+
+    def test_even_slicing_covers_all_targets(self):
+        app = LoadBalancerApp("lb", targets=["a", "b", "c"])
+        engine = build_engine(app.build_graph())
+        seen = set()
+        for octet in range(0, 256, 16):
+            outcome = engine.process(
+                make_tcp_packet(f"{octet}.1.1.1", "2.2.2.2", 5, 80)
+            )
+            seen.add(outcome.outputs[0][0])
+        assert seen == {"a", "b", "c"}
+
+    def test_single_target_passthrough(self):
+        app = LoadBalancerApp("lb", targets=["only"])
+        engine = build_engine(app.build_graph())
+        outcome = engine.process(make_tcp_packet("5.5.5.5", "2.2.2.2", 5, 80))
+        assert outcome.outputs[0][0] == "only"
+
+    def test_no_targets_rejected(self):
+        with pytest.raises(ValueError):
+            LoadBalancerApp("lb", targets=[])
+
+    def test_slicing_is_deterministic(self):
+        app = LoadBalancerApp("lb", targets=["a", "b"])
+        engine = build_engine(app.build_graph())
+        packet = make_tcp_packet("77.1.2.3", "2.2.2.2", 5, 80)
+        first = engine.process(packet.clone()).outputs[0][0]
+        second = engine.process(packet.clone()).outputs[0][0]
+        assert first == second

@@ -1,0 +1,98 @@
+"""Full web-cache behaviour: synthesized responses to the client."""
+
+import pytest
+
+from repro.apps.webcache import WebCacheApp
+from repro.net.builder import make_http_get, make_tcp_packet
+from repro.net.http import HttpResponse, parse_http
+from repro.net.packet import Packet
+from repro.obi.translation import build_engine
+
+CACHE = {
+    "www.example.edu": {
+        "/": "<html>home</html>",
+        "/about": "<html>about us</html>",
+    },
+}
+
+
+@pytest.fixture
+def engine():
+    app = WebCacheApp("cache", CACHE, serve_responses=True)
+    return build_engine(app.build_graph())
+
+
+class TestServingCache:
+    def test_hit_synthesizes_response_to_client(self, engine):
+        request = make_http_get("10.0.0.1", "192.0.2.1", "www.example.edu", "/about",
+                                src_port=40123)
+        outcome = engine.process(request)
+        assert len(outcome.outputs) == 1
+        device, response = outcome.outputs[0]
+        assert device == "client"
+        fresh = Packet(data=response.data)
+        # Addressing reversed: the response goes back to the requester.
+        assert fresh.ipv4.src_text == "192.0.2.1"
+        assert fresh.ipv4.dst_text == "10.0.0.1"
+        assert fresh.tcp.src_port == 80
+        assert fresh.tcp.dst_port == 40123
+        message = parse_http(fresh.payload)
+        assert isinstance(message, HttpResponse)
+        assert message.status == 200
+        assert message.body == b"<html>about us</html>"
+        assert message.header("X-Cache") == "HIT"
+
+    def test_seq_ack_bookkeeping(self, engine):
+        request = make_http_get("10.0.0.1", "192.0.2.1", "www.example.edu", "/",
+                                src_port=40123)
+        request_payload_len = len(request.payload)
+        outcome = engine.process(request.clone())
+        response = Packet(data=outcome.outputs[0][1].data)
+        assert response.tcp.ack == request_payload_len  # builder seq starts at 0
+
+    def test_miss_forwards_to_server(self, engine):
+        request = make_http_get("10.0.0.1", "192.0.2.1", "www.example.edu",
+                                "/uncached")
+        outcome = engine.process(request.clone())
+        device, forwarded = outcome.outputs[0]
+        assert device == "out"
+        assert forwarded.data == request.data
+
+    def test_unknown_host_misses(self, engine):
+        request = make_http_get("10.0.0.1", "192.0.2.1", "other.example", "/")
+        assert engine.process(request).outputs[0][0] == "out"
+
+    def test_query_string_ignored_for_lookup(self, engine):
+        request = make_http_get("10.0.0.1", "192.0.2.1", "www.example.edu",
+                                "/about?utm=1")
+        outcome = engine.process(request)
+        assert outcome.outputs[0][0] == "client"
+
+    def test_post_requests_never_served(self, engine):
+        payload = (b"POST / HTTP/1.1\r\nHost: www.example.edu\r\n\r\nbody")
+        request = make_tcp_packet("10.0.0.1", "192.0.2.1", 40000, 80,
+                                  payload=payload)
+        assert engine.process(request).outputs[0][0] == "out"
+
+    def test_non_http_port_bypasses(self, engine):
+        request = make_tcp_packet("10.0.0.1", "192.0.2.1", 40000, 443,
+                                  payload=b"GET / HTTP/1.1")
+        assert engine.process(request).outputs[0][0] == "out"
+
+    def test_hit_miss_handles(self, engine):
+        engine.process(make_http_get("10.0.0.1", "192.0.2.1",
+                                     "www.example.edu", "/"))
+        engine.process(make_http_get("10.0.0.1", "192.0.2.1",
+                                     "www.example.edu", "/nope"))
+        assert engine.read_handle("cache_responder", "hits") == 1
+        assert engine.read_handle("cache_responder", "misses") == 1
+
+    def test_serve_mode_requires_bodies(self):
+        with pytest.raises(ValueError):
+            WebCacheApp("cache", {"h": ["/a"]}, serve_responses=True)
+
+    def test_list_mode_still_works(self):
+        app = WebCacheApp("cache", {"h.example": ["/a"]})
+        engine = build_engine(app.build_graph())
+        hit = make_http_get("10.0.0.1", "192.0.2.1", "h.example", "/a")
+        assert engine.process(hit).dropped

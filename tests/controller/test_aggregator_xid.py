@@ -1,0 +1,150 @@
+"""Graph aggregation and request-multiplexer tests."""
+
+import pytest
+
+from repro.controller.aggregator import GraphAggregator
+from repro.controller.apps import AppStatement, FunctionApplication
+from repro.controller.segments import SegmentHierarchy
+from repro.controller.xid import RequestMultiplexer
+from repro.protocol.messages import ErrorMessage, ReadResponse
+from tests.conftest import build_firewall_graph, build_ips_graph
+
+
+def _app(name, graph, segment="", priority=100, mergeable=True, obi_id=None):
+    return FunctionApplication(
+        name, lambda: [AppStatement(graph=graph, segment=segment, obi_id=obi_id)],
+        priority=priority, mergeable=mergeable,
+    )
+
+
+@pytest.fixture
+def aggregator():
+    hierarchy = SegmentHierarchy()
+    hierarchy.add("corp/eng")
+    hierarchy.add("corp/sales")
+    return GraphAggregator(hierarchy)
+
+
+class TestSelection:
+    def test_segment_scoping(self, aggregator):
+        apps = [
+            _app("eng-fw", build_firewall_graph("engfw"), segment="corp/eng"),
+            _app("sales-fw", build_firewall_graph("salesfw"), segment="corp/sales"),
+            _app("corp-ips", build_ips_graph("corpips"), segment="corp"),
+        ]
+        selected = aggregator.applicable_graphs(apps, "obi-1", "corp/eng")
+        assert [app.name for app, _g in selected] == ["corp-ips", "eng-fw"]
+
+    def test_obi_pinning(self, aggregator):
+        apps = [
+            _app("pinned", build_firewall_graph("p"), obi_id="obi-7"),
+        ]
+        assert aggregator.applicable_graphs(apps, "obi-7", "anywhere")
+        assert not aggregator.applicable_graphs(apps, "obi-8", "anywhere")
+
+    def test_priority_orders_chain(self, aggregator):
+        apps = [
+            _app("second", build_ips_graph("i"), priority=20),
+            _app("first", build_firewall_graph("f"), priority=10),
+        ]
+        selected = aggregator.applicable_graphs(apps, "o", "corp")
+        assert [app.name for app, _g in selected] == ["first", "second"]
+
+    def test_priority_tie_breaks_by_name(self, aggregator):
+        apps = [
+            _app("zeta", build_firewall_graph("z"), priority=10),
+            _app("alpha", build_firewall_graph("a"), priority=10),
+        ]
+        selected = aggregator.applicable_graphs(apps, "o", "")
+        assert [app.name for app, _g in selected] == ["alpha", "zeta"]
+
+
+class TestAggregation:
+    def test_nothing_applicable_returns_none(self, aggregator):
+        apps = [_app("x", build_firewall_graph("x"), segment="corp/eng")]
+        assert aggregator.aggregate(apps, "o", "corp/sales") is None
+
+    def test_mergeable_apps_fully_merge(self, aggregator):
+        apps = [
+            _app("fw", build_firewall_graph("f"), priority=1),
+            _app("ips", build_ips_graph("i"), priority=2),
+        ]
+        result = aggregator.aggregate(apps, "o", "corp")
+        assert result is not None
+        hc = [b for b in result.graph.blocks.values() if b.type == "HeaderClassifier"]
+        assert len(hc) == 1
+        assert result.app_names == ["fw", "ips"]
+        assert not result.used_naive
+
+    def test_non_mergeable_app_chained_naively(self, aggregator):
+        """Apps marked volatile (paper §3.4) keep their own classifiers."""
+        apps = [
+            _app("fw", build_firewall_graph("f"), priority=1),
+            _app("volatile", build_firewall_graph("v"), priority=2, mergeable=False),
+        ]
+        result = aggregator.aggregate(apps, "o", "corp")
+        hc = [b for b in result.graph.blocks.values() if b.type == "HeaderClassifier"]
+        assert len(hc) == 2
+
+    def test_mergeable_runs_around_volatile_app(self, aggregator):
+        apps = [
+            _app("a", build_firewall_graph("a"), priority=1),
+            _app("v", build_firewall_graph("v"), priority=2, mergeable=False),
+            _app("b", build_firewall_graph("b"), priority=3),
+            _app("c", build_firewall_graph("c"), priority=4),
+        ]
+        result = aggregator.aggregate(apps, "o", "corp")
+        # b and c merge together; a and v stay separate: 3 classifiers.
+        hc = [b for b in result.graph.blocks.values() if b.type == "HeaderClassifier"]
+        assert len(hc) == 3
+
+    def test_deployed_graph_is_copy(self, aggregator):
+        graph = build_firewall_graph("f")
+        apps = [_app("fw", graph)]
+        result = aggregator.aggregate(apps, "o", "")
+        result.graph.remove_block(next(iter(result.graph.blocks)))
+        assert len(graph.blocks) == 5  # original untouched
+
+
+class TestRequestMultiplexer:
+    def test_dispatch_to_callback(self):
+        mux = RequestMultiplexer()
+        seen = []
+        mux.register(7, "app", seen.append, now=0.0)
+        assert mux.dispatch(ReadResponse(xid=7, value=1))
+        assert seen[0].value == 1
+        assert len(mux) == 0
+
+    def test_unmatched_response_counted(self):
+        mux = RequestMultiplexer()
+        assert not mux.dispatch(ReadResponse(xid=99))
+        assert mux.unmatched == 1
+
+    def test_error_routed_to_error_callback(self):
+        mux = RequestMultiplexer()
+        errors = []
+        mux.register(1, "app", lambda m: pytest.fail("wrong callback"),
+                     now=0.0, error_callback=errors.append)
+        mux.dispatch(ErrorMessage(xid=1, code="x"))
+        assert errors[0].code == "x"
+
+    def test_duplicate_xid_rejected(self):
+        mux = RequestMultiplexer()
+        mux.register(1, "app", lambda m: None, now=0.0)
+        with pytest.raises(ValueError):
+            mux.register(1, "app", lambda m: None, now=0.0)
+
+    def test_expiry(self):
+        mux = RequestMultiplexer(default_timeout=10.0)
+        mux.register(1, "app", lambda m: None, now=0.0)
+        mux.register(2, "app", lambda m: None, now=0.0, timeout=100.0)
+        stale = mux.expire(now=50.0)
+        assert stale == [1]
+        assert mux.expired == 1
+        assert len(mux) == 1
+
+    def test_owner_lookup(self):
+        mux = RequestMultiplexer()
+        mux.register(5, "the-app", lambda m: None, now=0.0)
+        assert mux.owner_of(5) == "the-app"
+        assert mux.owner_of(6) is None

@@ -1,0 +1,44 @@
+"""Property test: the §6 optimizer never changes observable behaviour."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.controller.optimizer import optimize_graph
+from repro.core.merge import merge_graphs
+from tests.core.test_merge_equivalence import build_random_nf, build_trace, run_graph
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.integers(0, 10**6), st.integers(0, 10**6))
+def test_optimizer_preserves_semantics_on_random_graphs(graph_seed, trace_seed):
+    graph = build_random_nf(graph_seed, "app")
+    packets = build_trace(trace_seed)
+    before = run_graph(graph, packets)
+    optimize_graph(graph)
+    after = run_graph(graph, packets)
+    assert before == after
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(0, 10**6), st.integers(0, 10**6), st.integers(0, 10**6))
+def test_optimizer_preserves_semantics_on_merged_graphs(seed_a, seed_b, trace_seed):
+    """Optimizing a merge-pipeline output (the controller's actual usage)
+    keeps packet-level behaviour identical."""
+    merged = merge_graphs([
+        build_random_nf(seed_a, "appA"), build_random_nf(seed_b, "appB"),
+    ]).graph
+    packets = build_trace(trace_seed)
+    before = run_graph(merged, packets)
+    optimize_graph(merged)
+    after = run_graph(merged, packets)
+    assert before == after
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(0, 10**6))
+def test_optimizer_idempotent(graph_seed):
+    """A second optimization pass finds nothing more to do."""
+    graph = build_random_nf(graph_seed, "app")
+    optimize_graph(graph)
+    second = optimize_graph(graph)
+    assert second.total_changes == 0

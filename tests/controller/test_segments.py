@@ -1,0 +1,67 @@
+"""Segment hierarchy tests (paper §3.3, micro-segmentation)."""
+
+from repro.controller.segments import SegmentHierarchy
+
+
+class TestSegmentHierarchy:
+    def test_add_creates_ancestors(self):
+        hierarchy = SegmentHierarchy()
+        hierarchy.add("corp/eng/backend")
+        assert hierarchy.exists("corp")
+        assert hierarchy.exists("corp/eng")
+        assert hierarchy.exists("corp/eng/backend")
+
+    def test_add_idempotent(self):
+        hierarchy = SegmentHierarchy()
+        first = hierarchy.add("corp")
+        second = hierarchy.add("corp")
+        assert first is second
+
+    def test_attributes_merge(self):
+        hierarchy = SegmentHierarchy()
+        hierarchy.add("corp", tenant="acme")
+        hierarchy.add("corp", sla="gold")
+        segment = hierarchy.get("corp")
+        assert segment.attributes == {"tenant": "acme", "sla": "gold"}
+
+    def test_in_scope_prefix_semantics(self):
+        hierarchy = SegmentHierarchy()
+        hierarchy.add("corp/eng")
+        assert hierarchy.in_scope("corp/eng", "corp")
+        assert hierarchy.in_scope("corp/eng/backend", "corp/eng")
+        assert hierarchy.in_scope("corp", "corp")
+        assert not hierarchy.in_scope("corp", "corp/eng")
+        assert not hierarchy.in_scope("sales", "corp")
+
+    def test_empty_scope_matches_everything(self):
+        hierarchy = SegmentHierarchy()
+        assert hierarchy.in_scope("anything/at/all", "")
+        assert hierarchy.in_scope("", "")
+
+    def test_in_scope_requires_segment_boundary(self):
+        hierarchy = SegmentHierarchy()
+        # "corpX" is NOT inside "corp" (prefix must align on path parts)
+        assert not hierarchy.in_scope("corpX", "corp")
+
+    def test_descendants(self):
+        hierarchy = SegmentHierarchy()
+        hierarchy.add("corp/eng/backend")
+        hierarchy.add("corp/eng/frontend")
+        hierarchy.add("corp/sales")
+        names = {segment.path for segment in hierarchy.descendants("corp/eng")}
+        assert names == {"corp/eng", "corp/eng/backend", "corp/eng/frontend"}
+
+    def test_descendants_of_unknown(self):
+        assert SegmentHierarchy().descendants("ghost") == []
+
+    def test_all_paths_sorted(self):
+        hierarchy = SegmentHierarchy()
+        hierarchy.add("b/x")
+        hierarchy.add("a")
+        assert hierarchy.all_paths() == ["a", "b", "b/x"]
+
+    def test_parent_links(self):
+        hierarchy = SegmentHierarchy()
+        leaf = hierarchy.add("corp/eng")
+        assert leaf.parent.path == "corp"
+        assert leaf.parent.parent.path == ""

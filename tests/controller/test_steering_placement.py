@@ -1,0 +1,173 @@
+"""Traffic-steering and placement-engine tests."""
+
+import pytest
+
+from repro.controller.placement import (
+    PlacementCandidate,
+    PlacementEngine,
+    PlacementError,
+)
+from repro.controller.steering import ServiceChain, SteeringHop, TrafficSteering
+from repro.net.builder import make_tcp_packet
+from tests.conftest import build_firewall_graph
+
+
+class TestSteeringHop:
+    def test_pick_deterministic_per_flow(self):
+        hop = SteeringHop(group="g", replicas=["a", "b", "c"])
+        assert hop.pick(12345) == hop.pick(12345)
+
+    def test_pick_distributes(self):
+        hop = SteeringHop(group="g", replicas=["a", "b"])
+        choices = {hop.pick(key) for key in range(200)}
+        assert choices == {"a", "b"}
+
+    def test_rendezvous_stability_on_replica_add(self):
+        """Adding a replica only moves flows TO the new replica."""
+        before = SteeringHop(group="g", replicas=["a", "b"])
+        after = SteeringHop(group="g", replicas=["a", "b", "c"])
+        moved_wrongly = 0
+        for key in range(500):
+            old, new = before.pick(key), after.pick(key)
+            if new != old and new != "c":
+                moved_wrongly += 1
+        assert moved_wrongly == 0
+
+    def test_weights_bias_selection(self):
+        hop = SteeringHop(group="g", replicas=["small", "big"],
+                          weights={"small": 1.0, "big": 4.0})
+        counts = {"small": 0, "big": 0}
+        for key in range(2000):
+            counts[hop.pick(key)] += 1
+        assert counts["big"] > counts["small"] * 2
+
+    def test_empty_replicas_rejected(self):
+        with pytest.raises(ValueError):
+            SteeringHop(group="g", replicas=[]).pick(1)
+
+
+class TestServiceChainRouting:
+    def test_route_consistent_per_flow(self):
+        chain = ServiceChain(name="c", hops=[
+            SteeringHop(group="fw", replicas=["fw-1", "fw-2"]),
+            SteeringHop(group="ips", replicas=["ips-1"]),
+        ])
+        packet = make_tcp_packet("1.1.1.1", "2.2.2.2", 1000, 80)
+        first = chain.route(packet)
+        second = chain.route(packet.clone())
+        assert first == second
+        assert len(first) == 2
+        assert first[1] == "ips-1"
+
+    def test_reverse_direction_same_replica(self):
+        chain = ServiceChain(name="c", hops=[
+            SteeringHop(group="fw", replicas=["fw-1", "fw-2"]),
+        ])
+        forward = make_tcp_packet("1.1.1.1", "2.2.2.2", 1000, 80)
+        backward = make_tcp_packet("2.2.2.2", "1.1.1.1", 80, 1000)
+        assert chain.route(forward) == chain.route(backward)
+
+
+class TestTrafficSteering:
+    def _steering(self):
+        steering = TrafficSteering()
+        corp = ServiceChain("corp", [SteeringHop("fw", ["fw-1"])])
+        guest = ServiceChain("guest", [SteeringHop("dpi", ["dpi-1"])])
+        steering.register_chain(corp, vlan=10, default=True)
+        steering.register_chain(guest, vlan=20)
+        return steering
+
+    def test_vlan_selection(self):
+        steering = self._steering()
+        corp_packet = make_tcp_packet("1.1.1.1", "2.2.2.2", 5, 80, vlan=10)
+        guest_packet = make_tcp_packet("1.1.1.1", "2.2.2.2", 5, 80, vlan=20)
+        assert steering.route(corp_packet) == ["fw-1"]
+        assert steering.route(guest_packet) == ["dpi-1"]
+
+    def test_default_chain(self):
+        steering = self._steering()
+        untagged = make_tcp_packet("1.1.1.1", "2.2.2.2", 5, 80)
+        assert steering.route(untagged) == ["fw-1"]
+
+    def test_custom_selector(self):
+        steering = self._steering()
+        steering.set_selector(
+            lambda packet: "guest" if packet.l4 and packet.l4.dst_port == 8080 else None
+        )
+        assert steering.route(make_tcp_packet("1.1.1.1", "2.2.2.2", 5, 8080)) == ["dpi-1"]
+        assert steering.route(make_tcp_packet("1.1.1.1", "2.2.2.2", 5, 80)) == ["fw-1"]
+
+    def test_no_chains_empty_route(self):
+        steering = TrafficSteering()
+        assert steering.route(make_tcp_packet("1.1.1.1", "2.2.2.2", 5, 80)) == []
+
+    def test_update_replicas_propagates(self):
+        steering = self._steering()
+        steering.update_replicas("fw", ["fw-1", "fw-2"])
+        chain = steering.chains["corp"]
+        assert chain.hops[0].replicas == ["fw-1", "fw-2"]
+
+
+class TestPlacementEngine:
+    def _candidates(self):
+        full_caps = {"FromDevice", "ToDevice", "Discard", "HeaderClassifier", "Alert"}
+        return [
+            PlacementCandidate("hw-obi", "corp", {"FromDevice", "ToDevice",
+                                                  "HeaderClassifier"}, capacity=4.0),
+            PlacementCandidate("sw-obi-1", "corp", full_caps, capacity=1.0),
+            PlacementCandidate("sw-obi-2", "corp/eng", full_caps, capacity=1.0),
+        ]
+
+    def test_capability_filtering(self):
+        engine = PlacementEngine(self._candidates())
+        graph = build_firewall_graph()
+        feasible = {c.obi_id for c in engine.feasible(graph)}
+        assert feasible == {"sw-obi-1", "sw-obi-2"}  # hw-obi lacks Alert/Discard
+
+    def test_segment_filter(self):
+        engine = PlacementEngine(self._candidates())
+        graph = build_firewall_graph()
+        feasible = engine.feasible(graph, segment_filter="corp/eng")
+        assert [c.obi_id for c in feasible] == ["sw-obi-2"]
+
+    def test_place_prefers_spare_capacity(self):
+        engine = PlacementEngine(self._candidates())
+        graph = build_firewall_graph()
+        first = engine.place(graph, expected_load=0.9)
+        second = engine.place(build_firewall_graph("fw2"), expected_load=0.9)
+        assert {first.obi_id, second.obi_id} == {"sw-obi-1", "sw-obi-2"}
+
+    def test_colocation_bonus(self):
+        engine = PlacementEngine(self._candidates())
+        first = engine.place(build_firewall_graph("a"), chain="web", expected_load=0.1)
+        second = engine.place(build_firewall_graph("b"), chain="web", expected_load=0.1)
+        assert second.obi_id == first.obi_id
+        assert second.colocated
+
+    def test_no_feasible_raises(self):
+        engine = PlacementEngine([self._candidates()[0]])  # hw only
+        with pytest.raises(PlacementError):
+            engine.place(build_firewall_graph())
+
+    def test_capacity_exhaustion_raises(self):
+        candidate = PlacementCandidate(
+            "tiny", "corp",
+            {"FromDevice", "ToDevice", "Discard", "HeaderClassifier", "Alert"},
+            capacity=0.5,
+        )
+        engine = PlacementEngine([candidate])
+        engine.place(build_firewall_graph("a"), expected_load=0.4)
+        with pytest.raises(PlacementError):
+            engine.place(build_firewall_graph("b"), expected_load=0.4)
+
+    def test_place_chain(self):
+        engine = PlacementEngine(self._candidates())
+        graphs = [build_firewall_graph("a"), build_firewall_graph("b")]
+        decisions = engine.place_chain(graphs, chain="c", expected_load=0.1)
+        assert len(decisions) == 2
+        assert decisions[1].colocated
+
+    def test_remove_candidate(self):
+        engine = PlacementEngine(self._candidates())
+        engine.remove_candidate("sw-obi-1")
+        assert "sw-obi-1" not in engine.candidates

@@ -1,0 +1,134 @@
+"""Offline application verification tests (paper §6)."""
+
+from repro.apps.firewall import FirewallApp, parse_firewall_rules
+from repro.controller.verification import verify_application, verify_graph
+from repro.core.blocks import Block
+from repro.core.graph import ProcessingGraph
+
+
+def _graph_with_classifier(rules, default=0, wire_ports=None, tail="out"):
+    graph = ProcessingGraph("g")
+    read = Block("FromDevice", name="read", config={"devname": "in"})
+    classify = Block("HeaderClassifier", name="hc",
+                     config={"rules": rules, "default_port": default})
+    graph.add_blocks([read, classify])
+    graph.connect(read, classify)
+    sinks = {}
+    for port in (wire_ports if wire_ports is not None
+                 else sorted({r.get("port", 0) for r in rules} | {default})):
+        if tail == "drop":
+            sink = Block("Discard", name=f"sink{port}")
+        else:
+            sink = Block("ToDevice", name=f"sink{port}", config={"devname": "out"})
+        graph.add_block(sink)
+        graph.connect(classify, sink, port)
+        sinks[port] = sink
+    return graph
+
+
+class TestStructural:
+    def test_clean_graph_passes(self):
+        graph = _graph_with_classifier([{"dst_port": 80, "port": 1}])
+        report = verify_graph(graph)
+        assert report.ok
+        assert not report.findings
+
+    def test_invalid_structure_is_error(self):
+        graph = ProcessingGraph("bad")
+        graph.add_block(Block("FromDevice", name="a", config={"devname": "x"}))
+        graph.add_block(Block("FromDevice", name="b", config={"devname": "y"}))
+        report = verify_graph(graph)
+        assert not report.ok
+        assert report.errors[0].code == "structure"
+
+    def test_unreachable_block_flagged(self):
+        graph = _graph_with_classifier([{"dst_port": 80, "port": 1}])
+        graph.add_block(Block("Counter", name="orphan"))
+        report = verify_graph(graph)
+        codes = {finding.code for finding in report.warnings}
+        assert "unreachable" in codes
+
+    def test_all_absorbing_graph_flagged(self):
+        graph = _graph_with_classifier([{"dst_port": 80, "port": 1}], tail="drop")
+        report = verify_graph(graph)
+        codes = {finding.code for finding in report.warnings}
+        assert "no-output" in codes
+
+
+class TestClassifierHygiene:
+    def test_shadowed_rules_flagged(self):
+        graph = _graph_with_classifier([
+            {"src_ip": "10.0.0.0/8", "port": 1},
+            {"src_ip": "10.1.0.0/16", "port": 1},
+        ])
+        report = verify_graph(graph)
+        shadowed = [f for f in report.warnings if f.code == "shadowed-rules"]
+        assert shadowed and "1 rule" in shadowed[0].message
+
+    def test_dangling_port_flagged(self):
+        graph = _graph_with_classifier(
+            [{"dst_port": 80, "port": 1}, {"dst_port": 81, "port": 2}],
+            wire_ports=[0, 1],  # port 2 declared but unwired
+        )
+        report = verify_graph(graph)
+        assert any(f.code == "dangling-port" for f in report.warnings)
+
+    def test_dead_port_flagged(self):
+        # Rules declare ports {0 (default), 3}; wiring port 2 is legal
+        # (within the port count) but nothing can ever reach it.
+        graph = _graph_with_classifier(
+            [{"dst_port": 80, "port": 3}],
+            wire_ports=[0, 2, 3],
+        )
+        report = verify_graph(graph)
+        assert any(f.code == "dead-port" for f in report.warnings)
+
+    def test_blackhole_flagged(self):
+        graph = ProcessingGraph("bh")
+        read = Block("FromDevice", name="read", config={"devname": "in"})
+        classify = Block("HeaderClassifier", name="hc", config={
+            "rules": [{"dst_port": 80, "port": 1}], "default_port": 0,
+        })
+        drop = Block("Discard", name="drop")
+        out = Block("ToDevice", name="out", config={"devname": "out"})
+        graph.add_blocks([read, classify, drop, out])
+        graph.connect(read, classify)
+        graph.connect(classify, drop, 0)   # the default blackholes
+        graph.connect(classify, out, 1)
+        report = verify_graph(graph)
+        assert any(f.code == "blackhole" for f in report.warnings)
+
+    def test_explicit_catch_all_blackhole_flagged(self):
+        graph = ProcessingGraph("bh2")
+        read = Block("FromDevice", name="read", config={"devname": "in"})
+        classify = Block("HeaderClassifier", name="hc", config={
+            "rules": [{"port": 1}],  # catch-all to port 1
+            "default_port": 0,
+        })
+        out = Block("ToDevice", name="out", config={"devname": "out"})
+        drop = Block("Discard", name="drop")
+        graph.add_blocks([read, classify, out, drop])
+        graph.connect(read, classify)
+        graph.connect(classify, out, 0)
+        graph.connect(classify, drop, 1)
+        report = verify_graph(graph)
+        assert any(f.code == "blackhole" for f in report.warnings)
+
+
+class TestApplicationVerification:
+    def test_clean_firewall_app(self):
+        app = FirewallApp("fw", parse_firewall_rules(
+            "deny tcp any any any 23\nallow any any any any any"
+        ))
+        report = verify_application(app)
+        assert report.ok
+
+    def test_firewall_with_shadowed_rules_warns(self):
+        app = FirewallApp("fw", parse_firewall_rules(
+            "deny tcp any any any 23\n"
+            "deny tcp any any any 23\n"      # duplicate
+            "allow any any any any any\n"
+        ))
+        report = verify_application(app)
+        assert report.ok  # warnings only
+        assert any(f.code == "shadowed-rules" for f in report.warnings)

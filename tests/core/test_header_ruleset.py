@@ -1,0 +1,159 @@
+"""HeaderRuleSet: first-match classification and cross-product merging."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.classify.header import HeaderRuleSet, merge_rulesets
+from repro.core.classify.rules import HeaderRule, PortRange, Prefix
+from repro.net.builder import make_tcp_packet
+
+
+def _ruleset(*rules, default=0):
+    return HeaderRuleSet([HeaderRule.from_dict(rule) for rule in rules],
+                         default_port=default)
+
+
+class TestClassify:
+    def test_first_match_wins(self):
+        ruleset = _ruleset(
+            {"src_ip": "10.0.0.0/8", "port": 1},
+            {"dst_port": 80, "port": 2},
+            default=0,
+        )
+        overlap = make_tcp_packet("10.1.1.1", "2.2.2.2", 1, 80)
+        assert ruleset.classify(overlap) == 1  # earlier rule wins
+
+    def test_default_when_no_match(self):
+        ruleset = _ruleset({"dst_port": 80, "port": 1}, default=9)
+        assert ruleset.classify(make_tcp_packet("1.1.1.1", "2.2.2.2", 1, 81)) == 9
+
+    def test_config_roundtrip(self):
+        ruleset = _ruleset({"src_ip": "10.0.0.0/8", "port": 1}, default=2)
+        again = HeaderRuleSet.from_config(ruleset.to_config())
+        assert len(again) == 1
+        assert again.default_port == 2
+
+    def test_used_ports_and_num_ports(self):
+        ruleset = _ruleset({"dst_port": 80, "port": 3}, default=1)
+        assert ruleset.used_ports() == {1, 3}
+        assert ruleset.num_ports() == 4
+
+
+class TestPruning:
+    def test_prune_exact_duplicates(self):
+        ruleset = _ruleset(
+            {"dst_port": 80, "port": 1},
+            {"dst_port": 80, "port": 2},  # identical match, can never fire
+        )
+        assert len(ruleset.prune_shadowed()) == 1
+
+    def test_prune_covered_rules(self):
+        ruleset = _ruleset(
+            {"src_ip": "10.0.0.0/8", "port": 1},
+            {"src_ip": "10.1.0.0/16", "port": 2},  # fully shadowed
+        )
+        assert len(ruleset.prune_shadowed()) == 1
+
+    def test_non_covered_rules_kept(self):
+        ruleset = _ruleset(
+            {"src_ip": "10.1.0.0/16", "port": 1},
+            {"src_ip": "10.0.0.0/8", "port": 2},  # wider, later: reachable
+        )
+        assert len(ruleset.prune_shadowed()) == 2
+
+    def test_prune_default_tail(self):
+        ruleset = _ruleset(
+            {"dst_port": 80, "port": 1},
+            {"dst_port": 81, "port": 0},
+            {"dst_port": 82, "port": 0},
+            default=0,
+        )
+        assert len(ruleset.prune_default_tail()) == 1
+
+    def test_prune_default_tail_keeps_interior(self):
+        ruleset = _ruleset(
+            {"dst_port": 81, "port": 0},  # interior default rule shields rule 2
+            {"src_ip": "10.0.0.0/8", "port": 2},
+            default=0,
+        )
+        assert len(ruleset.prune_default_tail()) == 2
+
+    def test_large_ruleset_skips_quadratic_prune(self):
+        rules = [{"dst_port": port % 60000, "port": 1} for port in range(2501)]
+        ruleset = _ruleset(*rules)
+        pruned = ruleset.prune_shadowed()
+        # Exact duplicates removed (ports 0..2500 wrap at 60000: no dups
+        # here), coverage pruning skipped above the limit.
+        assert len(pruned) == 2501
+
+
+# ----------------------------------------------------------------------
+# Cross-product merge: the classifier mergeWith of paper §2.2.1
+# ----------------------------------------------------------------------
+
+def rule_dicts():
+    return st.fixed_dictionaries(
+        {},
+        optional={
+            "src_ip": st.sampled_from(["10.0.0.0/8", "10.1.0.0/16", "44.0.0.0/8"]),
+            "dst_ip": st.sampled_from(["192.168.0.0/16", "192.168.1.0/24"]),
+            "dst_port": st.sampled_from([22, 80, 443, [80, 90]]),
+            "proto": st.sampled_from([6, 17]),
+        },
+    )
+
+
+def rulesets(max_rules=4, max_port=3):
+    return st.builds(
+        lambda rules, ports, default: HeaderRuleSet(
+            [
+                HeaderRule.from_dict({**rule, "port": port})
+                for rule, port in zip(rules, ports)
+            ],
+            default_port=default,
+        ),
+        st.lists(rule_dicts(), max_size=max_rules),
+        st.lists(st.integers(0, max_port), min_size=max_rules, max_size=max_rules),
+        st.integers(0, max_port),
+    )
+
+
+def trace_packets():
+    return st.builds(
+        make_tcp_packet,
+        st.sampled_from(["10.0.0.1", "10.1.2.3", "44.1.1.1", "99.9.9.9"]),
+        st.sampled_from(["192.168.0.1", "192.168.1.7", "8.8.8.8"]),
+        st.integers(1, 65535),
+        st.sampled_from([22, 80, 85, 443, 9999]),
+    )
+
+
+class TestMergeRulesets:
+    @settings(max_examples=200, deadline=None)
+    @given(rulesets(), rulesets(), st.lists(trace_packets(), min_size=1, max_size=8))
+    def test_merged_equals_cascade(self, first, second, packets):
+        """merge(A, B) classifies like running A then B, for all packets."""
+        port_map = {}
+
+        def mapper(a, b):
+            return port_map.setdefault((a, b), len(port_map))
+
+        merged = merge_rulesets(first, second, mapper)
+        for packet in packets:
+            expected = port_map[(first.classify(packet), second.classify(packet))]
+            assert merged.classify(packet) == expected
+
+    def test_empty_rulesets_merge_to_default(self):
+        merged = merge_rulesets(
+            HeaderRuleSet([], 1), HeaderRuleSet([], 2), lambda a, b: a * 10 + b
+        )
+        assert merged.default_port == 12
+        assert len(merged) == 0
+
+    def test_disjoint_protocols_prune_cross_terms(self):
+        tcp_only = _ruleset({"proto": 6, "dst_port": 80, "port": 1}, default=0)
+        udp_only = _ruleset({"proto": 17, "port": 1}, default=0)
+        merged = merge_rulesets(tcp_only, udp_only, lambda a, b: a * 2 + b)
+        # tcp:80 ∩ udp is empty; only the meaningful combinations remain.
+        packet_tcp = make_tcp_packet("1.1.1.1", "2.2.2.2", 1, 80)
+        assert merged.classify(packet_tcp) == 1 * 2 + 0

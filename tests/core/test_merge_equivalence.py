@@ -1,0 +1,250 @@
+"""Property test: the merge algorithm preserves NF semantics.
+
+The central correctness claim of paper §2.2.1: "a packet must go through
+the same path of processing steps such that it will be classified,
+modified and queued the same way as if it went through the two distinct
+graphs", and statics (alerts/logs) "will be executed on the same packet,
+at the same state".
+
+We generate random NF graphs (classifier trees with statics, modifiers
+and terminals), merge pairs of them both naively and with the full
+pipeline, execute all three on random packet traces through the real
+engine, and require identical observable effects:
+outputs (device + exact bytes), drops, and the multiset of alerts/logs
+with their originating applications.
+"""
+
+from __future__ import annotations
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.blocks import Block
+from repro.core.graph import ProcessingGraph
+from repro.core.merge import MergePolicy, merge_graphs, naive_merge
+from repro.net.builder import make_tcp_packet, make_udp_packet
+from repro.obi.translation import build_engine
+
+# ----------------------------------------------------------------------
+# Random NF graph generation (deterministic from a seed)
+# ----------------------------------------------------------------------
+
+_RULE_POOL = [
+    {"src_ip": "10.0.0.0/8"},
+    {"src_ip": "10.1.0.0/16"},
+    {"dst_ip": "192.168.0.0/16"},
+    {"dst_port": [22, 22]},
+    {"dst_port": [80, 80]},
+    {"dst_port": [80, 443]},
+    {"proto": 6},
+    {"proto": 17},
+    {"proto": 6, "dst_port": [80, 80]},
+    {"vlan": 5},
+]
+
+_PATTERN_POOL = ["attack", "evil", "union select", "/etc/passwd", "xyzzy"]
+
+
+def build_random_nf(seed: int, name: str) -> ProcessingGraph:
+    """A random Figure-2-style NF: classify, then per-branch logic."""
+    rnd = random.Random(seed)
+    graph = ProcessingGraph(name)
+    read = Block("FromDevice", name=f"{name}_read", config={"devname": "in"})
+    out = Block("ToDevice", name=f"{name}_out", config={"devname": "out"})
+    graph.add_blocks([read, out])
+
+    n_rules = rnd.randint(1, 4)
+    n_ports = rnd.randint(2, 3)
+    rules = []
+    for _ in range(n_rules):
+        rule = dict(rnd.choice(_RULE_POOL))
+        rule["port"] = rnd.randrange(n_ports)
+        rules.append(rule)
+    # Every port we are about to wire must be declared by the rule set
+    # (the block's port count is derived from its config).
+    declared = {rule["port"] for rule in rules}
+    for port in range(n_ports):
+        if port not in declared:
+            filler = dict(rnd.choice(_RULE_POOL))
+            filler["port"] = port
+            rules.append(filler)
+    classify = Block(
+        "HeaderClassifier",
+        name=f"{name}_hc",
+        config={"rules": rules, "default_port": rnd.randrange(n_ports)},
+        origin_app=name,
+    )
+    graph.add_block(classify)
+    graph.connect(read, classify)
+
+    has_output_leaf = False
+    for port in range(n_ports):
+        current: Block = classify
+        current_port = port
+        # A short random chain of statics/modifiers.
+        for _ in range(rnd.randint(0, 2)):
+            choice = rnd.random()
+            if choice < 0.4:
+                nxt = Block("Alert", name=f"{name}_al{port}_{rnd.randrange(10**6)}",
+                            config={"message": f"{name}:{port}"}, origin_app=name)
+            elif choice < 0.6:
+                nxt = Block("Log", name=f"{name}_lg{port}_{rnd.randrange(10**6)}",
+                            config={"message": f"{name}:{port}"}, origin_app=name)
+            elif choice < 0.8:
+                nxt = Block("DecTtl", name=f"{name}_tt{port}_{rnd.randrange(10**6)}")
+            else:
+                nxt = Block(
+                    "RegexClassifier",
+                    name=f"{name}_rx{port}_{rnd.randrange(10**6)}",
+                    config={
+                        "patterns": [{"pattern": rnd.choice(_PATTERN_POOL), "port": 1}],
+                        "default_port": 0,
+                    },
+                    origin_app=name,
+                )
+            graph.add_block(nxt)
+            graph.connect(current, nxt, current_port)
+            if nxt.type == "RegexClassifier":
+                # Port 1 (match) raises an alert then continues to out.
+                alert = Block("Alert", name=f"{name}_rxa{port}_{rnd.randrange(10**6)}",
+                              config={"message": f"{name}:dpi"}, origin_app=name)
+                graph.add_block(alert)
+                graph.connect(nxt, alert, 1)
+                graph.connect(alert, out, 0)
+                current, current_port = nxt, 0
+            else:
+                current, current_port = nxt, 0
+        # Terminate the branch.
+        if rnd.random() < 0.2 and has_output_leaf:
+            drop = Block("Discard", name=f"{name}_dr{port}_{rnd.randrange(10**6)}")
+            graph.add_block(drop)
+            graph.connect(current, drop, current_port)
+        else:
+            graph.connect(current, out, current_port)
+            has_output_leaf = True
+    graph.validate()
+    return graph
+
+
+def build_trace(seed: int, count: int = 12) -> list:
+    rnd = random.Random(seed)
+    packets = []
+    for _ in range(count):
+        src = rnd.choice(["10.0.0.1", "10.1.2.3", "44.4.4.4", "192.168.3.3"])
+        dst = rnd.choice(["192.168.0.9", "8.8.8.8", "10.1.0.1"])
+        dport = rnd.choice([22, 80, 443, 9999])
+        payload = rnd.choice(
+            [b"", b"an attack payload", b"UNION SELECT", b"union select x",
+             b"/etc/passwd", b"hello world"]
+        )
+        vlan = rnd.choice([None, 5, 6])
+        ttl = rnd.choice([1, 2, 64])
+        if rnd.random() < 0.2:
+            packets.append(make_udp_packet(src, dst, rnd.randrange(1024, 65535),
+                                           dport, payload=payload, vlan=vlan, ttl=ttl))
+        else:
+            packets.append(make_tcp_packet(src, dst, rnd.randrange(1024, 65535),
+                                           dport, payload=payload, vlan=vlan, ttl=ttl))
+    return packets
+
+
+def run_graph(graph: ProcessingGraph, packets: list) -> list:
+    engine = build_engine(graph.copy(rename=True))
+    return [engine.process(packet.clone()).effects_key() for packet in packets]
+
+
+# ----------------------------------------------------------------------
+# The equivalence properties
+# ----------------------------------------------------------------------
+
+@settings(max_examples=40, deadline=None)
+@given(st.integers(0, 10**6), st.integers(0, 10**6), st.integers(0, 10**6))
+def test_merged_pair_equals_naive_merge(seed_a, seed_b, trace_seed):
+    """Full merge == naive merge == ground truth, packet by packet."""
+    graph_a = build_random_nf(seed_a, "appA")
+    graph_b = build_random_nf(seed_b, "appB")
+    packets = build_trace(trace_seed)
+
+    naive = naive_merge([graph_a, graph_b])
+    merged = merge_graphs([graph_a, graph_b]).graph
+
+    naive_effects = run_graph(naive, packets)
+    merged_effects = run_graph(merged, packets)
+    assert merged_effects == naive_effects
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(0, 10**6), st.integers(0, 10**6))
+def test_merged_diameter_never_longer(seed_a, seed_b):
+    """Path compression must not lengthen the worst-case path."""
+    graph_a = build_random_nf(seed_a, "appA")
+    graph_b = build_random_nf(seed_b, "appB")
+    result = merge_graphs([graph_a, graph_b])
+    assert result.diameter_merged <= result.diameter_naive
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(0, 10**6), st.integers(0, 10**6), st.integers(0, 10**6))
+def test_merge_with_compression_disabled_also_equivalent(seed_a, seed_b, trace_seed):
+    """The normalize+concat+dedup skeleton alone preserves semantics."""
+    graph_a = build_random_nf(seed_a, "appA")
+    graph_b = build_random_nf(seed_b, "appB")
+    packets = build_trace(trace_seed)
+    policy = MergePolicy(merge_classifiers=False, combine_statics=False)
+    merged = merge_graphs([graph_a, graph_b], policy).graph
+    naive = naive_merge([graph_a, graph_b])
+    assert run_graph(merged, packets) == run_graph(naive, packets)
+
+
+@settings(max_examples=15, deadline=None)
+@given(st.integers(0, 10**6), st.integers(0, 10**6),
+       st.integers(0, 10**6), st.integers(0, 10**6))
+def test_three_way_merge_equivalence(seed_a, seed_b, seed_c, trace_seed):
+    graphs = [
+        build_random_nf(seed_a, "appA"),
+        build_random_nf(seed_b, "appB"),
+        build_random_nf(seed_c, "appC"),
+    ]
+    packets = build_trace(trace_seed)
+    merged = merge_graphs(graphs).graph
+    naive = naive_merge(graphs)
+    assert run_graph(merged, packets) == run_graph(naive, packets)
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(0, 10**6), st.integers(0, 10**6), st.integers(0, 10**6))
+def test_sequential_execution_is_ground_truth(seed_a, seed_b, trace_seed):
+    """Naive merge itself equals literally running graph A then graph B."""
+    graph_a = build_random_nf(seed_a, "appA")
+    graph_b = build_random_nf(seed_b, "appB")
+    packets = build_trace(trace_seed)
+
+    naive = naive_merge([graph_a, graph_b])
+    naive_effects = run_graph(naive, packets)
+
+    engine_a = build_engine(graph_a.copy(rename=True))
+    engine_b = build_engine(graph_b.copy(rename=True))
+    for packet, merged_key in zip(packets, naive_effects):
+        outcome_a = engine_a.process(packet.clone())
+        alerts = list(outcome_a.alerts)
+        logs = list(outcome_a.logs)
+        outputs = []
+        dropped = outcome_a.dropped
+        punted = outcome_a.punted
+        for _dev, intermediate in outcome_a.outputs:
+            outcome_b = engine_b.process(intermediate)
+            alerts.extend(outcome_b.alerts)
+            logs.extend(outcome_b.logs)
+            outputs.extend(outcome_b.outputs)
+            dropped = dropped or outcome_b.dropped
+            punted = punted or outcome_b.punted
+        sequential_key = (
+            tuple(sorted((dev, bytes(pkt.data)) for dev, pkt in outputs)),
+            dropped,
+            punted,
+            tuple(sorted((a.origin_app or "", a.message, a.severity) for a in alerts)),
+            tuple(sorted((l.origin_app or "", l.message) for l in logs)),
+        )
+        assert sequential_key == merged_key

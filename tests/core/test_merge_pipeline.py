@@ -1,0 +1,291 @@
+"""Unit tests for each merge-pipeline stage (paper §2.2.1)."""
+
+import pytest
+
+from repro.core.blocks import Block
+from repro.core.compress import CompressionStats, compress_tree
+from repro.core.concat import concatenate_trees
+from repro.core.dedup import deduplicate
+from repro.core.graph import GraphValidationError, ProcessingGraph
+from repro.core.merge import MergePolicy, merge_graphs, naive_merge
+from repro.core.normalize import NormalizationBlowup, normalize_to_tree
+from tests.conftest import build_firewall_graph, build_ips_graph
+
+
+class TestNormalize:
+    def test_tree_output(self, firewall_graph):
+        tree = normalize_to_tree(firewall_graph)
+        assert tree.is_tree()
+
+    def test_converging_paths_duplicated(self, firewall_graph):
+        # fw_out has two parents -> two copies in the tree.
+        tree = normalize_to_tree(firewall_graph)
+        outs = [b for b in tree.blocks.values() if b.type == "ToDevice"]
+        assert len(outs) == 2
+
+    def test_path_lengths_preserved(self, ips_graph):
+        tree = normalize_to_tree(ips_graph)
+        original = sorted(len(path) for path in ips_graph.iter_paths())
+        normalized = sorted(len(path) for path in tree.iter_paths())
+        assert original == normalized
+
+    def test_path_multiset_preserved(self, ips_graph):
+        tree = normalize_to_tree(ips_graph)
+        def type_paths(graph):
+            return sorted(
+                tuple(graph.blocks[name].type for name in path)
+                for path in graph.iter_paths()
+            )
+        assert type_paths(ips_graph) == type_paths(tree)
+
+    def test_blowup_guard_fires(self, firewall_graph):
+        with pytest.raises(NormalizationBlowup):
+            normalize_to_tree(firewall_graph, max_blocks=3)
+
+    def test_already_tree_unchanged_in_size(self):
+        graph = ProcessingGraph("line")
+        graph.chain(
+            Block("FromDevice", name="r", config={"devname": "i"}),
+            Block("Counter", name="c"),
+            Block("ToDevice", name="o", config={"devname": "o"}),
+        )
+        tree = normalize_to_tree(graph)
+        assert len(tree.blocks) == 3
+
+
+class TestConcat:
+    def test_output_terminal_spliced(self, firewall_graph, ips_graph):
+        tree = concatenate_trees(
+            normalize_to_tree(firewall_graph), normalize_to_tree(ips_graph)
+        )
+        assert tree.is_tree()
+        # The firewall's ToDevice leaves are gone; IPS bodies appended.
+        hc_count = sum(1 for b in tree.blocks.values() if b.type == "HeaderClassifier")
+        assert hc_count == 3  # fw hc + one ips hc per fw output leaf
+
+    def test_drop_leaf_not_extended(self, firewall_graph, ips_graph):
+        tree = concatenate_trees(
+            normalize_to_tree(firewall_graph), normalize_to_tree(ips_graph)
+        )
+        drops = [name for name, b in tree.blocks.items() if b.type == "Discard"
+                 and b.origin_app is None]
+        for name in drops:
+            assert tree.out_connectors(name) == []
+
+    def test_diameter_is_sum_minus_two(self, firewall_graph, ips_graph):
+        # Fig 3 logic: A's ToDevice and B's FromDevice disappear.
+        tree = concatenate_trees(
+            normalize_to_tree(firewall_graph), normalize_to_tree(ips_graph)
+        )
+        assert tree.diameter() == firewall_graph.diameter() + ips_graph.diameter() - 2
+
+    def test_requires_trees(self, firewall_graph, ips_graph):
+        with pytest.raises(GraphValidationError):
+            concatenate_trees(firewall_graph, normalize_to_tree(ips_graph))
+
+    def test_requires_output_terminal(self, ips_graph):
+        graph = ProcessingGraph("dropper")
+        graph.chain(
+            Block("FromDevice", name="r", config={"devname": "i"}),
+            Block("Discard", name="d"),
+        )
+        with pytest.raises(GraphValidationError):
+            concatenate_trees(graph, normalize_to_tree(ips_graph))
+
+    def test_inputs_not_modified(self, firewall_graph, ips_graph):
+        tree_a = normalize_to_tree(firewall_graph)
+        tree_b = normalize_to_tree(ips_graph)
+        blocks_a, blocks_b = set(tree_a.blocks), set(tree_b.blocks)
+        concatenate_trees(tree_a, tree_b)
+        assert set(tree_a.blocks) == blocks_a
+        assert set(tree_b.blocks) == blocks_b
+
+
+class TestCompress:
+    def _merged_tree(self):
+        fw, ips = build_firewall_graph(), build_ips_graph()
+        tree = concatenate_trees(normalize_to_tree(fw), normalize_to_tree(ips))
+        stats = compress_tree(tree)
+        return tree, stats
+
+    def test_single_header_classifier_remains(self):
+        tree, stats = self._merged_tree()
+        hc = [b for b in tree.blocks.values() if b.type == "HeaderClassifier"]
+        assert len(hc) == 1
+        assert stats.classifier_merges == 2
+
+    def test_statics_cloned_per_branch(self):
+        tree, stats = self._merged_tree()
+        assert stats.statics_cloned > 0
+
+    def test_diameter_shorter_than_naive(self):
+        fw, ips = build_firewall_graph(), build_ips_graph()
+        naive = naive_merge([fw, ips])
+        tree, _stats = self._merged_tree()
+        assert tree.diameter() < naive.diameter()
+
+    def test_tree_invariant_maintained(self):
+        tree, _stats = self._merged_tree()
+        assert tree.is_tree()
+        tree.validate()
+
+    def test_classifier_merge_can_be_disabled(self):
+        fw, ips = build_firewall_graph(), build_ips_graph()
+        tree = concatenate_trees(normalize_to_tree(fw), normalize_to_tree(ips))
+        stats = compress_tree(tree, enable_classifier_merge=False)
+        assert stats.classifier_merges == 0
+        hc = [b for b in tree.blocks.values() if b.type == "HeaderClassifier"]
+        assert len(hc) == 3
+
+    def test_identical_alerts_never_combined(self):
+        """Two identical Alerts = two controller messages; must survive."""
+        graph = ProcessingGraph("g")
+        read = Block("FromDevice", name="r", config={"devname": "i"})
+        alert1 = Block("Alert", name="a1", config={"message": "m"}, origin_app="x")
+        alert2 = Block("Alert", name="a2", config={"message": "m"}, origin_app="x")
+        out = Block("ToDevice", name="o", config={"devname": "o"})
+        graph.chain(read, alert1, alert2, out)
+        stats = compress_tree(graph)
+        assert stats.static_combines == 0
+        assert len([b for b in graph.blocks.values() if b.type == "Alert"]) == 2
+
+    def test_set_metadata_combines(self):
+        graph = ProcessingGraph("g")
+        read = Block("FromDevice", name="r", config={"devname": "i"})
+        meta1 = Block("SetMetadata", name="m1", config={"values": {"a": 1}})
+        meta2 = Block("SetMetadata", name="m2", config={"values": {"b": 2}})
+        out = Block("ToDevice", name="o", config={"devname": "o"})
+        graph.chain(read, meta1, meta2, out)
+        stats = compress_tree(graph)
+        assert stats.static_combines == 1
+        merged = [b for b in graph.blocks.values() if b.type == "SetMetadata"]
+        assert merged[0].config["values"] == {"a": 1, "b": 2}
+
+    def test_modifier_combine_disjoint_fields(self):
+        graph = ProcessingGraph("g")
+        read = Block("FromDevice", name="r", config={"devname": "i"})
+        rw1 = Block("NetworkHeaderFieldRewriter", name="w1",
+                    config={"fields": {"ipv4_dst": "1.1.1.1"}})
+        rw2 = Block("NetworkHeaderFieldRewriter", name="w2",
+                    config={"fields": {"tcp_dst": 8080}})
+        out = Block("ToDevice", name="o", config={"devname": "o"})
+        graph.chain(read, rw1, rw2, out)
+        stats = compress_tree(graph)
+        assert stats.static_combines == 1
+        rewriter = [b for b in graph.blocks.values()
+                    if b.type == "NetworkHeaderFieldRewriter"]
+        assert rewriter[0].config["fields"] == {"ipv4_dst": "1.1.1.1", "tcp_dst": 8080}
+
+    def test_classifiers_not_moved_across_modifiers(self):
+        """A modifier between two classifiers must block their merge."""
+        graph = ProcessingGraph("g")
+        read = Block("FromDevice", name="r", config={"devname": "i"})
+        hc1 = Block("HeaderClassifier", name="h1",
+                    config={"rules": [{"dst_ip": "1.2.3.4/32", "port": 0}],
+                            "default_port": 0})
+        rewrite = Block("NetworkHeaderFieldRewriter", name="w",
+                        config={"fields": {"ipv4_dst": "1.2.3.4"}})
+        hc2 = Block("HeaderClassifier", name="h2",
+                    config={"rules": [{"dst_ip": "1.2.3.4/32", "port": 0}],
+                            "default_port": 0})
+        out = Block("ToDevice", name="o", config={"devname": "o"})
+        graph.chain(read, hc1, rewrite, hc2, out)
+        stats = compress_tree(graph)
+        assert stats.classifier_merges == 0
+
+
+class TestDedup:
+    def test_identical_leaves_shared(self, firewall_graph, ips_graph):
+        tree = concatenate_trees(
+            normalize_to_tree(firewall_graph), normalize_to_tree(ips_graph)
+        )
+        compress_tree(tree)
+        result = deduplicate(tree)
+        outs = [b for b in result.blocks.values() if b.type == "ToDevice"]
+        assert len(outs) == 1  # Figure 4 has a single Output block
+
+    def test_path_lengths_unchanged(self, firewall_graph, ips_graph):
+        tree = concatenate_trees(
+            normalize_to_tree(firewall_graph), normalize_to_tree(ips_graph)
+        )
+        compress_tree(tree)
+        before = sorted(len(p) for p in tree.iter_paths())
+        result = deduplicate(tree)
+        after = sorted(len(p) for p in result.iter_paths())
+        assert before == after
+
+    def test_different_configs_not_merged(self):
+        graph = ProcessingGraph("g")
+        read = Block("FromDevice", name="r", config={"devname": "i"})
+        hc = Block("HeaderClassifier", name="h",
+                   config={"rules": [{"dst_port": 80, "port": 1}], "default_port": 0})
+        out_a = Block("ToDevice", name="oa", config={"devname": "a"})
+        out_b = Block("ToDevice", name="ob", config={"devname": "b"})
+        graph.add_blocks([read, hc, out_a, out_b])
+        graph.connect(read, hc)
+        graph.connect(hc, out_a, 0)
+        graph.connect(hc, out_b, 1)
+        result = deduplicate(graph)
+        assert len([b for b in result.blocks.values() if b.type == "ToDevice"]) == 2
+
+
+class TestMergeDriver:
+    def test_figure_3_4_shapes(self, firewall_graph, ips_graph):
+        """Reproduce the paper's running example: diameters shrink."""
+        naive = naive_merge([firewall_graph, ips_graph])
+        result = merge_graphs([firewall_graph, ips_graph])
+        assert not result.used_naive
+        assert result.diameter_merged < result.diameter_naive
+        assert result.diameter_naive == naive.diameter()
+
+    def test_single_graph_self_compression(self, firewall_graph):
+        result = merge_graphs([firewall_graph])
+        assert result.graph.diameter() <= firewall_graph.diameter()
+
+    def test_three_way_merge_adjacent_classifiers_collapse(self, firewall_graph, ips_graph):
+        """fw, fw2, ips: both firewalls' classifiers fold into one."""
+        third = build_firewall_graph("fw2")
+        result = merge_graphs([firewall_graph, third, ips_graph])
+        result.graph.validate()
+        hc = [b for b in result.graph.blocks.values() if b.type == "HeaderClassifier"]
+        assert len(hc) == 1
+
+    def test_three_way_merge_separated_by_regex(self, firewall_graph, ips_graph):
+        """fw, ips, fw2: the trailing classifier cannot hoist across the
+        IPS's regex classifiers (only statics may be skipped, §2.2.1), so
+        two header classifiers remain."""
+        third = build_firewall_graph("fw2")
+        result = merge_graphs([firewall_graph, ips_graph, third])
+        result.graph.validate()
+        hc = [b for b in result.graph.blocks.values() if b.type == "HeaderClassifier"]
+        assert len(hc) == 2
+
+    def test_blowup_falls_back_to_naive(self, firewall_graph, ips_graph):
+        policy = MergePolicy(max_tree_blocks=4)
+        result = merge_graphs([firewall_graph, ips_graph], policy)
+        assert result.used_naive
+        result.graph.validate()
+
+    def test_policy_disables_merging(self, firewall_graph, ips_graph):
+        policy = MergePolicy(merge_classifiers=False, combine_statics=False)
+        result = merge_graphs([firewall_graph, ips_graph], policy)
+        hc = [b for b in result.graph.blocks.values() if b.type == "HeaderClassifier"]
+        assert len(hc) >= 2
+
+    def test_merge_time_recorded(self, firewall_graph, ips_graph):
+        result = merge_graphs([firewall_graph, ips_graph])
+        assert result.merge_time > 0
+
+    def test_empty_merge_rejected(self):
+        with pytest.raises(ValueError):
+            merge_graphs([])
+        with pytest.raises(ValueError):
+            naive_merge([])
+
+    def test_naive_merge_preserves_all_logic_blocks(self, firewall_graph, ips_graph):
+        naive = naive_merge([firewall_graph, ips_graph])
+        types = [b.type for b in naive.blocks.values()]
+        assert types.count("HeaderClassifier") == 2
+        assert types.count("RegexClassifier") == 2
+        assert types.count("FromDevice") == 1  # only the first NF's entry
+        assert types.count("ToDevice") == 1   # only the last NF's exits

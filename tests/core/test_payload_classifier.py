@@ -1,0 +1,122 @@
+"""HeaderPayloadClassifier (combined Snort-style rules) tests."""
+
+from repro.core.classify.payload import HeaderPayloadRule, HeaderPayloadRuleSet
+from repro.core.classify.regex import RegexPattern
+from repro.core.classify.rules import HeaderRule, PortRange
+from repro.net.builder import make_tcp_packet
+
+
+def _rule(port, dst_port=None, pattern=None, is_regex=False, nocase=False):
+    header = HeaderRule(
+        dst_port=PortRange.exact(dst_port) if dst_port else PortRange.ANY,
+        proto=6,
+        port=port,
+    )
+    spec = None
+    if pattern is not None:
+        spec = RegexPattern(pattern=pattern, port=port, is_regex=is_regex,
+                            case_sensitive=not nocase)
+    return HeaderPayloadRule(header=header, pattern=spec)
+
+
+class TestMatching:
+    def test_both_parts_must_match(self):
+        ruleset = HeaderPayloadRuleSet([_rule(1, dst_port=80, pattern="evil")])
+        hit = make_tcp_packet("1.1.1.1", "2.2.2.2", 5, 80, payload=b"so evil")
+        wrong_port = make_tcp_packet("1.1.1.1", "2.2.2.2", 5, 81, payload=b"so evil")
+        wrong_payload = make_tcp_packet("1.1.1.1", "2.2.2.2", 5, 80, payload=b"benign")
+        assert ruleset.classify(hit) == 1
+        assert ruleset.classify(wrong_port) == 0
+        assert ruleset.classify(wrong_payload) == 0
+
+    def test_header_only_rule(self):
+        ruleset = HeaderPayloadRuleSet([_rule(2, dst_port=22)])
+        packet = make_tcp_packet("1.1.1.1", "2.2.2.2", 5, 22, payload=b"anything")
+        assert ruleset.classify(packet) == 2
+
+    def test_rule_order_priority(self):
+        ruleset = HeaderPayloadRuleSet([
+            _rule(1, dst_port=80, pattern="alpha"),
+            _rule(2, dst_port=80, pattern="beta"),
+        ])
+        both = make_tcp_packet("1.1.1.1", "2.2.2.2", 5, 80, payload=b"beta alpha")
+        assert ruleset.classify(both) == 1
+
+    def test_header_match_payload_miss_falls_through(self):
+        """A rule whose header matches but payload misses must not block
+        a later rule from matching."""
+        ruleset = HeaderPayloadRuleSet([
+            _rule(1, dst_port=80, pattern="specific"),
+            _rule(2, dst_port=80),  # header-only fallback
+        ])
+        packet = make_tcp_packet("1.1.1.1", "2.2.2.2", 5, 80, payload=b"other")
+        assert ruleset.classify(packet) == 2
+
+    def test_regex_and_nocase_patterns(self):
+        ruleset = HeaderPayloadRuleSet([
+            _rule(1, pattern=r"uni\w+ select", is_regex=True, nocase=True),
+            _rule(2, pattern="PassWord", nocase=True),
+        ])
+        sqli = make_tcp_packet("1.1.1.1", "2.2.2.2", 5, 80, payload=b"UNION SELECT")
+        cred = make_tcp_packet("1.1.1.1", "2.2.2.2", 5, 80, payload=b"password=")
+        assert ruleset.classify(sqli) == 1
+        assert ruleset.classify(cred) == 2
+
+    def test_default_port(self):
+        ruleset = HeaderPayloadRuleSet([_rule(1, dst_port=80)], default_port=7)
+        packet = make_tcp_packet("1.1.1.1", "2.2.2.2", 5, 443)
+        assert ruleset.classify(packet) == 7
+
+    def test_empty_payload_never_matches_patterns(self):
+        ruleset = HeaderPayloadRuleSet([_rule(1, pattern="x")])
+        packet = make_tcp_packet("1.1.1.1", "2.2.2.2", 5, 80, payload=b"")
+        assert ruleset.classify(packet) == 0
+
+
+class TestSerialization:
+    def test_config_roundtrip(self):
+        ruleset = HeaderPayloadRuleSet([
+            _rule(1, dst_port=80, pattern="evil"),
+            _rule(2, dst_port=22),
+        ], default_port=3)
+        again = HeaderPayloadRuleSet.from_config(ruleset.to_config())
+        packet = make_tcp_packet("1.1.1.1", "2.2.2.2", 5, 80, payload=b"evil")
+        assert again.classify(packet) == 1
+        assert again.default_port == 3
+        assert len(again) == 2
+
+    def test_rule_dict_roundtrip(self):
+        rule = _rule(1, dst_port=80, pattern="p", is_regex=True)
+        again = HeaderPayloadRule.from_dict(rule.to_dict())
+        assert again.header == rule.header
+        assert again.pattern == rule.pattern
+
+
+class TestElementIntegration:
+    def test_element_classifies(self):
+        from repro.core.blocks import Block
+        from repro.core.graph import ProcessingGraph
+        from repro.obi.translation import build_engine
+
+        graph = ProcessingGraph("hp")
+        read = Block("FromDevice", name="r", config={"devname": "i"})
+        classify = Block("HeaderPayloadClassifier", name="hp", config={
+            "rules": [{
+                "proto": 6, "dst_port": [80, 80], "port": 1,
+                "payload": {"pattern": "attack", "port": 1},
+            }],
+            "default_port": 0,
+        })
+        out = Block("ToDevice", name="o", config={"devname": "o"})
+        drop = Block("Discard", name="d")
+        graph.add_blocks([read, classify, out, drop])
+        graph.connect(read, classify)
+        graph.connect(classify, out, 0)
+        graph.connect(classify, drop, 1)
+        engine = build_engine(graph)
+        assert engine.process(
+            make_tcp_packet("1.1.1.1", "2.2.2.2", 5, 80, payload=b"an attack")
+        ).dropped
+        assert engine.process(
+            make_tcp_packet("1.1.1.1", "2.2.2.2", 5, 80, payload=b"clean")
+        ).forwarded

@@ -1,0 +1,172 @@
+"""HeaderRule algebra: matching, intersection, coverage (property-based)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.classify.rules import HeaderRule, PortRange, Prefix
+from repro.net.builder import make_tcp_packet, make_udp_packet
+
+
+# ----------------------------------------------------------------------
+# Strategies
+# ----------------------------------------------------------------------
+
+def prefixes():
+    return st.builds(
+        lambda addr, plen: Prefix(
+            addr & ((0xFFFFFFFF << (32 - plen)) & 0xFFFFFFFF if plen else 0),
+            (0xFFFFFFFF << (32 - plen)) & 0xFFFFFFFF if plen else 0,
+        ),
+        st.integers(0, 0xFFFFFFFF),
+        st.sampled_from([0, 8, 16, 24, 32]),
+    )
+
+
+def port_ranges():
+    return st.builds(
+        lambda a, b: PortRange(min(a, b), max(a, b)),
+        st.integers(0, 65535), st.integers(0, 65535),
+    )
+
+
+def header_rules():
+    return st.builds(
+        HeaderRule,
+        src=prefixes(), dst=prefixes(),
+        src_port=port_ranges(), dst_port=port_ranges(),
+        proto=st.sampled_from([None, 6, 17]),
+        vlan=st.sampled_from([None, 1, 100]),
+        dscp=st.sampled_from([None, 0, 46]),
+        port=st.integers(0, 7),
+    )
+
+
+def packets():
+    return st.builds(
+        lambda src, dst, sp, dp, udp, vlan: (
+            make_udp_packet(src, dst, sp, dp, vlan=vlan)
+            if udp else make_tcp_packet(src, dst, sp, dp, vlan=vlan)
+        ),
+        st.integers(0, 0xFFFFFFFF), st.integers(0, 0xFFFFFFFF),
+        st.integers(0, 65535), st.integers(0, 65535),
+        st.booleans(), st.sampled_from([None, 1, 100]),
+    )
+
+
+class TestPrefix:
+    def test_parse_and_str(self):
+        prefix = Prefix.parse("10.0.0.0/8")
+        assert str(prefix) == "10.0.0.0/8"
+        assert prefix.prefix_len == 8
+        assert str(Prefix.ANY) == "*"
+
+    def test_matches(self):
+        prefix = Prefix.parse("10.0.0.0/8")
+        assert prefix.matches(0x0A123456)
+        assert not prefix.matches(0x0B000000)
+
+    def test_intersect_nested(self):
+        wide = Prefix.parse("10.0.0.0/8")
+        narrow = Prefix.parse("10.1.0.0/16")
+        assert wide.intersect(narrow) == narrow
+        assert narrow.intersect(wide) == narrow
+
+    def test_intersect_disjoint(self):
+        assert Prefix.parse("10.0.0.0/8").intersect(Prefix.parse("11.0.0.0/8")) is None
+
+    def test_covers(self):
+        assert Prefix.parse("10.0.0.0/8").covers(Prefix.parse("10.1.0.0/16"))
+        assert not Prefix.parse("10.1.0.0/16").covers(Prefix.parse("10.0.0.0/8"))
+
+    @given(prefixes(), prefixes(), st.integers(0, 0xFFFFFFFF))
+    def test_intersection_semantics(self, a, b, address):
+        """x in a∩b iff x in a and x in b."""
+        both = a.intersect(b)
+        in_both = a.matches(address) and b.matches(address)
+        if both is None:
+            assert not in_both
+        else:
+            assert both.matches(address) == in_both
+
+
+class TestPortRange:
+    def test_exact(self):
+        assert PortRange.exact(80) == PortRange(80, 80)
+        assert str(PortRange.exact(80)) == "80"
+        assert str(PortRange.ANY) == "*"
+        assert str(PortRange(1, 5)) == "1-5"
+
+    def test_invalid_rejected(self):
+        with pytest.raises(ValueError):
+            PortRange(5, 3)
+        with pytest.raises(ValueError):
+            PortRange(0, 70000)
+
+    @given(port_ranges(), port_ranges(), st.integers(0, 65535))
+    def test_intersection_semantics(self, a, b, port):
+        both = a.intersect(b)
+        in_both = a.matches(port) and b.matches(port)
+        if both is None:
+            assert not in_both
+        else:
+            assert both.matches(port) == in_both
+
+    @given(port_ranges(), port_ranges())
+    def test_covers_definition(self, a, b):
+        if a.covers(b):
+            assert a.matches(b.lo) and a.matches(b.hi)
+
+
+class TestHeaderRule:
+    def test_match_all_fields(self):
+        rule = HeaderRule(
+            src=Prefix.parse("10.0.0.0/8"), dst=Prefix.parse("192.168.1.0/24"),
+            dst_port=PortRange.exact(80), proto=6, port=3,
+        )
+        hit = make_tcp_packet("10.9.9.9", "192.168.1.5", 1000, 80)
+        miss_port = make_tcp_packet("10.9.9.9", "192.168.1.5", 1000, 81)
+        miss_proto = make_udp_packet("10.9.9.9", "192.168.1.5", 1000, 80)
+        assert rule.matches(hit)
+        assert not rule.matches(miss_port)
+        assert not rule.matches(miss_proto)
+
+    def test_vlan_match(self):
+        rule = HeaderRule(vlan=7)
+        assert rule.matches(make_tcp_packet("1.1.1.1", "2.2.2.2", 1, 2, vlan=7))
+        assert not rule.matches(make_tcp_packet("1.1.1.1", "2.2.2.2", 1, 2, vlan=8))
+        assert not rule.matches(make_tcp_packet("1.1.1.1", "2.2.2.2", 1, 2))
+
+    def test_catch_all(self):
+        assert HeaderRule().is_catch_all
+        assert not HeaderRule(proto=6).is_catch_all
+
+    def test_dict_roundtrip(self):
+        rule = HeaderRule(
+            src=Prefix.parse("10.0.0.0/8"), dst_port=PortRange(80, 90),
+            proto=6, vlan=3, port=2,
+        )
+        assert HeaderRule.from_dict(rule.to_dict()) == rule
+
+    def test_from_dict_int_port_shorthand(self):
+        rule = HeaderRule.from_dict({"dst_port": 80, "port": 1})
+        assert rule.dst_port == PortRange.exact(80)
+
+    @given(header_rules(), header_rules(), packets())
+    def test_intersection_semantics(self, a, b, packet):
+        """packet matches a∩b iff it matches both a and b."""
+        both = a.intersect(b, port=0)
+        in_both = a.matches(packet) and b.matches(packet)
+        if both is None:
+            assert not in_both
+        else:
+            assert both.matches(packet) == in_both
+
+    @given(header_rules(), header_rules(), packets())
+    def test_covers_implies_match_superset(self, a, b, packet):
+        if a.covers(b) and b.matches(packet):
+            assert a.matches(packet)
+
+    @given(header_rules())
+    def test_dict_roundtrip_property(self, rule):
+        assert HeaderRule.from_dict(rule.to_dict()) == rule

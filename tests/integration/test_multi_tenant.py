@@ -1,0 +1,103 @@
+"""Multi-tenancy (paper §3.4.1): several tenants share the data plane.
+
+"The OpenBox architecture allows multiple network tenants to deploy
+their NFs through the same OBC. ... The OBC is responsible for the
+correct deployment in the data plane, including preserving application
+priority and ordering."
+"""
+
+import pytest
+
+from repro.apps.firewall import FirewallApp, parse_firewall_rules
+from repro.bootstrap import connect_inproc
+from repro.controller.obc import OpenBoxController
+from repro.net.builder import make_tcp_packet
+from repro.obi.instance import ObiConfig, OpenBoxInstance
+
+
+@pytest.fixture
+def tenants():
+    """Two department admins deploy their own firewalls; the chief admin
+    deploys a company-wide one. Two OBIs, one per department segment."""
+    controller = OpenBoxController()
+    eng_obi = OpenBoxInstance(ObiConfig(obi_id="eng-obi", segment="corp/eng"))
+    sales_obi = OpenBoxInstance(ObiConfig(obi_id="sales-obi", segment="corp/sales"))
+    connect_inproc(controller, eng_obi)
+    connect_inproc(controller, sales_obi)
+
+    corp_fw = FirewallApp(
+        "corp-fw",
+        parse_firewall_rules("deny tcp any any any 23\nallow any any any any any"),
+        segment="corp", priority=1,
+    )
+    eng_fw = FirewallApp(
+        "eng-fw",
+        parse_firewall_rules("deny tcp any any any 3389\nallow any any any any any"),
+        segment="corp/eng", priority=10,
+    )
+    sales_fw = FirewallApp(
+        "sales-fw",
+        parse_firewall_rules("alert tcp any any any 8080\nallow any any any any any"),
+        segment="corp/sales", priority=10,
+    )
+    for app in (corp_fw, eng_fw, sales_fw):
+        controller.register_application(app)
+    return controller, eng_obi, sales_obi, corp_fw, eng_fw, sales_fw
+
+
+class TestMultiTenancy:
+    def test_each_obi_gets_only_its_tenants(self, tenants):
+        controller, _eng, _sales, *_ = tenants
+        assert controller.obis["eng-obi"].deployed.app_names == ["corp-fw", "eng-fw"]
+        assert controller.obis["sales-obi"].deployed.app_names == ["corp-fw", "sales-fw"]
+
+    def test_corp_policy_applies_everywhere(self, tenants):
+        _controller, eng_obi, sales_obi, *_ = tenants
+        telnet = make_tcp_packet("1.1.1.1", "2.2.2.2", 5, 23)
+        assert eng_obi.process_packet(telnet.clone()).dropped
+        assert sales_obi.process_packet(telnet.clone()).dropped
+
+    def test_department_policies_isolated(self, tenants):
+        _controller, eng_obi, sales_obi, *_ = tenants
+        rdp = make_tcp_packet("1.1.1.1", "2.2.2.2", 5, 3389)
+        assert eng_obi.process_packet(rdp.clone()).dropped       # eng denies RDP
+        assert sales_obi.process_packet(rdp.clone()).forwarded   # sales doesn't care
+
+    def test_alerts_demultiplex_to_owning_tenant(self, tenants):
+        controller, _eng, sales_obi, corp_fw, eng_fw, sales_fw = tenants
+        sales_obi.process_packet(make_tcp_packet("1.1.1.1", "2.2.2.2", 5, 8080))
+        assert sales_fw.alerts_received
+        assert not eng_fw.alerts_received
+        assert not corp_fw.alerts_received
+
+    def test_tenant_reads_only_its_blocks(self, tenants):
+        controller, eng_obi, _sales, corp_fw, eng_fw, _sales_fw = tenants
+        eng_obi.process_packet(make_tcp_packet("1.1.1.1", "2.2.2.2", 5, 3389))
+        values = []
+        eng_fw.request_read("eng-obi", "eng-fw_drop", "count", values.append)
+        assert values == [1]
+        # corp-fw cannot address eng-fw's blocks.
+        from repro.protocol.errors import ProtocolError
+        with pytest.raises(ProtocolError):
+            corp_fw.request_read("eng-obi", "eng-fw_drop", "count", values.append)
+
+    def test_merged_classifier_not_addressable_by_tenants(self, tenants):
+        """The merged cross-product classifier belongs to no single
+        tenant; the API hides merged logic (paper §6)."""
+        controller, _eng, _sales, corp_fw, *_ = tenants
+        deployed = controller.obis["eng-obi"].deployed.graph
+        merged_classifiers = [
+            b for b in deployed.blocks.values()
+            if b.type == "HeaderClassifier" and b.origin_app is None
+        ]
+        assert merged_classifiers  # the merge produced a shared classifier
+        from repro.protocol.errors import ProtocolError
+        with pytest.raises(ProtocolError):
+            corp_fw.request_read(
+                "eng-obi", merged_classifiers[0].name, "count", lambda v: None
+            )
+
+    def test_priority_preserved_in_merge_order(self, tenants):
+        controller, *_ = tenants
+        # corp-fw (priority 1) precedes the department firewall (10).
+        assert controller.obis["eng-obi"].deployed.app_names[0] == "corp-fw"

@@ -1,0 +1,137 @@
+"""Orchestration-loop integration: poll → scale → migrate → steer."""
+
+import pytest
+
+from repro.apps.ips import IpsApp, parse_snort_rules
+from repro.bootstrap import connect_inproc
+from repro.controller.obc import OpenBoxController
+from repro.controller.orchestrator import OrchestrationLoop
+from repro.controller.scaling import ScalingManager, ScalingPolicy
+from repro.controller.steering import ServiceChain, SteeringHop, TrafficSteering
+from repro.net.builder import make_tcp_packet
+from repro.obi.instance import ObiConfig, OpenBoxInstance
+from repro.sim.events import EventScheduler
+
+RULES = 'alert tcp any any -> any 80 (msg:"bad"; content:"attack"; sid:1;)'
+
+
+class Provisioner:
+    def __init__(self, controller, scheduler):
+        self.controller = controller
+        self.scheduler = scheduler
+        self.instances = {}
+        self._n = 0
+
+    def provision(self, like_obi_id):
+        self._n += 1
+        template = self.controller.obis[like_obi_id]
+        new_id = f"replica-{self._n}"
+        obi = OpenBoxInstance(
+            ObiConfig(obi_id=new_id, segment=template.segment),
+            clock=lambda: self.scheduler.now,
+        )
+        connect_inproc(self.controller, obi)
+        self.instances[new_id] = obi
+        return new_id
+
+    def deprovision(self, obi_id):
+        self.controller.disconnect_obi(obi_id)
+        self.instances.pop(obi_id, None)
+
+
+@pytest.fixture
+def world():
+    scheduler = EventScheduler()
+    controller = OpenBoxController(clock=lambda: scheduler.now)
+    primary = OpenBoxInstance(ObiConfig(obi_id="ips-obi", segment="corp"),
+                              clock=lambda: scheduler.now)
+    connect_inproc(controller, primary)
+    controller.register_application(IpsApp(
+        "ips", parse_snort_rules(RULES), segment="corp", quarantine=True,
+    ))
+    steering = TrafficSteering()
+    steering.register_chain(
+        ServiceChain("corp", [SteeringHop("ips-group", ["ips-obi"])]),
+        default=True,
+    )
+    provisioner = Provisioner(controller, scheduler)
+    scaling = ScalingManager(controller.stats, provisioner,
+                             ScalingPolicy(cooldown=0.0, smoothing_window=1))
+    scaling.register_group("ips-group", ["ips-obi"])
+    loop = OrchestrationLoop(controller, scaling, steering)
+    return scheduler, controller, primary, provisioner, loop, steering
+
+
+def _saturate(obi, packets=200):
+    """Drive enough traffic that the OBI reports high CPU load."""
+    for sport in range(packets):
+        obi.process_packet(make_tcp_packet("1.1.1.1", "2.2.2.2", sport, 443))
+
+
+class TestOrchestrationLoop:
+    def test_tick_polls_group_members(self, world):
+        scheduler, _controller, _primary, _prov, loop, _steering = world
+        scheduler.now = 10.0
+        report = loop.tick()
+        assert report.polled == ["ips-obi"]
+        assert report.actions == []
+
+    def test_scale_up_migrates_and_steers(self, world):
+        scheduler, controller, primary, provisioner, loop, steering = world
+        # Quarantine a flow on the primary, then saturate it.
+        attack = make_tcp_packet("9.9.9.9", "2.2.2.2", 7777, 80, payload=b"attack")
+        primary.process_packet(attack)
+        _saturate(primary)
+        scheduler.now = 0.001  # tiny uptime -> enormous estimated load
+
+        report = loop.tick()
+        assert any(action.kind == "scale_up" for action in report.actions)
+        replica_id = report.actions[0].obi_id
+        replica = provisioner.instances[replica_id]
+
+        # State migrated: the quarantined flow is blocked on the replica.
+        assert report.migrations == [("ips-obi", replica_id)]
+        followup = make_tcp_packet("9.9.9.9", "2.2.2.2", 7777, 80, payload=b"clean")
+        assert replica.process_packet(followup).dropped
+
+        # Steering widened to both replicas.
+        hop = steering.chains["corp"].hops[0]
+        assert set(hop.replicas) == {"ips-obi", replica_id}
+
+    def test_scale_down_preserves_state_on_survivor(self, world):
+        scheduler, controller, primary, provisioner, loop, steering = world
+        # Grow to two replicas first.
+        _saturate(primary)
+        scheduler.now = 0.001
+        report_up = loop.tick()
+        replica_id = report_up.actions[0].obi_id
+        replica = provisioner.instances[replica_id]
+
+        # The *replica* learns a quarantine verdict the primary lacks.
+        attack = make_tcp_packet("8.8.4.4", "2.2.2.2", 5555, 80, payload=b"attack")
+        replica.process_packet(attack)
+
+        # Now everything is idle long enough that load drops to ~0.
+        scheduler.now = 10_000.0
+        report_down = loop.tick()
+        down = [a for a in report_down.actions if a.kind == "scale_down"]
+        assert down, report_down.actions
+        victim = down[0].obi_id
+        survivor = next(iter(
+            set(controller.obis) & {"ips-obi", replica_id}
+        ))
+
+        # The victim's verdict survived on the survivor.
+        survivor_obi = primary if survivor == "ips-obi" else replica
+        followup = make_tcp_packet("8.8.4.4", "2.2.2.2", 5555, 80, payload=b"x")
+        if victim == replica_id:
+            assert survivor_obi.process_packet(followup).dropped
+        # Steering narrowed back.
+        hop = steering.chains["corp"].hops[0]
+        assert victim not in hop.replicas
+
+    def test_periodic_driving_from_scheduler(self, world):
+        scheduler, _controller, _primary, _prov, loop, _steering = world
+        scheduler.schedule_every(30.0, loop.tick)
+        scheduler.run_until(95.0)
+        assert len(loop.reports) == 3

@@ -1,0 +1,101 @@
+"""Controller <-> OBI over the real dual REST channel (loopback HTTP)."""
+
+import pytest
+
+from repro.bootstrap import connect_obi_rest, serve_controller_rest
+from repro.controller.apps import AppStatement, FunctionApplication
+from repro.controller.obc import OpenBoxController
+from repro.net.builder import make_tcp_packet
+from repro.obi.instance import ObiConfig, OpenBoxInstance
+from tests.conftest import build_firewall_graph
+
+
+@pytest.fixture
+def rest_setup():
+    controller = OpenBoxController()
+    controller_endpoint = serve_controller_rest(controller)
+    obi = OpenBoxInstance(ObiConfig(obi_id="rest-obi", segment="corp"))
+    obi_endpoint, upstream = connect_obi_rest(obi, controller_endpoint.url)
+    yield controller, obi
+    obi_endpoint.close()
+    controller_endpoint.close()
+
+
+class TestRestControlPlane:
+    def test_hello_over_rest_registers(self, rest_setup):
+        controller, _obi = rest_setup
+        assert "rest-obi" in controller.obis
+        handle = controller.obis["rest-obi"]
+        assert handle.callback_url.startswith("http://127.0.0.1:")
+        assert handle.channel is not None
+
+    def test_deployment_over_rest(self, rest_setup):
+        controller, obi = rest_setup
+        controller.register_application(FunctionApplication(
+            "fw", lambda: [AppStatement(graph=build_firewall_graph("fw"),
+                                        segment="corp")],
+        ))
+        assert obi.engine is not None
+        outcome = obi.process_packet(make_tcp_packet("10.0.0.1", "2.2.2.2", 5, 23))
+        assert outcome.dropped
+
+    def test_alert_travels_upstream_over_rest(self, rest_setup):
+        controller, obi = rest_setup
+        app = FunctionApplication(
+            "fw", lambda: [AppStatement(graph=build_firewall_graph("fw"),
+                                        segment="corp")],
+        )
+        controller.register_application(app)
+        obi.process_packet(make_tcp_packet("44.0.0.1", "2.2.2.2", 5, 22))
+        assert len(controller.alerts) == 1
+        assert app.alerts_received[0].origin_app == "fw"
+
+    def test_stats_poll_over_rest(self, rest_setup):
+        controller, obi = rest_setup
+        controller.register_application(FunctionApplication(
+            "fw", lambda: [AppStatement(graph=build_firewall_graph("fw"),
+                                        segment="corp")],
+        ))
+        obi.process_packet(make_tcp_packet("1.2.3.4", "2.2.2.2", 5, 443))
+        stats = controller.poll_stats("rest-obi")
+        assert stats is not None
+        assert stats.packets_processed == 1
+
+    def test_keepalive_over_rest(self, rest_setup):
+        controller, obi = rest_setup
+        obi.send_keepalive()
+        assert controller.stats.view("rest-obi").keepalives == 1
+
+    def test_app_read_over_rest(self, rest_setup):
+        controller, obi = rest_setup
+        app = FunctionApplication(
+            "fw", lambda: [AppStatement(graph=build_firewall_graph("fw"),
+                                        segment="corp")],
+        )
+        controller.register_application(app)
+        obi.process_packet(make_tcp_packet("10.0.0.1", "2.2.2.2", 5, 23))
+        values = []
+        app.request_read("rest-obi", "fw_drop", "count", values.append)
+        assert values == [1]
+
+    def test_two_obis_same_controller(self):
+        controller = OpenBoxController()
+        endpoint = serve_controller_rest(controller)
+        obis, endpoints = [], []
+        try:
+            for index in range(2):
+                obi = OpenBoxInstance(
+                    ObiConfig(obi_id=f"multi-{index}", segment="corp")
+                )
+                obi_endpoint, _channel = connect_obi_rest(obi, endpoint.url)
+                obis.append(obi)
+                endpoints.append(obi_endpoint)
+            controller.register_application(FunctionApplication(
+                "fw", lambda: [AppStatement(graph=build_firewall_graph("fw"),
+                                            segment="corp")],
+            ))
+            assert all(obi.engine is not None for obi in obis)
+        finally:
+            for obi_endpoint in endpoints:
+                obi_endpoint.close()
+            endpoint.close()

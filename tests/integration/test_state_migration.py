@@ -1,0 +1,116 @@
+"""Session-state migration between OBIs (the OpenNF hook, paper §3.4.2)."""
+
+import pytest
+
+from repro.bootstrap import connect_inproc
+from repro.controller.apps import AppStatement, FunctionApplication
+from repro.controller.migration import StateMigrator
+from repro.controller.obc import OpenBoxController
+from repro.core.blocks import Block
+from repro.core.graph import ProcessingGraph
+from repro.net.builder import make_tcp_packet
+from repro.obi.instance import ObiConfig, OpenBoxInstance
+from repro.protocol.errors import ProtocolError
+
+
+def _stateful_graph(name="tracker"):
+    """FlowTracker then FlowClassifier: drops flows tagged 'bad'."""
+    graph = ProcessingGraph(name)
+    read = Block("FromDevice", name=f"{name}_read", config={"devname": "in"})
+    track = Block("FlowTracker", name=f"{name}_track")
+    classify = Block("FlowClassifier", name=f"{name}_cls", config={
+        "key": "verdict", "rules": {"bad": 1}, "default_port": 0,
+    })
+    out = Block("ToDevice", name=f"{name}_out", config={"devname": "out"})
+    drop = Block("Discard", name=f"{name}_drop")
+    graph.add_blocks([read, track, classify, out, drop])
+    graph.connect(read, track)
+    graph.connect(track, classify)
+    graph.connect(classify, out, 0)
+    graph.connect(classify, drop, 1)
+    graph.validate()
+    return graph
+
+
+@pytest.fixture
+def migration_world():
+    controller = OpenBoxController()
+    source = OpenBoxInstance(ObiConfig(obi_id="source", segment="corp"))
+    target = OpenBoxInstance(ObiConfig(obi_id="target", segment="corp"))
+    connect_inproc(controller, source)
+    connect_inproc(controller, target)
+    controller.register_application(FunctionApplication(
+        "tracker", lambda: [AppStatement(graph=_stateful_graph(), segment="corp")],
+    ))
+    return controller, source, target, StateMigrator(controller)
+
+
+class TestStateMigration:
+    def test_flow_verdict_survives_migration(self, migration_world):
+        _controller, source, target, migrator = migration_world
+        packet = make_tcp_packet("10.0.0.1", "10.0.0.2", 1000, 80)
+
+        # Flow observed and tagged "bad" on the source OBI.
+        assert source.process_packet(packet.clone()).forwarded
+        source.session.put(packet, "verdict", "bad", now=0.0)
+        assert source.process_packet(packet.clone()).dropped
+
+        # Without migration, the target does not know the flow.
+        assert target.process_packet(packet.clone()).forwarded
+
+        report = migrator.migrate("source", "target")
+        assert report.flows_exported >= 1
+        assert report.flows_imported == report.flows_exported
+
+        # After migration, the target enforces the same verdict.
+        assert target.process_packet(packet.clone()).dropped
+
+    def test_migration_is_idempotent(self, migration_world):
+        _controller, source, target, migrator = migration_world
+        packet = make_tcp_packet("10.0.0.1", "10.0.0.2", 1000, 80)
+        source.process_packet(packet.clone())
+        source.session.put(packet, "verdict", "bad", now=0.0)
+        first = migrator.migrate("source", "target")
+        second = migrator.migrate("source", "target")
+        assert first.flows_imported == second.flows_imported
+        assert target.session.flow_count() == first.flows_imported
+
+    def test_target_local_state_preserved(self, migration_world):
+        _controller, source, target, migrator = migration_world
+        packet_a = make_tcp_packet("10.0.0.1", "10.0.0.2", 1000, 80)
+        packet_b = make_tcp_packet("10.0.0.3", "10.0.0.4", 2000, 80)
+        source.session.put(packet_a, "verdict", "bad", now=0.0)
+        target.session.put(packet_b, "verdict", "bad", now=0.0)
+        migrator.migrate("source", "target")
+        assert target.session.get(packet_a, "verdict") == "bad"
+        assert target.session.get(packet_b, "verdict") == "bad"
+
+    def test_imported_flows_do_not_expire_immediately(self, migration_world):
+        _controller, source, target, migrator = migration_world
+        packet = make_tcp_packet("10.0.0.1", "10.0.0.2", 1000, 80)
+        source.session.put(packet, "verdict", "bad", now=0.0)
+        migrator.migrate("source", "target")
+        # Expiry just after import: the refreshed last_seen keeps it alive.
+        assert target.session.expire(now=target.clock() + 1.0) == 0
+
+    def test_unknown_obi_rejected(self, migration_world):
+        _controller, _source, _target, migrator = migration_world
+        with pytest.raises(ProtocolError):
+            migrator.migrate("ghost", "target")
+
+    def test_reports_audit_trail(self, migration_world):
+        _controller, source, _target, migrator = migration_world
+        packet = make_tcp_packet("10.0.0.1", "10.0.0.2", 1000, 80)
+        source.session.put(packet, "k", 1, now=0.0)
+        migrator.migrate("source", "target")
+        assert len(migrator.reports) == 1
+        assert migrator.reports[0].source == "source"
+
+    def test_bidirectional_key_folding_on_import(self, migration_world):
+        """State exported for one direction is found for the reverse."""
+        _controller, source, target, migrator = migration_world
+        forward = make_tcp_packet("10.0.0.1", "10.0.0.2", 1000, 80)
+        backward = make_tcp_packet("10.0.0.2", "10.0.0.1", 80, 1000)
+        source.session.put(forward, "verdict", "bad", now=0.0)
+        migrator.migrate("source", "target")
+        assert target.session.get(backward, "verdict") == "bad"

@@ -1,0 +1,114 @@
+"""Ethernet / 802.1Q parsing and serialization tests."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.net.ethernet import EtherType, EthernetHeader, MacAddress, VlanTag
+
+MAC_A = MacAddress.parse("aa:bb:cc:dd:ee:ff")
+MAC_B = MacAddress.parse("02:00:00:00:00:01")
+
+
+class TestMacAddress:
+    def test_parse_and_str_roundtrip(self):
+        assert str(MAC_A) == "aa:bb:cc:dd:ee:ff"
+
+    def test_parse_dash_separated(self):
+        assert MacAddress.parse("aa-bb-cc-dd-ee-ff") == MAC_A
+
+    def test_parse_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            MacAddress.parse("aa:bb:cc:dd:ee")
+        with pytest.raises(ValueError):
+            MacAddress.parse("zz:bb:cc:dd:ee:ff")
+
+    def test_wrong_byte_count_rejected(self):
+        with pytest.raises(ValueError):
+            MacAddress(b"\x00" * 5)
+
+    def test_broadcast_and_multicast_flags(self):
+        assert MacAddress.broadcast().is_broadcast
+        assert MacAddress.broadcast().is_multicast
+        assert MacAddress(b"\x01\x00\x5e\x00\x00\x01").is_multicast
+        assert not MAC_B.is_multicast
+
+    def test_int_conversion(self):
+        assert int(MacAddress(b"\x00\x00\x00\x00\x00\x05")) == 5
+
+
+class TestVlanTag:
+    def test_tci_roundtrip(self):
+        tag = VlanTag(vid=100, pcp=5, dei=True)
+        assert VlanTag.from_tci(tag.tci) == tag
+
+    def test_vid_range_enforced(self):
+        with pytest.raises(ValueError):
+            VlanTag(vid=4096)
+        with pytest.raises(ValueError):
+            VlanTag(vid=1, pcp=8)
+
+    @given(st.integers(0, 4095), st.integers(0, 7), st.booleans())
+    def test_tci_roundtrip_property(self, vid, pcp, dei):
+        tag = VlanTag(vid=vid, pcp=pcp, dei=dei)
+        assert VlanTag.from_tci(tag.tci) == tag
+
+
+class TestEthernetHeader:
+    def test_untagged_roundtrip(self):
+        header = EthernetHeader(dst=MAC_A, src=MAC_B, ethertype=EtherType.IPV4)
+        parsed = EthernetHeader.parse(header.serialize())
+        assert parsed == header
+        assert parsed.header_len == 14
+
+    def test_single_vlan_roundtrip(self):
+        header = EthernetHeader(
+            dst=MAC_A, src=MAC_B, ethertype=EtherType.IPV4,
+            vlan_tags=[VlanTag(vid=42, pcp=3)],
+        )
+        parsed = EthernetHeader.parse(header.serialize())
+        assert parsed.vlan.vid == 42
+        assert parsed.vlan.pcp == 3
+        assert parsed.ethertype == EtherType.IPV4
+        assert parsed.header_len == 18
+
+    def test_qinq_double_tag_roundtrip(self):
+        header = EthernetHeader(
+            dst=MAC_A, src=MAC_B, ethertype=EtherType.IPV4,
+            vlan_tags=[VlanTag(vid=100), VlanTag(vid=200)],
+        )
+        parsed = EthernetHeader.parse(header.serialize())
+        assert [tag.vid for tag in parsed.vlan_tags] == [100, 200]
+
+    def test_push_pop_vlan(self):
+        header = EthernetHeader(dst=MAC_A, src=MAC_B, ethertype=EtherType.IPV4)
+        header.push_vlan(VlanTag(vid=7))
+        header.push_vlan(VlanTag(vid=8))
+        assert header.vlan.vid == 8
+        assert header.pop_vlan().vid == 8
+        assert header.pop_vlan().vid == 7
+        with pytest.raises(ValueError):
+            header.pop_vlan()
+
+    def test_truncated_header_rejected(self):
+        with pytest.raises(ValueError):
+            EthernetHeader.parse(b"\x00" * 13)
+
+    def test_truncated_vlan_tag_rejected(self):
+        frame = MAC_A.raw + MAC_B.raw + b"\x81\x00\x00"
+        with pytest.raises(ValueError):
+            EthernetHeader.parse(frame)
+
+    def test_parse_with_offset(self):
+        header = EthernetHeader(dst=MAC_A, src=MAC_B, ethertype=EtherType.ARP)
+        data = b"\xde\xad" + header.serialize()
+        assert EthernetHeader.parse(data, offset=2).ethertype == EtherType.ARP
+
+    @given(st.integers(0, 4095), st.sampled_from([EtherType.IPV4, EtherType.IPV6, EtherType.ARP]))
+    def test_tagged_roundtrip_property(self, vid, ethertype):
+        header = EthernetHeader(
+            dst=MAC_A, src=MAC_B, ethertype=ethertype, vlan_tags=[VlanTag(vid=vid)]
+        )
+        parsed = EthernetHeader.parse(header.serialize() + b"payload")
+        assert parsed.vlan.vid == vid
+        assert parsed.ethertype == ethertype

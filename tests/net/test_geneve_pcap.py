@@ -1,0 +1,164 @@
+"""Geneve encapsulation and pcap codec tests."""
+
+import io
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.net.builder import make_tcp_packet
+from repro.net.geneve import GeneveHeader, GeneveOption
+from repro.net.pcap import (
+    LINKTYPE_ETHERNET,
+    PcapError,
+    PcapReader,
+    PcapWriter,
+    read_pcap,
+    write_pcap,
+)
+
+
+class TestGeneve:
+    def test_basic_roundtrip(self):
+        header = GeneveHeader(vni=1234)
+        parsed = GeneveHeader.parse(header.serialize())
+        assert parsed.vni == 1234
+        assert parsed.protocol == header.protocol
+
+    def test_metadata_option_roundtrip(self):
+        header = GeneveHeader(vni=1)
+        header.add_metadata(b'{"path": 2}')
+        parsed = GeneveHeader.parse(header.serialize() + b"inner")
+        assert parsed.openbox_metadata() == b'{"path": 2}'
+
+    def test_exact_blob_length_preserved(self):
+        # Padding must not leak into the metadata (length prefix works).
+        for blob in (b"", b"a", b"ab", b"abc", b"abcd", b"abcde"):
+            header = GeneveHeader(vni=1)
+            header.add_metadata(blob)
+            assert GeneveHeader.parse(header.serialize()).openbox_metadata() == blob
+
+    def test_foreign_options_preserved(self):
+        header = GeneveHeader(vni=1)
+        header.options.append(GeneveOption(0x9999, 0x1, b"1234"))
+        header.add_metadata(b"mine")
+        parsed = GeneveHeader.parse(header.serialize())
+        assert parsed.openbox_metadata() == b"mine"
+        assert parsed.options[0].opt_class == 0x9999
+
+    def test_vni_range(self):
+        with pytest.raises(ValueError):
+            GeneveHeader(vni=1 << 24)
+
+    def test_oversized_metadata_rejected(self):
+        header = GeneveHeader(vni=1)
+        with pytest.raises(ValueError):
+            header.add_metadata(b"x" * 123)
+
+    def test_truncated_rejected(self):
+        header = GeneveHeader(vni=1)
+        header.add_metadata(b"payload")
+        wire = header.serialize()
+        with pytest.raises(ValueError):
+            GeneveHeader.parse(wire[:6])
+        with pytest.raises(ValueError):
+            GeneveHeader.parse(wire[:-2])
+
+    def test_header_len_matches(self):
+        header = GeneveHeader(vni=1)
+        header.add_metadata(b"abc")
+        assert header.header_len == len(header.serialize())
+
+    @given(st.integers(0, (1 << 24) - 1), st.binary(max_size=100))
+    def test_roundtrip_property(self, vni, blob):
+        header = GeneveHeader(vni=vni)
+        header.add_metadata(blob)
+        parsed = GeneveHeader.parse(header.serialize())
+        assert parsed.vni == vni
+        assert parsed.openbox_metadata() == blob
+
+
+class TestGeneveElements:
+    def test_encap_decap_roundtrip(self):
+        from repro.core.blocks import Block
+        from tests.obi.test_metadata_elements import _pipeline
+
+        encap_engine = _pipeline(
+            Block("SetMetadata", name="m", config={"values": {"path": 4}}),
+            Block("GeneveEncapsulate", name="e", config={"vni": 77}),
+        )
+        packet = make_tcp_packet("1.1.1.1", "2.2.2.2", 5, 80)
+        original = packet.data
+        wire = encap_engine.process(packet).outputs[0][1]
+        assert GeneveHeader.parse(wire.data).vni == 77
+
+        decap_engine = _pipeline(Block("GeneveDecapsulate", name="d"))
+        fresh = wire.clone()
+        fresh.metadata.clear()
+        result = decap_engine.process(fresh).outputs[0][1]
+        assert result.data == original
+        assert result.metadata == {"path": 4}
+
+
+class TestPcap:
+    def test_write_read_roundtrip(self, tmp_path):
+        packets = [
+            make_tcp_packet("1.1.1.1", "2.2.2.2", 5, 80, payload=b"a", timestamp=1.5),
+            make_tcp_packet("3.3.3.3", "4.4.4.4", 6, 443, payload=b"bb", timestamp=2.25),
+        ]
+        path = str(tmp_path / "trace.pcap")
+        assert write_pcap(path, packets) == 2
+        loaded = read_pcap(path)
+        assert [p.data for p in loaded] == [p.data for p in packets]
+        assert loaded[0].timestamp == pytest.approx(1.5)
+        assert loaded[1].timestamp == pytest.approx(2.25)
+        assert loaded[0].ipv4.src_text == "1.1.1.1"
+
+    def test_reader_metadata(self, tmp_path):
+        path = str(tmp_path / "t.pcap")
+        write_pcap(path, [make_tcp_packet("1.1.1.1", "2.2.2.2", 1, 2)])
+        with open(path, "rb") as stream:
+            reader = PcapReader(stream)
+            assert reader.linktype == LINKTYPE_ETHERNET
+            assert reader.snaplen == 65535
+
+    def test_little_endian_files_accepted(self):
+        import struct
+        buffer = io.BytesIO()
+        buffer.write(struct.pack("<IHHiIII", 0xA1B2C3D4, 2, 4, 0, 0, 65535, 1))
+        buffer.write(struct.pack("<IIII", 10, 500000, 3, 3))
+        buffer.write(b"\x01\x02\x03")
+        buffer.seek(0)
+        records = list(PcapReader(buffer))
+        assert records[0].data == b"\x01\x02\x03"
+        assert records[0].timestamp == pytest.approx(10.5)
+
+    def test_snaplen_truncation_recorded(self):
+        buffer = io.BytesIO()
+        writer = PcapWriter(buffer, snaplen=10)
+        writer.write(make_tcp_packet("1.1.1.1", "2.2.2.2", 1, 2, payload=b"x" * 100))
+        buffer.seek(0)
+        record = next(iter(PcapReader(buffer)))
+        assert len(record.data) == 10
+        assert record.truncated
+
+    def test_bad_magic_rejected(self):
+        with pytest.raises(PcapError):
+            PcapReader(io.BytesIO(b"\x00" * 24))
+
+    def test_truncated_record_rejected(self):
+        buffer = io.BytesIO()
+        writer = PcapWriter(buffer)
+        writer.write(make_tcp_packet("1.1.1.1", "2.2.2.2", 1, 2))
+        data = buffer.getvalue()[:-5]
+        with pytest.raises(PcapError):
+            list(PcapReader(io.BytesIO(data)))
+
+    def test_generator_trace_persists(self, tmp_path):
+        from repro.sim.traffic import TraceConfig, TrafficGenerator
+        packets = TrafficGenerator(TraceConfig(num_packets=50)).packets()
+        path = str(tmp_path / "campus.pcap")
+        write_pcap(path, packets)
+        loaded = read_pcap(path)
+        assert len(loaded) == 50
+        assert all(p.ipv4 is not None for p in loaded)

@@ -1,0 +1,112 @@
+"""HTTP/1.x mini-parser tests."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.net.http import (
+    HttpRequest,
+    HttpResponse,
+    looks_like_http,
+    parse_http,
+    serialize_http,
+)
+
+
+class TestLooksLikeHttp:
+    def test_recognizes_methods_and_responses(self):
+        assert looks_like_http(b"GET / HTTP/1.1\r\n\r\n")
+        assert looks_like_http(b"POST /x HTTP/1.0\r\n\r\n")
+        assert looks_like_http(b"HTTP/1.1 200 OK\r\n\r\n")
+
+    def test_rejects_binary(self):
+        assert not looks_like_http(b"\x16\x03\x01\x02\x00")
+        assert not looks_like_http(b"")
+
+
+class TestParseRequest:
+    def test_basic_get(self):
+        message = parse_http(b"GET /path?q=1 HTTP/1.1\r\nHost: a.com\r\n\r\n")
+        assert isinstance(message, HttpRequest)
+        assert message.method == "GET"
+        assert message.uri == "/path?q=1"
+        assert message.host == "a.com"
+
+    def test_header_lookup_is_case_insensitive(self):
+        message = parse_http(b"GET / HTTP/1.1\r\nCoNtEnT-TyPe: text/html\r\n\r\n")
+        assert message.header("content-type") == "text/html"
+        assert message.content_type == "text/html"
+
+    def test_body_preserved(self):
+        message = parse_http(b"POST /u HTTP/1.1\r\nHost: x\r\n\r\nbody bytes")
+        assert message.body == b"body bytes"
+
+    def test_lf_only_separator_accepted(self):
+        message = parse_http(b"GET / HTTP/1.1\nHost: x\n\nbody")
+        assert isinstance(message, HttpRequest)
+        assert message.body == b"body"
+
+    def test_gzip_detection(self):
+        message = parse_http(
+            b"HTTP/1.1 200 OK\r\nContent-Encoding: gzip\r\n\r\nxx"
+        )
+        assert message.is_gzip
+
+    def test_malformed_returns_none(self):
+        assert parse_http(b"GET only-two-fields\r\n\r\n") is None
+        assert parse_http(b"GET / NOTHTTP\r\n\r\n") is None
+        assert parse_http(b"GET / HTTP/1.1\r\nBadHeaderNoColon\r\n\r\n") is None
+
+    def test_non_http_returns_none(self):
+        assert parse_http(b"SSH-2.0-OpenSSH") is None
+
+
+class TestParseResponse:
+    def test_basic_response(self):
+        message = parse_http(b"HTTP/1.1 404 Not Found\r\nServer: x\r\n\r\n")
+        assert isinstance(message, HttpResponse)
+        assert message.status == 404
+        assert message.reason == "Not Found"
+
+    def test_bad_status_returns_none(self):
+        assert parse_http(b"HTTP/1.1 xyz OK\r\n\r\n") is None
+
+    def test_missing_reason_tolerated(self):
+        message = parse_http(b"HTTP/1.1 204\r\n\r\n")
+        assert message.status == 204
+        assert message.reason == ""
+
+
+class TestSerialize:
+    def test_request_roundtrip(self):
+        original = HttpRequest(
+            method="PUT", uri="/r", version="HTTP/1.1",
+            headers={"Host": "h", "X-Thing": "1"}, body=b"data",
+        )
+        parsed = parse_http(serialize_http(original))
+        assert isinstance(parsed, HttpRequest)
+        assert parsed.method == "PUT"
+        assert parsed.uri == "/r"
+        assert parsed.headers == original.headers
+        assert parsed.body == b"data"
+
+    def test_response_roundtrip(self):
+        original = HttpResponse(status=503, reason="Busy", headers={"Retry-After": "1"})
+        parsed = parse_http(serialize_http(original))
+        assert isinstance(parsed, HttpResponse)
+        assert parsed.status == 503
+        assert parsed.reason == "Busy"
+
+    @given(
+        st.sampled_from(["GET", "POST", "DELETE"]),
+        st.text(alphabet="abcdefghij/0123456789", min_size=1, max_size=20),
+        st.binary(max_size=64),
+    )
+    def test_roundtrip_property(self, method, path, body):
+        original = HttpRequest(
+            method=method, uri="/" + path, headers={"Host": "x"}, body=body
+        )
+        parsed = parse_http(serialize_http(original))
+        assert parsed is not None
+        assert parsed.method == method
+        assert parsed.uri == "/" + path
+        assert parsed.body == body

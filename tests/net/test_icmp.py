@@ -1,0 +1,106 @@
+"""ICMP codec tests."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.net.icmp import IcmpMessage, IcmpType
+
+
+class TestIcmp:
+    def test_echo_request_roundtrip(self):
+        message = IcmpMessage.echo_request(identifier=0x1234, sequence=7,
+                                           payload=b"ping data")
+        parsed = IcmpMessage.parse(message.serialize())
+        assert parsed.icmp_type == IcmpType.ECHO_REQUEST
+        assert parsed.identifier == 0x1234
+        assert parsed.sequence == 7
+        assert parsed.payload == b"ping data"
+        assert parsed.checksum_valid()
+
+    def test_echo_reply_mirrors_request(self):
+        request = IcmpMessage.echo_request(5, 9, b"abc")
+        reply = IcmpMessage.echo_reply_to(request)
+        assert reply.icmp_type == IcmpType.ECHO_REPLY
+        assert reply.identifier == 5
+        assert reply.sequence == 9
+        assert reply.payload == b"abc"
+
+    def test_reply_to_non_request_rejected(self):
+        reply = IcmpMessage(icmp_type=IcmpType.ECHO_REPLY)
+        with pytest.raises(ValueError):
+            IcmpMessage.echo_reply_to(reply)
+
+    def test_corruption_detected(self):
+        wire = bytearray(IcmpMessage.echo_request(1, 1, b"x").serialize())
+        wire[-1] ^= 0xFF
+        assert not IcmpMessage.parse(bytes(wire)).checksum_valid()
+
+    def test_truncated_rejected(self):
+        with pytest.raises(ValueError):
+            IcmpMessage.parse(b"\x08\x00\x00")
+
+    def test_error_message_types(self):
+        unreachable = IcmpMessage(icmp_type=IcmpType.DEST_UNREACHABLE, code=3,
+                                  payload=b"\x45" + b"\x00" * 27)
+        parsed = IcmpMessage.parse(unreachable.serialize())
+        assert parsed.icmp_type == 3
+        assert parsed.code == 3
+        assert not parsed.is_echo
+
+    def test_bad_rest_length_rejected(self):
+        message = IcmpMessage(icmp_type=8, rest=b"\x00")
+        with pytest.raises(ValueError):
+            message.serialize()
+
+    @given(st.integers(0, 65535), st.integers(0, 65535), st.binary(max_size=64))
+    def test_roundtrip_property(self, identifier, sequence, payload):
+        message = IcmpMessage.echo_request(identifier, sequence, payload)
+        parsed = IcmpMessage.parse(message.serialize())
+        assert (parsed.identifier, parsed.sequence, parsed.payload) == (
+            identifier, sequence, payload
+        )
+        assert parsed.checksum_valid()
+
+
+class TestRunnerPercentiles:
+    def test_latency_percentiles_ordered(self):
+        from repro.apps.firewall import FirewallApp, parse_firewall_rules
+        from repro.sim.runner import measure_single
+        from repro.sim.traffic import TraceConfig, TrafficGenerator
+
+        app = FirewallApp("fw", parse_firewall_rules("allow any any any any any"))
+        packets = TrafficGenerator(TraceConfig(num_packets=200)).packets()
+        result = measure_single(app, packets)
+        p50 = result.latency_percentile_us(50)
+        p99 = result.latency_percentile_us(99)
+        assert p50 <= result.latency_us * 1.2
+        assert p50 <= p99
+        assert p99 >= result.latency_us  # the tail is above the mean
+
+
+class TestObiDisconnectedHook:
+    def test_hook_fires(self):
+        from repro.bootstrap import connect_inproc
+        from repro.controller.apps import AppStatement, FunctionApplication
+        from repro.controller.obc import OpenBoxController
+        from repro.obi.instance import ObiConfig, OpenBoxInstance
+        from tests.conftest import build_firewall_graph
+
+        seen = []
+
+        class HookApp(FunctionApplication):
+            def on_obi_disconnected(self, obi_id):
+                seen.append(obi_id)
+
+        controller = OpenBoxController()
+        obi = OpenBoxInstance(ObiConfig(obi_id="o"))
+        connect_inproc(controller, obi)
+        controller.register_application(
+            HookApp("h", lambda: [AppStatement(graph=build_firewall_graph())])
+        )
+        controller.disconnect_obi("o")
+        assert seen == ["o"]
+        # Double-disconnect is a no-op.
+        controller.disconnect_obi("o")
+        assert seen == ["o"]

@@ -1,0 +1,158 @@
+"""Custom module injection tests (paper §3.2.1)."""
+
+import pytest
+
+from repro.core.blocks import Block, block_registry
+from repro.core.graph import ProcessingGraph
+from repro.net.builder import make_tcp_packet
+from repro.obi.custom import CustomModuleLoader
+from repro.obi.instance import ObiConfig, OpenBoxInstance
+from repro.obi.translation import ElementFactory, build_engine
+from repro.protocol.errors import ProtocolError
+from repro.protocol.messages import (
+    AddCustomModuleRequest,
+    AddCustomModuleResponse,
+    ErrorMessage,
+    SetProcessingGraphRequest,
+    SetProcessingGraphResponse,
+)
+
+TTL_STAMPER_SOURCE = b'''
+class TtlStamper(Element):
+    """Writes the observed TTL into the packet metadata storage."""
+
+    def process(self, packet):
+        ipv4 = packet.ipv4
+        if ipv4 is not None:
+            packet.metadata["observed_ttl"] = ipv4.ttl
+        return [(0, packet)]
+
+ELEMENTS = {"TtlStamper": TtlStamper}
+'''
+
+TTL_STAMPER_TYPES = [{
+    "name": "TtlStamper",
+    "class": "static",
+    "description": "records the packet TTL in metadata",
+    "num_ports": 1,
+}]
+
+
+@pytest.fixture
+def loader():
+    return CustomModuleLoader(ElementFactory())
+
+
+def _cleanup_type(name):
+    block_registry._types.pop(name, None)
+
+
+class TestLoader:
+    def test_load_and_instantiate(self, loader):
+        module = loader.load("ttl", TTL_STAMPER_SOURCE, TTL_STAMPER_TYPES)
+        try:
+            assert module.block_types == ["TtlStamper"]
+            graph = ProcessingGraph("g")
+            read = Block("FromDevice", name="r", config={"devname": "i"})
+            stamp = Block("TtlStamper", name="s")
+            out = Block("ToDevice", name="o", config={"devname": "o"})
+            graph.chain(read, stamp, out)
+            engine = build_engine(graph, factory=loader.factory)
+            packet = make_tcp_packet("1.1.1.1", "2.2.2.2", 5, 80, ttl=7)
+            outcome = engine.process(packet)
+            assert outcome.outputs[0][1].metadata["observed_ttl"] == 7
+        finally:
+            _cleanup_type("TtlStamper")
+
+    def test_duplicate_module_rejected(self, loader):
+        loader.load("ttl", TTL_STAMPER_SOURCE, TTL_STAMPER_TYPES)
+        try:
+            with pytest.raises(ProtocolError):
+                loader.load("ttl", TTL_STAMPER_SOURCE, TTL_STAMPER_TYPES)
+        finally:
+            _cleanup_type("TtlStamper")
+
+    def test_checksum_allowlist_enforced(self):
+        factory = ElementFactory()
+        guarded = CustomModuleLoader(factory, allowed_checksums=set())
+        with pytest.raises(ProtocolError):
+            guarded.load("ttl", TTL_STAMPER_SOURCE, TTL_STAMPER_TYPES)
+        # Allowlisting the exact digest lets it in.
+        digest = CustomModuleLoader.checksum(TTL_STAMPER_SOURCE)
+        permitted = CustomModuleLoader(factory, allowed_checksums={digest})
+        permitted.load("ttl", TTL_STAMPER_SOURCE, TTL_STAMPER_TYPES)
+        _cleanup_type("TtlStamper")
+
+    def test_broken_source_rejected(self, loader):
+        with pytest.raises(ProtocolError):
+            loader.load("bad", b"def broken(:", [])
+
+    def test_missing_elements_dict_rejected(self, loader):
+        with pytest.raises(ProtocolError):
+            loader.load("empty", b"x = 1", TTL_STAMPER_TYPES)
+
+    def test_undeclared_element_rejected(self, loader):
+        source = b"ELEMENTS = {'Other': Element}"
+        with pytest.raises(ProtocolError):
+            loader.load("mismatch", source, TTL_STAMPER_TYPES)
+
+    def test_non_utf8_rejected(self, loader):
+        with pytest.raises(ProtocolError):
+            loader.load("bin", b"\xff\xfe\x00", [])
+
+    def test_translation_element_map(self, loader):
+        source = b'''
+class Impl(Element):
+    def process(self, packet):
+        packet.metadata["via"] = "impl"
+        return [(0, packet)]
+ELEMENTS = {"Impl": Impl}
+'''
+        types = [{"name": "MappedBlock", "class": "static"}]
+        loader.load("mapped", source, types,
+                    translation={"element_map": {"MappedBlock": "Impl"}})
+        try:
+            assert "MappedBlock" in block_registry
+        finally:
+            _cleanup_type("MappedBlock")
+
+    def test_conflicting_class_redeclaration_rejected(self, loader):
+        types = [{"name": "Discard", "class": "modifier"}]
+        source = b"ELEMENTS = {'Discard': Element}"
+        with pytest.raises(ProtocolError):
+            loader.load("clash", source, types)
+
+
+class TestObiIntegration:
+    def test_add_custom_module_request(self):
+        obi = OpenBoxInstance(ObiConfig(obi_id="o1"))
+        request = AddCustomModuleRequest.from_binary(
+            "ttl", TTL_STAMPER_SOURCE, TTL_STAMPER_TYPES
+        )
+        response = obi.handle_message(request)
+        try:
+            assert isinstance(response, AddCustomModuleResponse) and response.ok
+            # The new block is deployable immediately.
+            graph = ProcessingGraph("g")
+            read = Block("FromDevice", name="r", config={"devname": "i"})
+            stamp = Block("TtlStamper", name="s")
+            out = Block("ToDevice", name="o", config={"devname": "o"})
+            graph.chain(read, stamp, out)
+            deploy = obi.handle_message(
+                SetProcessingGraphRequest(graph=graph.to_dict())
+            )
+            assert isinstance(deploy, SetProcessingGraphResponse) and deploy.ok
+            outcome = obi.process_packet(
+                make_tcp_packet("1.1.1.1", "2.2.2.2", 5, 80, ttl=9)
+            )
+            assert outcome.outputs[0][1].metadata["observed_ttl"] == 9
+            # Capabilities now advertise the custom block.
+            assert "TtlStamper" in obi.factory.supported_types()
+        finally:
+            _cleanup_type("TtlStamper")
+
+    def test_custom_modules_can_be_disabled(self):
+        obi = OpenBoxInstance(ObiConfig(obi_id="o1", supports_custom_modules=False))
+        request = AddCustomModuleRequest.from_binary("ttl", TTL_STAMPER_SOURCE, [])
+        response = obi.handle_message(request)
+        assert isinstance(response, ErrorMessage)

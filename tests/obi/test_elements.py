@@ -1,0 +1,370 @@
+"""Per-element behaviour tests (modifiers, shapers, statics, metadata)."""
+
+import gzip
+
+import pytest
+
+from repro.core.blocks import Block
+from repro.core.graph import ProcessingGraph
+from repro.net.builder import make_http_get, make_tcp_packet, make_udp_packet
+from repro.net.http import parse_http
+from repro.net.packet import Packet
+from repro.obi.services import LogService, PacketStorageService
+from repro.obi.storage import SessionStorage
+from repro.obi.translation import build_engine
+
+
+def run_one(block: Block, packet, clock=None, session=None,
+            log_service=None, storage_service=None, extra_blocks=()):
+    """Wrap a single block between FromDevice and ToDevice and run."""
+    graph = ProcessingGraph("single")
+    read = Block("FromDevice", name="r", config={"devname": "i"})
+    out = Block("ToDevice", name="o", config={"devname": "o"})
+    graph.add_blocks([read, block, out, *extra_blocks])
+    graph.connect(read, block)
+    graph.connect(block, out, 0)
+    engine = build_engine(graph, clock=clock, session=session,
+                          log_service=log_service, storage_service=storage_service)
+    return engine, engine.process(packet)
+
+
+class TestModifiers:
+    def test_field_rewriter_rewrites_and_fixes_checksums(self):
+        block = Block("NetworkHeaderFieldRewriter", name="w",
+                      config={"fields": {"ipv4_dst": "9.9.9.9", "tcp_dst": 8080}})
+        _engine, outcome = run_one(block, make_tcp_packet("1.1.1.1", "2.2.2.2", 5, 80))
+        emitted = outcome.outputs[0][1]
+        fresh = Packet(data=emitted.data)
+        assert fresh.ipv4.dst_text == "9.9.9.9"
+        assert fresh.tcp.dst_port == 8080
+
+    def test_field_rewriter_unknown_field_rejected(self):
+        with pytest.raises(ValueError):
+            run_one(Block("NetworkHeaderFieldRewriter", name="w",
+                          config={"fields": {"bogus": 1}}),
+                    make_tcp_packet("1.1.1.1", "2.2.2.2", 5, 80))
+
+    def test_nat_translator(self):
+        block = Block("Ipv4AddressTranslator", name="nat", config={
+            "mappings": [{"match": "1.1.1.1", "src": "10.0.0.1"},
+                         {"match": "2.2.2.2", "dst": "10.0.0.2"}],
+        })
+        _engine, outcome = run_one(block, make_tcp_packet("1.1.1.1", "2.2.2.2", 5, 80))
+        fresh = Packet(data=outcome.outputs[0][1].data)
+        assert fresh.ipv4.src_text == "10.0.0.1"
+        assert fresh.ipv4.dst_text == "10.0.0.2"
+
+    def test_port_translator(self):
+        block = Block("TcpPortTranslator", name="t",
+                      config={"mappings": {"80": 8080}})
+        _engine, outcome = run_one(block, make_tcp_packet("1.1.1.1", "2.2.2.2", 5, 80))
+        assert Packet(data=outcome.outputs[0][1].data).tcp.dst_port == 8080
+
+    def test_dec_ttl(self):
+        block = Block("DecTtl", name="d")
+        _engine, outcome = run_one(block, make_tcp_packet("1.1.1.1", "2.2.2.2", 5, 80, ttl=64))
+        assert Packet(data=outcome.outputs[0][1].data).ipv4.ttl == 63
+
+    def test_dec_ttl_expiry_drops(self):
+        block = Block("DecTtl", name="d")
+        engine, outcome = run_one(block, make_tcp_packet("1.1.1.1", "2.2.2.2", 5, 80, ttl=1))
+        assert outcome.dropped
+        assert engine.read_handle("d", "expired") == 1
+
+    def test_vlan_encap_decap(self):
+        encap = Block("VlanEncapsulate", name="e", config={"vid": 42, "pcp": 2})
+        _engine, outcome = run_one(encap, make_tcp_packet("1.1.1.1", "2.2.2.2", 5, 80))
+        tagged = Packet(data=outcome.outputs[0][1].data)
+        assert tagged.eth.vlan.vid == 42
+
+        decap = Block("VlanDecapsulate", name="d")
+        _engine2, outcome2 = run_one(decap, tagged)
+        assert Packet(data=outcome2.outputs[0][1].data).eth.vlan is None
+
+    def test_strip_ethernet(self):
+        block = Block("StripEthernet", name="s")
+        packet = make_tcp_packet("1.1.1.1", "2.2.2.2", 5, 80)
+        eth_len = packet.eth.header_len
+        original_len = len(packet)
+        _engine, outcome = run_one(block, packet)
+        assert len(outcome.outputs[0][1].data) == original_len - eth_len
+
+    def test_fragmenter_splits_and_offsets(self):
+        block = Block("Fragmenter", name="f", config={"mtu": 200})
+        payload = bytes(range(256)) * 2
+        packet = make_tcp_packet("1.1.1.1", "2.2.2.2", 5, 80, payload=payload)
+        _engine, outcome = run_one(block, packet)
+        assert len(outcome.outputs) > 1
+        offsets = [Packet(data=p.data).ipv4.frag_offset for _d, p in outcome.outputs]
+        assert offsets[0] == 0
+        assert offsets == sorted(offsets)
+        last_flags = Packet(data=outcome.outputs[-1][1].data).ipv4.more_fragments
+        assert not last_flags
+        assert all(Packet(data=p.data).ipv4.more_fragments
+                   for _d, p in outcome.outputs[:-1])
+
+    def test_fragmenter_respects_df(self):
+        block = Block("Fragmenter", name="f", config={"mtu": 100})
+        packet = make_tcp_packet("1.1.1.1", "2.2.2.2", 5, 80, payload=b"x" * 500)
+        packet.ipv4.flags = 0b010  # DF
+        packet.mark_dirty()
+        packet.rebuild()
+        packet.invalidate()
+        _engine, outcome = run_one(block, packet)
+        assert outcome.dropped
+
+
+class TestPayloadElements:
+    def _gzip_response(self, body=b"<html><body>hi</body></html>"):
+        compressed = gzip.compress(body, mtime=0)
+        payload = (
+            b"HTTP/1.1 200 OK\r\nContent-Encoding: gzip\r\n"
+            b"Content-Length: " + str(len(compressed)).encode() + b"\r\n\r\n"
+            + compressed
+        )
+        return make_tcp_packet("1.1.1.1", "2.2.2.2", 80, 5, payload=payload)
+
+    def test_gzip_decompressor(self):
+        block = Block("GzipDecompressor", name="g")
+        engine, outcome = run_one(block, self._gzip_response())
+        message = parse_http(outcome.outputs[0][1].payload)
+        assert message.body == b"<html><body>hi</body></html>"
+        assert not message.is_gzip
+        assert engine.read_handle("g", "decompressed") == 1
+
+    def test_gzip_decompressor_tolerates_garbage(self):
+        block = Block("GzipDecompressor", name="g")
+        payload = b"HTTP/1.1 200 OK\r\nContent-Encoding: gzip\r\n\r\nnot-gzip"
+        packet = make_tcp_packet("1.1.1.1", "2.2.2.2", 80, 5, payload=payload)
+        engine, outcome = run_one(block, packet)
+        assert outcome.forwarded
+        assert engine.read_handle("g", "errors") == 1
+
+    def test_gzip_compressor_roundtrip(self):
+        compress = Block("GzipCompressor", name="c")
+        body = b"some page body text"
+        payload = b"HTTP/1.1 200 OK\r\nContent-Type: text/html\r\n\r\n" + body
+        packet = make_tcp_packet("1.1.1.1", "2.2.2.2", 80, 5, payload=payload)
+        _engine, outcome = run_one(compress, packet)
+        message = parse_http(outcome.outputs[0][1].payload)
+        assert message.is_gzip
+        assert gzip.decompress(message.body) == body
+
+    def test_html_normalizer(self):
+        block = Block("HtmlNormalizer", name="n")
+        payload = (b"HTTP/1.1 200 OK\r\nContent-Type: text/html\r\n\r\n"
+                   b"<HTML>  <!-- hidden -->\n\n<BoDy>x</BODY></HTML>")
+        packet = make_tcp_packet("1.1.1.1", "2.2.2.2", 80, 5, payload=payload)
+        engine, outcome = run_one(block, packet)
+        body = parse_http(outcome.outputs[0][1].payload).body
+        assert b"<!--" not in body
+        assert b"<html>" in body and b"<body>" in body
+        assert engine.read_handle("n", "normalized") == 1
+
+    def test_url_normalizer(self):
+        block = Block("UrlNormalizer", name="u")
+        packet = make_http_get("1.1.1.1", "2.2.2.2", "h",
+                               "/a/./b/../c/%2e%2e/d?q=1")
+        _engine, outcome = run_one(block, packet)
+        message = parse_http(outcome.outputs[0][1].payload)
+        assert message.uri == "/a/d?q=1"
+
+    def test_payload_rewriter(self):
+        block = Block("HeaderPayloadRewriter", name="p",
+                      config={"substitutions": [{"match": "secret", "replace": "******"}]})
+        packet = make_tcp_packet("1.1.1.1", "2.2.2.2", 5, 80, payload=b"the secret code")
+        _engine, outcome = run_one(block, packet)
+        assert outcome.outputs[0][1].payload == b"the ****** code"
+
+
+class TestShapers:
+    def test_bps_shaper_enforces_rate(self):
+        clock_value = [0.0]
+        block = Block("BpsShaper", name="s", config={"bps": 8000, "burst": 8000})
+        graph_packet = make_tcp_packet("1.1.1.1", "2.2.2.2", 5, 80, payload=b"x" * 500)
+        engine, first = run_one(block, graph_packet.clone(), clock=lambda: clock_value[0])
+        assert first.forwarded  # burst allows the first packet
+        second = engine.process(graph_packet.clone())
+        assert second.dropped  # bucket drained, no time passed
+        clock_value[0] += 10.0  # refill
+        third = engine.process(graph_packet.clone())
+        assert third.forwarded
+        assert engine.read_handle("s", "dropped") == 1
+
+    def test_bps_rate_write_handle(self):
+        block = Block("BpsShaper", name="s", config={"bps": 1000})
+        engine, _ = run_one(block, make_tcp_packet("1.1.1.1", "2.2.2.2", 5, 80),
+                            clock=lambda: 0.0)
+        engine.write_handle("s", "rate", 5000)
+        assert engine.read_handle("s", "rate") == 5000
+
+    def test_pps_shaper(self):
+        clock_value = [0.0]
+        block = Block("PpsShaper", name="s", config={"pps": 1, "burst": 1})
+        engine, first = run_one(
+            block, make_tcp_packet("1.1.1.1", "2.2.2.2", 5, 80),
+            clock=lambda: clock_value[0],
+        )
+        assert first.forwarded
+        assert engine.process(make_tcp_packet("1.1.1.1", "2.2.2.2", 5, 80)).dropped
+        clock_value[0] = 2.0
+        assert engine.process(make_tcp_packet("1.1.1.1", "2.2.2.2", 5, 80)).forwarded
+
+    def test_queue_tail_drop(self):
+        clock_value = [0.0]
+        block = Block("Queue", name="q", config={"capacity": 2, "drain_pps": 1})
+        engine, _ = run_one(block, make_tcp_packet("1.1.1.1", "2.2.2.2", 5, 80),
+                            clock=lambda: clock_value[0])
+        engine.process(make_tcp_packet("1.1.1.1", "2.2.2.2", 5, 80))
+        third = engine.process(make_tcp_packet("1.1.1.1", "2.2.2.2", 5, 80))
+        assert third.dropped
+        clock_value[0] = 5.0  # drain
+        assert engine.process(make_tcp_packet("1.1.1.1", "2.2.2.2", 5, 80)).forwarded
+
+    def test_red_queue_thresholds_validated(self):
+        with pytest.raises(ValueError):
+            run_one(Block("RedQueue", name="r",
+                          config={"capacity": 10, "min_threshold": 9, "max_threshold": 2}),
+                    make_tcp_packet("1.1.1.1", "2.2.2.2", 5, 80))
+
+    def test_delay_shaper_stamps_timestamp(self):
+        block = Block("DelayShaper", name="d", config={"delay": 0.5})
+        packet = make_tcp_packet("1.1.1.1", "2.2.2.2", 5, 80, timestamp=1.0)
+        _engine, outcome = run_one(block, packet)
+        assert outcome.outputs[0][1].timestamp == 1.5
+
+
+class TestStatics:
+    def test_log_reaches_log_service(self):
+        service = LogService()
+        block = Block("Log", name="l", config={"message": "seen"}, origin_app="app")
+        _engine, outcome = run_one(
+            block, make_tcp_packet("1.1.1.1", "2.2.2.2", 5, 80), log_service=service
+        )
+        assert outcome.logs[0].message == "seen"
+        assert len(service) == 1
+        assert service.query("app")[0].message == "seen"
+
+    def test_store_packet_reaches_storage(self):
+        storage = PacketStorageService()
+        block = Block("StorePacket", name="s", config={"namespace": "quarantine"})
+        packet = make_tcp_packet("1.1.1.1", "2.2.2.2", 5, 80)
+        run_one(block, packet, storage_service=storage)
+        stored = storage.fetch("quarantine")
+        assert len(stored) == 1
+        assert stored[0].data == packet.data
+
+    def test_flow_tracker_populates_session(self):
+        session = SessionStorage()
+        block = Block("FlowTracker", name="f")
+        engine, _ = run_one(block, make_tcp_packet("1.1.1.1", "2.2.2.2", 5, 80),
+                            session=session, clock=lambda: 1.0)
+        assert session.flow_count() == 1
+        assert engine.read_handle("f", "flow_count") == 1
+
+    def test_mirror_duplicates(self):
+        graph = ProcessingGraph("mirror")
+        read = Block("FromDevice", name="r", config={"devname": "i"})
+        mirror = Block("Mirror", name="m")
+        out = Block("ToDevice", name="o", config={"devname": "main"})
+        tap = Block("ToDevice", name="t", config={"devname": "tap"})
+        graph.add_blocks([read, mirror, out, tap])
+        graph.connect(read, mirror)
+        graph.connect(mirror, out, 0)
+        graph.connect(mirror, tap, 1)
+        engine = build_engine(graph)
+        outcome = engine.process(make_tcp_packet("1.1.1.1", "2.2.2.2", 5, 80))
+        devices = sorted(dev for dev, _p in outcome.outputs)
+        assert devices == ["main", "tap"]
+
+    def test_tee_fanout(self):
+        graph = ProcessingGraph("tee")
+        read = Block("FromDevice", name="r", config={"devname": "i"})
+        tee = Block("Tee", name="t", config={"ports": 3})
+        outs = [Block("ToDevice", name=f"o{i}", config={"devname": f"d{i}"})
+                for i in range(3)]
+        graph.add_blocks([read, tee, *outs])
+        graph.connect(read, tee)
+        for index, sink in enumerate(outs):
+            graph.connect(tee, sink, index)
+        engine = build_engine(graph)
+        outcome = engine.process(make_tcp_packet("1.1.1.1", "2.2.2.2", 5, 80))
+        assert sorted(dev for dev, _p in outcome.outputs) == ["d0", "d1", "d2"]
+
+
+class TestClassifierElements:
+    def test_protocol_analyzer_identification(self):
+        block = Block("ProtocolAnalyzer", name="p", config={
+            "protocols": {"http": 0, "dns": 0, "tls": 0}, "default_port": 0,
+        })
+        graph = ProcessingGraph("pa")
+        read = Block("FromDevice", name="r", config={"devname": "i"})
+        out = Block("ToDevice", name="o", config={"devname": "o"})
+        graph.add_blocks([read, block, out])
+        graph.connect(read, block)
+        graph.connect(block, out, 0)
+        engine = build_engine(graph)
+        element = engine.element("p")
+        assert element.identify(make_http_get("1.1.1.1", "2.2.2.2", "h", "/")) == "http"
+        assert element.identify(make_udp_packet("1.1.1.1", "2.2.2.2", 9, 53)) == "dns"
+        assert element.identify(make_tcp_packet("1.1.1.1", "2.2.2.2", 9, 443)) == "tls"
+        assert element.identify(make_tcp_packet("1.1.1.1", "2.2.2.2", 9, 22)) == "ssh"
+        assert element.identify(Packet(data=b"xx")) == "non-ip"
+
+    def test_flow_classifier_routes_on_session_key(self):
+        session = SessionStorage()
+        graph = ProcessingGraph("fc")
+        read = Block("FromDevice", name="r", config={"devname": "i"})
+        classify = Block("FlowClassifier", name="f", config={
+            "key": "verdict", "rules": {"bad": 1}, "default_port": 0,
+        })
+        out = Block("ToDevice", name="o", config={"devname": "clean"})
+        drop = Block("Discard", name="d")
+        graph.add_blocks([read, classify, out, drop])
+        graph.connect(read, classify)
+        graph.connect(classify, out, 0)
+        graph.connect(classify, drop, 1)
+        engine = build_engine(graph, session=session, clock=lambda: 1.0)
+        packet = make_tcp_packet("1.1.1.1", "2.2.2.2", 5, 80)
+        assert engine.process(packet.clone()).forwarded
+        session.put(packet, "verdict", "bad", now=1.0)
+        assert engine.process(packet.clone()).dropped
+
+    def test_vlan_classifier(self):
+        graph = ProcessingGraph("vc")
+        read = Block("FromDevice", name="r", config={"devname": "i"})
+        classify = Block("VlanClassifier", name="v", config={
+            "rules": [{"vlan": 10, "port": 1}], "default_port": 0,
+        })
+        out = Block("ToDevice", name="o", config={"devname": "o"})
+        tenant = Block("ToDevice", name="t", config={"devname": "tenant"})
+        graph.add_blocks([read, classify, out, tenant])
+        graph.connect(read, classify)
+        graph.connect(classify, out, 0)
+        graph.connect(classify, tenant, 1)
+        engine = build_engine(graph)
+        tagged = engine.process(make_tcp_packet("1.1.1.1", "2.2.2.2", 5, 80, vlan=10))
+        untagged = engine.process(make_tcp_packet("1.1.1.1", "2.2.2.2", 5, 80))
+        assert tagged.outputs[0][0] == "tenant"
+        assert untagged.outputs[0][0] == "o"
+
+    def test_header_classifier_implementation_selection(self):
+        for implementation in ("linear", "trie", "tcam"):
+            graph = ProcessingGraph(f"impl-{implementation}")
+            read = Block("FromDevice", name="r", config={"devname": "i"})
+            classify = Block(
+                "HeaderClassifier", name="h",
+                config={"rules": [{"dst_port": 80, "port": 1}], "default_port": 0},
+                implementation=implementation,
+            )
+            out = Block("ToDevice", name="o", config={"devname": "o"})
+            drop = Block("Discard", name="d")
+            graph.add_blocks([read, classify, out, drop])
+            graph.connect(read, classify)
+            graph.connect(classify, out, 0)
+            graph.connect(classify, drop, 1)
+            engine = build_engine(graph)
+            assert engine.element("h").implementation == implementation
+            assert engine.process(
+                make_tcp_packet("1.1.1.1", "2.2.2.2", 5, 80)
+            ).dropped

@@ -1,0 +1,128 @@
+"""Execution-engine tests: wiring, outcomes, handles, paths."""
+
+import pytest
+
+from repro.core.blocks import Block
+from repro.core.graph import ProcessingGraph
+from repro.net.builder import make_tcp_packet
+from repro.obi.translation import build_engine
+from tests.conftest import build_firewall_graph, build_ips_graph
+
+
+class TestEngineBasics:
+    def test_drop_path(self, firewall_graph):
+        engine = build_engine(firewall_graph)
+        outcome = engine.process(make_tcp_packet("10.1.1.1", "2.2.2.2", 5, 23))
+        assert outcome.dropped and not outcome.forwarded
+        assert outcome.path == ["fw_read", "fw_hc", "fw_drop"]
+
+    def test_alert_path(self, firewall_graph):
+        engine = build_engine(firewall_graph)
+        outcome = engine.process(make_tcp_packet("44.1.1.1", "2.2.2.2", 5, 22))
+        assert outcome.forwarded
+        assert len(outcome.alerts) == 1
+        assert outcome.alerts[0].origin_app == "fw"
+        assert outcome.path == ["fw_read", "fw_hc", "fw_alert", "fw_out"]
+
+    def test_pass_path(self, firewall_graph):
+        engine = build_engine(firewall_graph)
+        outcome = engine.process(make_tcp_packet("44.1.1.1", "2.2.2.2", 5, 443))
+        assert outcome.forwarded and not outcome.alerts
+        assert outcome.outputs[0][0] == "out"
+
+    def test_dpi_paths(self, ips_graph):
+        engine = build_engine(ips_graph)
+        hit = engine.process(
+            make_tcp_packet("1.1.1.1", "2.2.2.2", 5, 80, payload=b"the attack")
+        )
+        assert hit.alerts and hit.forwarded
+        drop = engine.process(
+            make_tcp_packet("1.1.1.1", "2.2.2.2", 5, 80, payload=b"UNION SELECT 1")
+        )
+        assert drop.dropped
+
+    def test_per_packet_outcomes_isolated(self, firewall_graph):
+        engine = build_engine(firewall_graph)
+        first = engine.process(make_tcp_packet("10.1.1.1", "2.2.2.2", 5, 23))
+        second = engine.process(make_tcp_packet("44.1.1.1", "2.2.2.2", 5, 443))
+        assert first.dropped and not second.dropped
+        assert not second.path == first.path
+
+    def test_engine_counters(self, firewall_graph):
+        engine = build_engine(firewall_graph)
+        for _ in range(3):
+            engine.process(make_tcp_packet("44.1.1.1", "2.2.2.2", 5, 443))
+        assert engine.packets_processed == 3
+        assert engine.bytes_processed > 0
+
+    def test_invalid_graph_rejected(self):
+        graph = ProcessingGraph("bad")
+        graph.add_block(Block("FromDevice", name="a", config={"devname": "x"}))
+        graph.add_block(Block("FromDevice", name="b", config={"devname": "y"}))
+        with pytest.raises(Exception):
+            build_engine(graph)
+
+    def test_dangling_port_absorbs_packet(self):
+        graph = ProcessingGraph("dangling")
+        read = Block("FromDevice", name="r", config={"devname": "i"})
+        hc = Block("HeaderClassifier", name="h",
+                   config={"rules": [{"dst_port": 80, "port": 1}], "default_port": 0})
+        out = Block("ToDevice", name="o", config={"devname": "o"})
+        graph.add_blocks([read, hc, out])
+        graph.connect(read, hc)
+        graph.connect(hc, out, 0)
+        # port 1 left unwired on purpose
+        engine = build_engine(graph)
+        outcome = engine.process(make_tcp_packet("1.1.1.1", "2.2.2.2", 5, 80))
+        assert not outcome.forwarded and not outcome.dropped
+
+
+class TestHandles:
+    def test_read_count_and_reset(self, firewall_graph):
+        engine = build_engine(firewall_graph)
+        engine.process(make_tcp_packet("10.1.1.1", "2.2.2.2", 5, 23))
+        assert engine.read_handle("fw_hc", "count") == 1
+        assert engine.read_handle("fw_drop", "count") == 1
+        engine.write_handle("fw_hc", "reset_counts", None)
+        assert engine.read_handle("fw_hc", "count") == 0
+
+    def test_match_counts(self, firewall_graph):
+        engine = build_engine(firewall_graph)
+        engine.process(make_tcp_packet("10.1.1.1", "2.2.2.2", 5, 23))
+        engine.process(make_tcp_packet("44.1.1.1", "2.2.2.2", 5, 9))
+        assert engine.read_handle("fw_hc", "match_counts") == {0: 1, 2: 1}
+
+    def test_rules_write_handle_reconfigures(self, firewall_graph):
+        engine = build_engine(firewall_graph)
+        engine.write_handle("fw_hc", "rules", {
+            "rules": [{"dst_port": [9999, 9999], "port": 0}], "default_port": 2,
+        })
+        outcome = engine.process(make_tcp_packet("10.1.1.1", "2.2.2.2", 5, 9999))
+        assert outcome.dropped
+
+    def test_unknown_block_and_handle(self, firewall_graph):
+        engine = build_engine(firewall_graph)
+        with pytest.raises(KeyError):
+            engine.read_handle("ghost", "count")
+        with pytest.raises(KeyError):
+            engine.read_handle("fw_hc", "no_such_handle")
+        with pytest.raises(KeyError):
+            engine.write_handle("fw_hc", "not_writable", 1)
+
+    def test_byte_count_handle(self, firewall_graph):
+        engine = build_engine(firewall_graph)
+        packet = make_tcp_packet("44.1.1.1", "2.2.2.2", 5, 443)
+        engine.process(packet)
+        assert engine.read_handle("fw_read", "byte_count") == len(packet)
+
+
+class TestMergedGraphExecution:
+    def test_merged_graph_runs_on_engine(self, firewall_graph, ips_graph):
+        from repro.core.merge import merge_graphs
+        merged = merge_graphs([firewall_graph, ips_graph]).graph
+        engine = build_engine(merged)
+        outcome = engine.process(
+            make_tcp_packet("44.1.1.1", "2.2.2.2", 5, 80, payload=b"attack!")
+        )
+        assert outcome.alerts
+        assert len(outcome.path) <= 6  # compressed path

@@ -1,0 +1,172 @@
+"""OBI protocol endpoint tests: graph deployment, handles, stats, errors."""
+
+import pytest
+
+from repro.core.graph import ProcessingGraph
+from repro.net.builder import make_tcp_packet
+from repro.obi.instance import ObiConfig, OpenBoxInstance
+from repro.protocol.codec import PROTOCOL_VERSION
+from repro.protocol.errors import ErrorCode, ProtocolError
+from repro.protocol.messages import (
+    BarrierRequest,
+    BarrierResponse,
+    ErrorMessage,
+    GlobalStatsRequest,
+    GlobalStatsResponse,
+    ListCapabilitiesRequest,
+    ListCapabilitiesResponse,
+    ReadRequest,
+    ReadResponse,
+    SetExternalServices,
+    SetProcessingGraphRequest,
+    SetProcessingGraphResponse,
+    WriteRequest,
+    WriteResponse,
+)
+from tests.conftest import build_firewall_graph
+
+
+@pytest.fixture
+def obi():
+    return OpenBoxInstance(ObiConfig(obi_id="obi-1", segment="corp"))
+
+
+def deploy(obi, graph: ProcessingGraph):
+    response = obi.handle_message(SetProcessingGraphRequest(graph=graph.to_dict()))
+    assert isinstance(response, SetProcessingGraphResponse) and response.ok
+    return response
+
+
+class TestHello:
+    def test_hello_advertises_capabilities(self, obi):
+        hello = obi.hello_message(callback_url="http://x")
+        assert hello.obi_id == "obi-1"
+        assert hello.segment == "corp"
+        assert hello.version == PROTOCOL_VERSION
+        assert "HeaderClassifier" in hello.capabilities
+        assert set(hello.capabilities["HeaderClassifier"]) == {"linear", "trie", "tcam"}
+        assert hello.callback_url == "http://x"
+
+    def test_capabilities_response(self, obi):
+        response = obi.handle_message(ListCapabilitiesRequest())
+        assert isinstance(response, ListCapabilitiesResponse)
+        assert "Discard" in response.capabilities
+
+
+class TestGraphDeployment:
+    def test_deploy_and_process(self, obi, firewall_graph):
+        deploy(obi, firewall_graph)
+        outcome = obi.process_packet(make_tcp_packet("10.0.0.1", "2.2.2.2", 5, 23))
+        assert outcome.dropped
+        assert obi.packets_processed == 1
+
+    def test_redeploy_bumps_version(self, obi, firewall_graph):
+        deploy(obi, firewall_graph)
+        deploy(obi, build_firewall_graph("fw2"))
+        assert obi.graph_version == 2
+
+    def test_invalid_graph_rejected(self, obi):
+        broken = {"name": "g", "blocks": [{"type": "Discard", "name": "d"}],
+                  "connectors": [{"src": "d", "src_port": 0, "dst": "ghost"}]}
+        response = obi.handle_message(SetProcessingGraphRequest(graph=broken))
+        assert isinstance(response, ErrorMessage)
+        assert response.code == ErrorCode.INVALID_GRAPH
+        assert obi.engine is None  # old state untouched
+
+    def test_unknown_block_type_rejected(self, obi):
+        broken = {"name": "g", "blocks": [{"type": "NoSuchBlock", "name": "x"}],
+                  "connectors": []}
+        response = obi.handle_message(SetProcessingGraphRequest(graph=broken))
+        assert isinstance(response, ErrorMessage)
+
+    def test_failed_redeploy_keeps_old_graph(self, obi, firewall_graph):
+        deploy(obi, firewall_graph)
+        obi.handle_message(SetProcessingGraphRequest(graph={"name": "bad",
+                                                            "blocks": [], "connectors": []}))
+        # Old engine still works.
+        assert obi.process_packet(
+            make_tcp_packet("10.0.0.1", "2.2.2.2", 5, 23)
+        ).dropped
+
+    def test_process_without_graph_raises(self, obi):
+        with pytest.raises(ProtocolError):
+            obi.process_packet(make_tcp_packet("1.1.1.1", "2.2.2.2", 5, 80))
+
+
+class TestHandles:
+    def test_read_write_roundtrip(self, obi, firewall_graph):
+        deploy(obi, firewall_graph)
+        obi.process_packet(make_tcp_packet("10.0.0.1", "2.2.2.2", 5, 23))
+        read = obi.handle_message(ReadRequest(block="fw_drop", handle="count"))
+        assert isinstance(read, ReadResponse) and read.value == 1
+        write = obi.handle_message(
+            WriteRequest(block="fw_drop", handle="reset_counts", value=None)
+        )
+        assert isinstance(write, WriteResponse) and write.ok
+        read2 = obi.handle_message(ReadRequest(block="fw_drop", handle="count"))
+        assert read2.value == 0
+
+    def test_unknown_block_error_code(self, obi, firewall_graph):
+        deploy(obi, firewall_graph)
+        response = obi.handle_message(ReadRequest(block="nope", handle="count"))
+        assert isinstance(response, ErrorMessage)
+        assert response.code == ErrorCode.UNKNOWN_BLOCK
+
+    def test_unknown_handle_error_code(self, obi, firewall_graph):
+        deploy(obi, firewall_graph)
+        response = obi.handle_message(ReadRequest(block="fw_drop", handle="zzz"))
+        assert isinstance(response, ErrorMessage)
+        assert response.code == ErrorCode.UNKNOWN_HANDLE
+
+    def test_handles_without_graph(self, obi):
+        response = obi.handle_message(ReadRequest(block="x", handle="count"))
+        assert isinstance(response, ErrorMessage)
+        assert response.code == ErrorCode.INVALID_GRAPH
+
+
+class TestStats:
+    def test_global_stats(self, obi, firewall_graph):
+        deploy(obi, firewall_graph)
+        for _ in range(5):
+            obi.process_packet(make_tcp_packet("1.1.1.1", "2.2.2.2", 5, 443))
+        response = obi.handle_message(GlobalStatsRequest())
+        assert isinstance(response, GlobalStatsResponse)
+        assert response.packets_processed == 5
+        assert response.bytes_processed > 0
+        assert 0.0 <= response.cpu_load <= 1.0
+        assert response.memory_used > 0
+        assert response.obi_id == "obi-1"
+
+    def test_memory_grows_with_graph(self, obi, firewall_graph):
+        baseline = obi.estimate_memory_used()
+        deploy(obi, firewall_graph)
+        assert obi.estimate_memory_used() > baseline
+
+
+class TestMisc:
+    def test_barrier(self, obi):
+        response = obi.handle_message(BarrierRequest())
+        assert isinstance(response, BarrierResponse)
+
+    def test_external_services_config(self, obi):
+        obi.handle_message(SetExternalServices(keepalive_interval=3.5))
+        assert obi.config.keepalive_interval == 3.5
+
+    def test_unknown_message_rejected(self, obi):
+        response = obi.handle_message(GlobalStatsResponse())
+        assert isinstance(response, ErrorMessage)
+        assert response.code == ErrorCode.UNKNOWN_MESSAGE
+
+    def test_xid_echoed_in_responses(self, obi, firewall_graph):
+        request = SetProcessingGraphRequest(graph=firewall_graph.to_dict())
+        response = obi.handle_message(request)
+        assert response.xid == request.xid
+
+    def test_reconfigure_poll_delay_applied(self, firewall_graph):
+        import time
+        slow = OpenBoxInstance(
+            ObiConfig(obi_id="slow", reconfigure_poll_delay=0.05)
+        )
+        start = time.monotonic()
+        deploy(slow, firewall_graph)
+        assert time.monotonic() - start >= 0.05

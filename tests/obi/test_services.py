@@ -1,0 +1,67 @@
+"""Log and packet-storage service tests (paper §3.1)."""
+
+from repro.obi.engine import LogEvent
+from repro.obi.services import LogService, PacketStorageService
+
+
+def _event(message="m", origin="app"):
+    return LogEvent(block="b", origin_app=origin, message=message, packet_summary="s")
+
+
+class TestLogService:
+    def test_records_sequenced(self):
+        service = LogService()
+        service.log(_event("first"))
+        service.log(_event("second"))
+        assert [record.message for record in service.records] == ["first", "second"]
+        assert service.records[0].sequence < service.records[1].sequence
+
+    def test_query_by_origin(self):
+        service = LogService()
+        service.log(_event(origin="a"))
+        service.log(_event(origin="b"))
+        assert len(service.query("a")) == 1
+        assert len(service.query()) == 2
+
+    def test_capacity_overflow_drops_oldest(self):
+        service = LogService(capacity=2)
+        for index in range(4):
+            service.log(_event(str(index)))
+        assert len(service) == 2
+        assert service.overflowed == 2
+        assert [record.message for record in service.records] == ["2", "3"]
+
+
+class TestPacketStorageService:
+    def test_store_and_fetch_namespaced(self):
+        service = PacketStorageService()
+        service.store("cache", b"\x01")
+        service.store("quarantine", b"\x02")
+        assert [p.data for p in service.fetch("cache")] == [b"\x01"]
+        assert [p.data for p in service.fetch("quarantine")] == [b"\x02"]
+
+    def test_keys_unique(self):
+        service = PacketStorageService()
+        key_a = service.store("n", b"a")
+        key_b = service.store("n", b"b")
+        assert key_a != key_b
+
+    def test_purge(self):
+        service = PacketStorageService()
+        service.store("n", b"a")
+        service.store("n", b"b")
+        assert service.purge("n") == 2
+        assert service.fetch("n") == []
+
+    def test_capacity(self):
+        service = PacketStorageService(capacity=1)
+        assert service.store("n", b"a") > 0
+        assert service.store("n", b"b") == -1
+        assert service.dropped == 1
+
+    def test_stats(self):
+        service = PacketStorageService()
+        service.store("x", b"a")
+        stats = service.stats()
+        assert stats["namespaces"] == 1
+        assert stats["packets"] == 1

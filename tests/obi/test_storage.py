@@ -1,0 +1,63 @@
+"""Session storage (paper §3.4.2) tests."""
+
+from repro.net.builder import make_tcp_packet
+from repro.net.packet import Packet
+from repro.obi.storage import SessionStorage
+
+
+def _pkt(sport=1000, **kw):
+    return make_tcp_packet("10.0.0.1", "10.0.0.2", sport, 80, **kw)
+
+
+class TestSessionStorage:
+    def test_put_get_same_flow(self):
+        storage = SessionStorage()
+        storage.put(_pkt(), "gzip_window", b"state", now=0.0)
+        assert storage.get(_pkt(), "gzip_window") == b"state"
+
+    def test_bidirectional_flow_shares_state(self):
+        storage = SessionStorage()
+        storage.put(_pkt(), "tag", "t", now=0.0)
+        reverse = make_tcp_packet("10.0.0.2", "10.0.0.1", 80, 1000)
+        assert storage.get(reverse, "tag") == "t"
+
+    def test_different_flow_isolated(self):
+        storage = SessionStorage()
+        storage.put(_pkt(sport=1000), "k", 1, now=0.0)
+        assert storage.get(_pkt(sport=2000), "k") is None
+
+    def test_default_for_missing(self):
+        storage = SessionStorage()
+        assert storage.get(_pkt(), "missing", default="d") == "d"
+
+    def test_non_ip_packet_rejected_gracefully(self):
+        storage = SessionStorage()
+        junk = Packet(data=b"xx")
+        assert not storage.put(junk, "k", 1, now=0.0)
+        assert storage.get(junk, "k") is None
+
+    def test_state_expires_with_flow(self):
+        storage = SessionStorage(idle_timeout=5.0)
+        storage.put(_pkt(), "k", 1, now=0.0)
+        assert storage.expire(now=10.0) == 1
+        assert storage.get(_pkt(), "k") is None
+
+    def test_put_does_not_inflate_flow_counters(self):
+        storage = SessionStorage()
+        storage.observe(_pkt(), now=0.0)
+        flow = next(iter(storage.flow_table))
+        assert flow.packets == 1
+        storage.put(_pkt(), "k", 1, now=0.0)
+        assert flow.packets == 1  # storage ops are not traffic
+
+    def test_export_state_snapshot(self):
+        storage = SessionStorage()
+        storage.put(_pkt(), "verdict", "bad", now=0.0)
+        exported = storage.export_state()
+        assert list(exported.values()) == [{"verdict": "bad"}]
+
+    def test_flow_count(self):
+        storage = SessionStorage()
+        storage.observe(_pkt(sport=1), now=0.0)
+        storage.observe(_pkt(sport=2), now=0.0)
+        assert storage.flow_count() == 2

@@ -1,0 +1,49 @@
+"""Block-spec wire schema tests."""
+
+from repro.core.blocks import BlockClass, block_registry
+from repro.protocol.blocks_spec import (
+    all_specs,
+    dynamic_port_types,
+    spec_from_dict,
+    spec_to_dict,
+)
+
+
+class TestSpecSerialization:
+    def test_all_specs_cover_registry(self):
+        names = {spec["name"] for spec in all_specs()}
+        assert names == set(block_registry.names())
+
+    def test_roundtrip_preserves_fields(self):
+        original = block_registry.get("HeaderClassifier")
+        again = spec_from_dict(spec_to_dict(original))
+        assert again.name == original.name
+        assert again.block_class == original.block_class
+        assert again.params == original.params
+        assert again.required_params == original.required_params
+        assert again.mergeable == original.mergeable
+        assert [h.name for h in again.handles] == [h.name for h in original.handles]
+
+    def test_combine_hook_not_serialized(self):
+        spec = block_registry.get("NetworkHeaderFieldRewriter")
+        assert spec.combine is not None
+        again = spec_from_dict(spec_to_dict(spec))
+        assert again.combine is None  # code, not data
+
+    def test_dynamic_port_types_include_classifiers(self):
+        dynamic = set(dynamic_port_types())
+        assert "HeaderClassifier" in dynamic
+        assert "RegexClassifier" in dynamic
+        assert "Discard" not in dynamic
+
+    def test_handles_writability_preserved(self):
+        spec = spec_to_dict(block_registry.get("BpsShaper"))
+        by_name = {h["name"]: h["writable"] for h in spec["handles"]}
+        assert by_name["rate"] is True
+        assert by_name["count"] is False
+
+    def test_minimal_custom_spec(self):
+        spec = spec_from_dict({"name": "MyBlock", "class": BlockClass.STATIC})
+        assert spec.num_ports == 1
+        assert spec.params == ()
+        assert not spec.mergeable

@@ -1,0 +1,77 @@
+"""Codec robustness: hostile and random wire input must never crash.
+
+The controller's REST endpoint feeds attacker-reachable bytes into
+``decode_message``; the only acceptable failure mode is ``CodecError``.
+"""
+
+import json
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.protocol.codec import PROTOCOL_VERSION, CodecError, decode_message, encode_message
+from repro.protocol.messages import Hello, KeepAlive, ReadResponse
+
+
+json_values = st.recursive(
+    st.none() | st.booleans() | st.integers(-2**31, 2**31)
+    | st.floats(allow_nan=False, allow_infinity=False) | st.text(max_size=20),
+    lambda children: st.lists(children, max_size=4)
+    | st.dictionaries(st.text(max_size=10), children, max_size=4),
+    max_leaves=12,
+)
+
+
+class TestDecodeNeverCrashes:
+    @given(st.binary(max_size=200))
+    def test_random_bytes(self, payload):
+        try:
+            decode_message(payload)
+        except CodecError:
+            pass  # the only acceptable failure
+
+    @given(json_values)
+    def test_random_json_values(self, value):
+        payload = json.dumps(value).encode()
+        try:
+            decode_message(payload)
+        except CodecError:
+            pass
+
+    @given(st.dictionaries(st.text(max_size=12), json_values, max_size=6))
+    def test_random_envelopes(self, message_body):
+        envelope = {"version": PROTOCOL_VERSION, "message": message_body}
+        try:
+            decode_message(json.dumps(envelope).encode())
+        except CodecError:
+            pass
+
+    @given(st.text(max_size=12), json_values)
+    def test_known_type_with_garbage_fields(self, key, value):
+        body = {"type": "KeepAlive", key: value}
+        try:
+            message = decode_message(json.dumps(
+                {"version": PROTOCOL_VERSION, "message": body}
+            ).encode())
+        except CodecError:
+            return
+        assert isinstance(message, KeepAlive)
+
+
+class TestFieldValueFuzz:
+    @given(st.text(max_size=40), st.text(max_size=40),
+           st.dictionaries(st.text(max_size=10),
+                           st.lists(st.text(max_size=10), max_size=3), max_size=4))
+    def test_hello_roundtrip_arbitrary_strings(self, obi_id, segment, capabilities):
+        original = Hello(obi_id=obi_id, segment=segment, capabilities=capabilities)
+        decoded = decode_message(encode_message(original))
+        assert decoded.obi_id == obi_id
+        assert decoded.segment == segment
+        assert decoded.capabilities == capabilities
+
+    @given(json_values)
+    def test_read_response_arbitrary_value(self, value):
+        original = ReadResponse(block="b", handle="h", value=value)
+        decoded = decode_message(encode_message(original))
+        assert decoded.value == value

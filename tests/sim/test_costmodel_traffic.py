@@ -1,0 +1,169 @@
+"""Cost model, traffic generator, and ruleset generator tests."""
+
+from repro.apps.firewall import parse_firewall_rules
+from repro.apps.ips import parse_snort_rules
+from repro.core.blocks import Block
+from repro.core.graph import ProcessingGraph
+from repro.net.builder import make_tcp_packet
+from repro.obi.translation import build_engine
+from repro.sim.costmodel import CostModel, GraphCostProfile, VmSpec, measure_engine
+from repro.sim.rulesets import (
+    SNORT_VARIABLES,
+    generate_firewall_rules,
+    generate_snort_web_rules,
+)
+from repro.sim.traffic import TraceConfig, TrafficGenerator
+
+
+class TestCostModel:
+    def test_classifier_cost_grows_weakly_with_rules(self):
+        model = CostModel()
+        small = model.profile("HeaderClassifier",
+                              {"rules": [{"dst_port": 80, "port": 1}]})
+        large = model.profile(
+            "HeaderClassifier",
+            {"rules": [{"dst_port": p, "port": 1} for p in range(1, 4001)]},
+        )
+        assert large.fixed > small.fixed
+        # Decision-tree pricing: 4000x rules costs < 3x one rule.
+        assert large.fixed < small.fixed * 3
+
+    def test_classifier_cost_grows_with_fields(self):
+        model = CostModel()
+        one_field = model.profile("HeaderClassifier",
+                                  {"rules": [{"dst_port": 80, "port": 1}]})
+        many_fields = model.profile("HeaderClassifier", {"rules": [{
+            "src_ip": "10.0.0.0/8", "dst_ip": "10.0.0.0/8",
+            "src_port": 1, "dst_port": 80, "proto": 6, "port": 1,
+        }]})
+        assert many_fields.fixed > one_field.fixed
+
+    def test_tcam_cost_constant_in_rules(self):
+        model = CostModel()
+        small = model.profile("HeaderClassifier",
+                              {"rules": [{"port": 1}], "implementation": "tcam"})
+        large = model.profile(
+            "HeaderClassifier",
+            {"rules": [{"dst_port": p, "port": 1} for p in range(1, 2001)],
+             "implementation": "tcam"},
+        )
+        assert small.fixed == large.fixed
+
+    def test_linear_cost_proportional_to_rules(self):
+        model = CostModel()
+        ten = model.profile("HeaderClassifier",
+                            {"rules": [{"port": 1}] * 10, "implementation": "linear"})
+        hundred = model.profile("HeaderClassifier",
+                                {"rules": [{"port": 1}] * 100, "implementation": "linear"})
+        assert hundred.fixed > ten.fixed * 5
+
+    def test_dpi_cost_per_payload_byte(self):
+        model = CostModel()
+        profile = model.profile("RegexClassifier", {})
+        assert profile.per_payload_byte == model.dpi_per_byte
+        assert profile.cost(1000) - profile.cost(0) == 1000 * model.dpi_per_byte
+
+    def test_custom_cost_override(self):
+        model = CostModel(custom_costs={"MyBlock": 5000.0})
+        assert model.profile("MyBlock", {}).fixed == model.block_dispatch + 5000.0
+
+    def test_path_cost_sums_blocks(self):
+        graph = ProcessingGraph("g")
+        read = Block("FromDevice", name="r", config={"devname": "i"})
+        out = Block("ToDevice", name="o", config={"devname": "o"})
+        graph.chain(read, out)
+        model = CostModel()
+        profile = GraphCostProfile(graph, model)
+        packet = make_tcp_packet("1.1.1.1", "2.2.2.2", 5, 80)
+        expected = 2 * (model.block_dispatch + model.static_cost)
+        assert profile.path_cost(["r", "o"], packet) == expected
+
+    def test_measure_engine_accounts_paths(self):
+        graph = ProcessingGraph("g")
+        read = Block("FromDevice", name="r", config={"devname": "i"})
+        out = Block("ToDevice", name="o", config={"devname": "o"})
+        graph.chain(read, out)
+        engine = build_engine(graph)
+        packets = [make_tcp_packet("1.1.1.1", "2.2.2.2", 5, 80)] * 10
+        measurement = measure_engine(engine, packets, CostModel())
+        assert measurement.packets == 10
+        assert measurement.mean_path_length() == 2
+        vm = VmSpec()
+        assert measurement.throughput_bps(vm) > 0
+        assert measurement.latency_seconds(vm) > vm.overhead_seconds
+
+
+class TestTrafficGenerator:
+    def test_reproducible_with_seed(self):
+        first = TrafficGenerator(TraceConfig(seed=7, num_packets=50)).packets()
+        second = TrafficGenerator(TraceConfig(seed=7, num_packets=50)).packets()
+        assert [p.data for p in first] == [p.data for p in second]
+
+    def test_different_seeds_differ(self):
+        first = TrafficGenerator(TraceConfig(seed=1, num_packets=50)).packets()
+        second = TrafficGenerator(TraceConfig(seed=2, num_packets=50)).packets()
+        assert [p.data for p in first] != [p.data for p in second]
+
+    def test_mean_frame_size_campus_like(self):
+        generator = TrafficGenerator(TraceConfig(num_packets=2000))
+        packets = generator.packets()
+        mean = generator.mean_frame_size(packets)
+        assert 500 < mean < 1100  # trimodal mix lands near ~800B
+
+    def test_timestamps_monotonic(self):
+        packets = TrafficGenerator(TraceConfig(num_packets=100)).packets()
+        stamps = [p.timestamp for p in packets]
+        assert stamps == sorted(stamps)
+
+    def test_application_mix_present(self):
+        packets = TrafficGenerator(TraceConfig(num_packets=1000)).packets()
+        ports = [p.l4.dst_port for p in packets if p.l4 is not None]
+        assert ports.count(80) > 300   # http-heavy
+        assert ports.count(53) > 30    # dns present
+        assert ports.count(443) > 50   # tls present
+
+    def test_attack_fraction_controllable(self):
+        clean = TrafficGenerator(
+            TraceConfig(num_packets=500, attack_fraction=0.0)
+        ).packets()
+        assert not any(b"/etc/passwd" in p.payload for p in clean)
+        dirty = TrafficGenerator(
+            TraceConfig(num_packets=500, attack_fraction=0.5, seed=3)
+        ).packets()
+        assert any(b"passwd" in p.payload or b"union select" in p.payload
+                   for p in dirty)
+
+    def test_all_packets_parse(self):
+        for packet in TrafficGenerator(TraceConfig(num_packets=300)).packets():
+            assert packet.ipv4 is not None
+            assert packet.l4 is not None
+
+
+class TestRulesetGenerators:
+    def test_firewall_ruleset_size_and_validity(self):
+        text = generate_firewall_rules(500)
+        rules = parse_firewall_rules(text)
+        assert len(rules) == 500
+        assert rules[-1].match.is_catch_all
+        assert rules[-1].action == "allow"
+        assert all(rule.action in ("alert", "deny") for rule in rules[:-1])
+
+    def test_firewall_ruleset_reproducible(self):
+        assert generate_firewall_rules(100, seed=5) == generate_firewall_rules(100, seed=5)
+        assert generate_firewall_rules(100, seed=5) != generate_firewall_rules(100, seed=6)
+
+    def test_paper_scale_ruleset(self):
+        rules = parse_firewall_rules(generate_firewall_rules(4560))
+        assert len(rules) == 4560
+
+    def test_snort_rules_parse(self):
+        rules = parse_snort_rules(generate_snort_web_rules(80), SNORT_VARIABLES)
+        assert len(rules) == 80
+        assert all(rule.contents for rule in rules)
+        assert all(rule.action == "alert" for rule in rules)
+
+    def test_snort_rules_header_diversity(self):
+        rules = parse_snort_rules(generate_snort_web_rules(120), SNORT_VARIABLES)
+        signatures = {(str(r.src), str(r.dst), r.dst_port.lo, r.dst_port.hi)
+                      for r in rules}
+        assert len(signatures) >= 4  # multiple header groups, like real web rules

@@ -1,0 +1,166 @@
+"""Event scheduler and functional network simulator tests."""
+
+import pytest
+
+from repro.core.blocks import Block
+from repro.core.graph import ProcessingGraph
+from repro.net.builder import make_tcp_packet
+from repro.obi.instance import ObiConfig, OpenBoxInstance
+from repro.sim.events import EventScheduler
+from repro.sim.network import SimNetwork
+from tests.conftest import build_firewall_graph
+
+
+class TestEventScheduler:
+    def test_ordering(self):
+        scheduler = EventScheduler()
+        order = []
+        scheduler.schedule(2.0, lambda: order.append("b"))
+        scheduler.schedule(1.0, lambda: order.append("a"))
+        scheduler.schedule(3.0, lambda: order.append("c"))
+        scheduler.run()
+        assert order == ["a", "b", "c"]
+        assert scheduler.now == 3.0
+
+    def test_ties_break_fifo(self):
+        scheduler = EventScheduler()
+        order = []
+        scheduler.schedule(1.0, lambda: order.append(1))
+        scheduler.schedule(1.0, lambda: order.append(2))
+        scheduler.run()
+        assert order == [1, 2]
+
+    def test_run_until(self):
+        scheduler = EventScheduler()
+        order = []
+        scheduler.schedule(1.0, lambda: order.append(1))
+        scheduler.schedule(5.0, lambda: order.append(5))
+        executed = scheduler.run_until(2.0)
+        assert executed == 1
+        assert order == [1]
+        assert scheduler.now == 2.0
+        assert scheduler.pending() == 1
+
+    def test_schedule_every(self):
+        scheduler = EventScheduler()
+        ticks = []
+        scheduler.schedule_every(1.0, lambda: ticks.append(scheduler.now), until=3.5)
+        scheduler.run_until(10.0)
+        assert ticks == [1.0, 2.0, 3.0]
+
+    def test_events_can_schedule_events(self):
+        scheduler = EventScheduler()
+        seen = []
+
+        def first():
+            seen.append("first")
+            scheduler.schedule(1.0, lambda: seen.append("second"))
+
+        scheduler.schedule(1.0, first)
+        scheduler.run()
+        assert seen == ["first", "second"]
+        assert scheduler.now == 2.0
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(ValueError):
+            EventScheduler().schedule(-1.0, lambda: None)
+
+    def test_runaway_guard(self):
+        scheduler = EventScheduler()
+
+        def forever():
+            scheduler.schedule(0.001, forever)
+
+        scheduler.schedule(0.0, forever)
+        with pytest.raises(RuntimeError):
+            scheduler.run(max_events=100)
+
+
+def _deploy_firewall(obi):
+    from repro.protocol.messages import SetProcessingGraphRequest
+    graph = build_firewall_graph()
+    obi.handle_message(SetProcessingGraphRequest(graph=graph.to_dict()))
+
+
+class TestSimNetwork:
+    def _network(self):
+        network = SimNetwork()
+        source = network.add_host("src")
+        sink = network.add_host("dst")
+        obi = OpenBoxInstance(ObiConfig(obi_id="fw-obi"),
+                              clock=lambda: network.clock.now)
+        _deploy_firewall(obi)
+        network.add_obi("fw-obi", obi)
+        network.link("fw-obi", "out", "dst")
+        return network, sink
+
+    def test_packet_traverses_obi_to_host(self):
+        network, sink = self._network()
+        network.inject("fw-obi", make_tcp_packet("44.1.1.1", "2.2.2.2", 5, 443))
+        network.run()
+        assert len(sink.received) == 1
+
+    def test_dropped_packet_never_arrives(self):
+        network, sink = self._network()
+        network.inject("fw-obi", make_tcp_packet("10.1.1.1", "2.2.2.2", 5, 23))
+        network.run()
+        assert sink.received == []
+        assert network.nodes["fw-obi"].dropped == 1
+
+    def test_link_latency_advances_clock(self):
+        network = SimNetwork()
+        network.add_host("dst")
+        obi = OpenBoxInstance(ObiConfig(obi_id="o"), clock=lambda: network.clock.now)
+        _deploy_firewall(obi)
+        network.add_obi("o", obi)
+        network.link("o", "out", "dst", latency=0.25)
+        network.inject("o", make_tcp_packet("44.1.1.1", "2.2.2.2", 5, 443), at=1.0)
+        network.run()
+        sink = network.nodes["dst"]
+        assert sink.received[0].at == pytest.approx(1.25)
+
+    def test_unrouted_output_recorded(self):
+        network = SimNetwork()
+        obi = OpenBoxInstance(ObiConfig(obi_id="o"), clock=lambda: network.clock.now)
+        _deploy_firewall(obi)
+        network.add_obi("o", obi)
+        network.inject("o", make_tcp_packet("44.1.1.1", "2.2.2.2", 5, 443))
+        network.run()
+        assert len(network.unrouted) == 1
+        assert network.unrouted[0][1] == "out"
+
+    def test_multiplexer_flow_affinity(self):
+        network = SimNetwork()
+        network.add_host("dst")
+        for index in (1, 2):
+            obi = OpenBoxInstance(ObiConfig(obi_id=f"r{index}"),
+                                  clock=lambda: network.clock.now)
+            _deploy_firewall(obi)
+            network.add_obi(f"r{index}", obi)
+            network.link(f"r{index}", "out", "dst")
+        network.add_multiplexer("mux", replicas=["r1", "r2"])
+
+        # Many flows spread across replicas; one flow sticks to one.
+        for sport in range(100):
+            network.inject("mux", make_tcp_packet("1.1.1.1", "2.2.2.2", sport, 443))
+        for _ in range(5):
+            network.inject("mux", make_tcp_packet("9.9.9.9", "8.8.8.8", 777, 443))
+        network.run()
+        mux = network.nodes["mux"]
+        assert set(mux.per_replica) == {"r1", "r2"}
+        counts = {name: node.instance.packets_processed
+                  for name, node in network.nodes.items()
+                  if name.startswith("r")}
+        assert counts["r1"] + counts["r2"] == 105
+
+    def test_duplicate_node_rejected(self):
+        network = SimNetwork()
+        network.add_host("x")
+        with pytest.raises(ValueError):
+            network.add_host("x")
+
+    def test_link_to_unknown_node_rejected(self):
+        network = SimNetwork()
+        network.add_host("a")
+        with pytest.raises(ValueError):
+            network.link("a", "out", "ghost")

@@ -1,0 +1,79 @@
+"""Graph CLI tool tests (show / merge / verify)."""
+
+import pytest
+
+from repro.tools.graph import main
+
+
+@pytest.fixture
+def rule_files(tmp_path):
+    fw = tmp_path / "fw.rules"
+    fw.write_text(
+        "deny tcp any any any 23\n"
+        "alert tcp any any any 22\n"
+        "allow any any any any any\n"
+    )
+    snort = tmp_path / "web.rules"
+    snort.write_text(
+        'alert tcp any any -> any 80 (msg:"x"; content:"attack"; sid:1;)\n'
+    )
+    return str(fw), str(snort)
+
+
+class TestShow:
+    def test_lists_blocks(self, rule_files, capsys):
+        fw, _snort = rule_files
+        assert main(["show", "--rules", fw]) == 0
+        out = capsys.readouterr().out
+        assert "firewall:" in out
+        assert "HeaderClassifier" in out
+        assert "diameter" in out
+
+    def test_requires_input(self):
+        with pytest.raises(SystemExit):
+            main(["show"])
+
+
+class TestMerge:
+    def test_full_merge_reports_stats(self, rule_files, capsys):
+        fw, snort = rule_files
+        assert main(["merge", "--rules", fw, "--snort", snort]) == 0
+        out = capsys.readouterr().out
+        assert "merge time" in out
+        assert "classifier merges" in out
+
+    def test_naive_merge(self, rule_files, capsys):
+        fw, snort = rule_files
+        assert main(["merge", "--rules", fw, "--snort", snort, "--naive"]) == 0
+        assert "blocks" in capsys.readouterr().out
+
+    def test_dot_output(self, rule_files, tmp_path, capsys):
+        fw, snort = rule_files
+        dot_path = str(tmp_path / "merged.dot")
+        assert main(["merge", "--rules", fw, "--snort", snort,
+                     "--dot", dot_path]) == 0
+        content = open(dot_path).read()
+        assert content.startswith("digraph")
+        assert "->" in content
+
+    def test_single_graph_cannot_merge(self, rule_files, capsys):
+        fw, _snort = rule_files
+        assert main(["merge", "--rules", fw]) == 1
+
+
+class TestVerify:
+    def test_clean_rules_pass(self, rule_files, capsys):
+        fw, _snort = rule_files
+        assert main(["verify", "--rules", fw]) == 0
+        assert "OK" in capsys.readouterr().out
+
+    def test_shadowed_rules_warn(self, tmp_path, capsys):
+        fw = tmp_path / "fw.rules"
+        fw.write_text(
+            "deny tcp any any any 23\n"
+            "deny tcp any any any 23\n"
+            "allow any any any any any\n"
+        )
+        assert main(["verify", "--rules", str(fw)]) == 0
+        out = capsys.readouterr().out
+        assert "shadowed-rules" in out

@@ -1,0 +1,125 @@
+"""Saturation-simulation tests: the Figure 9 fluid claims hold under
+discrete arrivals and finite queues."""
+
+import pytest
+
+from repro.apps.firewall import FirewallApp, parse_firewall_rules
+from repro.core.merge import merge_graphs
+from repro.sim.costmodel import CostModel, VmSpec, measure_engine
+from repro.obi.translation import build_engine
+from repro.sim.rulesets import generate_firewall_rules
+from repro.sim.saturation import SaturationResult, WorkloadSource, simulate_saturation
+from repro.sim.traffic import TraceConfig, TrafficGenerator
+
+
+@pytest.fixture(scope="module")
+def setup():
+    fw1 = FirewallApp("fw1", parse_firewall_rules(generate_firewall_rules(300, seed=1)),
+                      alert_only=True)
+    fw2 = FirewallApp("fw2", parse_firewall_rules(generate_firewall_rules(300, seed=2)),
+                      alert_only=True)
+    packets = TrafficGenerator(TraceConfig(num_packets=150)).packets()
+    graph1 = fw1.build_graph()
+    graph2 = fw2.build_graph()
+    merged = merge_graphs([graph1, graph2]).graph
+
+    def capacity(graph):
+        engine = build_engine(graph.copy(rename=True))
+        return measure_engine(engine, packets, CostModel()).throughput_bps(VmSpec())
+
+    return {
+        "packets": packets,
+        "graphs": {"fw1": graph1, "fw2": graph2},
+        "merged": merged,
+        "cap1": capacity(graph1),
+        "cap2": capacity(graph2),
+        "cap_merged": capacity(merged),
+    }
+
+
+def _run(setup, offered1, offered2, policy):
+    workloads = [
+        WorkloadSource("fw1", setup["packets"], offered1),
+        WorkloadSource("fw2", setup["packets"], offered2),
+    ]
+    if policy == "static":
+        graphs = setup["graphs"]
+    else:
+        graphs = {"fw1": setup["merged"], "fw2": setup["merged"]}
+    return simulate_saturation(
+        workloads, graphs, policy=policy, replicas=2, epochs=40,
+    )
+
+
+class TestUnderload:
+    def test_offered_below_capacity_is_served(self, setup):
+        cap = setup["cap_merged"]
+        result = _run(setup, 0.4 * cap, 0.4 * cap, "dynamic")
+        assert result.achieved_bps["fw1"] == pytest.approx(0.4 * cap, rel=0.15)
+        assert result.achieved_bps["fw2"] == pytest.approx(0.4 * cap, rel=0.15)
+
+    def test_static_underload_served(self, setup):
+        result = _run(setup, 0.5 * setup["cap1"], 0.5 * setup["cap2"], "static")
+        assert result.achieved_bps["fw1"] == pytest.approx(
+            0.5 * setup["cap1"], rel=0.15)
+
+
+class TestStaticLimits:
+    def test_static_caps_each_nf_at_one_vm(self, setup):
+        """Offering 1.5x capacity to fw1 while fw2 idles: the static
+        policy cannot exploit fw2's idle VM (the paper's motivation)."""
+        result = _run(setup, 1.5 * setup["cap1"], 0.05 * setup["cap2"], "static")
+        assert result.achieved_bps["fw1"] <= 1.1 * setup["cap1"]
+        assert result.drops > 0
+
+
+class TestDynamicSharing:
+    def test_dynamic_exploits_idle_capacity(self, setup):
+        """The same skewed offered load is served once the NFs are merged
+        on both VMs — the headline of Figure 9."""
+        cap = setup["cap_merged"]
+        result = _run(setup, 1.5 * cap, 0.05 * cap, "dynamic")
+        # fw1 achieves well beyond one VM's worth of merged capacity.
+        assert result.achieved_bps["fw1"] > 1.25 * cap
+
+    def test_dynamic_frontier_point(self, setup):
+        """At a 50/50 mix offered at exactly the frontier, both NFs are
+        served within tolerance: x + y ~= 2 * cap_merged."""
+        cap = setup["cap_merged"]
+        result = _run(setup, cap, cap, "dynamic")
+        total = result.achieved_bps["fw1"] + result.achieved_bps["fw2"]
+        assert total == pytest.approx(2 * cap, rel=0.15)
+
+    def test_oversubscription_saturates_at_frontier(self, setup):
+        """Offering 3x the frontier still yields ~the frontier (with
+        drops), never more."""
+        cap = setup["cap_merged"]
+        result = _run(setup, 3 * cap, 3 * cap, "dynamic")
+        total = result.achieved_bps["fw1"] + result.achieved_bps["fw2"]
+        assert total <= 2.1 * 2 * cap / 2  # <= ~2x single-VM capacity total
+        assert result.drops > 0
+
+
+class TestValidation:
+    def test_static_requires_matching_vm_count(self, setup):
+        workloads = [WorkloadSource("fw1", setup["packets"], 1e6)]
+        with pytest.raises(ValueError):
+            simulate_saturation(workloads, setup["graphs"], policy="static",
+                                replicas=2)
+
+    def test_unknown_policy_rejected(self, setup):
+        workloads = [WorkloadSource("fw1", setup["packets"], 1e6)]
+        with pytest.raises(ValueError):
+            simulate_saturation(workloads, setup["graphs"], policy="magic")
+
+    def test_empty_workload_rejected(self):
+        with pytest.raises(ValueError):
+            WorkloadSource("x", [], 1e6)
+
+    def test_utilization_helper(self):
+        result = SaturationResult(
+            achieved_bps={"a": 50.0, "b": 25.0},
+            offered_bps={"a": 50.0, "b": 25.0},
+            drops=0,
+        )
+        assert result.utilization_of({"a": 100.0, "b": 50.0}) == pytest.approx(1.0)

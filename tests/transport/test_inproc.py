@@ -1,0 +1,73 @@
+"""In-process transport tests."""
+
+import pytest
+
+from repro.protocol.errors import ProtocolError
+from repro.protocol.messages import ErrorMessage, KeepAlive, ReadRequest, ReadResponse
+from repro.transport.base import ChannelClosed
+from repro.transport.inproc import InProcPair
+
+
+class TestInProcPair:
+    def test_request_response(self):
+        pair = InProcPair()
+
+        def handler(message):
+            assert isinstance(message, ReadRequest)
+            return ReadResponse(xid=message.xid, block=message.block,
+                                handle=message.handle, value=7)
+
+        pair.right.set_handler(handler)
+        response = pair.left.request(ReadRequest(block="b", handle="count"))
+        assert isinstance(response, ReadResponse)
+        assert response.value == 7
+
+    def test_notify_discards_response(self):
+        pair = InProcPair()
+        seen = []
+        pair.right.set_handler(lambda message: seen.append(message) or None)
+        pair.left.notify(KeepAlive(obi_id="x"))
+        assert len(seen) == 1
+
+    def test_bidirectional(self):
+        pair = InProcPair()
+        pair.left.set_handler(lambda m: ReadResponse(xid=m.xid, value="left"))
+        pair.right.set_handler(lambda m: ReadResponse(xid=m.xid, value="right"))
+        assert pair.left.request(ReadRequest()).value == "right"
+        assert pair.right.request(ReadRequest()).value == "left"
+
+    def test_request_without_handler_raises(self):
+        pair = InProcPair()
+        with pytest.raises(ProtocolError):
+            pair.left.request(ReadRequest())
+
+    def test_none_response_becomes_error(self):
+        pair = InProcPair()
+        pair.right.set_handler(lambda m: None)
+        response = pair.left.request(ReadRequest())
+        assert isinstance(response, ErrorMessage)
+
+    def test_closed_endpoint_raises(self):
+        pair = InProcPair()
+        pair.right.set_handler(lambda m: None)
+        pair.close()
+        with pytest.raises(ChannelClosed):
+            pair.left.request(ReadRequest())
+        with pytest.raises(ChannelClosed):
+            pair.left.notify(KeepAlive())
+
+    def test_message_counters(self):
+        pair = InProcPair()
+        pair.right.set_handler(lambda m: None)
+        pair.left.notify(KeepAlive())
+        pair.left.notify(KeepAlive())
+        assert pair.left.sent_messages == 2
+        assert pair.right.received_messages == 2
+
+    def test_deliver_hook(self):
+        pair = InProcPair()
+        seen = []
+        pair.right.set_handler(lambda m: None)
+        pair.right.on_deliver = seen.append
+        pair.left.notify(KeepAlive(obi_id="z"))
+        assert seen[0].obi_id == "z"

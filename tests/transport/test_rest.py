@@ -1,0 +1,118 @@
+"""Dual REST channel tests over real loopback HTTP."""
+
+import pytest
+
+from repro.protocol.errors import ErrorCode
+from repro.protocol.messages import (
+    ErrorMessage,
+    KeepAlive,
+    ReadRequest,
+    ReadResponse,
+)
+from repro.transport.base import ChannelClosed
+from repro.transport.rest import MESSAGE_PATH, RestEndpoint, RestPeerChannel
+
+
+@pytest.fixture
+def endpoint():
+    server = RestEndpoint()
+    server.start()
+    yield server
+    server.close()
+
+
+class TestRestChannel:
+    def test_request_response_over_http(self, endpoint):
+        endpoint.set_handler(
+            lambda m: ReadResponse(xid=m.xid, block=m.block, handle=m.handle, value=3)
+        )
+        channel = RestPeerChannel(endpoint.url)
+        response = channel.request(ReadRequest(block="b", handle="count"))
+        assert isinstance(response, ReadResponse)
+        assert response.value == 3
+
+    def test_notify_gets_204(self, endpoint):
+        seen = []
+        endpoint.set_handler(lambda m: seen.append(m) or None)
+        channel = RestPeerChannel(endpoint.url)
+        channel.notify(KeepAlive(obi_id="k"))
+        assert len(seen) == 1 and seen[0].obi_id == "k"
+
+    def test_handler_exception_becomes_error_message(self, endpoint):
+        def handler(message):
+            raise RuntimeError("boom")
+
+        endpoint.set_handler(handler)
+        channel = RestPeerChannel(endpoint.url)
+        response = channel.request(ReadRequest())
+        assert isinstance(response, ErrorMessage)
+        assert response.code == ErrorCode.INTERNAL_ERROR
+        assert "boom" in response.detail
+
+    def test_no_handler_yields_not_connected(self, endpoint):
+        channel = RestPeerChannel(endpoint.url)
+        response = channel.request(ReadRequest())
+        assert isinstance(response, ErrorMessage)
+        assert response.code == ErrorCode.NOT_CONNECTED
+
+    def test_xid_echoed_in_error(self, endpoint):
+        channel = RestPeerChannel(endpoint.url)
+        request = ReadRequest()
+        response = channel.request(request)
+        assert response.xid == request.xid
+
+    def test_unreachable_peer_raises(self):
+        channel = RestPeerChannel("http://127.0.0.1:1/openbox/message")
+        with pytest.raises(ChannelClosed):
+            channel.request(ReadRequest(), timeout=0.5)
+
+    def test_closed_channel_raises(self, endpoint):
+        channel = RestPeerChannel(endpoint.url)
+        channel.close()
+        with pytest.raises(ChannelClosed):
+            channel.request(ReadRequest())
+
+    def test_bad_url_rejected(self):
+        with pytest.raises(ValueError):
+            RestPeerChannel("ftp://example.com/x")
+
+    def test_malformed_body_rejected_with_400(self, endpoint):
+        import http.client
+        from urllib.parse import urlparse
+
+        endpoint.set_handler(lambda m: None)
+        parsed = urlparse(endpoint.url)
+        connection = http.client.HTTPConnection(parsed.hostname, parsed.port, timeout=5)
+        connection.request("POST", MESSAGE_PATH, body=b"junk",
+                           headers={"Content-Type": "application/json"})
+        response = connection.getresponse()
+        assert response.status == 400
+        connection.close()
+
+    def test_unknown_path_404(self, endpoint):
+        import http.client
+        from urllib.parse import urlparse
+
+        parsed = urlparse(endpoint.url)
+        connection = http.client.HTTPConnection(parsed.hostname, parsed.port, timeout=5)
+        connection.request("POST", "/other", body=b"{}")
+        assert connection.getresponse().status == 404
+        connection.close()
+
+    def test_concurrent_requests(self, endpoint):
+        import threading
+
+        endpoint.set_handler(lambda m: ReadResponse(xid=m.xid, value=m.block))
+        channel = RestPeerChannel(endpoint.url)
+        results = {}
+
+        def worker(index):
+            response = channel.request(ReadRequest(block=f"b{index}"))
+            results[index] = response.value
+
+        threads = [threading.Thread(target=worker, args=(i,)) for i in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert results == {i: f"b{i}" for i in range(8)}
