@@ -12,45 +12,63 @@ examples, and the simulator do not repeat it:
 
 from __future__ import annotations
 
+from typing import Callable
+
 from repro.controller.obc import OpenBoxController
 from repro.obi.instance import OpenBoxInstance
 from repro.protocol.messages import Hello, Message
+from repro.transport.base import Channel
 from repro.transport.inproc import InProcPair
 from repro.transport.rest import RestEndpoint, RestPeerChannel
+from repro.transport.retry import ResilientChannel, RetryPolicy
 
 
 def connect_inproc(
-    controller: OpenBoxController, instance: OpenBoxInstance
+    controller: OpenBoxController,
+    instance: OpenBoxInstance,
+    wrap_downstream: Callable[[Channel], Channel] | None = None,
 ) -> InProcPair:
     """Connect an OBI to a controller over an in-process channel pair.
 
     Performs the Hello handshake and binds the controller's downstream
-    channel (triggering auto-deployment if enabled).
+    channel (triggering auto-deployment if enabled). ``wrap_downstream``
+    decorates the controller→OBI channel before it is bound — the hook
+    the fault-injection suite uses to interpose a
+    :class:`~repro.transport.faults.FaultyChannel` and/or
+    :class:`~repro.transport.retry.ResilientChannel`.
     """
     pair = InProcPair(left_name="obc", right_name=f"obi:{instance.config.obi_id}")
     pair.left.set_handler(controller.handle_message)
     instance.connect(pair.right)
-    controller.connect_obi(instance.config.obi_id, pair.left)
+    downstream: Channel = pair.left
+    if wrap_downstream is not None:
+        downstream = wrap_downstream(downstream)
+    controller.connect_obi(instance.config.obi_id, downstream)
     return pair
 
 
 def serve_controller_rest(
-    controller: OpenBoxController, host: str = "127.0.0.1", port: int = 0
+    controller: OpenBoxController,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    retry: RetryPolicy | None = None,
 ) -> RestEndpoint:
     """Start the controller's REST endpoint.
 
     Wraps the controller's handler so that when an OBI's ``Hello``
     arrives with a callback URL, the controller dials back — the "dual"
-    half of the dual REST channel.
+    half of the dual REST channel. ``retry`` hardens the dial-back
+    channel with idempotent retry (safe: OBIs deduplicate by xid).
     """
     endpoint = RestEndpoint(host=host, port=port)
 
     def handler(message: Message) -> Message | None:
         response = controller.handle_message(message)
         if isinstance(message, Hello) and message.callback_url:
-            controller.connect_obi(
-                message.obi_id, RestPeerChannel(message.callback_url)
-            )
+            downstream: Channel = RestPeerChannel(message.callback_url)
+            if retry is not None:
+                downstream = ResilientChannel(downstream, retry)
+            controller.connect_obi(message.obi_id, downstream)
         return response
 
     endpoint.set_handler(handler)
@@ -63,17 +81,21 @@ def connect_obi_rest(
     controller_url: str,
     host: str = "127.0.0.1",
     port: int = 0,
-) -> tuple[RestEndpoint, RestPeerChannel]:
+    retry: RetryPolicy | None = None,
+) -> tuple[RestEndpoint, Channel]:
     """Start an OBI's local REST server and register with the controller.
 
     Returns the OBI's endpoint and its upstream channel. The endpoint
     serves downstream requests (SetProcessingGraph, handles, stats);
-    the channel carries upstream traffic (Hello, KeepAlive, Alerts).
+    the channel carries upstream traffic (Hello, KeepAlive, Alerts),
+    wrapped with retry/backoff when a ``retry`` policy is given.
     """
     endpoint = RestEndpoint(host=host, port=port)
     endpoint.set_handler(instance.handle_message)
     endpoint.start()
-    upstream = RestPeerChannel(controller_url)
+    upstream: Channel = RestPeerChannel(controller_url)
+    if retry is not None:
+        upstream = ResilientChannel(upstream, retry)
     instance.set_upstream(upstream)
     upstream.request(instance.hello_message(callback_url=endpoint.url))
     return endpoint, upstream

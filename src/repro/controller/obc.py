@@ -13,6 +13,7 @@ Responsibilities (paper §3.3):
 
 from __future__ import annotations
 
+import collections
 import time
 from dataclasses import dataclass
 from typing import Any, Callable
@@ -24,6 +25,7 @@ from repro.controller.stats import ObiStatsTracker
 from repro.controller.xid import RequestMultiplexer
 from repro.core.merge import MergePolicy
 from repro.protocol.codec import PROTOCOL_VERSION
+from repro.transport.base import ChannelClosed
 from repro.protocol.errors import ErrorCode, ProtocolError
 from repro.protocol.messages import (
     Alert,
@@ -63,23 +65,37 @@ class ObiHandle:
 class OpenBoxController:
     """A logically-centralized OpenBox controller."""
 
+    #: Origin stamped on controller-generated alerts (deploy failures).
+    CONTROLLER_ORIGIN = "_controller"
+
     def __init__(
         self,
         merge_policy: MergePolicy | None = None,
         clock: Callable[[], float] | None = None,
         auto_deploy: bool = True,
+        max_deploy_failures: int = 100,
     ) -> None:
         self.clock = clock or time.monotonic
         self.segments = SegmentHierarchy()
         self.aggregator = GraphAggregator(self.segments, merge_policy)
-        self.stats = ObiStatsTracker()
         self.mux = RequestMultiplexer()
+        # Forgetting an OBI sweeps its pending xid requests.
+        self.stats = ObiStatsTracker(mux=self.mux)
         self.applications: dict[str, OpenBoxApplication] = {}
         self.obis: dict[str, ObiHandle] = {}
         self.auto_deploy = auto_deploy
         self.alerts: list[Alert] = []
         self.logs: list[LogMessage] = []
-        self.deploy_failures: list[tuple[str, str]] = []
+        #: Bounded audit of deploy rejections (obi_id, detail); the full
+        #: count lives in :attr:`failed_deployments`.
+        self.deploy_failures: collections.deque[tuple[str, str]] = collections.deque(
+            maxlen=max_deploy_failures
+        )
+        self.failed_deployments = 0
+        #: Consecutive deploy failures per OBI, reset on success; the
+        #: orchestrator's failover stage treats a persistently failing
+        #: instance like a dead one.
+        self.consecutive_deploy_failures: dict[str, int] = {}
 
     # ------------------------------------------------------------------
     # Northbound: application management
@@ -208,6 +224,20 @@ class OpenBoxController:
             list(self.applications.values()), handle.obi_id, handle.segment
         )
 
+    def _record_deploy_failure(self, obi_id: str, detail: str) -> None:
+        """Track a failed deployment and surface it on the alert path."""
+        self.deploy_failures.append((obi_id, detail))
+        self.failed_deployments += 1
+        self.consecutive_deploy_failures[obi_id] = (
+            self.consecutive_deploy_failures.get(obi_id, 0) + 1
+        )
+        self._handle_alert(Alert(
+            obi_id=obi_id,
+            origin_app=self.CONTROLLER_ORIGIN,
+            message=f"deployment to {obi_id!r} failed: {detail}",
+            severity="error",
+        ))
+
     def deploy(self, obi_id: str) -> AggregationResult | None:
         """Merge and push the applicable graphs to one OBI."""
         handle = self._handle_of(obi_id)
@@ -216,23 +246,42 @@ class OpenBoxController:
         result = self.compute_deployment(obi_id)
         if result is None:
             return None
-        response = handle.channel.request(
-            SetProcessingGraphRequest(graph=result.graph.to_dict())
-        )
+        try:
+            response = handle.channel.request(
+                SetProcessingGraphRequest(graph=result.graph.to_dict())
+            )
+        except ChannelClosed as exc:
+            self._record_deploy_failure(obi_id, f"channel failed: {exc}")
+            raise ProtocolError(
+                ErrorCode.NOT_CONNECTED, f"OBI {obi_id!r} unreachable: {exc}"
+            ) from exc
         if isinstance(response, SetProcessingGraphResponse) and response.ok:
             handle.deployed = result
             handle.generation += 1
+            self.consecutive_deploy_failures.pop(obi_id, None)
             return result
         detail = getattr(response, "detail", "") or getattr(response, "code", "")
-        self.deploy_failures.append((obi_id, str(detail)))
+        self._record_deploy_failure(obi_id, str(detail))
         raise ProtocolError(
             ErrorCode.INVALID_GRAPH, f"OBI {obi_id!r} rejected graph: {detail}"
         )
 
     def redeploy_all(self) -> None:
+        """Deploy to every connected OBI; one failing OBI (recorded via
+        the deploy-failure path) must not block deployment to the rest."""
+        errors: list[ProtocolError] = []
         for obi_id, handle in list(self.obis.items()):
             if handle.channel is not None:
-                self.deploy(obi_id)
+                try:
+                    self.deploy(obi_id)
+                except ProtocolError as exc:
+                    errors.append(exc)
+        if errors and len(errors) == sum(
+            1 for h in self.obis.values() if h.channel is not None
+        ):
+            # Every single OBI refused: the new application logic itself
+            # is bad — surface it to the registering caller.
+            raise errors[0]
 
     # ------------------------------------------------------------------
     # Northbound: application-initiated requests (multiplexed, §4.1)
@@ -252,8 +301,22 @@ class OpenBoxController:
             self.mux.register(
                 message.xid, app.name, callback, self.clock(),
                 error_callback=error_callback,
+                obi_id=obi_id,
             )
-        response = handle.channel.request(message)
+        try:
+            response = handle.channel.request(message)
+        except ChannelClosed as exc:
+            # Fail the pending entry immediately (fires the app's error
+            # callback) instead of leaking it until expiry.
+            if callback is not None:
+                self.mux.dispatch(ErrorMessage(
+                    xid=message.xid,
+                    code=ErrorCode.NOT_CONNECTED,
+                    detail=f"OBI {obi_id!r} unreachable: {exc}",
+                ))
+            raise ProtocolError(
+                ErrorCode.NOT_CONNECTED, f"OBI {obi_id!r} unreachable: {exc}"
+            ) from exc
         # The transports are synchronous RPC, so the response arrives
         # immediately; route it through the demultiplexer exactly as an
         # asynchronously delivered response would be.

@@ -1,17 +1,25 @@
-"""The orchestration loop: stats → scaling → migration → steering.
+"""The orchestration loop: failover → stats → scaling → migration → steering.
 
 The paper's controller "can use this information to scale and provision
 additional service instances, or merge the tasks of multiple
 underutilized instances and take some of them down" (§3.3). This module
 closes that loop as one periodic tick:
 
-1. poll ``GlobalStats`` from every live OBI in each managed group;
+0. **failover** — any group member that has not been heard from within
+   the stats tracker's ``liveness_timeout`` (no keepalive, no stats
+   response), or whose deployments keep failing, is declared dead: its
+   last exported session state is imported into a live survivor (or a
+   freshly provisioned replacement), the group and steering tables are
+   shrunk around it, and its pending xid requests are cancelled;
+1. poll ``GlobalStats`` from every live OBI in each managed group —
+   a successful poll is liveness evidence, a failed one is not;
 2. let the :class:`~repro.controller.scaling.ScalingManager` decide;
 3. on **scale-up**: copy session state from the template replica to the
    new one (so reassigned flows keep their verdicts — the OpenNF hook),
    then widen the steering hop;
 4. on **scale-down**: fold the victim's session state into a surviving
-   replica *before* the provisioner tears it down, then narrow steering.
+   replica *before* the provisioner tears it down, then narrow steering;
+5. sweep expired application requests from the xid multiplexer.
 
 Drive it from any scheduler: ``scheduler.schedule_every(p, loop.tick)``.
 """
@@ -24,6 +32,8 @@ from typing import TYPE_CHECKING
 from repro.controller.migration import StateMigrator
 from repro.controller.scaling import ScalingAction, ScalingManager
 from repro.controller.steering import TrafficSteering
+from repro.protocol.errors import ProtocolError
+from repro.transport.base import ChannelClosed
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.controller.obc import OpenBoxController
@@ -35,8 +45,17 @@ class TickReport:
 
     at: float
     polled: list[str] = field(default_factory=list)
+    poll_failures: list[str] = field(default_factory=list)
     actions: list[ScalingAction] = field(default_factory=list)
     migrations: list[tuple[str, str]] = field(default_factory=list)
+    #: OBIs declared dead this tick.
+    dead: list[str] = field(default_factory=list)
+    #: (dead OBI, survivor that absorbed its role; "" if none found).
+    failovers: list[tuple[str, str]] = field(default_factory=list)
+    #: xids of application requests that timed out this tick.
+    expired_xids: list[int] = field(default_factory=list)
+    #: Cumulative controller-wide deploy-failure count at tick end.
+    failed_deployments: int = 0
 
 
 class OrchestrationLoop:
@@ -48,37 +67,137 @@ class OrchestrationLoop:
         scaling: ScalingManager,
         steering: TrafficSteering | None = None,
         migrate_state: bool = True,
+        #: Declare an OBI failed after this many consecutive deploy
+        #: failures even if its keepalives still arrive (a live process
+        #: that can no longer be (re)configured is not serving policy).
+        deploy_failure_threshold: int = 3,
     ) -> None:
         self.controller = controller
         self.scaling = scaling
         self.steering = steering
         self.migrator = StateMigrator(controller) if migrate_state else None
+        self.deploy_failure_threshold = deploy_failure_threshold
         self.reports: list[TickReport] = []
+        #: Last successful session-state export per OBI — the failover
+        #: stage imports from here because a dead OBI can no longer be
+        #: asked for its state.
+        self.snapshots: dict[str, list] = {}
+
+    # ------------------------------------------------------------------
+    # Stage 1: stats polling (also refreshes liveness evidence)
+    # ------------------------------------------------------------------
+    def _poll_stage(self, report: TickReport) -> None:
+        for group in list(self.scaling._groups):
+            for obi_id in self.scaling.group_members(group):
+                if obi_id not in self.controller.obis:
+                    continue
+                try:
+                    if self.controller.poll_stats(obi_id) is not None:
+                        report.polled.append(obi_id)
+                except (ChannelClosed, ProtocolError):
+                    report.poll_failures.append(obi_id)
+
+    # ------------------------------------------------------------------
+    # Stage 0: failure detection and failover
+    # ------------------------------------------------------------------
+    def _failed_members(self, now: float) -> list[tuple[str, str]]:
+        """(group, obi) pairs that must be failed over this tick."""
+        dead = set(self.controller.stats.dead_obis(now))
+        dead.update(
+            obi_id
+            for obi_id, count in self.controller.consecutive_deploy_failures.items()
+            if count >= self.deploy_failure_threshold
+        )
+        failed: list[tuple[str, str]] = []
+        for group in list(self.scaling._groups):
+            for obi_id in self.scaling.group_members(group):
+                if obi_id in dead and obi_id in self.controller.obis:
+                    failed.append((group, obi_id))
+        return failed
+
+    def _failover_stage(self, report: TickReport, now: float) -> None:
+        for group, obi_id in self._failed_members(now):
+            report.dead.append(obi_id)
+            self.controller.stats.record_failure(obi_id, now)
+            members = self.scaling.group_members(group)
+            survivor = next(
+                (
+                    m for m in members
+                    if m != obi_id
+                    and m in self.controller.obis
+                    and self.controller.stats.is_live(m, now)
+                ),
+                None,
+            )
+            if survivor is None:
+                # Last replica of its group died: provision a fresh
+                # replacement (while the dead handle still exists as a
+                # template), exactly as §3.3's "provision additional
+                # service instances" prescribes.
+                try:
+                    survivor = self.scaling.provisioner.provision(obi_id)
+                    self.scaling.add_member(group, survivor)
+                except Exception:  # noqa: BLE001 - provisioning is best-effort
+                    survivor = None
+            # Import the dead member's last exported session state into
+            # the survivor so re-steered flows keep their verdicts.
+            state = self.snapshots.pop(obi_id, None)
+            if self.migrator is not None and survivor is not None and state:
+                try:
+                    self.migrator.import_state(survivor, state)
+                    report.migrations.append((obi_id, survivor))
+                except (ChannelClosed, ProtocolError):
+                    pass
+            self.scaling.remove_member(group, obi_id)
+            # Disconnecting cancels the dead OBI's pending xid requests
+            # (via the stats tracker's mux hook) and notifies apps.
+            self.controller.disconnect_obi(obi_id)
+            if survivor is not None:
+                # Re-run aggregation/deploy so the survivor carries the
+                # current merged graph for the affected segment.
+                try:
+                    self.controller.deploy(survivor)
+                except (ChannelClosed, ProtocolError):
+                    pass
+            if self.steering is not None:
+                self.steering.update_replicas(
+                    group, self.scaling.group_members(group)
+                )
+            report.failovers.append((obi_id, survivor or ""))
+
+    # ------------------------------------------------------------------
+    # Session-state snapshots (consumed by failover and scale-down)
+    # ------------------------------------------------------------------
+    def _snapshot_stage(self) -> None:
+        if self.migrator is None:
+            return
+        for group in list(self.scaling._groups):
+            for obi_id in self.scaling.group_members(group):
+                if obi_id not in self.controller.obis:
+                    continue
+                try:
+                    self.snapshots[obi_id] = self.migrator.export_state(obi_id)
+                except (ChannelClosed, ProtocolError):
+                    # Keep the previous snapshot: stale state beats none.
+                    pass
 
     def tick(self) -> TickReport:
-        """One round: poll, decide, migrate, re-steer."""
+        """One round: poll, fail over, decide, migrate, re-steer."""
         now = self.controller.clock()
         report = TickReport(at=now)
 
-        # 1. Poll stats for every group member still connected.
-        for group in list(self.scaling._groups):
-            for obi_id in self.scaling.group_members(group):
-                if obi_id in self.controller.obis:
-                    if self.controller.poll_stats(obi_id) is not None:
-                        report.polled.append(obi_id)
+        # 1. Poll stats first — answering a poll is proof of life, so a
+        # healthy-but-quiet OBI is never misdeclared dead; a hung one
+        # fails its poll and stays silent, so stage 0 catches it.
+        self._poll_stage(report)
+
+        # 0. Declare and recover from failures.
+        self._failover_stage(report, now)
+
+        # Snapshot session state for scale-down and the *next* failover.
+        self._snapshot_stage()
 
         # 2-4. Scaling decisions with state-aware choreography.
-        #
-        # Scale-down needs the victim's state saved *before* the
-        # provisioner deprovisions it, so we pre-snapshot every member;
-        # the snapshot for the chosen victim is imported afterwards.
-        snapshots: dict[str, list] = {}
-        if self.migrator is not None:
-            for group in list(self.scaling._groups):
-                for obi_id in self.scaling.group_members(group):
-                    if obi_id in self.controller.obis:
-                        snapshots[obi_id] = self.migrator.export_state(obi_id)
-
         for action in self.scaling.evaluate(now):
             report.actions.append(action)
             members = self.scaling.group_members(action.group)
@@ -96,12 +215,16 @@ class OrchestrationLoop:
                     survivor = next(
                         (m for m in members if m in self.controller.obis), None
                     )
-                    state = snapshots.get(action.obi_id)
+                    state = self.snapshots.get(action.obi_id)
                     if survivor is not None and state:
                         self.migrator.import_state(survivor, state)
                         report.migrations.append((action.obi_id, survivor))
             if self.steering is not None:
                 self.steering.update_replicas(action.group, members)
+
+        # 5. Sweep application requests that outlived their deadline.
+        report.expired_xids = self.controller.mux.expire(now)
+        report.failed_deployments = self.controller.failed_deployments
 
         self.reports.append(report)
         return report

@@ -83,6 +83,19 @@ class ScalingManager:
     def group_members(self, group: str) -> list[str]:
         return list(self._groups.get(group, ()))
 
+    def add_member(self, group: str, obi_id: str) -> None:
+        """Add a replica provisioned outside a scaling decision
+        (e.g. a failover replacement)."""
+        members = self._groups.setdefault(group, [])
+        if obi_id not in members:
+            members.append(obi_id)
+
+    def remove_member(self, group: str, obi_id: str) -> None:
+        """Drop a replica that is gone (dead or externally removed)."""
+        members = self._groups.get(group)
+        if members is not None and obi_id in members:
+            members.remove(obi_id)
+
     def group_of(self, obi_id: str) -> str | None:
         for group, members in self._groups.items():
             if obi_id in members:

@@ -6,14 +6,22 @@ provision additional service instances, or merge the tasks of multiple
 underutilized instances and take some of them down" (paper §3.3).
 
 :class:`ObiStatsTracker` records keepalives and the latest GlobalStats
-per OBI; the scaling manager consumes its view.
+per OBI; the scaling manager consumes its view, and the orchestrator's
+failover stage consumes :meth:`ObiStatsTracker.dead_obis` — liveness is
+evidenced by *any* message from the OBI (keepalive or a stats
+response), so a silent-but-polled instance is not declared dead while
+one that answers nothing for ``liveness_timeout`` is.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from repro.protocol.messages import GlobalStatsResponse
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.controller.xid import RequestMultiplexer
 
 
 @dataclass
@@ -22,6 +30,8 @@ class ObiLoadView:
 
     obi_id: str
     last_keepalive: float = 0.0
+    #: Last time *any* evidence of liveness arrived (keepalive or stats).
+    last_heard: float = 0.0
     keepalives: int = 0
     last_stats: GlobalStatsResponse | None = None
     stats_history: list[tuple[float, float]] = field(default_factory=list)
@@ -29,6 +39,13 @@ class ObiLoadView:
     @property
     def cpu_load(self) -> float:
         return self.last_stats.cpu_load if self.last_stats is not None else 0.0
+
+    def add_sample(self, now: float, load: float, limit: int) -> None:
+        """Append a load sample, enforcing ``limit`` on every append."""
+        self.stats_history.append((now, load))
+        excess = len(self.stats_history) - limit
+        if excess > 0:
+            del self.stats_history[:excess]
 
     def smoothed_load(self, window: int = 5) -> float:
         """Mean of the last ``window`` CPU-load samples (0 if none)."""
@@ -39,34 +56,55 @@ class ObiLoadView:
 
 
 class ObiStatsTracker:
-    """Tracks liveness and load for every connected OBI."""
+    """Tracks liveness and load for every connected OBI.
 
-    def __init__(self, liveness_timeout: float = 30.0, history_limit: int = 1000) -> None:
+    When constructed with the controller's :class:`RequestMultiplexer`,
+    forgetting an OBI also sweeps every request still pending against
+    it, so callbacks fail fast instead of leaking until expiry.
+    """
+
+    def __init__(
+        self,
+        liveness_timeout: float = 30.0,
+        history_limit: int = 1000,
+        mux: "RequestMultiplexer | None" = None,
+    ) -> None:
+        if history_limit < 1:
+            raise ValueError("history_limit must be >= 1")
         self.liveness_timeout = liveness_timeout
         self.history_limit = history_limit
+        self.mux = mux
         self._views: dict[str, ObiLoadView] = {}
+        #: Audit log of declared failures: (obi_id, when declared).
+        self.failures: list[tuple[str, float]] = []
 
     def register(self, obi_id: str, now: float) -> ObiLoadView:
         view = self._views.get(obi_id)
         if view is None:
-            view = ObiLoadView(obi_id=obi_id, last_keepalive=now)
+            view = ObiLoadView(obi_id=obi_id, last_keepalive=now, last_heard=now)
             self._views[obi_id] = view
         return view
 
     def forget(self, obi_id: str) -> None:
         self._views.pop(obi_id, None)
+        if self.mux is not None:
+            self.mux.cancel_for_obi(obi_id)
+
+    def record_failure(self, obi_id: str, now: float) -> None:
+        """Audit that ``obi_id`` was declared failed at ``now``."""
+        self.failures.append((obi_id, now))
 
     def record_keepalive(self, obi_id: str, now: float) -> None:
         view = self.register(obi_id, now)
         view.last_keepalive = now
+        view.last_heard = max(view.last_heard, now)
         view.keepalives += 1
 
     def record_stats(self, stats: GlobalStatsResponse, now: float) -> None:
         view = self.register(stats.obi_id, now)
         view.last_stats = stats
-        view.stats_history.append((now, stats.cpu_load))
-        if len(view.stats_history) > self.history_limit:
-            del view.stats_history[: -self.history_limit]
+        view.last_heard = max(view.last_heard, now)
+        view.add_sample(now, stats.cpu_load, self.history_limit)
 
     def view(self, obi_id: str) -> ObiLoadView | None:
         return self._views.get(obi_id)
@@ -74,14 +112,18 @@ class ObiStatsTracker:
     def all_views(self) -> list[ObiLoadView]:
         return list(self._views.values())
 
+    def is_live(self, obi_id: str, now: float) -> bool:
+        view = self._views.get(obi_id)
+        return view is not None and now - view.last_heard <= self.liveness_timeout
+
     def live_obis(self, now: float) -> list[str]:
         return [
             view.obi_id for view in self._views.values()
-            if now - view.last_keepalive <= self.liveness_timeout
+            if now - view.last_heard <= self.liveness_timeout
         ]
 
     def dead_obis(self, now: float) -> list[str]:
         return [
             view.obi_id for view in self._views.values()
-            if now - view.last_keepalive > self.liveness_timeout
+            if now - view.last_heard > self.liveness_timeout
         ]

@@ -8,7 +8,10 @@ demultiplexing of responses."
 Every outgoing request is recorded under its ``xid``; when a response
 (or error) with that ``xid`` arrives, the registered callback fires and
 the entry is dropped. Entries also expire so a dead OBI cannot leak
-callbacks forever.
+callbacks forever, and :meth:`RequestMultiplexer.cancel_for_obi` sweeps
+every request still pending against a peer the moment it is declared
+dead — applications fail fast with a ``not_connected`` error instead of
+waiting out the timeout.
 """
 
 from __future__ import annotations
@@ -16,6 +19,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable
 
+from repro.protocol.errors import ErrorCode
 from repro.protocol.messages import ErrorMessage, Message
 
 
@@ -25,6 +29,9 @@ class _Pending:
     callback: Callable[[Message], None]
     error_callback: Callable[[ErrorMessage], None] | None
     deadline: float
+    #: Which OBI the request was sent to ("" when unknown), so pending
+    #: entries can be swept when that peer dies.
+    obi_id: str = ""
 
 
 class RequestMultiplexer:
@@ -35,6 +42,7 @@ class RequestMultiplexer:
         self._pending: dict[int, _Pending] = {}
         self.expired = 0
         self.unmatched = 0
+        self.cancelled = 0
 
     def __len__(self) -> int:
         return len(self._pending)
@@ -47,6 +55,7 @@ class RequestMultiplexer:
         now: float,
         error_callback: Callable[[ErrorMessage], None] | None = None,
         timeout: float | None = None,
+        obi_id: str = "",
     ) -> None:
         if xid in self._pending:
             raise ValueError(f"xid {xid} already registered")
@@ -55,6 +64,7 @@ class RequestMultiplexer:
             callback=callback,
             error_callback=error_callback,
             deadline=now + (timeout if timeout is not None else self.default_timeout),
+            obi_id=obi_id,
         )
 
     def dispatch(self, response: Message) -> bool:
@@ -74,10 +84,44 @@ class RequestMultiplexer:
         pending = self._pending.get(xid)
         return pending.app_name if pending is not None else None
 
+    def pending_for_obi(self, obi_id: str) -> list[int]:
+        return [
+            xid for xid, pending in self._pending.items()
+            if pending.obi_id == obi_id
+        ]
+
+    def _fail(self, xid: int, pending: _Pending, code: str, detail: str) -> None:
+        if pending.error_callback is not None:
+            pending.error_callback(ErrorMessage(xid=xid, code=code, detail=detail))
+
+    def cancel_for_obi(self, obi_id: str, detail: str = "") -> list[int]:
+        """Fail every request still pending against ``obi_id``.
+
+        Called when the peer is declared dead; each entry's error
+        callback (if any) fires with ``not_connected``.
+        """
+        stale = self.pending_for_obi(obi_id)
+        for xid in stale:
+            pending = self._pending.pop(xid)
+            self.cancelled += 1
+            self._fail(
+                xid, pending, ErrorCode.NOT_CONNECTED,
+                detail or f"OBI {obi_id!r} declared dead",
+            )
+        return stale
+
     def expire(self, now: float) -> list[int]:
-        """Drop requests whose deadline passed; returns their xids."""
+        """Drop requests whose deadline passed; returns their xids.
+
+        Expired entries get an ``internal_error`` delivered to their
+        error callback so applications learn the request timed out.
+        """
         stale = [xid for xid, pending in self._pending.items() if pending.deadline < now]
         for xid in stale:
-            del self._pending[xid]
+            pending = self._pending.pop(xid)
             self.expired += 1
+            self._fail(
+                xid, pending, ErrorCode.INTERNAL_ERROR,
+                f"request xid={xid} to {pending.obi_id or 'peer'} timed out",
+            )
         return stale

@@ -108,6 +108,18 @@ class OpenBoxInstance:
         self.bytes_processed = 0
         self.alerts_sent = 0
         self.graph_version = 0
+        #: Two-phase SetProcessingGraph bookkeeping: how many staged
+        #: graphs were discarded (previous graph kept serving traffic).
+        self.graph_rollbacks = 0
+        #: Duplicate requests (same xid) answered from the response
+        #: cache instead of being re-applied — the receiver half of the
+        #: transport's idempotent-retry contract (PROTOCOL.md §6).
+        self.duplicate_requests = 0
+        self._response_cache: collections.OrderedDict[int, Message | None] = (
+            collections.OrderedDict()
+        )
+        self._response_cache_limit = 256
+        self._dedup_lock = threading.Lock()
         #: Serializes engine swaps against packet processing and handle
         #: access: the REST endpoint is multi-threaded, so a
         #: SetProcessingGraph must never tear the engine out from under
@@ -193,11 +205,26 @@ class OpenBoxInstance:
     # Downstream message handling
     # ------------------------------------------------------------------
     def handle_message(self, message: Message) -> Message | None:
-        """Protocol dispatch for messages arriving from the controller."""
+        """Protocol dispatch for messages arriving from the controller.
+
+        Requests are deduplicated by ``xid``: a retransmit of a request
+        already applied (its response was lost in transit) replays the
+        cached response instead of applying the request twice, which is
+        what makes the controller's blind retry idempotent.
+        """
+        with self._dedup_lock:
+            if message.xid in self._response_cache:
+                self.duplicate_requests += 1
+                return self._response_cache[message.xid]
         try:
-            return self._dispatch(message)
+            response = self._dispatch(message)
         except ProtocolError as exc:
-            return ErrorMessage(xid=message.xid, code=exc.code, detail=exc.detail)
+            response = ErrorMessage(xid=message.xid, code=exc.code, detail=exc.detail)
+        with self._dedup_lock:
+            self._response_cache[message.xid] = response
+            while len(self._response_cache) > self._response_cache_limit:
+                self._response_cache.popitem(last=False)
+        return response
 
     def _dispatch(self, message: Message) -> Message | None:
         if isinstance(message, SetProcessingGraphRequest):
@@ -239,8 +266,17 @@ class OpenBoxInstance:
         )
 
     def _set_graph(self, message: SetProcessingGraphRequest) -> Message:
+        """Two-phase graph apply: stage → verify → commit.
+
+        The previous graph keeps serving packets until the new one has
+        been fully translated, instantiated, and verified; any error in
+        those phases rolls back to it, so a bad merged graph can never
+        leave the instance blackholing traffic.
+        """
+        # Phase 1 — stage: parse and instantiate off to the side.
         try:
             graph = ProcessingGraph.from_dict(message.graph)
+            graph.validate()
             engine = build_engine(
                 graph,
                 factory=self.factory,
@@ -249,16 +285,29 @@ class OpenBoxInstance:
                 log_service=self.log_service,
                 storage_service=self.storage_service,
             )
+            # Phase 2 — verify: every declared block must have been
+            # translated into a live element before we commit.
+            missing = set(graph.blocks) - set(engine.elements)
+            if missing:
+                raise ProtocolError(
+                    ErrorCode.INVALID_GRAPH,
+                    f"translation dropped blocks: {sorted(missing)}",
+                )
+        except ProtocolError:
+            self.graph_rollbacks += 1
+            raise
         except (GraphValidationError, KeyError, ValueError) as exc:
+            self.graph_rollbacks += 1
             raise ProtocolError(ErrorCode.INVALID_GRAPH, str(exc)) from exc
         if self.config.reconfigure_poll_delay > 0:
             # Reproduces Click's hard-coded 1000 ms element-update poll
             # (paper Table 3, footnote 4).
             time.sleep(self.config.reconfigure_poll_delay)
+        # Phase 3 — commit: atomic swap against in-flight packets.
         with self._lock:
             self.graph = graph
             self.engine = engine
-        self.graph_version += 1
+            self.graph_version += 1
         return SetProcessingGraphResponse(
             xid=message.xid, ok=True, detail=f"version {self.graph_version}"
         )

@@ -8,17 +8,31 @@ interface:
 * :mod:`repro.transport.rest` — the dual REST channel of the paper
   (§3.3): each side runs an HTTP server and POSTs JSON-encoded messages
   to its peer. TLS is omitted (see DESIGN.md substitutions).
+
+Plus two composable wrappers for fault tolerance:
+
+* :mod:`repro.transport.faults` — seeded chaos injection (drops,
+  delays, duplicates, crashes) around any channel;
+* :mod:`repro.transport.retry` — bounded exponential-backoff retry,
+  safe because receivers deduplicate by ``xid``.
 """
 
-from repro.transport.base import Channel, ChannelClosed, MessageHandler
+from repro.transport.base import Channel, ChannelClosed, ChannelTimeout, MessageHandler
+from repro.transport.faults import FaultPlan, FaultyChannel
 from repro.transport.inproc import InProcPair
 from repro.transport.rest import RestEndpoint, RestPeerChannel
+from repro.transport.retry import ResilientChannel, RetryPolicy
 
 __all__ = [
     "Channel",
     "ChannelClosed",
+    "ChannelTimeout",
+    "FaultPlan",
+    "FaultyChannel",
     "InProcPair",
     "MessageHandler",
+    "ResilientChannel",
     "RestEndpoint",
     "RestPeerChannel",
+    "RetryPolicy",
 ]

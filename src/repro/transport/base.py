@@ -15,6 +15,15 @@ class ChannelClosed(ConnectionError):
     """The peer is gone or the channel was shut down."""
 
 
+class ChannelTimeout(ChannelClosed):
+    """The peer did not answer within the request's timeout.
+
+    Distinct from a plain :class:`ChannelClosed` because the message
+    *may have been applied* (only the response was lost) — callers that
+    retry must re-send the same ``xid`` so receivers can deduplicate.
+    """
+
+
 class Channel(Protocol):
     """A bidirectional message channel to a single peer."""
 

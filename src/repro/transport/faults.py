@@ -1,0 +1,140 @@
+"""Deterministic fault injection for any :class:`Channel`.
+
+Failure handling in the control plane (ROADMAP: survive data-plane
+loss) is only testable if failures can be *produced* on demand and
+*reproduced* from a seed. :class:`FaultyChannel` wraps any channel and
+injects the classic distributed-systems failure modes:
+
+* **request drop** — the message never reaches the peer; the caller
+  observes a timeout (:class:`ChannelTimeout`);
+* **response drop** — the peer received and *applied* the message, but
+  the response is lost; the caller observes a timeout even though side
+  effects happened (this is what makes receiver-side xid deduplication
+  necessary — see ``docs/PROTOCOL.md`` §6);
+* **duplication** — the message is delivered twice (a retransmit racing
+  a slow response);
+* **delay** — added latency, charged via an injectable ``sleep`` so
+  virtual-time tests never really sleep;
+* **peer crash** — after ``crash_after`` sends, or an explicit
+  :meth:`kill`, every send raises :class:`ChannelClosed`.
+
+All randomness comes from one ``random.Random(plan.seed)``: the same
+seed over the same call sequence injects the same faults.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.protocol.messages import Message
+from repro.transport.base import ChannelClosed, ChannelTimeout, MessageHandler
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """What to inject, with which probabilities, under which seed."""
+
+    seed: int = 0
+    #: Probability a send is lost before reaching the peer.
+    drop_rate: float = 0.0
+    #: Probability the peer's response is lost after the peer applied
+    #: the message (at-least-once hazard).
+    response_drop_rate: float = 0.0
+    #: Probability a send is delivered twice.
+    duplicate_rate: float = 0.0
+    #: Probability a send is delayed, and the uniform delay bounds.
+    delay_rate: float = 0.0
+    delay_range: tuple[float, float] = (0.0, 0.0)
+    #: Crash the peer permanently after this many sends (None = never).
+    crash_after: int | None = None
+
+
+class FaultyChannel:
+    """A chaos proxy in front of a real channel.
+
+    ``sleep`` receives injected delays; the default records them in
+    :attr:`total_delay` without sleeping (right for virtual-time tests).
+    Pass ``time.sleep`` to make delays real on wall-clock transports.
+    """
+
+    def __init__(
+        self,
+        inner,
+        plan: FaultPlan | None = None,
+        sleep: Callable[[float], None] | None = None,
+    ) -> None:
+        self.inner = inner
+        self.plan = plan or FaultPlan()
+        self._rng = random.Random(self.plan.seed)
+        self._sleep = sleep
+        self._peer_dead = False
+        self.sends = 0
+        self.drops = 0
+        self.response_drops = 0
+        self.duplicates = 0
+        self.delays = 0
+        self.total_delay = 0.0
+
+    # -- fault controls -------------------------------------------------
+    def kill(self) -> None:
+        """Crash the peer: every later send raises ChannelClosed."""
+        self._peer_dead = True
+
+    def revive(self) -> None:
+        """Undo :meth:`kill` (a restarted peer)."""
+        self._peer_dead = False
+
+    # -- Channel protocol ----------------------------------------------
+    def set_handler(self, handler: MessageHandler) -> None:
+        self.inner.set_handler(handler)
+
+    def _pre_send(self, message: Message, timeout: float) -> None:
+        """Common fault rolls before a delivery attempt."""
+        self.sends += 1
+        if self.plan.crash_after is not None and self.sends > self.plan.crash_after:
+            self._peer_dead = True
+        if self._peer_dead:
+            raise ChannelClosed(
+                f"peer crashed (send #{self.sends}, seed {self.plan.seed})"
+            )
+        if self._rng.random() < self.plan.drop_rate:
+            self.drops += 1
+            self._charge(timeout)
+            raise ChannelTimeout(
+                f"request xid={message.xid} dropped after {timeout}s"
+            )
+        if self._rng.random() < self.plan.delay_rate:
+            low, high = self.plan.delay_range
+            self.delays += 1
+            self._charge(self._rng.uniform(low, high))
+
+    def _charge(self, seconds: float) -> None:
+        self.total_delay += seconds
+        if self._sleep is not None and seconds > 0:
+            self._sleep(seconds)
+
+    def request(self, message: Message, timeout: float = 10.0) -> Message:
+        self._pre_send(message, timeout)
+        response = self.inner.request(message, timeout=timeout)
+        if self._rng.random() < self.plan.duplicate_rate:
+            self.duplicates += 1
+            self.inner.request(message, timeout=timeout)
+        if self._rng.random() < self.plan.response_drop_rate:
+            self.response_drops += 1
+            self._charge(timeout)
+            raise ChannelTimeout(
+                f"response for xid={message.xid} dropped (request was applied)"
+            )
+        return response
+
+    def notify(self, message: Message) -> None:
+        self._pre_send(message, timeout=0.0)
+        self.inner.notify(message)
+        if self._rng.random() < self.plan.duplicate_rate:
+            self.duplicates += 1
+            self.inner.notify(message)
+
+    def close(self) -> None:
+        self.inner.close()

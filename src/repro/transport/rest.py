@@ -19,6 +19,7 @@ reproduces.
 from __future__ import annotations
 
 import http.client
+import socket
 import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from urllib.parse import urlparse
@@ -26,9 +27,16 @@ from urllib.parse import urlparse
 from repro.protocol.codec import CodecError, decode_message, encode_message
 from repro.protocol.errors import ErrorCode
 from repro.protocol.messages import ErrorMessage, Message
-from repro.transport.base import ChannelClosed, MessageHandler
+from repro.transport.base import ChannelClosed, ChannelTimeout, MessageHandler
 
 MESSAGE_PATH = "/openbox/message"
+
+#: Defaults for the REST channel's socket timeouts (seconds). A hung
+#: peer must never block a control-plane thread forever (ISSUE: fault
+#: tolerance); these bound every connect, read, and server-side recv.
+DEFAULT_CONNECT_TIMEOUT = 5.0
+DEFAULT_READ_TIMEOUT = 10.0
+DEFAULT_SERVER_TIMEOUT = 30.0
 
 
 class _Handler(BaseHTTPRequestHandler):
@@ -38,6 +46,11 @@ class _Handler(BaseHTTPRequestHandler):
     endpoint: "RestEndpoint"
 
     protocol_version = "HTTP/1.1"
+
+    #: Socket timeout applied by StreamRequestHandler to each accepted
+    #: connection: a client that stalls mid-request is dropped instead
+    #: of pinning a server thread. Overridden per-endpoint.
+    timeout = DEFAULT_SERVER_TIMEOUT
 
     def log_message(self, format: str, *args: object) -> None:  # noqa: A002
         """Silence per-request stderr logging."""
@@ -95,8 +108,16 @@ class _Handler(BaseHTTPRequestHandler):
 class RestEndpoint:
     """An HTTP server receiving OpenBox messages for this process."""
 
-    def __init__(self, host: str = "127.0.0.1", port: int = 0) -> None:
-        handler_cls = type("BoundHandler", (_Handler,), {"endpoint": self})
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        request_timeout: float = DEFAULT_SERVER_TIMEOUT,
+    ) -> None:
+        handler_cls = type(
+            "BoundHandler", (_Handler,),
+            {"endpoint": self, "timeout": request_timeout},
+        )
         self._server = ThreadingHTTPServer((host, port), handler_cls)
         self._server.daemon_threads = True
         self.handler: MessageHandler | None = None
@@ -132,13 +153,20 @@ class RestPeerChannel:
     control plane is not the throughput-critical path).
     """
 
-    def __init__(self, peer_url: str) -> None:
+    def __init__(
+        self,
+        peer_url: str,
+        connect_timeout: float = DEFAULT_CONNECT_TIMEOUT,
+        read_timeout: float = DEFAULT_READ_TIMEOUT,
+    ) -> None:
         parsed = urlparse(peer_url)
         if parsed.scheme != "http" or parsed.hostname is None:
             raise ValueError(f"unsupported peer URL: {peer_url!r}")
         self._host = parsed.hostname
         self._port = parsed.port or 80
         self._path = parsed.path or MESSAGE_PATH
+        self.connect_timeout = connect_timeout
+        self.read_timeout = read_timeout
         self._closed = False
         #: Incoming messages are delivered to the local RestEndpoint, not
         #: here; set_handler exists to satisfy the Channel protocol for
@@ -148,12 +176,21 @@ class RestPeerChannel:
     def set_handler(self, handler: MessageHandler) -> None:
         self._handler = handler
 
-    def _post(self, message: Message, timeout: float) -> Message | None:
+    def _post(self, message: Message, timeout: float | None) -> Message | None:
         if self._closed:
             raise ChannelClosed("channel is closed")
+        read_timeout = timeout if timeout is not None else self.read_timeout
         payload = encode_message(message)
-        connection = http.client.HTTPConnection(self._host, self._port, timeout=timeout)
+        # The connection timeout bounds the TCP connect; once connected,
+        # the socket timeout is widened to the per-request read timeout
+        # so a slow handler and an unreachable host fail independently.
+        connection = http.client.HTTPConnection(
+            self._host, self._port, timeout=min(self.connect_timeout, read_timeout)
+        )
         try:
+            connection.connect()
+            if connection.sock is not None:
+                connection.sock.settimeout(read_timeout)
             connection.request(
                 "POST",
                 self._path,
@@ -165,12 +202,16 @@ class RestPeerChannel:
             if response.status == 204 or not body:
                 return None
             return decode_message(body)
+        except socket.timeout as exc:
+            raise ChannelTimeout(
+                f"peer did not answer xid={message.xid} within {read_timeout}s"
+            ) from exc
         except (ConnectionError, OSError) as exc:
             raise ChannelClosed(f"peer unreachable: {exc}") from exc
         finally:
             connection.close()
 
-    def request(self, message: Message, timeout: float = 10.0) -> Message:
+    def request(self, message: Message, timeout: float | None = None) -> Message:
         response = self._post(message, timeout)
         if response is None:
             return ErrorMessage(
@@ -181,7 +222,7 @@ class RestPeerChannel:
         return response
 
     def notify(self, message: Message) -> None:
-        self._post(message, timeout=10.0)
+        self._post(message, timeout=None)
 
     def close(self) -> None:
         self._closed = True

@@ -1,0 +1,120 @@
+"""Retry with bounded exponential backoff over any :class:`Channel`.
+
+The OpenBox protocol's requests are made idempotent by the receiver's
+xid deduplication (``docs/PROTOCOL.md`` §6): a retry re-sends the *same*
+message with the *same* ``xid``, so a peer that already applied it
+replays the cached response instead of applying it twice. That makes
+blind retry safe for every request type, and :class:`ResilientChannel`
+exploits it: timeouts and transient disconnects are retried up to
+``max_attempts`` times with exponential backoff and full jitter.
+
+The total time a request may block is hard-bounded:
+
+    worst_case(t) = max_attempts * t + backoff_budget()
+
+which the fault-injection suite asserts against (no request hangs
+longer than its timeout plus the maximum backoff budget).
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.protocol.messages import Message
+from repro.transport.base import ChannelClosed, MessageHandler
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded exponential backoff with full jitter."""
+
+    max_attempts: int = 4
+    #: Per-attempt request timeout (seconds) when the caller passes none.
+    request_timeout: float = 5.0
+    base_delay: float = 0.05
+    multiplier: float = 2.0
+    max_delay: float = 1.0
+    #: Fraction of each delay randomized away (1.0 = full jitter).
+    jitter: float = 0.5
+
+    def backoff(self, attempt: int, rng: random.Random) -> float:
+        """Delay before retry number ``attempt + 1`` (0-indexed)."""
+        delay = min(self.base_delay * self.multiplier ** attempt, self.max_delay)
+        if self.jitter > 0:
+            delay *= 1.0 - self.jitter * rng.random()
+        return delay
+
+    def backoff_budget(self) -> float:
+        """The most time backoff pauses can add across all retries."""
+        return sum(
+            min(self.base_delay * self.multiplier ** attempt, self.max_delay)
+            for attempt in range(self.max_attempts - 1)
+        )
+
+    def worst_case(self, timeout: float | None = None) -> float:
+        """Upper bound on how long one request() call may block."""
+        per_attempt = timeout if timeout is not None else self.request_timeout
+        return self.max_attempts * per_attempt + self.backoff_budget()
+
+
+class ResilientChannel:
+    """Retries requests and notifications through a flaky channel.
+
+    ``sleep`` is injectable so virtual-time tests can account backoff
+    without real waiting; it defaults to :func:`time.sleep`. Retries
+    re-send the identical message (same xid) — receivers deduplicate.
+    """
+
+    def __init__(
+        self,
+        inner,
+        policy: RetryPolicy | None = None,
+        seed: int = 0,
+        sleep: Callable[[float], None] | None = None,
+    ) -> None:
+        self.inner = inner
+        self.policy = policy or RetryPolicy()
+        self._rng = random.Random(seed)
+        self._sleep = sleep if sleep is not None else time.sleep
+        self.attempts = 0
+        self.retries = 0
+        self.gave_up = 0
+        self.total_backoff = 0.0
+
+    def set_handler(self, handler: MessageHandler) -> None:
+        self.inner.set_handler(handler)
+
+    def _with_retry(self, send: Callable[[], Message | None]):
+        last_error: ChannelClosed | None = None
+        for attempt in range(self.policy.max_attempts):
+            self.attempts += 1
+            try:
+                return send()
+            except ChannelClosed as exc:  # includes ChannelTimeout
+                last_error = exc
+            if attempt < self.policy.max_attempts - 1:
+                self.retries += 1
+                pause = self.policy.backoff(attempt, self._rng)
+                self.total_backoff += pause
+                if pause > 0:
+                    self._sleep(pause)
+        self.gave_up += 1
+        assert last_error is not None
+        raise last_error
+
+    def request(self, message: Message, timeout: float | None = None) -> Message:
+        per_attempt = (
+            timeout if timeout is not None else self.policy.request_timeout
+        )
+        return self._with_retry(
+            lambda: self.inner.request(message, timeout=per_attempt)
+        )
+
+    def notify(self, message: Message) -> None:
+        self._with_retry(lambda: self.inner.notify(message))
+
+    def close(self) -> None:
+        self.inner.close()

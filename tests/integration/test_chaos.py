@@ -1,0 +1,301 @@
+"""Seeded fault-injection suite (ROADMAP invariants 1 and 7 under faults).
+
+Every test drives the real control plane through a seeded
+:class:`FaultyChannel` (drops, duplicated deliveries, lost responses)
+hardened by a :class:`ResilientChannel`, and asserts that externally
+observable data-plane behaviour is identical to a fault-free run —
+the retry/dedup contract of PROTOCOL.md §6 at work.
+"""
+
+import pytest
+
+from repro.apps.ips import IpsApp, parse_snort_rules
+from repro.bootstrap import connect_inproc
+from repro.controller.apps import AppStatement, FunctionApplication
+from repro.controller.obc import OpenBoxController
+from repro.controller.orchestrator import OrchestrationLoop
+from repro.controller.scaling import ScalingManager, ScalingPolicy
+from repro.controller.split import deploy_split
+from repro.controller.steering import ServiceChain, SteeringHop, TrafficSteering
+from repro.net.builder import make_tcp_packet
+from repro.obi.instance import ObiConfig, OpenBoxInstance
+from repro.sim.events import EventScheduler
+from repro.transport.faults import FaultPlan, FaultyChannel
+from repro.transport.retry import ResilientChannel, RetryPolicy
+
+pytestmark = pytest.mark.chaos
+
+#: Lossy-but-recoverable control channel: one in ten requests vanishes,
+#: responses get lost and deliveries duplicated well above real rates.
+CHAOS_PLAN = FaultPlan(
+    seed=3, drop_rate=0.1, response_drop_rate=0.2, duplicate_rate=0.2
+)
+RETRY = RetryPolicy(max_attempts=6, base_delay=0.01, max_delay=0.05)
+RULES = 'alert tcp any any -> any 80 (msg:"bad"; content:"attack"; sid:1;)'
+
+
+def chaos_wrapper(plan, faults, retries):
+    """wrap_downstream hook: inner channel → FaultyChannel → retry."""
+
+    def wrap(channel):
+        faulty = FaultyChannel(channel, plan)
+        resilient = ResilientChannel(faulty, RETRY, sleep=lambda s: None)
+        faults.append(faulty)
+        retries.append(resilient)
+        return resilient
+
+    return wrap
+
+
+def register_paper_apps(controller, firewall_graph, ips_graph):
+    controller.register_application(FunctionApplication(
+        "fw", lambda: [AppStatement(graph=firewall_graph)], priority=1))
+    controller.register_application(FunctionApplication(
+        "ips", lambda: [AppStatement(graph=ips_graph)], priority=2))
+
+
+class TestInvariant1UnderFaults:
+    """Merged-graph deployment over a lossy channel stays semantically
+    equivalent to a fault-free deployment (ROADMAP invariant 1)."""
+
+    def deploy_world(self, firewall_graph, ips_graph, plan=None):
+        controller = OpenBoxController()
+        obi = OpenBoxInstance(ObiConfig(obi_id="obi-test", segment="corp"))
+        faults, retries = [], []
+        connect_inproc(
+            controller, obi,
+            wrap_downstream=(
+                chaos_wrapper(plan, faults, retries) if plan is not None else None
+            ),
+        )
+        register_paper_apps(controller, firewall_graph, ips_graph)
+        if plan is not None:
+            # Sustained control traffic so the seeded faults actually
+            # fire (deploys alone are only a handful of requests).
+            for _ in range(30):
+                controller.poll_stats("obi-test")
+        return obi, faults, retries
+
+    def test_lossy_deploy_is_equivalent(self, firewall_graph, ips_graph,
+                                        sample_packets):
+        clean_obi, _f, _r = self.deploy_world(
+            build(firewall_graph), build(ips_graph))
+        chaos_obi, faults, retries = self.deploy_world(
+            build(firewall_graph), build(ips_graph), plan=CHAOS_PLAN)
+
+        for packet in sample_packets:
+            expected = clean_obi.process_packet(packet.clone())
+            actual = chaos_obi.process_packet(packet.clone())
+            assert actual.effects_key() == expected.effects_key()
+
+        # The faults genuinely fired and the retry layer absorbed them.
+        faulty = faults[0]
+        assert faulty.drops + faulty.response_drops > 0
+        assert faulty.duplicates > 0
+        assert retries[0].retries > 0
+        assert retries[0].gave_up == 0
+
+    def test_retries_never_double_apply(self, firewall_graph, ips_graph):
+        """Lost responses cause blind re-sends; receiver-side xid dedup
+        must keep the graph from being applied twice."""
+        clean_obi, _f, _r = self.deploy_world(
+            build(firewall_graph), build(ips_graph))
+        chaos_obi, _faults, _retries = self.deploy_world(
+            build(firewall_graph), build(ips_graph), plan=CHAOS_PLAN)
+        assert chaos_obi.duplicate_requests > 0
+        assert chaos_obi.graph_version == clean_obi.graph_version
+        assert chaos_obi.graph_rollbacks == 0
+
+
+def build(graph):
+    """Fresh copy so two worlds never share mutable graph objects."""
+    return graph.copy()
+
+
+class TestInvariant7UnderFaults:
+    """Split processing (HW classify + SW DPI) deployed over lossy
+    channels behaves exactly like the unsplit merged graph."""
+
+    TRUNK = "sfc0"
+
+    def run_split(self, packet, hw, sw):
+        stage_one = hw.process_packet(packet)
+        alerts = list(stage_one.alerts)
+        outputs = []
+        dropped = stage_one.dropped
+        for device, wire_packet in stage_one.outputs:
+            if device != self.TRUNK:
+                outputs.append((device, wire_packet))
+                continue
+            wire_packet.metadata.clear()  # metadata must travel in-band
+            stage_two = sw.process_packet(wire_packet)
+            alerts.extend(stage_two.alerts)
+            outputs.extend(stage_two.outputs)
+            dropped = dropped or stage_two.dropped
+        return dropped, alerts, outputs
+
+    def test_lossy_split_deploy_is_equivalent(self, firewall_graph, ips_graph,
+                                              sample_packets):
+        # Fault-free baseline: the merged graph, unsplit, on one OBI.
+        baseline = OpenBoxController()
+        merged_obi = OpenBoxInstance(ObiConfig(obi_id="merged", segment="corp"))
+        connect_inproc(baseline, merged_obi)
+        register_paper_apps(baseline, build(firewall_graph), build(ips_graph))
+
+        # Chaos world: HW classifier stage + one SW stage, every
+        # control channel lossy.
+        controller = OpenBoxController()
+        faults, retries = [], []
+        hw = OpenBoxInstance(ObiConfig(obi_id="hw", segment="corp"))
+        sw = OpenBoxInstance(ObiConfig(obi_id="sw", segment="corp"))
+        for obi in (hw, sw):
+            connect_inproc(controller, obi,
+                           wrap_downstream=chaos_wrapper(CHAOS_PLAN, faults,
+                                                         retries))
+        register_paper_apps(controller, build(firewall_graph), build(ips_graph))
+        deploy_split(controller, "hw", ["sw"], trunk_device=self.TRUNK)
+
+        for packet in sample_packets:
+            expected = merged_obi.process_packet(packet.clone())
+            dropped, alerts, outputs = self.run_split(packet.clone(), hw, sw)
+            assert dropped == expected.dropped
+            assert sorted(a.message for a in alerts) == sorted(
+                a.message for a in expected.alerts
+            )
+            assert sorted(bytes(p.data) for _d, p in outputs) == sorted(
+                bytes(p.data) for _d, p in expected.outputs
+            )
+
+        assert sum(f.drops + f.response_drops + f.duplicates for f in faults) > 0
+        assert all(r.gave_up == 0 for r in retries)
+
+
+def make_chaos_world(lossy, ips_rules=RULES):
+    """Two-replica IPS group on an event scheduler; ``lossy`` adds the
+    acceptance-criteria fault plan (10% drops) to every control channel."""
+    scheduler = EventScheduler()
+    controller = OpenBoxController(clock=lambda: scheduler.now)
+    obis, faults = {}, {}
+    for obi_id in ("obi-1", "obi-2"):
+        obi = OpenBoxInstance(ObiConfig(obi_id=obi_id, segment="corp"),
+                              clock=lambda: scheduler.now)
+
+        def wrap(channel, i=obi_id):
+            faulty = FaultyChannel(
+                channel,
+                FaultPlan(seed=11, drop_rate=0.1) if lossy else FaultPlan(),
+            )
+            faults[i] = faulty
+            return ResilientChannel(faulty, RETRY, sleep=lambda s: None)
+
+        connect_inproc(controller, obi, wrap_downstream=wrap)
+        obis[obi_id] = obi
+    controller.register_application(IpsApp(
+        "ips", parse_snort_rules(ips_rules), segment="corp", quarantine=True,
+    ))
+    steering = TrafficSteering()
+    steering.register_chain(
+        ServiceChain("corp", [SteeringHop("ips-group", ["obi-1", "obi-2"])]),
+        default=True,
+    )
+
+    class NoProvisioner:
+        def provision(self, like_obi_id):
+            raise RuntimeError("no capacity")
+
+        def deprovision(self, obi_id):
+            controller.disconnect_obi(obi_id)
+
+    scaling = ScalingManager(controller.stats, NoProvisioner(),
+                             ScalingPolicy(scale_down_load=0.0))
+    scaling.register_group("ips-group", ["obi-1", "obi-2"])
+    loop = OrchestrationLoop(controller, scaling, steering)
+    return scheduler, controller, obis, faults, loop, steering
+
+
+#: Flow population: two flows that earn a quarantine verdict, two clean.
+FLOWS = [
+    ("9.9.9.9", 7777, b"attack"),
+    ("8.8.8.8", 6666, b"attack"),
+    ("7.7.7.7", 5555, b"hello"),
+    ("6.6.6.6", 4444, b"hello"),
+]
+
+
+def drive_traffic(scenario_kill, lossy):
+    """Run the acceptance scenario; returns per-packet terminal outcomes.
+
+    Phase 1: every flow sends its first packet (attack flows get
+    quarantined wherever steering pinned them). Then, if
+    ``scenario_kill``, obi-1 crashes mid-run. Phase 2: after the
+    orchestrator's periodic ticks pass the liveness timeout, every flow
+    sends a follow-up packet to wherever steering *now* points.
+    """
+    scheduler, controller, obis, faults, loop, steering = make_chaos_world(lossy)
+    outcomes = []
+
+    def route(packet):
+        return obis[steering.route(packet)[0]]
+
+    for src, sport, payload in FLOWS:
+        packet = make_tcp_packet(src, "2.2.2.2", sport, 80, payload=payload)
+        outcomes.append(route(packet).process_packet(packet).effects_key())
+
+    scheduler.now = 1.0
+    loop.tick()  # healthy tick: snapshots every replica's session state
+    kill_time = scheduler.now
+    if scenario_kill:
+        faults["obi-1"].kill()
+
+    timeout = controller.stats.liveness_timeout
+    scheduler.schedule_every(timeout / 3, loop.tick)
+    scheduler.run_until(kill_time + timeout + timeout / 3 + 0.001)
+
+    for src, sport, _payload in FLOWS:
+        followup = make_tcp_packet(src, "2.2.2.2", sport, 80, payload=b"data")
+        outcomes.append(route(followup).process_packet(followup).effects_key())
+    return scheduler, controller, loop, faults, kill_time, outcomes
+
+
+class TestFailoverAcceptance:
+    """ISSUE acceptance: seeded 10% drops + one OBI killed mid-run →
+    detection within one liveness timeout, redeploy to the survivor,
+    and per-packet terminal outcomes identical to the no-fault run."""
+
+    def test_outcomes_match_no_fault_run(self):
+        _s, _c, _l, _f, _k, expected = drive_traffic(
+            scenario_kill=False, lossy=False)
+        scheduler, controller, loop, faults, kill_time, actual = drive_traffic(
+            scenario_kill=True, lossy=True)
+
+        assert actual == expected
+        # The quarantine verdicts really were exercised: follow-ups of
+        # the two attack flows are dropped, clean flows pass.
+        dropped_flags = [key[1] for key in actual[len(FLOWS):]]
+        assert dropped_flags == [True, True, False, False]
+
+        # The dead OBI was detected within one liveness timeout of the
+        # first tick at which its silence exceeded the threshold.
+        timeout = controller.stats.liveness_timeout
+        declared = [at for obi, at in controller.stats.failures
+                    if obi == "obi-1"]
+        assert declared
+        assert declared[0] - kill_time <= timeout + timeout / 3 + 0.001
+        # Failover re-deployed to the survivor and re-steered to it.
+        assert [f for f in sum((r.failovers for r in loop.reports), [])] == [
+            ("obi-1", "obi-2")
+        ]
+        assert controller.obis["obi-2"].deployed is not None
+        assert "obi-1" not in controller.obis
+        # And the 10% drop plan genuinely bit.
+        assert faults["obi-2"].drops > 0
+
+    def test_lossy_channels_alone_change_nothing(self):
+        """10% drops with no crash: retries mask every fault."""
+        *_rest, expected = drive_traffic(scenario_kill=False, lossy=False)
+        _s, controller, loop, faults, _k, actual = drive_traffic(
+            scenario_kill=False, lossy=True)
+        assert actual == expected
+        assert controller.stats.failures == []
+        assert all(r.failovers == [] for r in loop.reports)
+        assert faults["obi-1"].drops + faults["obi-2"].drops > 0

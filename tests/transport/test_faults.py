@@ -1,0 +1,239 @@
+"""FaultyChannel chaos wrapper and ResilientChannel retry/backoff."""
+
+import pytest
+
+from repro.protocol.messages import KeepAlive, ReadRequest, ReadResponse
+from repro.transport.base import ChannelClosed, ChannelTimeout
+from repro.transport.faults import FaultPlan, FaultyChannel
+from repro.transport.inproc import InProcPair
+from repro.transport.retry import ResilientChannel, RetryPolicy
+
+
+def make_channel(plan, handler=None, sleep=None):
+    """A FaultyChannel in front of one side of an in-process pair."""
+    pair = InProcPair()
+    calls = []
+
+    def default_handler(message):
+        calls.append(message)
+        return ReadResponse(xid=message.xid, value=len(calls))
+
+    pair.right.set_handler(handler or default_handler)
+    return FaultyChannel(pair.left, plan, sleep=sleep), calls
+
+
+class TestFaultyChannel:
+    def test_clean_plan_passes_through(self):
+        channel, calls = make_channel(FaultPlan())
+        response = channel.request(ReadRequest(block="b"))
+        assert isinstance(response, ReadResponse)
+        assert len(calls) == 1
+        assert channel.sends == 1 and channel.drops == 0
+
+    def test_drop_raises_timeout_and_never_delivers(self):
+        channel, calls = make_channel(FaultPlan(drop_rate=1.0))
+        with pytest.raises(ChannelTimeout):
+            channel.request(ReadRequest(), timeout=2.0)
+        assert calls == []
+        assert channel.drops == 1
+        # The caller is charged the full timeout it waited out.
+        assert channel.total_delay == 2.0
+
+    def test_response_drop_applies_then_times_out(self):
+        channel, calls = make_channel(FaultPlan(response_drop_rate=1.0))
+        with pytest.raises(ChannelTimeout):
+            channel.request(ReadRequest())
+        # The peer DID apply the request; only the response was lost.
+        assert len(calls) == 1
+        assert channel.response_drops == 1
+
+    def test_duplicate_delivers_twice(self):
+        channel, calls = make_channel(FaultPlan(duplicate_rate=1.0))
+        channel.request(ReadRequest())
+        assert len(calls) == 2
+        assert channel.duplicates == 1
+
+    def test_delay_recorded_without_sleeping(self):
+        channel, _calls = make_channel(
+            FaultPlan(delay_rate=1.0, delay_range=(0.5, 0.5))
+        )
+        channel.request(ReadRequest())
+        assert channel.delays == 1
+        assert channel.total_delay == pytest.approx(0.5)
+
+    def test_injected_sleep_receives_delays(self):
+        slept = []
+        channel, _calls = make_channel(
+            FaultPlan(delay_rate=1.0, delay_range=(0.25, 0.25)),
+            sleep=slept.append,
+        )
+        channel.request(ReadRequest())
+        assert slept == [pytest.approx(0.25)]
+
+    def test_kill_crashes_peer(self):
+        channel, calls = make_channel(FaultPlan())
+        channel.request(ReadRequest())
+        channel.kill()
+        with pytest.raises(ChannelClosed):
+            channel.request(ReadRequest())
+        with pytest.raises(ChannelClosed):
+            channel.notify(KeepAlive(obi_id="x"))
+        assert len(calls) == 1
+        channel.revive()
+        assert isinstance(channel.request(ReadRequest()), ReadResponse)
+
+    def test_crash_after_n_sends(self):
+        channel, _calls = make_channel(FaultPlan(crash_after=2))
+        channel.request(ReadRequest())
+        channel.request(ReadRequest())
+        with pytest.raises(ChannelClosed):
+            channel.request(ReadRequest())
+
+    def test_same_seed_reproduces_fault_sequence(self):
+        plan = FaultPlan(seed=42, drop_rate=0.3, duplicate_rate=0.2)
+
+        def run():
+            channel, _calls = make_channel(plan)
+            outcomes = []
+            for _ in range(50):
+                try:
+                    channel.request(ReadRequest())
+                    outcomes.append("ok")
+                except ChannelTimeout:
+                    outcomes.append("drop")
+            return outcomes, channel.drops, channel.duplicates
+
+        assert run() == run()
+
+    def test_different_seeds_differ(self):
+        def run(seed):
+            plan = FaultPlan(seed=seed, drop_rate=0.5)
+            channel, _calls = make_channel(plan)
+            outcomes = []
+            for _ in range(30):
+                try:
+                    channel.request(ReadRequest())
+                    outcomes.append(True)
+                except ChannelTimeout:
+                    outcomes.append(False)
+            return outcomes
+
+        assert run(1) != run(2)
+
+    def test_notify_faults(self):
+        channel, calls = make_channel(FaultPlan(duplicate_rate=1.0))
+        channel.notify(KeepAlive(obi_id="k"))
+        assert len(calls) == 2
+
+
+class _Flaky:
+    """A channel stub that fails ``failures`` times, then succeeds."""
+
+    def __init__(self, failures, error=ChannelTimeout):
+        self.failures = failures
+        self.error = error
+        self.calls = 0
+
+    def request(self, message, timeout=10.0):
+        self.calls += 1
+        if self.calls <= self.failures:
+            raise self.error("transient")
+        return ReadResponse(xid=message.xid, value="ok")
+
+    def notify(self, message):
+        self.calls += 1
+        if self.calls <= self.failures:
+            raise self.error("transient")
+
+    def set_handler(self, handler):
+        pass
+
+    def close(self):
+        pass
+
+
+class TestRetryPolicy:
+    def test_backoff_grows_and_caps(self):
+        import random
+        policy = RetryPolicy(base_delay=0.1, multiplier=2.0, max_delay=0.3,
+                             jitter=0.0)
+        rng = random.Random(0)
+        assert policy.backoff(0, rng) == pytest.approx(0.1)
+        assert policy.backoff(1, rng) == pytest.approx(0.2)
+        assert policy.backoff(5, rng) == pytest.approx(0.3)
+
+    def test_jitter_never_exceeds_nominal(self):
+        import random
+        policy = RetryPolicy(base_delay=0.1, jitter=1.0)
+        rng = random.Random(7)
+        for attempt in range(5):
+            assert policy.backoff(attempt, rng) <= 0.1 * 2.0 ** attempt
+
+    def test_budget_and_worst_case(self):
+        policy = RetryPolicy(max_attempts=3, base_delay=0.1, multiplier=2.0,
+                             max_delay=10.0, request_timeout=2.0)
+        assert policy.backoff_budget() == pytest.approx(0.1 + 0.2)
+        assert policy.worst_case() == pytest.approx(3 * 2.0 + 0.3)
+        assert policy.worst_case(1.0) == pytest.approx(3 * 1.0 + 0.3)
+
+
+class TestResilientChannel:
+    def test_retries_through_transient_timeouts(self):
+        inner = _Flaky(failures=2)
+        slept = []
+        channel = ResilientChannel(
+            inner, RetryPolicy(max_attempts=4), sleep=slept.append
+        )
+        response = channel.request(ReadRequest())
+        assert response.value == "ok"
+        assert inner.calls == 3
+        assert channel.retries == 2
+        assert len(slept) == 2
+
+    def test_retries_through_disconnects(self):
+        inner = _Flaky(failures=1, error=ChannelClosed)
+        channel = ResilientChannel(inner, sleep=lambda s: None)
+        assert channel.request(ReadRequest()).value == "ok"
+
+    def test_gives_up_after_max_attempts(self):
+        inner = _Flaky(failures=100)
+        channel = ResilientChannel(
+            inner, RetryPolicy(max_attempts=3), sleep=lambda s: None
+        )
+        with pytest.raises(ChannelTimeout):
+            channel.request(ReadRequest())
+        assert inner.calls == 3
+        assert channel.gave_up == 1
+
+    def test_total_backoff_within_budget(self):
+        policy = RetryPolicy(max_attempts=5, base_delay=0.05, max_delay=0.4)
+        inner = _Flaky(failures=100)
+        slept = []
+        channel = ResilientChannel(inner, policy, sleep=slept.append)
+        with pytest.raises(ChannelTimeout):
+            channel.request(ReadRequest())
+        # The hard bound the acceptance criteria demand: backoff pauses
+        # never exceed the policy's precomputed budget.
+        assert sum(slept) <= policy.backoff_budget() + 1e-9
+        assert channel.total_backoff == pytest.approx(sum(slept))
+
+    def test_notify_retried(self):
+        inner = _Flaky(failures=1)
+        channel = ResilientChannel(inner, sleep=lambda s: None)
+        channel.notify(KeepAlive(obi_id="k"))
+        assert inner.calls == 2
+
+    def test_same_xid_resent_on_retry(self):
+        """Retries must re-send the identical message (same xid) so the
+        receiver's dedup can recognize replays."""
+        seen = []
+
+        class Recorder(_Flaky):
+            def request(self, message, timeout=10.0):
+                seen.append(message.xid)
+                return super().request(message, timeout)
+
+        channel = ResilientChannel(Recorder(failures=2), sleep=lambda s: None)
+        request = ReadRequest()
+        channel.request(request)
+        assert seen == [request.xid] * 3
