@@ -32,6 +32,7 @@ from repro.protocol.messages import (
     ErrorMessage,
     GlobalStatsRequest,
     GlobalStatsResponse,
+    HealthReport,
     Hello,
     KeepAlive,
     LogMessage,
@@ -143,6 +144,9 @@ class OpenBoxController:
             return None
         if isinstance(message, Alert):
             self._handle_alert(message)
+            return None
+        if isinstance(message, HealthReport):
+            self.stats.record_health(message, self.clock())
             return None
         if isinstance(message, LogMessage):
             self.logs.append(message)
@@ -440,3 +444,8 @@ class OpenBoxController:
             self.stats.record_stats(response, self.clock())
             return response
         return None
+
+    def health(self, obi_id: str) -> HealthReport | None:
+        """Latest data-plane health beacon received from ``obi_id``."""
+        view = self.stats.view(obi_id)
+        return view.last_health if view is not None else None

@@ -50,6 +50,9 @@ class TickReport:
     migrations: list[tuple[str, str]] = field(default_factory=list)
     #: OBIs declared dead this tick.
     dead: list[str] = field(default_factory=list)
+    #: Group members whose health reports show overload (degraded mode
+    #: or admission-gate shedding) as of this tick.
+    overloaded: list[str] = field(default_factory=list)
     #: (dead OBI, survivor that absorbed its role; "" if none found).
     failovers: list[tuple[str, str]] = field(default_factory=list)
     #: xids of application requests that timed out this tick.
@@ -190,6 +193,15 @@ class OrchestrationLoop:
         # healthy-but-quiet OBI is never misdeclared dead; a hung one
         # fails its poll and stays silent, so stage 0 catches it.
         self._poll_stage(report)
+
+        # Record which members report data-plane overload: their
+        # effective load is pinned at 1.0, so the scaling stage below
+        # sees them as saturated regardless of lagging CPU samples.
+        for group in list(self.scaling._groups):
+            for obi_id in self.scaling.group_members(group):
+                view = self.controller.stats.view(obi_id)
+                if view is not None and view.overloaded:
+                    report.overloaded.append(obi_id)
 
         # 0. Declare and recover from failures.
         self._failover_stage(report, now)

@@ -18,7 +18,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
 
-from repro.protocol.messages import GlobalStatsResponse
+from repro.protocol.messages import GlobalStatsResponse, HealthReport
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.controller.xid import RequestMultiplexer
@@ -30,15 +30,26 @@ class ObiLoadView:
 
     obi_id: str
     last_keepalive: float = 0.0
-    #: Last time *any* evidence of liveness arrived (keepalive or stats).
+    #: Last time *any* evidence of liveness arrived (keepalive, stats,
+    #: or a health report).
     last_heard: float = 0.0
     keepalives: int = 0
     last_stats: GlobalStatsResponse | None = None
     stats_history: list[tuple[float, float]] = field(default_factory=list)
+    #: Latest data-plane health beacon (quarantine/shed/suppression
+    #: counters, PROTOCOL.md §7).
+    last_health: HealthReport | None = None
+    #: True while the OBI reports overload evidence: running degraded or
+    #: actively shedding packets since the previous health report.
+    overloaded: bool = False
 
     @property
     def cpu_load(self) -> float:
         return self.last_stats.cpu_load if self.last_stats is not None else 0.0
+
+    @property
+    def quarantined_blocks(self) -> list[str]:
+        return list(self.last_health.quarantined_blocks) if self.last_health else []
 
     def add_sample(self, now: float, load: float, limit: int) -> None:
         """Append a load sample, enforcing ``limit`` on every append."""
@@ -53,6 +64,17 @@ class ObiLoadView:
         if not recent:
             return 0.0
         return sum(load for _ts, load in recent) / len(recent)
+
+    def effective_load(self, window: int = 5) -> float:
+        """Load as the scaling loop should see it.
+
+        An OBI shedding packets at its admission gate is at capacity no
+        matter what its smoothed CPU samples say (samples lag, and a shed
+        packet consumes no CPU) — overload evidence pins the effective
+        load to 1.0 so the scale-up threshold is guaranteed to trip.
+        """
+        smoothed = self.smoothed_load(window)
+        return 1.0 if self.overloaded else smoothed
 
 
 class ObiStatsTracker:
@@ -105,6 +127,21 @@ class ObiStatsTracker:
         view.last_stats = stats
         view.last_heard = max(view.last_heard, now)
         view.add_sample(now, stats.cpu_load, self.history_limit)
+
+    def record_health(self, report: HealthReport, now: float) -> None:
+        """Fold a data-plane health beacon into the OBI's view.
+
+        Overload evidence is shedding *progress* (packets_shed grew since
+        the previous report) or currently-degraded mode; a historical
+        shed counter alone does not keep an OBI marked overloaded
+        forever.
+        """
+        view = self.register(report.obi_id, now)
+        previous = view.last_health
+        shed_before = previous.packets_shed if previous is not None else 0
+        view.overloaded = report.degraded or report.packets_shed > shed_before
+        view.last_health = report
+        view.last_heard = max(view.last_heard, now)
 
     def view(self, obi_id: str) -> ObiLoadView | None:
         return self._views.get(obi_id)

@@ -207,6 +207,9 @@ class DefragmenterElement(Element):
         self.max_pending = int(config.get("max_pending", 1024))
         self.reassembled = 0
         self.expired = 0
+        #: Fragment groups rejected because the claimed datagram would
+        #: exceed the IPv4 maximum (ping-of-death style frames).
+        self.oversized = 0
         # key -> (first_seen, {offset: bytes}, total_len | None, template pkt)
         self._pending: dict[tuple, list] = {}
 
@@ -245,6 +248,16 @@ class DefragmenterElement(Element):
 
         if total_len is None:
             return []
+        if total_len + ipv4.header_len > 0xFFFF:
+            # The final fragment claims a datagram larger than an IPv4
+            # packet can be (ping-of-death). Drop the whole group — a
+            # frame this hostile must not reach serialization.
+            del self._pending[key]
+            self.oversized += 1
+            outcome = self.context.current if self.context is not None else None
+            if outcome is not None:
+                outcome.dropped = True
+            return []
         covered = 0
         payload = bytearray(total_len)
         for offset in sorted(chunks):
@@ -278,6 +291,8 @@ class DefragmenterElement(Element):
             return len(self._pending)
         if name == "expired":
             return self.expired
+        if name == "oversized":
+            return self.oversized
         return super().read_handle(name)
 
 
@@ -303,8 +318,10 @@ class FragmenterElement(Element):
         self.fragmented += 1
         header_len = eth.header_len + ipv4.header_len
         body = packet.data[header_len:]
-        # Fragment payload sizes must be multiples of 8 bytes.
-        chunk = (self.mtu - ipv4.header_len) // 8 * 8
+        # Fragment payload sizes must be multiples of 8 bytes; clamp to
+        # one 8-byte unit so an MTU smaller than the IP header can never
+        # produce a zero-advance (infinite) fragmentation loop.
+        chunk = max(8, (self.mtu - ipv4.header_len) // 8 * 8)
         fragments: list[tuple[int, Packet]] = []
         offset = 0
         while offset < len(body):

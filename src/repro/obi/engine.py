@@ -46,14 +46,31 @@ class LogEvent:
 
 
 @dataclass
+class ErrorEvent:
+    """An element raised while processing a packet (contained fault)."""
+
+    block: str
+    origin_app: str | None
+    error: str
+    #: Containment applied: ``drop`` | ``bypass`` | ``punt``.
+    policy: str
+    packet_summary: str
+
+
+@dataclass
 class PacketOutcome:
     """Everything that happened to one injected packet."""
 
     outputs: list[tuple[str, Packet]] = field(default_factory=list)
     dropped: bool = False
     punted: bool = False
+    #: Shed by the OBI's admission gate before reaching the graph.
+    shed: bool = False
     alerts: list[AlertEvent] = field(default_factory=list)
     logs: list[LogEvent] = field(default_factory=list)
+    #: Contained element faults (diagnostics; the externally observable
+    #: consequence — drop/bypass/punt — is reflected in the fields above).
+    errors: list[ErrorEvent] = field(default_factory=list)
     path: list[str] = field(default_factory=list)
 
     @property
@@ -90,6 +107,9 @@ class EngineContext:
     log_service: Any = None
     storage_service: Any = None
     current: PacketOutcome | None = None
+    #: Fault-containment layer (:class:`repro.obi.robustness.EngineRobustness`);
+    #: None disables containment and restores fail-fast traversal.
+    robustness: Any = None
 
     @property
     def now(self) -> float:
@@ -137,12 +157,34 @@ class Element:
         stack: list[tuple["Element", Packet]] = [(self, packet)]
         while stack:
             element, current = stack.pop()
+            context = element.context
+            outcome = context.current if context is not None else None
+            guard = context.robustness if context is not None else None
+            if guard is not None:
+                # Quarantined element or overload-degraded bypass: the
+                # element is skipped and containment emissions used
+                # instead (it neither counts the packet nor appears on
+                # the path — it did not process anything).
+                contained = guard.intercept(element, current, outcome)
+                if contained is not None:
+                    for port, out_packet in reversed(contained):
+                        successor = element._outputs.get(port)
+                        if successor is not None:
+                            stack.append((successor, out_packet))
+                    continue
             element.count += 1
             element.byte_count += len(current)
-            outcome = element.context.current if element.context is not None else None
             if outcome is not None:
                 outcome.path.append(element.name)
-            emissions = element.process(current)
+            if guard is not None:
+                try:
+                    emissions = element.process(current)
+                except Exception as exc:  # noqa: BLE001 — containment boundary
+                    emissions = guard.contain(element, current, exc, outcome)
+                else:
+                    guard.on_success(element)
+            else:
+                emissions = element.process(current)
             # Reversed so the first emission is processed first (DFS).
             for port, out_packet in reversed(emissions):
                 successor = element._outputs.get(port)
@@ -186,15 +228,30 @@ class Engine:
         self.graph = graph
         self.elements = elements
         self.context = context
-        entry = graph.entry_point()
-        self._entry = elements[entry]
+        self.entry_name = graph.entry_point()
+        # A partially committed graph (e.g. a translation that dropped
+        # blocks) may not have an element for the entry point. Tolerate
+        # that at construction so the two-phase verify stage can inspect
+        # and reject it; process() fails fast without counting anything.
+        self._entry = elements.get(self.entry_name)
         for element in elements.values():
             element.attach(context)
         self.packets_processed = 0
         self.bytes_processed = 0
 
+    @property
+    def entry_resolved(self) -> bool:
+        """True iff the graph's entry point translated into a live element."""
+        return self._entry is not None
+
     def process(self, packet: Packet) -> PacketOutcome:
         """Push one packet through the graph and collect its outcome."""
+        if self._entry is None:
+            # Refuse *before* touching the counters: a packet that never
+            # entered the graph must not inflate packets/bytes_processed.
+            raise KeyError(
+                f"entry element {self.entry_name!r} missing from engine"
+            )
         outcome = PacketOutcome()
         self.context.current = outcome
         try:

@@ -17,16 +17,24 @@ from __future__ import annotations
 import collections
 import threading
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, field as dataclasses_field
 from typing import Any, Callable
 
 from repro.core.graph import GraphValidationError, ProcessingGraph
 from repro.net.packet import Packet
 from repro.obi.custom import CustomModuleLoader
-from repro.obi.engine import Engine, PacketOutcome
+from repro.obi.engine import AlertEvent, Engine, PacketOutcome
+from repro.obi.robustness import (
+    AdmissionGate,
+    AlertBatcher,
+    EngineRobustness,
+    FaultPolicy,
+    OverloadPolicy,
+)
 from repro.obi.services import LogService, PacketStorageService
 from repro.obi.storage import SessionStorage
 from repro.obi.translation import ElementFactory, build_engine
+from repro.protocol.blocks_spec import OBI_PSEUDO_BLOCK
 from repro.protocol.codec import PROTOCOL_VERSION
 from repro.protocol.errors import ErrorCode, ProtocolError
 from repro.protocol.messages import (
@@ -44,6 +52,7 @@ from repro.protocol.messages import (
     PacketHistoryResponse,
     GlobalStatsRequest,
     GlobalStatsResponse,
+    HealthReport,
     Hello,
     KeepAlive,
     ListCapabilitiesRequest,
@@ -79,6 +88,16 @@ class ObiConfig:
     #: How many recent per-packet traversal records to retain for the
     #: packet-history debugging facility (paper §6); 0 disables it.
     history_size: int = 256
+    #: Data-plane fault containment: per-element error policy, quarantine
+    #: thresholds, poison-packet retention (see ``repro.obi.robustness``).
+    fault_policy: FaultPolicy = dataclasses_field(default_factory=FaultPolicy)
+    #: Overload control: admission token bucket, degradation watermark,
+    #: seeded shedding. ``admission_rate`` 0 (the default) disables it.
+    overload: OverloadPolicy = dataclasses_field(default_factory=OverloadPolicy)
+    #: Per-origin-app upstream alert rate limit (alerts/second); 0 means
+    #: unlimited. Refused alerts are counted and summarized.
+    alert_rate_limit: float = 0.0
+    alert_burst: float = 8.0
 
 
 class OpenBoxInstance:
@@ -128,6 +147,22 @@ class OpenBoxInstance:
         self.history: collections.deque = collections.deque(
             maxlen=max(config.history_size, 0)
         )
+        #: Fault containment is owned by the OBI, not the engine, so
+        #: breaker state, poison digests, and error counters survive
+        #: graph redeployments (quarantine is a property of the
+        #: instance's recent history, not of one engine build).
+        self.robustness = EngineRobustness(config.fault_policy, clock=self.clock)
+        self._admission = (
+            AdmissionGate(config.overload, self.clock)
+            if config.overload.admission_rate > 0
+            else None
+        )
+        self._alert_batcher = AlertBatcher(
+            config.alert_rate_limit, config.alert_burst, self.clock
+        )
+        #: Ingress accounting: every packet offered to :meth:`inject`,
+        #: whether admitted or shed.
+        self.packets_offered = 0
 
     # ------------------------------------------------------------------
     # Controller connection
@@ -168,9 +203,32 @@ class OpenBoxInstance:
     def process_packet(self, packet: Packet) -> PacketOutcome:
         """Run one packet through the deployed graph.
 
-        Alerts raised by the graph are forwarded upstream on the
-        controller channel (paper §3.4: upstream events).
+        Ingress first passes the admission gate (when overload control is
+        configured): a shed packet never reaches the engine and comes
+        back ``dropped`` + ``shed``. Alerts raised by the graph and
+        contained element faults are coalesced, rate limited, and
+        forwarded upstream on the controller channel (paper §3.4).
         """
+        self.packets_offered += 1
+        if self._admission is not None:
+            verdict = self._admission.admit(packet)
+            # The gate drives degraded mode: below the watermark the
+            # engine starts bypassing blocks marked ``degradable``.
+            self.robustness.degraded = self._admission.degraded
+            if not verdict.admitted:
+                outcome = PacketOutcome(dropped=True, shed=True)
+                with self._lock:
+                    if self.history.maxlen:
+                        self.history.append({
+                            "packet": self._safe_summary(packet),
+                            "path": [],
+                            "dropped": True,
+                            "shed": verdict.reason or "exhausted",
+                            "outputs": [],
+                            "alerts": [],
+                            "at": self.clock(),
+                        })
+                return outcome
         with self._lock:
             if self.engine is None:
                 raise ProtocolError(
@@ -181,25 +239,112 @@ class OpenBoxInstance:
             self.bytes_processed += len(packet)
             if self.history.maxlen:
                 self.history.append({
-                    "packet": packet.summary(),
+                    "packet": self._safe_summary(packet),
                     "path": list(outcome.path),
                     "dropped": outcome.dropped,
                     "outputs": [device for device, _pkt in outcome.outputs],
                     "alerts": [event.message for event in outcome.alerts],
                     "at": self.clock(),
                 })
-        if outcome.alerts and self._channel is not None:
-            for event in outcome.alerts:
-                self._channel.notify(Alert(
-                    obi_id=self.config.obi_id,
-                    block=event.block,
-                    origin_app=event.origin_app or "",
-                    message=event.message,
-                    severity=event.severity,
-                    packet_summary=event.packet_summary,
-                ))
-                self.alerts_sent += 1
+        self._forward_alerts(outcome)
         return outcome
+
+    def inject(self, packet: Packet) -> PacketOutcome:
+        """Ingress entry point — admission gate, then the engine."""
+        return self.process_packet(packet)
+
+    @staticmethod
+    def _safe_summary(packet: Packet) -> str:
+        try:
+            return packet.summary()
+        except Exception:  # noqa: BLE001 — the frame itself may be hostile
+            return f"unparseable frame len={len(packet.data)}"
+
+    def _forward_alerts(self, outcome: PacketOutcome) -> None:
+        """Upstream alert path: coalesce, rate limit, plus quarantine alerts.
+
+        Quarantine transitions bypass the rate limiter — a breaker trip
+        is exactly the signal a storm must not drown out — while the
+        per-packet alert bodies go through the batcher.
+        """
+        newly_quarantined = self.robustness.drain_newly_quarantined()
+        if self._channel is None:
+            return
+        for block in newly_quarantined:
+            self._notify_alert(Alert(
+                obi_id=self.config.obi_id,
+                block=block,
+                origin_app=OBI_PSEUDO_BLOCK,
+                message=f"block {block!r} quarantined after repeated errors",
+                severity="critical",
+            ))
+        events = list(outcome.alerts)
+        for error in outcome.errors:
+            events.append(AlertEvent(
+                block=error.block,
+                origin_app=error.origin_app,
+                message=f"element fault ({error.policy}): {error.error}",
+                severity="error",
+                packet_summary=error.packet_summary,
+            ))
+        if not events:
+            return
+        for group in self._alert_batcher.batch(events):
+            self._notify_alert(Alert(
+                obi_id=self.config.obi_id,
+                block=group.block,
+                origin_app=group.origin_app,
+                message=group.message,
+                severity=group.severity,
+                packet_summary=group.packet_summary,
+                count=group.count,
+            ))
+
+    def _notify_alert(self, alert: Alert) -> None:
+        self._channel.notify(alert)
+        self.alerts_sent += 1
+
+    def flush_alerts(self) -> None:
+        """Summarize what the rate limiter refused: one "N suppressed"
+        alert per origin app, instead of the N alerts themselves."""
+        summaries = self._alert_batcher.drain_suppressed()
+        if self._channel is None:
+            return
+        for origin, count in summaries:
+            self._notify_alert(Alert(
+                obi_id=self.config.obi_id,
+                block=OBI_PSEUDO_BLOCK,
+                origin_app=origin,
+                message=f"{count} alerts suppressed",
+                severity="warning",
+                count=count,
+            ))
+
+    # ------------------------------------------------------------------
+    # Health reporting
+    # ------------------------------------------------------------------
+    @property
+    def packets_shed(self) -> int:
+        return self._admission.packets_shed if self._admission is not None else 0
+
+    def health_report(self) -> HealthReport:
+        """Snapshot of the robustness counters for the controller."""
+        return HealthReport(
+            obi_id=self.config.obi_id,
+            quarantined_blocks=self.robustness.quarantined_blocks(),
+            errors_total=self.robustness.errors_total,
+            packets_shed=self.packets_shed,
+            alerts_sent=self.alerts_sent,
+            alerts_suppressed=self._alert_batcher.suppressed_total,
+            degraded=self.robustness.degraded,
+            graph_version=self.graph_version,
+        )
+
+    def send_health_report(self) -> None:
+        """Flush suppression summaries, then beacon the health counters."""
+        self.flush_alerts()
+        if self._channel is not None:
+            self._channel.notify(self.health_report())
 
     # ------------------------------------------------------------------
     # Downstream message handling
@@ -284,9 +429,18 @@ class OpenBoxInstance:
                 session=self.session,
                 log_service=self.log_service,
                 storage_service=self.storage_service,
+                robustness=self.robustness,
             )
-            # Phase 2 — verify: every declared block must have been
-            # translated into a live element before we commit.
+            # Phase 2 — verify: the entry point must have resolved to a
+            # live element (an engine without one rejects every packet),
+            # and every declared block must have been translated, before
+            # we commit.
+            if not engine.entry_resolved:
+                raise ProtocolError(
+                    ErrorCode.INVALID_GRAPH,
+                    f"entry point {engine.entry_name!r} did not resolve "
+                    "to a live element",
+                )
             missing = set(graph.blocks) - set(engine.elements)
             if missing:
                 raise ProtocolError(
@@ -325,6 +479,19 @@ class OpenBoxInstance:
         )
 
     def _read(self, message: ReadRequest) -> Message:
+        if message.block == OBI_PSEUDO_BLOCK:
+            # Instance-level robustness state: served even with no graph
+            # deployed (the controller may probe a sick OBI).
+            try:
+                value = self.read_obi_handle(message.handle)
+            except KeyError as exc:
+                raise ProtocolError(ErrorCode.UNKNOWN_HANDLE, str(exc)) from exc
+            return ReadResponse(
+                xid=message.xid,
+                block=message.block,
+                handle=message.handle,
+                value=value,
+            )
         if self.engine is None:
             raise ProtocolError(ErrorCode.INVALID_GRAPH, "no graph deployed")
         try:
@@ -340,6 +507,24 @@ class OpenBoxInstance:
         return ReadResponse(
             xid=message.xid, block=message.block, handle=message.handle, value=value
         )
+
+    def read_obi_handle(self, handle: str) -> Any:
+        """Read handles of the ``_obi`` pseudo-block (PROTOCOL.md §7)."""
+        if handle == "alerts_sent":
+            return self.alerts_sent
+        if handle == "alerts_suppressed":
+            return self._alert_batcher.suppressed_total
+        if handle == "errors_total":
+            return self.robustness.errors_total
+        if handle == "packets_shed":
+            return self.packets_shed
+        if handle == "quarantined_blocks":
+            return self.robustness.quarantined_blocks()
+        if handle == "poison_quarantine":
+            return self.robustness.poison_digests()
+        if handle == "degraded":
+            return self.robustness.degraded
+        raise KeyError(f"{OBI_PSEUDO_BLOCK} has no read handle {handle!r}")
 
     def _write(self, message: WriteRequest) -> Message:
         if self.engine is None:

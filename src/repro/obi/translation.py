@@ -62,18 +62,31 @@ def build_engine(
     session: SessionStorage | None = None,
     log_service: Any = None,
     storage_service: Any = None,
+    robustness: Any = ...,
 ) -> Engine:
-    """Instantiate and wire an :class:`Engine` for ``graph``."""
+    """Instantiate and wire an :class:`Engine` for ``graph``.
+
+    Fault containment is on by default: unless ``robustness`` is given
+    (an :class:`~repro.obi.robustness.EngineRobustness`, or ``None`` to
+    disable containment and restore fail-fast traversal), a fresh
+    default containment layer guards every element.
+    """
     import time
+
+    from repro.obi.robustness import EngineRobustness
 
     graph.validate()
     if factory is None:
         factory = ElementFactory()
+    resolved_clock = clock or time.monotonic
+    if robustness is ...:
+        robustness = EngineRobustness(clock=resolved_clock)
     context = EngineContext(
-        clock=clock or time.monotonic,
+        clock=resolved_clock,
         session=session or SessionStorage(),
         log_service=log_service,
         storage_service=storage_service,
+        robustness=robustness,
     )
     elements: dict[str, Element] = {}
     for block in graph.blocks.values():

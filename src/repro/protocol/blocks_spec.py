@@ -61,6 +61,29 @@ def all_specs() -> list[dict[str, Any]]:
     return [spec_to_dict(spec) for spec in block_registry]
 
 
+#: Pseudo-block addressing the OBI itself in Read requests. It is not a
+#: processing block — reads against it answer from instance-level
+#: robustness state (PROTOCOL.md §7), uniformly for the controller and
+#: for chaos tests.
+OBI_PSEUDO_BLOCK = "_obi"
+
+#: Read handles served by the OBI pseudo-block.
+OBI_READ_HANDLES = (
+    "alerts_sent",
+    "alerts_suppressed",
+    "errors_total",
+    "packets_shed",
+    "quarantined_blocks",
+    "poison_quarantine",
+    "degraded",
+)
+
+
+def obi_handle_specs() -> list[dict[str, Any]]:
+    """The `_obi` pseudo-block's handles, in the block-spec handle schema."""
+    return [{"name": name, "writable": False} for name in OBI_READ_HANDLES]
+
+
 def dynamic_port_types() -> list[str]:
     """Names of types whose port count depends on configuration."""
     return [spec.name for spec in block_registry if spec.num_ports == PORTS_BY_CONFIG]

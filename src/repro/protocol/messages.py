@@ -290,6 +290,30 @@ class Alert(Message):
 
 @register_message
 @dataclass
+class HealthReport(Message):
+    """OBI → OBC: periodic data-plane health beacon (PROTOCOL.md §7).
+
+    Carries the robustness counters of the armored data plane:
+    quarantined blocks, contained element errors, packets shed by the
+    admission gate, alert-suppression totals, and whether the OBI is
+    currently running degraded (bypassing ``degradable`` blocks). The
+    controller feeds these into its health view and scaling decisions.
+    """
+
+    TYPE: ClassVar[str] = "HealthReport"
+
+    obi_id: str = ""
+    quarantined_blocks: list[str] = field(default_factory=list)
+    errors_total: int = 0
+    packets_shed: int = 0
+    alerts_sent: int = 0
+    alerts_suppressed: int = 0
+    degraded: bool = False
+    graph_version: int = 0
+
+
+@register_message
+@dataclass
 class LogMessage(Message):
     """OBI → OBC/log service: a Log block fired."""
 

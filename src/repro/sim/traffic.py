@@ -160,5 +160,23 @@ class TrafficGenerator:
             result.append(packet)
         return result
 
+    def overload_burst(
+        self, num_packets: int, rate: float, start: float = 0.0
+    ) -> list[Packet]:
+        """A constant-rate saturating burst for overload-control scenarios.
+
+        ``num_packets`` arrivals spaced exactly ``1/rate`` seconds apart
+        starting at ``start`` — no exponential jitter, so an admission
+        gate offered this burst above its refill rate drains its bucket
+        deterministically and the seeded shed set is reproducible.
+        """
+        if rate <= 0:
+            raise ValueError("rate must be positive")
+        interarrival = 1.0 / rate
+        packets = self.packets(num_packets)
+        for index, packet in enumerate(packets):
+            packet.timestamp = start + index * interarrival
+        return packets
+
     def mean_frame_size(self, packets: list[Packet]) -> float:
         return sum(len(packet) for packet in packets) / len(packets) if packets else 0.0

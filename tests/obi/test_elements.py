@@ -368,3 +368,111 @@ class TestClassifierElements:
             assert engine.process(
                 make_tcp_packet("1.1.1.1", "2.2.2.2", 5, 80)
             ).dropped
+
+
+class TestMalformedFrames:
+    """Hostile frames must never crash a built-in element.
+
+    The packet views already fail safe (returning None for unparseable
+    layers); these are regressions for the element-level holes found on
+    top of that — and a sweep asserting every registered element survives
+    a library of hostile frames without the containment layer firing.
+    """
+
+    def _hostile_frames(self):
+        import random
+        import struct
+
+        from repro.net.ip import ip_to_int
+
+        rng = random.Random(0xBAD)
+        base = make_tcp_packet(
+            "10.0.0.1", "10.0.0.2", 1234, 80,
+            payload=b"GET / HTTP/1.1\r\nHost: a\r\n\r\n",
+        ).data
+        frames = [b"", b"\x00"]
+        frames += [bytes(rng.randrange(256) for _ in range(rng.randrange(0, 120)))
+                   for _ in range(40)]
+        frames += [base[:cut] for cut in range(0, len(base), 5)]
+        for _ in range(40):
+            mutated = bytearray(base)
+            for _ in range(rng.randrange(1, 8)):
+                mutated[rng.randrange(len(mutated))] = rng.randrange(256)
+            frames.append(bytes(mutated))
+        return frames
+
+    @staticmethod
+    def _fragment(offset, more, body, ident=7):
+        import struct
+
+        from repro.net.ip import ip_to_int
+
+        eth = b"\x00" * 12 + b"\x08\x00"
+        flags_frag = ((0b001 if more else 0) << 13) | offset
+        ip = struct.pack(
+            "!BBHHHBBH4s4s", 0x45, 0, min(20 + len(body), 0xFFFF), ident,
+            flags_frag, 64, 17, 0,
+            struct.pack("!I", ip_to_int("1.1.1.1")),
+            struct.pack("!I", ip_to_int("2.2.2.2")),
+        )
+        return Packet(data=eth + ip + body)
+
+    def test_defragmenter_rejects_oversized_reassembly(self):
+        """Regression: a final fragment claiming a datagram beyond the
+        IPv4 maximum used to crash header serialization (struct.error)."""
+        graph = ProcessingGraph("defrag")
+        read = Block("FromDevice", name="r", config={"devname": "i"})
+        defrag = Block("Defragmenter", name="d")
+        out = Block("ToDevice", name="o", config={"devname": "o"})
+        graph.add_blocks([read, defrag, out])
+        graph.connect(read, defrag)
+        graph.connect(defrag, out, 0)
+        engine = build_engine(graph, robustness=None)
+        engine.process(self._fragment(0, True, b"A" * 65528))
+        outcome = engine.process(self._fragment(8191, False, b"B" * 100))
+        assert outcome.dropped
+        assert not outcome.outputs
+        assert engine.read_handle("d", "oversized") == 1
+        assert engine.read_handle("d", "pending") == 0
+
+    def test_fragmenter_survives_tiny_mtu(self):
+        """Regression: an MTU below the IP header length used to make the
+        fragmentation loop advance by zero bytes (infinite loop)."""
+        block = Block("Fragmenter", name="f", config={"mtu": 8})
+        _engine, outcome = run_one(
+            block, make_udp_packet("1.1.1.1", "2.2.2.2", 1, 2, payload=b"X" * 64)
+        )
+        # Original body = 8-byte UDP header + 64 payload bytes, sliced
+        # into 8-byte fragments past each fragment's Ethernet+IP prefix.
+        bodies = sum(
+            len(pkt.data) - 14 - pkt.ipv4.header_len
+            for _dev, pkt in outcome.outputs
+        )
+        assert bodies == 72
+        assert not outcome.outputs[0][1].ipv4.frag_offset
+        assert not Packet(data=outcome.outputs[-1][1].data).ipv4.more_fragments
+
+    def test_every_element_survives_hostile_frames(self):
+        import time
+
+        from repro.obi.elements import element_registry
+        from repro.obi.engine import EngineContext
+
+        configs = {
+            "BpsShaper": {"bps": 1000},
+            "PpsShaper": {"pps": 1000},
+            "MetadataClassifier": {"key": "x", "values": ["a"]},
+            "NshEncapsulate": {"spi": 1, "si": 1},
+            "SessionTag": {"key": "t", "value": "v"},
+            "VlanEncapsulate": {"vid": 5},
+        }
+        frames = self._hostile_frames()
+        context = EngineContext(clock=time.monotonic, session=SessionStorage())
+        for type_name, element_cls in sorted(element_registry.items()):
+            element = element_cls(
+                name=type_name, config=dict(configs.get(type_name, {})),
+                origin_app=None,
+            )
+            element.attach(context)
+            for frame in frames:
+                element.process(Packet(data=frame))

@@ -24,6 +24,7 @@ from repro.protocol.messages import (
     ExportStateResponse,
     GlobalStatsRequest,
     GlobalStatsResponse,
+    HealthReport,
     Hello,
     ImportStateRequest,
     ImportStateResponse,
@@ -65,7 +66,10 @@ ALL_MESSAGES = [
     AddCustomModuleRequest.from_binary("m", b"\x00\x01binary", [{"name": "X", "class": "static"}]),
     AddCustomModuleResponse(module_name="m", ok=True, detail="loaded"),
     Alert(obi_id="o1", block="a", origin_app="fw", message="hit",
-          severity="warning", packet_summary="pkt#1"),
+          severity="warning", packet_summary="pkt#1", count=3),
+    HealthReport(obi_id="o1", quarantined_blocks=["bad"], errors_total=7,
+                 packets_shed=2, alerts_sent=5, alerts_suppressed=40,
+                 degraded=True, graph_version=3),
     LogMessage(obi_id="o1", block="l", origin_app="fw", message="seen"),
     SetExternalServices(log_server="http://log", storage_server="http://st",
                         keepalive_interval=5.0),
