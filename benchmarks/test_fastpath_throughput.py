@@ -1,0 +1,113 @@
+"""Flow-decision fast-path throughput: cold slow path vs warm cache.
+
+Fig9-style steady traffic (a bounded flow universe, many packets per
+flow) through a paper-scale firewall graph. Measures wall-clock packets
+per second with the cache disabled (every packet takes the full trie
+match) and with the cache warm, and checks the machine-independent
+ratios against the checked-in baseline ``benchmarks/BENCH_fastpath.json``:
+the run fails if the warm/cold speedup regresses by more than 30%, or
+drops below the 2x floor the fast path is specified to deliver.
+
+Scale: set ``OPENBOX_BENCH_SCALE=ci`` for the reduced CI run (same rule
+count — per-packet cost ratios are what matter — fewer packets).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import time
+
+from benchmarks.conftest import RESULTS_DIR, write_result
+from repro.apps.firewall import FirewallApp, parse_firewall_rules
+from repro.net.packet import Packet
+from repro.obi.translation import build_engine
+from repro.sim.rulesets import generate_firewall_rules
+from repro.sim.traffic import TraceConfig, TrafficGenerator
+
+BASELINE_PATH = pathlib.Path(__file__).parent / "BENCH_fastpath.json"
+
+#: Largest tolerated drop of the warm/cold speedup vs the baseline.
+MAX_SPEEDUP_REGRESSION = 0.30
+#: Absolute floor: the fast path must at least double warm-flow rates.
+MIN_SPEEDUP = 2.0
+MIN_HIT_RATE = 0.90
+
+_SCALES = {
+    # rules, packets, flows
+    "full": (2000, 3000, 60),
+    "ci": (2000, 1000, 60),
+}
+
+
+def _scale() -> tuple[int, int, int]:
+    return _SCALES[os.environ.get("OPENBOX_BENCH_SCALE", "full")]
+
+
+def _workload():
+    num_rules, num_packets, num_flows = _scale()
+    rules = parse_firewall_rules(generate_firewall_rules(num_rules, seed=4560))
+    graph = FirewallApp("fw", rules, alert_only=True).build_graph()
+    frames = [
+        packet.data
+        for packet in TrafficGenerator(
+            TraceConfig(num_packets=num_packets, num_flows=num_flows)
+        ).packets()
+    ]
+    return graph, frames
+
+
+def _pps(engine, frames: list[bytes]) -> float:
+    start = time.perf_counter()
+    for frame in frames:
+        engine.process(Packet(data=frame))
+    return len(frames) / (time.perf_counter() - start)
+
+
+def test_fastpath_speedup_vs_baseline():
+    graph, frames = _workload()
+    cold = build_engine(graph, flow_cache=None)
+    warm = build_engine(graph)
+    for frame in frames:  # install every flow's decisions
+        warm.process(Packet(data=frame))
+    cold_pps = _pps(cold, frames)
+    warm_pps = _pps(warm, frames)
+    stats = warm.flow_cache.stats()
+    result = {
+        "scale": os.environ.get("OPENBOX_BENCH_SCALE", "full"),
+        "cold_pps": round(cold_pps),
+        "warm_pps": round(warm_pps),
+        "speedup": round(warm_pps / cold_pps, 3),
+        "hit_rate": round(stats["hit_rate"], 4),
+    }
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "BENCH_fastpath.json").write_text(
+        json.dumps(result, indent=2) + "\n"
+    )
+    write_result(
+        "fastpath_throughput",
+        (
+            f"flow-decision fast path: cold {cold_pps:,.0f} pkts/s, "
+            f"warm {warm_pps:,.0f} pkts/s "
+            f"(speedup {result['speedup']:.2f}x, "
+            f"hit rate {result['hit_rate']:.1%})\n"
+        ),
+    )
+
+    assert result["speedup"] >= MIN_SPEEDUP, (
+        f"fast path delivers only {result['speedup']:.2f}x; "
+        f"the floor is {MIN_SPEEDUP:.1f}x"
+    )
+    assert result["hit_rate"] >= MIN_HIT_RATE
+
+    # Raw pps is machine-dependent; the speedup and hit-rate ratios are
+    # not — those gate the regression check against the baseline.
+    baseline = json.loads(BASELINE_PATH.read_text())
+    floor = baseline["speedup"] * (1.0 - MAX_SPEEDUP_REGRESSION)
+    assert result["speedup"] >= floor, (
+        f"speedup {result['speedup']:.2f}x regressed more than "
+        f"{MAX_SPEEDUP_REGRESSION:.0%} vs baseline "
+        f"{baseline['speedup']:.2f}x (floor {floor:.2f}x)"
+    )
+    assert result["hit_rate"] >= baseline["hit_rate"] - 0.05

@@ -51,6 +51,17 @@ class ObiLoadView:
     def quarantined_blocks(self) -> list[str]:
         return list(self.last_health.quarantined_blocks) if self.last_health else []
 
+    @property
+    def fastpath_hit_rate(self) -> float:
+        """Flow-cache hit rate the OBI last reported.
+
+        Informational for scaling decisions: the OBI already discounts
+        fast-path hits in the cpu_load it reports (a cache hit skips
+        the classifier work), so the smoothed-load samples account for
+        the cache; this exposes *why* a busy OBI reports low load.
+        """
+        return self.last_health.fastpath_hit_rate if self.last_health else 0.0
+
     def add_sample(self, now: float, load: float, limit: int) -> None:
         """Append a load sample, enforcing ``limit`` on every append."""
         self.stats_history.append((now, load))

@@ -62,6 +62,12 @@ class BlockTypeSpec:
     #: Classifier types that implement a cross-product merge (the paper's
     #: ``mergeWith`` interface on HeaderClassifier).
     mergeable: bool = False
+    #: May a flow-decision cache entry (obi/fastpath.py) cover a visit
+    #: to this block type? False for types whose behaviour is stateful
+    #: or payload-dependent beyond what the flow key captures (DPI,
+    #: fragmentation, tunnels, rate limiters): a slow-path visit to one
+    #: poisons the flow's cache entry.
+    cacheable: bool = True
     #: Optional hook combining two same-type static/modifier blocks into
     #: one (returns the merged config, or None if the configs conflict).
     combine: Callable[[dict[str, Any], dict[str, Any]], dict[str, Any] | None] | None = None
@@ -172,21 +178,25 @@ def _register_builtin_types() -> None:
         "RegexClassifier", C, "Classify payload against regular expressions",
         num_ports=PORTS_BY_CONFIG, params=("patterns", "default_port"),
         required_params=("patterns",), handles=classifier_handles,
+        cacheable=False,
     ))
     reg(BlockTypeSpec(
         "HeaderPayloadClassifier", C,
         "Classify on header fields and payload patterns together",
         num_ports=PORTS_BY_CONFIG, params=("rules", "default_port"),
         required_params=("rules",), handles=classifier_handles,
+        cacheable=False,
     ))
     reg(BlockTypeSpec(
         "ProtocolAnalyzer", C, "Classify by identified application protocol",
         num_ports=PORTS_BY_CONFIG, params=("protocols", "default_port"),
         required_params=("protocols",), handles=(HandleSpec("count"),),
+        cacheable=False,
     ))
     reg(BlockTypeSpec(
         "FlowClassifier", C, "Classify by flow-table state",
         num_ports=PORTS_BY_CONFIG, params=("rules", "default_port"),
+        cacheable=False,
     ))
     reg(BlockTypeSpec(
         "VlanClassifier", C, "Classify by 802.1Q VLAN id",
@@ -227,7 +237,8 @@ def _register_builtin_types() -> None:
                       handles=(HandleSpec("count"),)))
     reg(BlockTypeSpec("VlanEncapsulate", M, "Push an 802.1Q tag", num_ports=1,
                       params=("vid", "pcp"), required_params=("vid",)))
-    reg(BlockTypeSpec("VlanDecapsulate", M, "Pop the 802.1Q tag", num_ports=1))
+    reg(BlockTypeSpec("VlanDecapsulate", M, "Pop the 802.1Q tag", num_ports=1,
+                      cacheable=False))
     reg(BlockTypeSpec("GzipDecompressor", M, "Decompress gzip HTTP bodies",
                       num_ports=1, handles=(HandleSpec("count"), HandleSpec("errors"))))
     reg(BlockTypeSpec("GzipCompressor", M, "Compress HTTP bodies with gzip",
@@ -242,29 +253,35 @@ def _register_builtin_types() -> None:
     reg(BlockTypeSpec(
         "NshEncapsulate", M, "Push an NSH header carrying OpenBox metadata",
         num_ports=1, params=("spi", "metadata_keys"), required_params=("spi",),
+        cacheable=False,
     ))
     reg(BlockTypeSpec("NshDecapsulate", M,
-                      "Pop the NSH header and restore OpenBox metadata", num_ports=1))
+                      "Pop the NSH header and restore OpenBox metadata",
+                      num_ports=1, cacheable=False))
     reg(BlockTypeSpec("VxlanEncapsulate", M, "VXLAN-encapsulate with metadata shim",
-                      num_ports=1, params=("vni", "metadata_keys")))
-    reg(BlockTypeSpec("VxlanDecapsulate", M, "Strip VXLAN encapsulation", num_ports=1))
+                      num_ports=1, params=("vni", "metadata_keys"),
+                      cacheable=False))
+    reg(BlockTypeSpec("VxlanDecapsulate", M, "Strip VXLAN encapsulation",
+                      num_ports=1, cacheable=False))
     reg(BlockTypeSpec("GeneveEncapsulate", M,
                       "Geneve-encapsulate with a metadata TLV option",
-                      num_ports=1, params=("vni", "metadata_keys")))
+                      num_ports=1, params=("vni", "metadata_keys"),
+                      cacheable=False))
     reg(BlockTypeSpec("GeneveDecapsulate", M, "Strip Geneve encapsulation",
-                      num_ports=1))
+                      num_ports=1, cacheable=False))
     reg(BlockTypeSpec(
         "SetMetadata", M, "Write constant values into the packet metadata storage",
         num_ports=1, params=("values",), required_params=("values",),
         combine=_combine_field_rewrites_metadata,
     ))
-    reg(BlockTypeSpec("StripEthernet", M, "Remove the Ethernet header", num_ports=1))
+    reg(BlockTypeSpec("StripEthernet", M, "Remove the Ethernet header", num_ports=1,
+                      cacheable=False))
     reg(BlockTypeSpec("Fragmenter", M, "Fragment oversized IPv4 packets",
-                      num_ports=1, params=("mtu",)))
+                      num_ports=1, params=("mtu",), cacheable=False))
     reg(BlockTypeSpec(
         "Defragmenter", M,
         "Reassemble IPv4 fragments before classification (anti-evasion)",
-        num_ports=1, params=("timeout", "max_pending"),
+        num_ports=1, params=("timeout", "max_pending"), cacheable=False,
         handles=(HandleSpec("count"), HandleSpec("reassembled"),
                  HandleSpec("pending"), HandleSpec("expired")),
     ))
@@ -273,6 +290,7 @@ def _register_builtin_types() -> None:
         "Serve cached HTTP content: hits emit a synthesized response "
         "toward the client on port 1; misses pass through on port 0",
         num_ports=2, params=("cache",), required_params=("cache",),
+        cacheable=False,
         handles=(HandleSpec("count"), HandleSpec("hits"), HandleSpec("misses")),
     ))
 
@@ -281,15 +299,16 @@ def _register_builtin_types() -> None:
                       HandleSpec("rate", writable=True))
     reg(BlockTypeSpec("BpsShaper", Sh, "Limit throughput in bits per second",
                       num_ports=1, params=("bps", "burst"), required_params=("bps",),
-                      handles=shaper_handles))
+                      handles=shaper_handles, cacheable=False))
     reg(BlockTypeSpec("PpsShaper", Sh, "Limit throughput in packets per second",
                       num_ports=1, params=("pps", "burst"), required_params=("pps",),
-                      handles=shaper_handles))
+                      handles=shaper_handles, cacheable=False))
     reg(BlockTypeSpec("Queue", Sh, "FIFO queue with tail drop",
-                      num_ports=1, params=("capacity",), handles=shaper_handles))
+                      num_ports=1, params=("capacity",), handles=shaper_handles,
+                      cacheable=False))
     reg(BlockTypeSpec("RedQueue", Sh, "Random-early-detection queue",
                       num_ports=1, params=("capacity", "min_threshold", "max_threshold"),
-                      handles=shaper_handles))
+                      handles=shaper_handles, cacheable=False))
     reg(BlockTypeSpec("DelayShaper", Sh, "Add fixed delay to packets",
                       num_ports=1, params=("delay",)))
 

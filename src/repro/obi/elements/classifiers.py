@@ -34,6 +34,11 @@ DEFAULT_HEADER_IMPLEMENTATION = "trie"
 class HeaderClassifierElement(Element):
     """First-match header classification with selectable implementation."""
 
+    # Rules consult only flow-key fields (prefixes, ports, proto, vlan,
+    # dscp): the match is a pure function of the flow key and the fast
+    # path may record and replay it.
+    caches_decision = True
+
     def __init__(self, name: str, config: dict[str, Any], origin_app: str | None = None) -> None:
         super().__init__(name, config, origin_app)
         self._ruleset = HeaderRuleSet.from_config(config)
@@ -53,6 +58,10 @@ class HeaderClassifierElement(Element):
         self.match_counts[port] = self.match_counts.get(port, 0) + 1
         return [(port, packet)]
 
+    def replay_decision(self, port: int, packet: Packet) -> None:
+        # Keep the match_counts handle identical to a slow-path run.
+        self.match_counts[port] = self.match_counts.get(port, 0) + 1
+
     def read_handle(self, name: str) -> Any:
         if name == "match_counts":
             return dict(self.match_counts)
@@ -70,6 +79,10 @@ class HeaderClassifierElement(Element):
 
 class RegexClassifierElement(Element):
     """Payload classification against a pattern set (DPI)."""
+
+    # Routing depends on payload bytes, which the flow key does not
+    # cover: a visit poisons the flow-decision cache entry.
+    cacheable = False
 
     def __init__(self, name: str, config: dict[str, Any], origin_app: str | None = None) -> None:
         super().__init__(name, config, origin_app)
@@ -97,6 +110,9 @@ class RegexClassifierElement(Element):
 
 class HeaderPayloadClassifierElement(Element):
     """Combined header + payload rules (IPS-style, paper Table 1)."""
+
+    # Payload-dependent routing: poisons the flow-decision cache.
+    cacheable = False
 
     def __init__(self, name: str, config: dict[str, Any], origin_app: str | None = None) -> None:
         super().__init__(name, config, origin_app)
@@ -130,6 +146,9 @@ class ProtocolAnalyzerElement(Element):
     ``default_port``. Identification is lightweight: transport protocol,
     well-known ports, and HTTP payload heuristics.
     """
+
+    # The HTTP heuristic reads payload bytes: poisons the cache.
+    cacheable = False
 
     def __init__(self, name: str, config: dict[str, Any], origin_app: str | None = None) -> None:
         super().__init__(name, config, origin_app)
@@ -174,6 +193,10 @@ class FlowClassifierElement(Element):
     suspicious) steers subsequent packets of the flow.
     """
 
+    # Session state changes between packets of one flow (that is the
+    # point of the block): never cache past it.
+    cacheable = False
+
     def __init__(self, name: str, config: dict[str, Any], origin_app: str | None = None) -> None:
         super().__init__(name, config, origin_app)
         self._key = config.get("key", "class")
@@ -193,6 +216,10 @@ class FlowClassifierElement(Element):
 
 class VlanClassifierElement(Element):
     """Classifies by 802.1Q VLAN id; rules map vid -> port."""
+
+    # The outer vid is part of the flow key (tag pops are uncacheable),
+    # so the decision is flow-deterministic.
+    caches_decision = True
 
     def __init__(self, name: str, config: dict[str, Any], origin_app: str | None = None) -> None:
         super().__init__(name, config, origin_app)
@@ -218,9 +245,16 @@ class MetadataClassifierElement(Element):
     matching path. ``rules`` maps metadata values to output ports.
     """
 
+    # The routed-on metadata key is folded into the flow key by the
+    # engine (the graph's "metadata scope"), making the decision
+    # flow-deterministic; metadata writers that are not constant
+    # (tunnel decaps) are themselves uncacheable and poison the entry.
+    caches_decision = True
+
     def __init__(self, name: str, config: dict[str, Any], origin_app: str | None = None) -> None:
         super().__init__(name, config, origin_app)
         self._key = config["key"]
+        self.metadata_key = self._key
         self._ports = {
             str(value): int(port)
             for value, port in (config.get("rules") or {}).items()

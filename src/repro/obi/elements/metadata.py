@@ -39,6 +39,9 @@ class NshEncapsulateElement(Element):
     keys to ship; default all), optional ``si`` (initial service index).
     """
 
+    # Tunnel framing/metadata changes per packet: poisons the cache.
+    cacheable = False
+
     def __init__(self, name: str, config: dict[str, Any], origin_app: str | None = None) -> None:
         super().__init__(name, config, origin_app)
         self.spi = int(config["spi"])
@@ -57,6 +60,9 @@ class NshEncapsulateElement(Element):
 
 class NshDecapsulateElement(Element):
     """Strips the NSH header and restores the metadata storage."""
+
+    # Restores metadata from wire bytes the flow key cannot see.
+    cacheable = False
 
     def __init__(self, name: str, config: dict[str, Any], origin_app: str | None = None) -> None:
         super().__init__(name, config, origin_app)
@@ -87,6 +93,9 @@ class NshDecapsulateElement(Element):
 class VxlanEncapsulateElement(Element):
     """VXLAN alternative to NSH (paper §3.1 lists VXLAN/Geneve/FlowTags)."""
 
+    # Tunnel framing/metadata changes per packet: poisons the cache.
+    cacheable = False
+
     def __init__(self, name: str, config: dict[str, Any], origin_app: str | None = None) -> None:
         super().__init__(name, config, origin_app)
         self.vni = int(config.get("vni", 0))
@@ -102,6 +111,9 @@ class VxlanEncapsulateElement(Element):
 
 class GeneveEncapsulateElement(Element):
     """Geneve alternative: metadata rides as a native TLV option."""
+
+    # Tunnel framing/metadata changes per packet: poisons the cache.
+    cacheable = False
 
     def __init__(self, name: str, config: dict[str, Any], origin_app: str | None = None) -> None:
         super().__init__(name, config, origin_app)
@@ -119,6 +131,9 @@ class GeneveEncapsulateElement(Element):
 
 class GeneveDecapsulateElement(Element):
     """Strips Geneve encapsulation and restores metadata."""
+
+    # Restores metadata from wire bytes the flow key cannot see.
+    cacheable = False
 
     def __init__(self, name: str, config: dict[str, Any], origin_app: str | None = None) -> None:
         super().__init__(name, config, origin_app)
@@ -143,6 +158,9 @@ class GeneveDecapsulateElement(Element):
 
 class VxlanDecapsulateElement(Element):
     """Strips VXLAN encapsulation and restores metadata."""
+
+    # Restores metadata from wire bytes the flow key cannot see.
+    cacheable = False
 
     def __init__(self, name: str, config: dict[str, Any], origin_app: str | None = None) -> None:
         super().__init__(name, config, origin_app)

@@ -21,6 +21,7 @@ from typing import Any, Callable
 
 from repro.core.graph import ProcessingGraph
 from repro.net.packet import Packet
+from repro.obi.fastpath import DecisionRecorder, flow_key
 from repro.obi.storage import SessionStorage
 
 
@@ -110,6 +111,11 @@ class EngineContext:
     #: Fault-containment layer (:class:`repro.obi.robustness.EngineRobustness`);
     #: None disables containment and restores fail-fast traversal.
     robustness: Any = None
+    #: Fast-path state for the packet in flight (set by Engine.process):
+    #: the cached element-name -> port map being replayed, or the
+    #: :class:`~repro.obi.fastpath.DecisionRecorder` building one.
+    decisions: dict[str, int] | None = None
+    recorder: Any = None
 
     @property
     def now(self) -> float:
@@ -123,6 +129,23 @@ class Element:
     ``(output_port, packet)`` pairs; the engine pushes each pair to the
     wired successor. Returning an empty list absorbs the packet.
     """
+
+    #: May a visit to this element be part of a cached flow decision?
+    #: False poisons the flow (no positive cache entry is installed):
+    #: set by elements whose behaviour is stateful or payload-dependent
+    #: in a way the flow key cannot capture. Resolved per instance by
+    #: the translation layer (config override > block-type spec > this
+    #: class default).
+    cacheable: bool = True
+    #: True for classifiers whose routing decision is a pure function
+    #: of the flow key: the fast path records their decision once and
+    #: replays it (via :meth:`replay_decision`) for later packets of
+    #: the flow, skipping the match computation.
+    caches_decision: bool = False
+    #: Set by MetadataClassifier elements to the metadata key they
+    #: route on; the engine folds these into the flow key (the
+    #: "metadata scope" of the deployed graph).
+    metadata_key: str | None = None
 
     def __init__(self, name: str, config: dict[str, Any], origin_app: str | None = None) -> None:
         self.name = name
@@ -159,6 +182,30 @@ class Element:
             element, current = stack.pop()
             context = element.context
             outcome = context.current if context is not None else None
+            if context is not None and context.decisions is not None:
+                # Fast path: replay the cached decision instead of
+                # matching. Only decision-cached classifiers are
+                # skipped — every other element runs normally below, so
+                # data-dependent effects stay identical to a slow run.
+                # Handle-visible state (count/byte_count/path and the
+                # classifier's own tallies via replay_decision) is kept
+                # byte-identical to the slow path.
+                port = (
+                    context.decisions.get(element.name)
+                    if element.caches_decision and element.cacheable
+                    else None
+                )
+                if port is not None:
+                    element.count += 1
+                    element.byte_count += len(current)
+                    if outcome is not None:
+                        outcome.path.append(element.name)
+                    element.replay_decision(port, current)
+                    successor = element._outputs.get(port)
+                    if successor is not None:
+                        stack.append((successor, current))
+                    continue
+            recorder = context.recorder if context is not None else None
             guard = context.robustness if context is not None else None
             if guard is not None:
                 # Quarantined element or overload-degraded bypass: the
@@ -167,6 +214,11 @@ class Element:
                 # the path — it did not process anything).
                 contained = guard.intercept(element, current, outcome)
                 if contained is not None:
+                    if recorder is not None:
+                        # A quarantine/degradation detour is transient
+                        # state, not a property of the flow: never
+                        # install a decision recorded around one.
+                        recorder.poison()
                     for port, out_packet in reversed(contained):
                         successor = element._outputs.get(port)
                         if successor is not None:
@@ -180,11 +232,18 @@ class Element:
                 try:
                     emissions = element.process(current)
                 except Exception as exc:  # noqa: BLE001 — containment boundary
+                    if recorder is not None:
+                        recorder.poison()
                     emissions = guard.contain(element, current, exc, outcome)
                 else:
                     guard.on_success(element)
             else:
                 emissions = element.process(current)
+            if recorder is not None:
+                if not element.cacheable:
+                    recorder.poison()
+                elif element.caches_decision and len(emissions) == 1:
+                    recorder.record(element.name, emissions[0][0])
             # Reversed so the first emission is processed first (DFS).
             for port, out_packet in reversed(emissions):
                 successor = element._outputs.get(port)
@@ -196,6 +255,11 @@ class Element:
     def process(self, packet: Packet) -> list[tuple[int, Packet]]:
         """Transform/route ``packet``; default is pass-through on port 0."""
         return [(0, packet)]
+
+    def replay_decision(self, port: int, packet: Packet) -> None:
+        """Restore per-decision bookkeeping when the fast path skips
+        :meth:`process` (e.g. a classifier's match_counts); count,
+        byte_count, and the outcome path are handled by the engine."""
 
     # ------------------------------------------------------------------
     # Handles (paper §3.2)
@@ -223,11 +287,23 @@ class Engine:
         graph: ProcessingGraph,
         elements: dict[str, Element],
         context: EngineContext,
+        flow_cache: Any = None,
     ) -> None:
         """Use :func:`repro.obi.translation.build_engine` to construct."""
         self.graph = graph
         self.elements = elements
         self.context = context
+        #: Flow-decision fast path (:mod:`repro.obi.fastpath`); None
+        #: disables it and every packet takes the full traversal.
+        self.flow_cache = flow_cache
+        #: Metadata keys this graph routes on: part of the flow key, so
+        #: two packets of one 5-tuple that carry different upstream
+        #: classification results never share a cache entry.
+        self._metadata_scope = tuple(sorted({
+            element.metadata_key
+            for element in elements.values()
+            if element.metadata_key
+        }))
         self.entry_name = graph.entry_point()
         # A partially committed graph (e.g. a translation that dropped
         # blocks) may not have an element for the entry point. Tolerate
@@ -253,11 +329,38 @@ class Engine:
                 f"entry element {self.entry_name!r} missing from engine"
             )
         outcome = PacketOutcome()
-        self.context.current = outcome
+        context = self.context
+        context.current = outcome
+        cache = self.flow_cache
+        recorder = None
+        if cache is not None:
+            guard = context.robustness
+            key = None
+            if guard is None or not guard.fastpath_blocked:
+                key = flow_key(packet, self._metadata_scope)
+            if key is None:
+                cache.bypassed += 1
+            else:
+                entry = cache.lookup(key)
+                if entry is None:
+                    recorder = DecisionRecorder(key)
+                    context.recorder = recorder
+                elif entry.uncacheable:
+                    cache.uncacheable_hits += 1
+                else:
+                    cache.hits += 1
+                    context.decisions = entry.decisions
         try:
             self._entry.push(packet)
         finally:
-            self.context.current = None
+            context.current = None
+            context.decisions = None
+            context.recorder = None
+        if recorder is not None:
+            # Reached only when push() completed: a traversal that
+            # unwound (robustness disabled) installs nothing.
+            cache.misses += 1
+            cache.install(recorder.key, recorder.finish())
         self.packets_processed += 1
         self.bytes_processed += len(packet)
         return outcome
@@ -273,3 +376,7 @@ class Engine:
 
     def write_handle(self, block: str, handle: str, value: Any) -> None:
         self.element(block).write_handle(handle, value)
+        # Any handle write may change routing (rule replacement, shaper
+        # rates): recorded decisions are no longer trustworthy.
+        if self.flow_cache is not None:
+            self.flow_cache.invalidate_all("write-handle")

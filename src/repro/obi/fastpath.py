@@ -1,0 +1,209 @@
+"""Megaflow-style flow-decision cache for the OBI fast path.
+
+OVS popularized the pattern this module reproduces in the OpenBox
+setting: the first packet of a flow takes the *slow path* — the full
+element traversal, including every classifier match — and the routing
+decisions made along the way are recorded against the packet's flow
+key. Subsequent packets of the same flow *replay* those decisions:
+classifiers whose output is a pure function of the flow key
+(``Element.caches_decision``) skip the match computation entirely,
+while every other element still runs, so data-dependent effects
+(TTL expiry, payload rewrites, alerts) stay exactly as on the slow
+path.
+
+Soundness rests on three rules, enforced here and in the engine:
+
+* **Key completeness** — the flow key covers every packet field a
+  decision-cached classifier may consult: the 5-tuple, whether L4
+  parsed (port rules require it), the outer VLAN id, the IPv4 DSCP,
+  and the values of every metadata key the graph's MetadataClassifier
+  blocks route on (the *metadata scope*).
+* **Poisoning** — a traversal that visits an element whose decisions
+  are *not* flow-deterministic (``Element.cacheable = False``: DPI
+  classifiers, defragmenters, tunnels, rate limiters), or that is
+  touched by fault containment, never installs a positive entry; a
+  negative (uncacheable) entry is installed instead so the flow keeps
+  taking the slow path without re-recording.
+* **Invalidation** — the whole cache is flushed on any event that can
+  change what a slow-path traversal would decide: a
+  ``SetProcessingGraph`` swap, any ``write_handle``, and every
+  circuit-breaker transition (open, first half-open probe, close).
+  The fast path is additionally disabled outright while any breaker
+  is non-closed or the OBI is degraded, so a stale entry can never
+  bypass an opened breaker (see ``EngineRobustness.fastpath_blocked``).
+"""
+
+from __future__ import annotations
+
+import collections
+from typing import Any
+
+from repro.net.packet import Packet
+
+#: Default capacity of a flow-decision cache, in flow entries.
+DEFAULT_FLOW_CACHE_SIZE = 65536
+
+
+def flow_key(
+    packet: Packet, metadata_scope: tuple[str, ...] = ()
+) -> tuple | None:
+    """The cache key for ``packet``, or None if the flow is unkeyable.
+
+    Non-IP frames return None (never cached): header classifiers fall
+    through to catch-all rules for them, and the cost of that path is
+    negligible anyway. ``metadata_scope`` is the sorted tuple of
+    metadata keys the deployed graph routes on; their *entry* values
+    are part of the key because a MetadataClassifier's decision is a
+    deterministic function of the entry metadata plus the (constant)
+    upstream transforms.
+    """
+    try:
+        ipv4 = packet.ipv4
+    except Exception:  # noqa: BLE001 — hostile frame: just skip the cache
+        return None
+    if ipv4 is None:
+        return None
+    l4 = packet.l4
+    eth = packet.eth
+    tag = eth.vlan if eth is not None else None
+    key = (
+        ipv4.src,
+        ipv4.dst,
+        ipv4.proto,
+        ipv4.dscp,
+        # -1 distinguishes "no parseable L4" from real port 0: port
+        # rules require a parsed L4 header to match at all.
+        l4.src_port if l4 is not None else -1,
+        l4.dst_port if l4 is not None else -1,
+        tag.vid if tag is not None else -1,
+    )
+    if metadata_scope:
+        key += tuple(repr(packet.metadata.get(name)) for name in metadata_scope)
+    return key
+
+
+class FlowDecision:
+    """An installed cache entry: per-element routing decisions for one flow.
+
+    ``decisions`` maps element name -> output port for every
+    decision-cached classifier the slow-path traversal visited. An
+    ``uncacheable`` entry is negative: the flow visited a poisoning
+    element, so packets of it always take the slow path (without
+    wasting a recorder on every packet).
+    """
+
+    __slots__ = ("decisions", "uncacheable")
+
+    def __init__(self, decisions: dict[str, int], uncacheable: bool = False) -> None:
+        self.decisions = decisions
+        self.uncacheable = uncacheable
+
+
+class DecisionRecorder:
+    """Accumulates one slow-path traversal's decisions for installation."""
+
+    __slots__ = ("key", "decisions", "poisoned")
+
+    def __init__(self, key: tuple) -> None:
+        self.key = key
+        self.decisions: dict[str, int] = {}
+        self.poisoned = False
+
+    def poison(self) -> None:
+        """The traversal is not flow-deterministic: install a negative entry."""
+        self.poisoned = True
+
+    def record(self, name: str, port: int) -> None:
+        """Record one classifier decision; conflicting re-visits poison.
+
+        An element visited twice in one traversal (e.g. both branches
+        of a Mirror reach it) with *different* decisions cannot be
+        replayed with a single port — the flow is uncacheable.
+        """
+        if self.poisoned:
+            return
+        previous = self.decisions.get(name)
+        if previous is None:
+            self.decisions[name] = port
+        elif previous != port:
+            self.poisoned = True
+
+    def finish(self) -> FlowDecision:
+        if self.poisoned:
+            return FlowDecision({}, uncacheable=True)
+        return FlowDecision(self.decisions)
+
+
+class FlowDecisionCache:
+    """Bounded flow-key -> :class:`FlowDecision` store with counters.
+
+    Owned by the OBI (like :class:`~repro.obi.robustness.EngineRobustness`)
+    so hit/miss accounting survives graph redeployments; the engine
+    consults it per packet. Not thread-safe by itself — the instance's
+    engine lock already serializes packet processing against handle
+    writes and graph swaps.
+    """
+
+    def __init__(self, max_entries: int = DEFAULT_FLOW_CACHE_SIZE) -> None:
+        self.max_entries = max(1, max_entries)
+        self._entries: dict[tuple, FlowDecision] = {}
+        self.hits = 0
+        self.misses = 0
+        #: Packets whose flow hit a negative (uncacheable) entry.
+        self.uncacheable_hits = 0
+        #: Packets that skipped the cache entirely (non-IP frame, or
+        #: fast path blocked by degradation/quarantine).
+        self.bypassed = 0
+        #: Full flushes performed (graph swap, write_handle, breaker
+        #: transitions).
+        self.invalidations = 0
+        self.evictions = 0
+        #: Recent flush reasons, for debugging invalidation storms.
+        self.flush_log: collections.deque[tuple[str, int]] = collections.deque(
+            maxlen=16
+        )
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def entries(self) -> int:
+        return len(self._entries)
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of keyable packets served from a positive entry."""
+        lookups = self.hits + self.misses + self.uncacheable_hits
+        return self.hits / lookups if lookups else 0.0
+
+    def lookup(self, key: tuple) -> FlowDecision | None:
+        return self._entries.get(key)
+
+    def install(self, key: tuple, decision: FlowDecision) -> None:
+        if key not in self._entries and len(self._entries) >= self.max_entries:
+            # FIFO eviction: dicts preserve insertion order and flow
+            # caches are churn-tolerant — precision is not worth LRU
+            # bookkeeping on the hot path.
+            self._entries.pop(next(iter(self._entries)))
+            self.evictions += 1
+        self._entries[key] = decision
+
+    def invalidate_all(self, reason: str = "") -> int:
+        """Flush every entry; returns how many were dropped."""
+        dropped = len(self._entries)
+        self._entries.clear()
+        self.invalidations += 1
+        self.flush_log.append((reason, dropped))
+        return dropped
+
+    def stats(self) -> dict[str, Any]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "uncacheable_hits": self.uncacheable_hits,
+            "bypassed": self.bypassed,
+            "invalidations": self.invalidations,
+            "evictions": self.evictions,
+            "entries": len(self._entries),
+            "hit_rate": self.hit_rate,
+        }

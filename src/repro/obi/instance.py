@@ -24,6 +24,7 @@ from repro.core.graph import GraphValidationError, ProcessingGraph
 from repro.net.packet import Packet
 from repro.obi.custom import CustomModuleLoader
 from repro.obi.engine import AlertEvent, Engine, PacketOutcome
+from repro.obi.fastpath import DEFAULT_FLOW_CACHE_SIZE, FlowDecisionCache
 from repro.obi.robustness import (
     AdmissionGate,
     AlertBatcher,
@@ -98,6 +99,10 @@ class ObiConfig:
     #: unlimited. Refused alerts are counted and summarized.
     alert_rate_limit: float = 0.0
     alert_burst: float = 8.0
+    #: Flow-decision fast path: maximum cached flow entries (see
+    #: ``repro.obi.fastpath``); 0 disables the cache entirely and every
+    #: packet takes the full slow-path traversal.
+    flow_cache_size: int = DEFAULT_FLOW_CACHE_SIZE
 
 
 class OpenBoxInstance:
@@ -152,6 +157,17 @@ class OpenBoxInstance:
         #: graph redeployments (quarantine is a property of the
         #: instance's recent history, not of one engine build).
         self.robustness = EngineRobustness(config.fault_policy, clock=self.clock)
+        #: The flow-decision cache is owned here for the same reason as
+        #: ``robustness``: hit/miss accounting survives redeploys (the
+        #: entries themselves are flushed on every graph swap). The
+        #: robustness layer holds a reference so breaker transitions
+        #: flush it.
+        self.flow_cache = (
+            FlowDecisionCache(config.flow_cache_size)
+            if config.flow_cache_size > 0
+            else None
+        )
+        self.robustness.flow_cache = self.flow_cache
         self._admission = (
             AdmissionGate(config.overload, self.clock)
             if config.overload.admission_rate > 0
@@ -253,6 +269,61 @@ class OpenBoxInstance:
         """Ingress entry point — admission gate, then the engine."""
         return self.process_packet(packet)
 
+    def inject_batch(self, packets: list[Packet]) -> list[PacketOutcome]:
+        """Vectorized ingress: per-packet semantics, amortized bookkeeping.
+
+        Each packet still passes the admission gate individually (token
+        accounting and seeded shedding are order-dependent, so a batch
+        sheds exactly the packets a packet-at-a-time loop would) and
+        each outcome lands in the history, but the engine lock is taken
+        once for the whole vector and the alert batcher sees all the
+        outcomes' events in a single pass — cross-packet coalescing
+        that per-packet :meth:`inject` cannot do (each packet's own
+        ``PacketOutcome.alerts`` is unchanged either way).
+        """
+        outcomes: list[PacketOutcome] = []
+        with self._lock:
+            for packet in packets:
+                self.packets_offered += 1
+                if self._admission is not None:
+                    verdict = self._admission.admit(packet)
+                    self.robustness.degraded = self._admission.degraded
+                    if not verdict.admitted:
+                        outcomes.append(PacketOutcome(dropped=True, shed=True))
+                        if self.history.maxlen:
+                            self.history.append({
+                                "packet": self._safe_summary(packet),
+                                "path": [],
+                                "dropped": True,
+                                "shed": verdict.reason or "exhausted",
+                                "outputs": [],
+                                "alerts": [],
+                                "at": self.clock(),
+                            })
+                        continue
+                if self.engine is None:
+                    raise ProtocolError(
+                        ErrorCode.INVALID_GRAPH, "no processing graph deployed"
+                    )
+                outcome = self.engine.process(packet)
+                self.packets_processed += 1
+                self.bytes_processed += len(packet)
+                if self.history.maxlen:
+                    self.history.append({
+                        "packet": self._safe_summary(packet),
+                        "path": list(outcome.path),
+                        "dropped": outcome.dropped,
+                        "outputs": [device for device, _pkt in outcome.outputs],
+                        "alerts": [event.message for event in outcome.alerts],
+                        "at": self.clock(),
+                    })
+                outcomes.append(outcome)
+        events: list[AlertEvent] = []
+        for outcome in outcomes:
+            events.extend(self._alert_events(outcome))
+        self._forward_alert_events(events)
+        return outcomes
+
     @staticmethod
     def _safe_summary(packet: Packet) -> str:
         try:
@@ -261,6 +332,23 @@ class OpenBoxInstance:
             return f"unparseable frame len={len(packet.data)}"
 
     def _forward_alerts(self, outcome: PacketOutcome) -> None:
+        self._forward_alert_events(self._alert_events(outcome))
+
+    @staticmethod
+    def _alert_events(outcome: PacketOutcome) -> list[AlertEvent]:
+        """One outcome's upstream-bound events: alerts + contained faults."""
+        events = list(outcome.alerts)
+        for error in outcome.errors:
+            events.append(AlertEvent(
+                block=error.block,
+                origin_app=error.origin_app,
+                message=f"element fault ({error.policy}): {error.error}",
+                severity="error",
+                packet_summary=error.packet_summary,
+            ))
+        return events
+
+    def _forward_alert_events(self, events: list[AlertEvent]) -> None:
         """Upstream alert path: coalesce, rate limit, plus quarantine alerts.
 
         Quarantine transitions bypass the rate limiter — a breaker trip
@@ -277,15 +365,6 @@ class OpenBoxInstance:
                 origin_app=OBI_PSEUDO_BLOCK,
                 message=f"block {block!r} quarantined after repeated errors",
                 severity="critical",
-            ))
-        events = list(outcome.alerts)
-        for error in outcome.errors:
-            events.append(AlertEvent(
-                block=error.block,
-                origin_app=error.origin_app,
-                message=f"element fault ({error.policy}): {error.error}",
-                severity="error",
-                packet_summary=error.packet_summary,
             ))
         if not events:
             return
@@ -338,6 +417,9 @@ class OpenBoxInstance:
             alerts_suppressed=self._alert_batcher.suppressed_total,
             degraded=self.robustness.degraded,
             graph_version=self.graph_version,
+            fastpath_hit_rate=(
+                self.flow_cache.hit_rate if self.flow_cache is not None else 0.0
+            ),
         )
 
     def send_health_report(self) -> None:
@@ -365,6 +447,15 @@ class OpenBoxInstance:
             response = self._dispatch(message)
         except ProtocolError as exc:
             response = ErrorMessage(xid=message.xid, code=exc.code, detail=exc.detail)
+        except Exception as exc:  # noqa: BLE001 — dispatch must never unwind
+            # the transport: a handler bug (or a custom element's handle
+            # raising something exotic) becomes a protocol-level error
+            # response instead of killing the channel thread.
+            response = ErrorMessage(
+                xid=message.xid,
+                code=ErrorCode.INTERNAL_ERROR,
+                detail=f"{type(exc).__name__}: {exc}",
+            )
         with self._dedup_lock:
             self._response_cache[message.xid] = response
             while len(self._response_cache) > self._response_cache_limit:
@@ -430,6 +521,7 @@ class OpenBoxInstance:
                 log_service=self.log_service,
                 storage_service=self.storage_service,
                 robustness=self.robustness,
+                flow_cache=self.flow_cache,
             )
             # Phase 2 — verify: the entry point must have resolved to a
             # live element (an engine without one rejects every packet),
@@ -462,6 +554,10 @@ class OpenBoxInstance:
             self.graph = graph
             self.engine = engine
             self.graph_version += 1
+            # Decisions recorded against the old graph are meaningless
+            # under the new wiring.
+            if self.flow_cache is not None:
+                self.flow_cache.invalidate_all("graph-swap")
         return SetProcessingGraphResponse(
             xid=message.xid, ok=True, detail=f"version {self.graph_version}"
         )
@@ -504,6 +600,8 @@ class OpenBoxInstance:
                 else ErrorCode.UNKNOWN_HANDLE
             )
             raise ProtocolError(code, str(exc)) from exc
+        except (TypeError, ValueError) as exc:
+            raise ProtocolError(ErrorCode.MALFORMED_MESSAGE, str(exc)) from exc
         return ReadResponse(
             xid=message.xid, block=message.block, handle=message.handle, value=value
         )
@@ -524,6 +622,18 @@ class OpenBoxInstance:
             return self.robustness.poison_digests()
         if handle == "degraded":
             return self.robustness.degraded
+        if handle == "fastpath_hits":
+            return self.flow_cache.hits if self.flow_cache is not None else 0
+        if handle == "fastpath_misses":
+            return self.flow_cache.misses if self.flow_cache is not None else 0
+        if handle == "fastpath_uncacheable":
+            return self.flow_cache.uncacheable_hits if self.flow_cache is not None else 0
+        if handle == "fastpath_invalidations":
+            return self.flow_cache.invalidations if self.flow_cache is not None else 0
+        if handle == "fastpath_entries":
+            return self.flow_cache.entries if self.flow_cache is not None else 0
+        if handle == "fastpath_hit_rate":
+            return self.flow_cache.hit_rate if self.flow_cache is not None else 0.0
         raise KeyError(f"{OBI_PSEUDO_BLOCK} has no read handle {handle!r}")
 
     def _write(self, message: WriteRequest) -> Message:
@@ -539,6 +649,11 @@ class OpenBoxInstance:
                 else ErrorCode.UNKNOWN_HANDLE
             )
             raise ProtocolError(code, str(exc)) from exc
+        except (TypeError, ValueError) as exc:
+            # A known handle fed a garbage value (e.g. a firewall ruleset
+            # that fails to parse) must answer with a protocol error, not
+            # unwind the dispatcher with a raw ValueError.
+            raise ProtocolError(ErrorCode.MALFORMED_MESSAGE, str(exc)) from exc
         return WriteResponse(
             xid=message.xid, block=message.block, handle=message.handle, ok=True
         )
@@ -564,15 +679,27 @@ class OpenBoxInstance:
     # ------------------------------------------------------------------
     # Load estimation (reported via GlobalStats, used for scaling)
     # ------------------------------------------------------------------
+    #: Cost of a fast-path hit relative to a slow-path packet, for load
+    #: estimation: a hit replays recorded decisions instead of running
+    #: the classifier matches that dominate path cost.
+    FASTPATH_HIT_COST = 0.25
+
     def estimate_cpu_load(self) -> float:
         """Fraction of capacity consumed, from recent packet accounting.
 
         Real OBIs read /proc; this reproduction derives load from packets
         processed per second of clock time against the capacity hint
-        (packets/second at full load per unit hint).
+        (packets/second at full load per unit hint). Packets served from
+        the flow-decision cache are discounted to
+        :data:`FASTPATH_HIT_COST` of a slow-path packet, so a warm OBI
+        reports the headroom the cache actually buys it.
         """
         elapsed = max(self.clock() - self._started_at, 1e-9)
-        rate = self.packets_processed / elapsed
+        packets = float(self.packets_processed)
+        if self.flow_cache is not None:
+            hits = min(self.flow_cache.hits, self.packets_processed)
+            packets -= (1.0 - self.FASTPATH_HIT_COST) * hits
+        rate = packets / elapsed
         full_load_rate = 100_000.0 * self.config.capacity_hint
         return min(1.0, rate / full_load_rate)
 

@@ -86,6 +86,10 @@ class CircuitBreaker:
         self.state = "closed"
         self.opened_at = 0.0
         self.trips = 0
+        #: True once a half-open probe has been admitted for the current
+        #: open period (lets the robustness layer observe the
+        #: open -> half-open transition exactly once per cool-down).
+        self.probing = False
         self._errors: collections.deque[float] = collections.deque()
 
     def allow(self, now: float) -> str:
@@ -101,6 +105,7 @@ class CircuitBreaker:
         if self.state == "open":
             # A failed half-open probe: restart the cool-down.
             self.opened_at = now
+            self.probing = False
             return False
         self._errors.append(now)
         while self._errors and now - self._errors[0] > self.window:
@@ -109,6 +114,7 @@ class CircuitBreaker:
             self.state = "open"
             self.opened_at = now
             self.trips += 1
+            self.probing = False
             self._errors.clear()
             return True
         return False
@@ -117,6 +123,7 @@ class CircuitBreaker:
         """A successful half-open probe heals the breaker."""
         if self.state == "open" and now - self.opened_at >= self.cooldown:
             self.state = "closed"
+            self.probing = False
             self._errors.clear()
 
 
@@ -152,6 +159,30 @@ class EngineRobustness:
         #: Blocks whose breaker tripped since the OBI last drained this
         #: (the instance turns them into quarantine alerts).
         self.newly_quarantined: list[str] = []
+        #: Flow-decision cache to flush on every breaker transition
+        #: (:class:`repro.obi.fastpath.FlowDecisionCache`); wired by the
+        #: OBI / translation layer, None when the fast path is off.
+        self.flow_cache: Any = None
+        self._open_breakers = 0
+
+    @property
+    def fastpath_blocked(self) -> bool:
+        """True while cached flow decisions must not be trusted.
+
+        Any non-closed breaker means a slow-path traversal would behave
+        differently from the one that recorded the cache entries (the
+        quarantined element is detoured), so the fast path — lookup
+        *and* recording — is disabled outright. That is the hard
+        guarantee that a stale entry can never bypass an opened
+        breaker; the flushes on each transition are belt-and-braces.
+        Degraded mode blocks it for the same reason: ``degradable``
+        blocks are bypassed while it lasts.
+        """
+        return self.degraded or self._open_breakers > 0
+
+    def _flush_fastpath(self, reason: str) -> None:
+        if self.flow_cache is not None:
+            self.flow_cache.invalidate_all(reason)
 
     # ------------------------------------------------------------------
     # Engine hooks
@@ -180,7 +211,15 @@ class EngineRobustness:
             self.degraded_bypasses += 1
             return [(0, packet)]
         breaker = self.breakers.get(element.name)
-        if breaker is None or breaker.allow(self.clock()) != "blocked":
+        if breaker is None:
+            return None
+        verdict = breaker.allow(self.clock())
+        if verdict == "probe" and not breaker.probing:
+            # open -> half-open: the probe may change element state, so
+            # recorded decisions stop being trustworthy here too.
+            breaker.probing = True
+            self._flush_fastpath("quarantine-half-open")
+        if verdict != "blocked":
             return None
         self.quarantine_hits += 1
         return self._contained(packet, outcome)
@@ -218,6 +257,8 @@ class EngineRobustness:
         })
         if self.breaker_for(element.name).record_error(now):
             self.newly_quarantined.append(element.name)
+            self._open_breakers += 1
+            self._flush_fastpath("quarantine-open")
         return self._contained(packet, outcome)
 
     def on_success(self, element: "Element") -> None:
@@ -225,6 +266,9 @@ class EngineRobustness:
         breaker = self.breakers.get(element.name)
         if breaker is not None and breaker.state == "open":
             breaker.record_success(self.clock())
+            if breaker.state == "closed":
+                self._open_breakers = max(0, self._open_breakers - 1)
+                self._flush_fastpath("quarantine-close")
 
     def _contained(
         self, packet: "Packet", outcome: "PacketOutcome | None"

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from typing import Any, Callable
 
+from repro.core.blocks import Block, block_registry
 from repro.core.graph import ProcessingGraph
 from repro.obi.elements import element_registry
 from repro.obi.engine import Element, Engine, EngineContext
@@ -55,6 +56,24 @@ class ElementFactory:
         return element_cls
 
 
+def _effective_cacheable(element: Element, block: Block) -> bool:
+    """Resolve whether a visit to ``element`` may be flow-cached.
+
+    Precedence: an explicit ``cacheable`` in the block config wins;
+    otherwise the element class *and* the block-type spec must both
+    allow it (a custom element implementing a built-in type keeps the
+    class's own judgement, and a wire-declared custom type defaults to
+    uncacheable — see ``spec_from_dict``).
+    """
+    override = element.config.get("cacheable")
+    if override is not None:
+        return bool(override)
+    spec_allows = True
+    if block.type in block_registry:
+        spec_allows = block_registry.get(block.type).cacheable
+    return bool(type(element).cacheable and spec_allows)
+
+
 def build_engine(
     graph: ProcessingGraph,
     factory: ElementFactory | None = None,
@@ -63,16 +82,22 @@ def build_engine(
     log_service: Any = None,
     storage_service: Any = None,
     robustness: Any = ...,
+    flow_cache: Any = ...,
 ) -> Engine:
     """Instantiate and wire an :class:`Engine` for ``graph``.
 
     Fault containment is on by default: unless ``robustness`` is given
     (an :class:`~repro.obi.robustness.EngineRobustness`, or ``None`` to
     disable containment and restore fail-fast traversal), a fresh
-    default containment layer guards every element.
+    default containment layer guards every element. The flow-decision
+    fast path follows the same convention: pass a shared
+    :class:`~repro.obi.fastpath.FlowDecisionCache` (the OBI does, so
+    counters survive redeploys), ``None`` to disable it, or leave the
+    default for a fresh private cache.
     """
     import time
 
+    from repro.obi.fastpath import FlowDecisionCache
     from repro.obi.robustness import EngineRobustness
 
     graph.validate()
@@ -81,6 +106,11 @@ def build_engine(
     resolved_clock = clock or time.monotonic
     if robustness is ...:
         robustness = EngineRobustness(clock=resolved_clock)
+    if flow_cache is ...:
+        flow_cache = FlowDecisionCache()
+    if robustness is not None and flow_cache is not None:
+        # Breaker transitions must flush recorded decisions.
+        robustness.flow_cache = flow_cache
     context = EngineContext(
         clock=resolved_clock,
         session=session or SessionStorage(),
@@ -94,9 +124,13 @@ def build_engine(
         config = dict(block.config)
         if block.implementation is not None:
             config.setdefault("implementation", block.implementation)
-        elements[block.name] = element_cls(
+        element = element_cls(
             name=block.name, config=config, origin_app=block.origin_app
         )
+        element.cacheable = _effective_cacheable(element, block)
+        elements[block.name] = element
     for connector in graph.connectors:
         elements[connector.src].wire(connector.src_port, elements[connector.dst])
-    return Engine(graph=graph, elements=elements, context=context)
+    return Engine(
+        graph=graph, elements=elements, context=context, flow_cache=flow_cache
+    )

@@ -32,6 +32,7 @@ def spec_to_dict(spec: BlockTypeSpec) -> dict[str, Any]:
             for handle in spec.handles
         ],
         "mergeable": spec.mergeable,
+        "cacheable": spec.cacheable,
     }
 
 
@@ -40,6 +41,9 @@ def spec_from_dict(data: dict[str, Any]) -> BlockTypeSpec:
 
     ``combine`` hooks are code, not data — custom block types arrive
     without one and therefore never participate in static combining.
+    ``cacheable`` likewise defaults to False on the wire: a custom type
+    must *opt in* to the flow-decision fast path, since the OBI cannot
+    inspect foreign code for hidden per-packet state.
     """
     return BlockTypeSpec(
         name=data["name"],
@@ -53,6 +57,7 @@ def spec_from_dict(data: dict[str, Any]) -> BlockTypeSpec:
             for handle in data.get("handles", ())
         ),
         mergeable=bool(data.get("mergeable", False)),
+        cacheable=bool(data.get("cacheable", False)),
     )
 
 
@@ -76,6 +81,13 @@ OBI_READ_HANDLES = (
     "quarantined_blocks",
     "poison_quarantine",
     "degraded",
+    # Flow-decision fast path (PROTOCOL.md §8).
+    "fastpath_hits",
+    "fastpath_misses",
+    "fastpath_uncacheable",
+    "fastpath_invalidations",
+    "fastpath_entries",
+    "fastpath_hit_rate",
 )
 
 

@@ -310,6 +310,9 @@ class HealthReport(Message):
     alerts_suppressed: int = 0
     degraded: bool = False
     graph_version: int = 0
+    #: Fraction of keyable packets served from the flow-decision cache
+    #: since startup; feeds the controller's load estimates.
+    fastpath_hit_rate: float = 0.0
 
 
 @register_message

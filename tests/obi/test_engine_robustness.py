@@ -238,3 +238,107 @@ class TestEntryResolution:
             engine.process(packet())
         assert engine.packets_processed == 0
         assert engine.bytes_processed == 0
+
+
+class TestFastPathQuarantineInvalidation:
+    """Breaker transitions and the flow-decision cache (see fastpath.py):
+    every open / first-half-open-probe / close flushes the cache, and the
+    fast path is disabled outright while any breaker is non-closed — a
+    stale entry must never route a packet around an opened breaker."""
+
+    def _open_breaker(self, engine, guard, clock, errors=2):
+        engine.element("boom").config["fail"] = True
+        for _ in range(errors):
+            engine.process(packet())
+            clock.advance(1.0)
+        assert guard.quarantined_blocks() == ["boom"]
+
+    def test_breaker_open_flushes_and_blocks_fastpath(self):
+        clock = FakeClock()
+        policy = FaultPolicy(quarantine_threshold=2, quarantine_cooldown=10.0)
+        engine, guard = build_faulty_engine(policy, clock, fail=False)
+        cache = engine.flow_cache
+        engine.process(packet())
+        engine.process(packet())
+        assert cache.hits == 1 and len(cache) == 1
+        assert not guard.fastpath_blocked
+        self._open_breaker(engine, guard, clock)
+        assert guard.fastpath_blocked
+        assert len(cache) == 0
+        assert ("quarantine-open", 1) in cache.flush_log
+        # While open, packets skip the cache entirely.
+        hits_before, bypassed_before = cache.hits, cache.bypassed
+        engine.process(packet())
+        assert cache.hits == hits_before
+        assert cache.bypassed == bypassed_before + 1
+
+    def test_stale_entry_never_bypasses_open_breaker(self):
+        from repro.obi.fastpath import FlowDecision, flow_key
+
+        clock = FakeClock()
+        policy = FaultPolicy(quarantine_threshold=2, quarantine_cooldown=10.0)
+        engine, guard = build_faulty_engine(policy, clock, fail=False)
+        engine.process(packet())  # warm a (positive) entry
+        self._open_breaker(engine, guard, clock)
+        # Simulate a missed flush: hand-install a stale decision that
+        # would route the packet straight through the quarantined block.
+        engine.flow_cache.install(flow_key(packet()), FlowDecision({}))
+        before = engine.element("boom").count
+        hits_before = engine.flow_cache.hits
+        outcome = engine.process(packet())
+        assert engine.element("boom").count == before  # never ran
+        assert outcome.dropped and not outcome.outputs  # contained
+        assert engine.flow_cache.hits == hits_before  # stale entry unused
+
+    def test_half_open_probe_flushes_once_per_cooldown(self):
+        clock = FakeClock()
+        policy = FaultPolicy(quarantine_threshold=2, quarantine_cooldown=10.0)
+        engine, guard = build_faulty_engine(policy, clock, fail=False)
+        self._open_breaker(engine, guard, clock)
+        cache = engine.flow_cache
+        clock.advance(10.0)
+        engine.process(packet())  # failed probe: cooldown restarts
+        reasons = [reason for reason, _n in cache.flush_log]
+        assert reasons.count("quarantine-half-open") == 1
+        clock.advance(10.0)
+        engine.process(packet())  # second probe, second flush
+        reasons = [reason for reason, _n in cache.flush_log]
+        assert reasons.count("quarantine-half-open") == 2
+
+    def test_breaker_close_flushes_and_reenables_fastpath(self):
+        clock = FakeClock()
+        policy = FaultPolicy(quarantine_threshold=2, quarantine_cooldown=10.0)
+        engine, guard = build_faulty_engine(policy, clock, fail=False)
+        cache = engine.flow_cache
+        self._open_breaker(engine, guard, clock)
+        engine.element("boom").config["fail"] = False
+        clock.advance(10.0)
+        outcome = engine.process(packet())  # successful probe heals
+        assert [dev for dev, _p in outcome.outputs] == ["out"]
+        assert guard.quarantined_blocks() == []
+        assert not guard.fastpath_blocked
+        assert [reason for reason, _n in cache.flush_log][-1] == "quarantine-close"
+        # Healed: the flow caches and replays again.
+        hits_before = cache.hits
+        engine.process(packet())
+        engine.process(packet())
+        assert cache.hits == hits_before + 1
+
+    def test_degraded_mode_blocks_fastpath(self):
+        clock = FakeClock()
+        engine, guard = build_faulty_engine(FaultPolicy(), clock, fail=False,
+                                            degradable=True)
+        cache = engine.flow_cache
+        engine.process(packet())
+        engine.process(packet())
+        assert cache.hits == 1
+        guard.degraded = True
+        assert guard.fastpath_blocked
+        engine.process(packet())
+        # Degraded traversals bypass degradable blocks, so neither replay
+        # nor recording is sound while the flag is up.
+        assert cache.hits == 1
+        assert cache.bypassed == 1
+        guard.degraded = False
+        engine.process(packet())
+        assert cache.hits == 2

@@ -170,3 +170,54 @@ class TestMisc:
         start = time.monotonic()
         deploy(slow, firewall_graph)
         assert time.monotonic() - start >= 0.05
+
+
+class TestHandleErrorContainment:
+    """Regression: handle dispatch must answer with a protocol error for
+    *any* failure — a garbage write value used to unwind handle_message
+    with a raw ValueError, killing the transport's dispatch thread."""
+
+    def test_unparseable_write_value_is_malformed_message(self, obi, firewall_graph):
+        deploy(obi, firewall_graph)
+        response = obi.handle_message(WriteRequest(
+            block="fw_hc", handle="rules",
+            value={"rules": [{"src_ip": "not-an-ip"}]},
+        ))
+        assert isinstance(response, ErrorMessage)
+        assert response.code == ErrorCode.MALFORMED_MESSAGE
+        assert "not-an-ip" in response.detail
+        # The old ruleset is still live: packets keep flowing.
+        outcome = obi.process_packet(make_tcp_packet("10.0.0.1", "2.2.2.2", 5, 23))
+        assert outcome.dropped
+
+    def test_wrong_shape_write_value_never_unwinds(self, obi, firewall_graph):
+        deploy(obi, firewall_graph)
+        response = obi.handle_message(
+            WriteRequest(block="fw_hc", handle="rules", value=42)
+        )
+        assert isinstance(response, ErrorMessage)
+        assert response.code == ErrorCode.INTERNAL_ERROR
+        assert "AttributeError" in response.detail
+
+    def test_exploding_custom_handle_is_internal_error(self, obi, firewall_graph):
+        from repro.obi.engine import Element
+
+        class ExplodingHandles(Element):
+            def process(self, packet):
+                return [(0, packet)]
+
+            def read_handle(self, name):
+                raise RuntimeError("boom")
+
+        obi.factory.register_custom("ToDevice", ExplodingHandles)
+        deploy(obi, firewall_graph)
+        response = obi.handle_message(ReadRequest(block="fw_out", handle="count"))
+        assert isinstance(response, ErrorMessage)
+        assert response.code == ErrorCode.INTERNAL_ERROR
+        assert "RuntimeError: boom" in response.detail
+
+    def test_error_response_echoes_xid(self, obi, firewall_graph):
+        deploy(obi, firewall_graph)
+        request = WriteRequest(block="fw_hc", handle="rules", value=42)
+        response = obi.handle_message(request)
+        assert response.xid == request.xid
