@@ -1,0 +1,118 @@
+"""Observability overhead: the disabled path must cost (almost) nothing.
+
+Same workload as the fast-path benchmark (paper-scale firewall, bounded
+flow universe). Three engine configurations over identical frames:
+
+* ``bare``     — no metrics registry, no tracer (every observability
+  hook resolves to ``None``);
+* ``disabled`` — metrics handles wired, tracing off (the production
+  default: counters tick, the per-element trace check is one ``is
+  None``);
+* ``sampled``  — metrics plus packet traces at 1% sampling.
+
+The gate: ``disabled`` must stay within 5% of ``bare`` (best-of-N
+medians — the whole point of pre-resolved handles and the hard
+off-switch), and 1% sampling must not cost more than 15%.
+
+Scale: set ``OPENBOX_BENCH_SCALE=ci`` for the reduced CI run.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+from benchmarks.conftest import write_result
+from repro.apps.firewall import FirewallApp, parse_firewall_rules
+from repro.net.packet import Packet
+from repro.observability.metrics import MetricsRegistry
+from repro.observability.tracing import PacketTracer
+from repro.obi.translation import build_engine
+from repro.sim.rulesets import generate_firewall_rules
+from repro.sim.traffic import TraceConfig, TrafficGenerator
+
+#: Tolerated slowdown with observability present but tracing disabled.
+MAX_DISABLED_OVERHEAD = 0.05
+#: Tolerated slowdown at 1% trace sampling.
+MAX_SAMPLED_OVERHEAD = 0.15
+
+REPETITIONS = 5
+
+_SCALES = {
+    # rules, packets, flows
+    "full": (2000, 3000, 60),
+    "ci": (2000, 1000, 60),
+}
+
+
+def _workload():
+    num_rules, num_packets, num_flows = _SCALES[
+        os.environ.get("OPENBOX_BENCH_SCALE", "full")
+    ]
+    rules = parse_firewall_rules(generate_firewall_rules(num_rules, seed=4560))
+    graph = FirewallApp("fw", rules, alert_only=True).build_graph()
+    frames = [
+        packet.data
+        for packet in TrafficGenerator(
+            TraceConfig(num_packets=num_packets, num_flows=num_flows)
+        ).packets()
+    ]
+    return graph, frames
+
+
+def _best_pps(engine, frames: list[bytes]) -> float:
+    """Best packets/s over REPETITIONS passes (min-noise estimator)."""
+    best = 0.0
+    for _ in range(REPETITIONS):
+        start = time.perf_counter()
+        for frame in frames:
+            engine.process(Packet(data=frame))
+        best = max(best, len(frames) / (time.perf_counter() - start))
+    return best
+
+
+def test_disabled_observability_is_free():
+    graph, frames = _workload()
+
+    bare = build_engine(graph)
+    disabled = build_engine(graph, metrics=MetricsRegistry())
+    sampled = build_engine(
+        graph,
+        metrics=MetricsRegistry(),
+        tracer=PacketTracer(sample_rate=0.01, buffer=32),
+    )
+
+    # Warm every flow cache identically before timing.
+    for engine in (bare, disabled, sampled):
+        for frame in frames:
+            engine.process(Packet(data=frame))
+
+    bare_pps = _best_pps(bare, frames)
+    disabled_pps = _best_pps(disabled, frames)
+    sampled_pps = _best_pps(sampled, frames)
+
+    disabled_overhead = 1.0 - disabled_pps / bare_pps
+    sampled_overhead = 1.0 - sampled_pps / bare_pps
+    write_result(
+        "observability_overhead",
+        (
+            f"bare {bare_pps:,.0f} pkts/s; "
+            f"metrics-only {disabled_pps:,.0f} pkts/s "
+            f"({disabled_overhead:+.1%} overhead); "
+            f"1% sampling {sampled_pps:,.0f} pkts/s "
+            f"({sampled_overhead:+.1%} overhead)\n"
+        ),
+    )
+
+    assert disabled_overhead <= MAX_DISABLED_OVERHEAD, (
+        f"observability-disabled path costs {disabled_overhead:.1%} "
+        f"(budget {MAX_DISABLED_OVERHEAD:.0%}); the off-switch leaks"
+    )
+    assert sampled_overhead <= MAX_SAMPLED_OVERHEAD, (
+        f"1% trace sampling costs {sampled_overhead:.1%} "
+        f"(budget {MAX_SAMPLED_OVERHEAD:.0%})"
+    )
+
+    # Sampling actually happened (≈1-in-100 of the timed+warmup packets).
+    assert sampled.tracer.sampled > 0
+    assert len(sampled.tracer.traces()) <= 32

@@ -54,10 +54,11 @@ def main() -> None:
     print(f"alerts received by the firewall app: {len(firewall.alerts_received)}")
 
     # 6. Read a data-plane handle through the controller (paper §3.2).
-    firewall.request_read(
-        "obi-1", "fw_classify", "match_counts",
-        lambda value: print(f"classifier match counts: {value}"),
-    )
+    #    request_read returns a typed result: per-block values, errors,
+    #    and round-trip latency.
+    result = firewall.request_read("obi-1", "fw_classify", "match_counts")
+    print(f"classifier match counts: {result.value} "
+          f"(rtt {result.latency * 1e3:.2f} ms)")
 
 
 if __name__ == "__main__":

@@ -51,6 +51,17 @@ class AggregationResult:
     def used_naive(self) -> bool:
         return any(result.used_naive for result in self.merge_results)
 
+    def origin_map(self) -> dict[str, str | None]:
+        """Deployed block name -> originating application.
+
+        The provenance view trace attribution rides on: ``None`` marks a
+        block the merge synthesized across tenants (e.g. a cross-product
+        classifier), which belongs to no single application.
+        """
+        return {
+            name: block.origin_app for name, block in self.graph.blocks.items()
+        }
+
 
 class GraphAggregator:
     """Builds each OBI's deployed graph from the application set."""

@@ -21,6 +21,11 @@ from repro.protocol.messages import Alert, GlobalStatsResponse
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.controller.obc import OpenBoxController
+    from repro.controller.results import (
+        AppStatsView,
+        HandleReadResult,
+        HandleWriteResult,
+    )
 
 
 @dataclass(frozen=True)
@@ -28,13 +33,24 @@ class AppStatement:
     """One location-scoped processing-graph declaration.
 
     ``segment`` scopes by segment path; ``obi_id`` pins to one instance.
-    Exactly one of the two should be set (``segment=""`` with no obi_id
-    means network-wide).
+    Exactly one of the two may be set (``segment=""`` with no obi_id
+    means network-wide); setting both raises — the obi_id used to win
+    silently, leaving the segment a lie. Statements naming a segment
+    unknown to the controller's hierarchy are additionally rejected at
+    ``register_application`` time.
     """
 
     graph: ProcessingGraph
     segment: str = ""
     obi_id: str | None = None
+
+    def __post_init__(self) -> None:
+        if self.obi_id is not None and self.segment:
+            raise ValueError(
+                f"AppStatement scopes both segment {self.segment!r} and "
+                f"obi_id {self.obi_id!r}; set exactly one (an obi_id already "
+                "pins the statement to that instance regardless of segment)"
+            )
 
     def applies_to(self, obi_id: str, obi_segment: str, hierarchy: Any) -> bool:
         if self.obi_id is not None:
@@ -96,10 +112,19 @@ class OpenBoxApplication:
         obi_id: str,
         block: str,
         handle: str,
-        callback: Callable[[Any], None],
-    ) -> None:
-        """Invoke a read handle in the data plane; ``callback(value)``."""
-        self._require_controller().app_read(self, obi_id, block, handle, callback)
+        callback: Callable[[Any], None] | None = None,
+    ) -> "HandleReadResult":
+        """Invoke a read handle in the data plane.
+
+        Returns a typed :class:`~repro.controller.results.HandleReadResult`
+        carrying per-clone values, per-block errors, and round-trip
+        latency; ``result.value`` gives the aggregated value. Passing
+        ``callback`` is deprecated (it fires with ``result.value`` on
+        full success, as the old API did).
+        """
+        return self._require_controller().app_read(
+            self, obi_id, block, handle, callback
+        )
 
     def request_write(
         self,
@@ -108,15 +133,17 @@ class OpenBoxApplication:
         handle: str,
         value: Any,
         callback: Callable[[bool], None] | None = None,
-    ) -> None:
-        """Invoke a write handle in the data plane."""
-        self._require_controller().app_write(self, obi_id, block, handle, value, callback)
+    ) -> "HandleWriteResult":
+        """Invoke a write handle in the data plane; returns a typed result."""
+        return self._require_controller().app_write(
+            self, obi_id, block, handle, value, callback
+        )
 
     def request_stats(
         self, obi_id: str, callback: Callable[[GlobalStatsResponse], None] | None = None
-    ) -> None:
+    ) -> "AppStatsView":
         """Request load information from an OBI (paper §3.4 example)."""
-        self._require_controller().app_stats(self, obi_id, callback)
+        return self._require_controller().app_stats(self, obi_id, callback)
 
     def update_logic(self) -> None:
         """Signal that :meth:`statements` changed; triggers redeployment.

@@ -15,15 +15,23 @@ from __future__ import annotations
 
 import collections
 import time
+import warnings
 from dataclasses import dataclass
 from typing import Any, Callable
 
 from repro.controller.aggregator import AggregationResult, GraphAggregator
 from repro.controller.apps import OpenBoxApplication
+from repro.controller.results import (
+    AppStatsView,
+    HandleError,
+    HandleReadResult,
+    HandleWriteResult,
+)
 from repro.controller.segments import SegmentHierarchy
 from repro.controller.stats import ObiStatsTracker
 from repro.controller.xid import RequestMultiplexer
 from repro.core.merge import MergePolicy
+from repro.observability.metrics import default_registry
 from repro.protocol.codec import PROTOCOL_VERSION
 from repro.transport.base import ChannelClosed
 from repro.protocol.errors import ErrorCode, ProtocolError
@@ -37,6 +45,8 @@ from repro.protocol.messages import (
     KeepAlive,
     LogMessage,
     Message,
+    ObservabilitySnapshotRequest,
+    ObservabilitySnapshotResponse,
     ReadRequest,
     ReadResponse,
     SetProcessingGraphRequest,
@@ -97,6 +107,21 @@ class OpenBoxController:
         #: orchestrator's failover stage treats a persistently failing
         #: instance like a dead one.
         self.consecutive_deploy_failures: dict[str, int] = {}
+        # Control-plane loop metrics on the process-wide registry (the
+        # controller has no per-OBI registry; per-OBI series arrive via
+        # ObservabilitySnapshot pulls instead).
+        registry = default_registry()
+        self._m_deploys = registry.counter("controller_deployments_total")
+        self._m_deploy_failures = registry.counter(
+            "controller_deploy_failures_total"
+        )
+        self._m_alerts = registry.counter("controller_alerts_received_total")
+        self._m_stats_polls = registry.counter("controller_stats_polls_total")
+        self._m_obsv_polls = registry.counter(
+            "controller_observability_polls_total"
+        )
+        self._m_app_requests = registry.counter("controller_app_requests_total")
+        self._m_deploy_latency = registry.histogram("controller_deploy_seconds")
 
     # ------------------------------------------------------------------
     # Northbound: application management
@@ -104,6 +129,21 @@ class OpenBoxController:
     def register_application(self, app: OpenBoxApplication) -> None:
         if app.name in self.applications:
             raise ValueError(f"application {app.name!r} already registered")
+        for statement in app.statements():
+            # Scope sanity at registration time: a statement naming a
+            # segment no current or future OBI of the known topology can
+            # fall under would silently match nothing forever — fail
+            # loudly instead. An empty hierarchy declines to judge
+            # (registering apps before any OBI connects is supported).
+            if statement.segment and not self.segments.could_match(
+                statement.segment
+            ):
+                raise ValueError(
+                    f"application {app.name!r} statement scopes segment "
+                    f"{statement.segment!r}, which matches no known segment "
+                    f"(known: {self.segments.all_paths() or ['<none>']}); "
+                    "declare it with segments.add() first"
+                )
         self.applications[app.name] = app
         app.controller = self
         app.on_start(self)
@@ -214,6 +254,7 @@ class OpenBoxController:
     def _handle_alert(self, alert: Alert) -> None:
         """Demultiplex an alert to its originating application (§6)."""
         self.alerts.append(alert)
+        self._m_alerts.inc()
         app = self.applications.get(alert.origin_app)
         if app is not None:
             app.on_alert(alert)
@@ -232,6 +273,7 @@ class OpenBoxController:
         """Track a failed deployment and surface it on the alert path."""
         self.deploy_failures.append((obi_id, detail))
         self.failed_deployments += 1
+        self._m_deploy_failures.inc()
         self.consecutive_deploy_failures[obi_id] = (
             self.consecutive_deploy_failures.get(obi_id, 0) + 1
         )
@@ -250,6 +292,7 @@ class OpenBoxController:
         result = self.compute_deployment(obi_id)
         if result is None:
             return None
+        started = self.clock()
         try:
             response = handle.channel.request(
                 SetProcessingGraphRequest(graph=result.graph.to_dict())
@@ -259,10 +302,13 @@ class OpenBoxController:
             raise ProtocolError(
                 ErrorCode.NOT_CONNECTED, f"OBI {obi_id!r} unreachable: {exc}"
             ) from exc
+        finally:
+            self._m_deploy_latency.observe(self.clock() - started)
         if isinstance(response, SetProcessingGraphResponse) and response.ok:
             handle.deployed = result
             handle.generation += 1
             self.consecutive_deploy_failures.pop(obi_id, None)
+            self._m_deploys.inc()
             return result
         detail = getattr(response, "detail", "") or getattr(response, "code", "")
         self._record_deploy_failure(obi_id, str(detail))
@@ -347,43 +393,93 @@ class OpenBoxController:
             if deployed.origin_block == block and deployed.origin_app == app_name
         ]
 
-    def app_read(
-        self,
-        app: OpenBoxApplication,
-        obi_id: str,
-        block: str,
-        handle_name: str,
-        callback: Callable[[Any], None],
-    ) -> None:
-        """Read a handle on an application's block.
-
-        If merging cloned the block, numeric reads are summed across the
-        clones (e.g. a per-branch Alert's ``count``); non-numeric reads
-        return the list of per-clone values.
-        """
+    def _resolve_targets(
+        self, app: OpenBoxApplication, obi_id: str, block: str
+    ) -> tuple[ObiHandle, list[str]]:
+        """Channel + deployed clone names for an app's block, or raise."""
         targets = self.resolve_blocks(app.name, obi_id, block)
         if not targets:
             raise ProtocolError(
                 ErrorCode.UNKNOWN_BLOCK,
                 f"application {app.name!r} has no deployed block {block!r} on {obi_id!r}",
             )
-        values: list[Any] = []
-
-        def unwrap(message: Message) -> None:
-            if isinstance(message, ReadResponse):
-                values.append(message.value)
-            if len(values) == len(targets):
-                if len(values) == 1:
-                    callback(values[0])
-                elif all(isinstance(value, (int, float)) for value in values):
-                    callback(sum(values))
-                else:
-                    callback(values)
-
-        for target in targets:
-            self._send_request(
-                app, obi_id, ReadRequest(block=target, handle=handle_name), unwrap
+        handle = self._handle_of(obi_id)
+        if handle.channel is None:
+            raise ProtocolError(
+                ErrorCode.NOT_CONNECTED, f"OBI {obi_id!r} has no channel"
             )
+        return handle, targets
+
+    @staticmethod
+    def _warn_callback_deprecated(method: str) -> None:
+        warnings.warn(
+            f"the callback form of {method} is deprecated; use the returned "
+            "typed result instead",
+            DeprecationWarning,
+            stacklevel=3,
+        )
+
+    def app_read(
+        self,
+        app: OpenBoxApplication,
+        obi_id: str,
+        block: str,
+        handle_name: str,
+        callback: Callable[[Any], None] | None = None,
+    ) -> HandleReadResult:
+        """Read a handle on an application's block; returns a typed result.
+
+        If merging cloned the block, ``result.values`` holds every
+        clone's value and ``result.value`` aggregates them the way the
+        old callback API did (single value / sum of numerics / list).
+        Per-clone failures land in ``result.errors`` instead of raising.
+
+        ``callback`` is the deprecated pre-typed form: invoked with
+        ``result.value`` once every clone answered without error, and a
+        channel failure raises ``ProtocolError`` as it always did.
+        """
+        if callback is not None:
+            self._warn_callback_deprecated("app_read")
+        obi, targets = self._resolve_targets(app, obi_id, block)
+        self._m_app_requests.inc()
+        started = self.clock()
+        result = HandleReadResult(
+            app_name=app.name, obi_id=obi_id, block=block, handle=handle_name
+        )
+        for target in targets:
+            try:
+                response = obi.channel.request(
+                    ReadRequest(block=target, handle=handle_name)
+                )
+            except ChannelClosed as exc:
+                if callback is not None:
+                    # The deprecated form surfaced transport failure as
+                    # an exception; keep that contract for old callers.
+                    raise ProtocolError(
+                        ErrorCode.NOT_CONNECTED, f"OBI {obi_id!r} unreachable: {exc}"
+                    ) from exc
+                result.errors.append(HandleError(
+                    obi_id=obi_id,
+                    block=target,
+                    handle=handle_name,
+                    code=ErrorCode.NOT_CONNECTED,
+                    detail=str(exc),
+                ))
+                continue
+            if isinstance(response, ReadResponse):
+                result.values[target] = response.value
+            else:
+                result.errors.append(HandleError(
+                    obi_id=obi_id,
+                    block=target,
+                    handle=handle_name,
+                    code=getattr(response, "code", ErrorCode.INTERNAL_ERROR),
+                    detail=getattr(response, "detail", f"unexpected {response.TYPE}"),
+                ))
+        result.latency = self.clock() - started
+        if callback is not None and result.ok:
+            callback(result.value)
+        return result
 
     def app_write(
         self,
@@ -393,43 +489,112 @@ class OpenBoxController:
         handle_name: str,
         value: Any,
         callback: Callable[[bool], None] | None = None,
-    ) -> None:
-        """Write a handle on an application's block (all deployed clones)."""
-        targets = self.resolve_blocks(app.name, obi_id, block)
-        if not targets:
-            raise ProtocolError(
-                ErrorCode.UNKNOWN_BLOCK,
-                f"application {app.name!r} has no deployed block {block!r} on {obi_id!r}",
-            )
-        results: list[bool] = []
+    ) -> HandleWriteResult:
+        """Write a handle on an application's block (all deployed clones).
 
-        def unwrap(message: Message) -> None:
-            if isinstance(message, WriteResponse):
-                results.append(message.ok)
-            if callback is not None and len(results) == len(targets):
-                callback(all(results))
-
+        ``callback`` is the deprecated pre-typed form: invoked with the
+        conjunction of per-clone acks once every clone answered without
+        error; a channel failure raises ``ProtocolError`` as before.
+        """
+        if callback is not None:
+            self._warn_callback_deprecated("app_write")
+        obi, targets = self._resolve_targets(app, obi_id, block)
+        self._m_app_requests.inc()
+        started = self.clock()
+        result = HandleWriteResult(
+            app_name=app.name, obi_id=obi_id, block=block, handle=handle_name
+        )
+        acks: list[bool] = []
         for target in targets:
-            self._send_request(
-                app, obi_id,
-                WriteRequest(block=target, handle=handle_name, value=value),
-                unwrap if callback is not None else None,
-            )
+            try:
+                response = obi.channel.request(
+                    WriteRequest(block=target, handle=handle_name, value=value)
+                )
+            except ChannelClosed as exc:
+                if callback is not None:
+                    raise ProtocolError(
+                        ErrorCode.NOT_CONNECTED, f"OBI {obi_id!r} unreachable: {exc}"
+                    ) from exc
+                result.errors.append(HandleError(
+                    obi_id=obi_id,
+                    block=target,
+                    handle=handle_name,
+                    code=ErrorCode.NOT_CONNECTED,
+                    detail=str(exc),
+                ))
+                continue
+            if isinstance(response, WriteResponse):
+                acks.append(response.ok)
+                if response.ok:
+                    result.written.append(target)
+                else:
+                    result.errors.append(HandleError(
+                        obi_id=obi_id,
+                        block=target,
+                        handle=handle_name,
+                        code=ErrorCode.HANDLE_NOT_WRITABLE,
+                        detail="OBI refused the write",
+                    ))
+            else:
+                result.errors.append(HandleError(
+                    obi_id=obi_id,
+                    block=target,
+                    handle=handle_name,
+                    code=getattr(response, "code", ErrorCode.INTERNAL_ERROR),
+                    detail=getattr(response, "detail", f"unexpected {response.TYPE}"),
+                ))
+        result.latency = self.clock() - started
+        if callback is not None and len(acks) == len(targets):
+            callback(all(acks))
+        return result
 
     def app_stats(
         self,
         app: OpenBoxApplication,
         obi_id: str,
         callback: Callable[[GlobalStatsResponse], None] | None = None,
-    ) -> None:
-        def unwrap(message: Message) -> None:
-            if isinstance(message, GlobalStatsResponse):
-                self.stats.record_stats(message, self.clock())
-                app.on_stats(message)
-                if callback is not None:
-                    callback(message)
+    ) -> AppStatsView:
+        """Fetch GlobalStats for an application; returns a typed view.
 
-        self._send_request(app, obi_id, GlobalStatsRequest(), unwrap)
+        Success is also recorded on the stats tracker and delivered to
+        the app's ``on_stats`` hook, exactly as the callback form did.
+        """
+        if callback is not None:
+            self._warn_callback_deprecated("app_stats")
+        handle = self._handle_of(obi_id)
+        if handle.channel is None:
+            raise ProtocolError(
+                ErrorCode.NOT_CONNECTED, f"OBI {obi_id!r} has no channel"
+            )
+        self._m_app_requests.inc()
+        started = self.clock()
+        view = AppStatsView(app_name=app.name, obi_id=obi_id)
+        try:
+            response = handle.channel.request(GlobalStatsRequest())
+        except ChannelClosed as exc:
+            if callback is not None:
+                raise ProtocolError(
+                    ErrorCode.NOT_CONNECTED, f"OBI {obi_id!r} unreachable: {exc}"
+                ) from exc
+            view.error = HandleError(
+                obi_id=obi_id, code=ErrorCode.NOT_CONNECTED, detail=str(exc)
+            )
+            view.latency = self.clock() - started
+            return view
+        view.latency = self.clock() - started
+        if isinstance(response, GlobalStatsResponse):
+            view.stats = response
+            self.stats.record_stats(response, self.clock())
+            app.on_stats(response)
+            if callback is not None:
+                callback(response)
+        else:
+            view.error = HandleError(
+                obi_id=obi_id,
+                code=getattr(response, "code", ErrorCode.INTERNAL_ERROR),
+                detail=getattr(response, "detail", f"unexpected {response.TYPE}"),
+            )
+        return view
 
     # ------------------------------------------------------------------
     # Controller-initiated statistics polling
@@ -439,6 +604,7 @@ class OpenBoxController:
         handle = self._handle_of(obi_id)
         if handle.channel is None:
             return None
+        self._m_stats_polls.inc()
         response = handle.channel.request(GlobalStatsRequest())
         if isinstance(response, GlobalStatsResponse):
             self.stats.record_stats(response, self.clock())
@@ -449,3 +615,62 @@ class OpenBoxController:
         """Latest data-plane health beacon received from ``obi_id``."""
         view = self.stats.view(obi_id)
         return view.last_health if view is not None else None
+
+    # ------------------------------------------------------------------
+    # Observability (PROTOCOL.md §9)
+    # ------------------------------------------------------------------
+    def poll_observability(
+        self, obi_id: str, include_traces: bool = True, max_traces: int = 0
+    ) -> ObservabilitySnapshotResponse | None:
+        """Pull one OBI's metrics + recent traces and record them."""
+        handle = self._handle_of(obi_id)
+        if handle.channel is None:
+            return None
+        self._m_obsv_polls.inc()
+        response = handle.channel.request(ObservabilitySnapshotRequest(
+            include_traces=include_traces, max_traces=max_traces
+        ))
+        if isinstance(response, ObservabilitySnapshotResponse):
+            self.stats.record_observability(response, self.clock())
+            return response
+        return None
+
+    def poll_observability_all(
+        self, include_traces: bool = True, max_traces: int = 0
+    ) -> dict[str, ObservabilitySnapshotResponse]:
+        """Snapshot every reachable OBI; unreachable ones are skipped."""
+        snapshots: dict[str, ObservabilitySnapshotResponse] = {}
+        for obi_id, handle in list(self.obis.items()):
+            if handle.channel is None:
+                continue
+            try:
+                response = self.poll_observability(
+                    obi_id, include_traces=include_traces, max_traces=max_traces
+                )
+            except ChannelClosed:
+                continue
+            if response is not None:
+                snapshots[obi_id] = response
+        return snapshots
+
+    def attribute_trace(
+        self, obi_id: str, trace: dict[str, Any]
+    ) -> dict[str, list[dict[str, Any]]]:
+        """Group a serialized trace's spans by originating application.
+
+        Attribution rides the ``origin_app`` provenance the aggregator
+        stamps before merging, cross-checked against the deployment the
+        controller pushed: a span whose block no longer exists in the
+        deployed graph (trace from an older generation) still groups by
+        its recorded origin. Blocks the merge synthesized across tenants
+        group under ``""``.
+        """
+        handle = self._handle_of(obi_id)
+        origins = (
+            handle.deployed.origin_map() if handle.deployed is not None else {}
+        )
+        grouped: dict[str, list[dict[str, Any]]] = {}
+        for span in trace.get("spans", []):
+            origin = span.get("origin_app") or origins.get(span.get("block")) or ""
+            grouped.setdefault(origin, []).append(span)
+        return grouped

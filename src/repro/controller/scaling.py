@@ -15,6 +15,7 @@ from dataclasses import dataclass
 from typing import Protocol
 
 from repro.controller.stats import ObiStatsTracker
+from repro.observability.metrics import default_registry
 
 
 class Provisioner(Protocol):
@@ -76,6 +77,13 @@ class ScalingManager:
         self._groups: dict[str, list[str]] = {}
         self._last_action: dict[str, float] = {}
         self.actions: list[ScalingAction] = []
+        registry = default_registry()
+        self._m_scale_up = registry.counter(
+            "controller_scaling_actions_total", kind="scale_up"
+        )
+        self._m_scale_down = registry.counter(
+            "controller_scaling_actions_total", kind="scale_down"
+        )
 
     def register_group(self, group: str, obi_ids: list[str]) -> None:
         self._groups[group] = list(obi_ids)
@@ -142,6 +150,7 @@ class ScalingManager:
             action = ScalingAction(
                 kind="scale_up", group=group, obi_id=new_id, at=now, load=mean_load
             )
+            self._m_scale_up.inc()
         elif (
             mean_load < self.policy.scale_down_load
             and len(members) > self.policy.min_replicas
@@ -152,6 +161,7 @@ class ScalingManager:
             action = ScalingAction(
                 kind="scale_down", group=group, obi_id=victim, at=now, load=mean_load
             )
+            self._m_scale_down.inc()
         else:
             return None
 

@@ -74,6 +74,27 @@ class SegmentHierarchy:
         obi_parts = _parts(obi_segment)
         return obi_parts[: len(scope_parts)] == scope_parts
 
+    def could_match(self, scope: str) -> bool:
+        """Could any OBI of the known topology fall under ``scope``?
+
+        True when ``scope`` is an ancestor-or-self of a known segment
+        (it covers that segment's OBIs) or a descendant of one (an OBI
+        may connect deeper than any declared path). An *empty* hierarchy
+        declines to judge and matches everything — validation only bites
+        once a topology has been declared.
+        """
+        scope_parts = _parts(scope)
+        if not scope_parts:
+            return True
+        known = [key for key in self._by_path if key]
+        if not known:
+            return True
+        return any(
+            key[: len(scope_parts)] == scope_parts
+            or scope_parts[: len(key)] == key
+            for key in known
+        )
+
     def descendants(self, path: str) -> list[Segment]:
         """The segment at ``path`` and everything below it."""
         start = self.get(path)

@@ -16,9 +16,14 @@ one that answers nothing for ``liveness_timeout`` is.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Any
 
-from repro.protocol.messages import GlobalStatsResponse, HealthReport
+from repro.observability.metrics import merge_snapshots
+from repro.protocol.messages import (
+    GlobalStatsResponse,
+    HealthReport,
+    ObservabilitySnapshotResponse,
+)
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.controller.xid import RequestMultiplexer
@@ -42,6 +47,9 @@ class ObiLoadView:
     #: True while the OBI reports overload evidence: running degraded or
     #: actively shedding packets since the previous health report.
     overloaded: bool = False
+    #: Latest pulled observability snapshot (PROTOCOL.md §9): the OBI's
+    #: metrics registry plus its recent sampled packet traces.
+    last_observability: ObservabilitySnapshotResponse | None = None
 
     @property
     def cpu_load(self) -> float:
@@ -153,6 +161,47 @@ class ObiStatsTracker:
         view.overloaded = report.degraded or report.packets_shed > shed_before
         view.last_health = report
         view.last_heard = max(view.last_heard, now)
+
+    def record_observability(
+        self, snapshot: ObservabilitySnapshotResponse, now: float
+    ) -> None:
+        """Retain an OBI's pulled observability snapshot (liveness too —
+        an instance answering a snapshot pull is plainly alive)."""
+        view = self.register(snapshot.obi_id, now)
+        view.last_observability = snapshot
+        view.last_heard = max(view.last_heard, now)
+
+    def aggregate_observability(self) -> dict[str, Any]:
+        """Fleet-wide view of the latest snapshot from every OBI.
+
+        Counters and gauges sum across instances, same-shape histograms
+        merge bucket-wise (:func:`repro.observability.metrics.merge_snapshots`),
+        and every retained trace is tagged with its source OBI.
+        """
+        snapshots = [
+            view.last_observability
+            for view in self._views.values()
+            if view.last_observability is not None
+        ]
+        traces: list[dict[str, Any]] = []
+        for snapshot in snapshots:
+            for trace in snapshot.traces:
+                tagged = dict(trace)
+                tagged["obi_id"] = snapshot.obi_id
+                traces.append(tagged)
+        return {
+            "obis": {
+                snapshot.obi_id: {
+                    "graph_version": snapshot.graph_version,
+                    "packets_seen": snapshot.packets_seen,
+                    "packets_sampled": snapshot.packets_sampled,
+                    "sample_rate": snapshot.sample_rate,
+                }
+                for snapshot in snapshots
+            },
+            "metrics": merge_snapshots([s.metrics for s in snapshots]),
+            "traces": traces,
+        }
 
     def view(self, obi_id: str) -> ObiLoadView | None:
         return self._views.get(obi_id)

@@ -16,6 +16,7 @@ OBI performance. The significant parameter is the length of paths".
 
 from __future__ import annotations
 
+import bisect
 from dataclasses import dataclass, field
 from typing import Any, Callable
 
@@ -23,6 +24,7 @@ from repro.core.graph import ProcessingGraph
 from repro.net.packet import Packet
 from repro.obi.fastpath import DecisionRecorder, flow_key
 from repro.obi.storage import SessionStorage
+from repro.observability.metrics import SIZE_BUCKETS
 
 
 @dataclass
@@ -116,6 +118,10 @@ class EngineContext:
     #: :class:`~repro.obi.fastpath.DecisionRecorder` building one.
     decisions: dict[str, int] | None = None
     recorder: Any = None
+    #: Active :class:`~repro.observability.tracing.PacketTrace` for the
+    #: packet in flight; None (the overwhelmingly common case) means the
+    #: traversal pays one None-check per element visit and nothing else.
+    trace: Any = None
 
     @property
     def now(self) -> float:
@@ -177,11 +183,12 @@ class Element:
         arbitrarily deep processing graphs execute safely; the visiting
         order matches Click's immediate push semantics.
         """
-        stack: list[tuple["Element", Packet]] = [(self, packet)]
+        stack: list[tuple["Element", Packet, int]] = [(self, packet, -1)]
         while stack:
-            element, current = stack.pop()
+            element, current, parent = stack.pop()
             context = element.context
             outcome = context.current if context is not None else None
+            trace = context.trace if context is not None else None
             if context is not None and context.decisions is not None:
                 # Fast path: replay the cached decision instead of
                 # matching. Only decision-cached classifiers are
@@ -201,9 +208,18 @@ class Element:
                     if outcome is not None:
                         outcome.path.append(element.name)
                     element.replay_decision(port, current)
+                    if trace is not None:
+                        span = trace.enter(
+                            element.name, element.origin_app, parent, context.now
+                        )
+                        span.replayed = True
+                        span.ports.append(port)
+                        span.exit = context.now
+                        trace.fastpath = True
+                        parent = span.index
                     successor = element._outputs.get(port)
                     if successor is not None:
-                        stack.append((successor, current))
+                        stack.append((successor, current, parent))
                     continue
             recorder = context.recorder if context is not None else None
             guard = context.robustness if context is not None else None
@@ -219,15 +235,31 @@ class Element:
                         # state, not a property of the flow: never
                         # install a decision recorded around one.
                         recorder.poison()
+                    if trace is not None:
+                        span = trace.enter(
+                            element.name, element.origin_app, parent, context.now
+                        )
+                        span.event = (
+                            "degraded-bypass"
+                            if guard.degraded and element.config.get("degradable")
+                            else "quarantine-bypass"
+                        )
+                        span.ports.extend(port for port, _ in contained)
+                        parent = span.index
                     for port, out_packet in reversed(contained):
                         successor = element._outputs.get(port)
                         if successor is not None:
-                            stack.append((successor, out_packet))
+                            stack.append((successor, out_packet, parent))
                     continue
             element.count += 1
             element.byte_count += len(current)
             if outcome is not None:
                 outcome.path.append(element.name)
+            span = (
+                trace.enter(element.name, element.origin_app, parent, context.now)
+                if trace is not None
+                else None
+            )
             if guard is not None:
                 try:
                     emissions = element.process(current)
@@ -235,10 +267,16 @@ class Element:
                     if recorder is not None:
                         recorder.poison()
                     emissions = guard.contain(element, current, exc, outcome)
+                    if span is not None:
+                        span.event = f"fault:{guard.policy.error_policy}"
                 else:
                     guard.on_success(element)
             else:
                 emissions = element.process(current)
+            if span is not None:
+                span.exit = context.now
+                span.ports.extend(port for port, _ in emissions)
+                parent = span.index
             if recorder is not None:
                 if not element.cacheable:
                     recorder.poison()
@@ -248,7 +286,7 @@ class Element:
             for port, out_packet in reversed(emissions):
                 successor = element._outputs.get(port)
                 if successor is not None:
-                    stack.append((successor, out_packet))
+                    stack.append((successor, out_packet, parent))
                 # An unwired port absorbs the packet — matching a
                 # processing graph with a dangling classifier outcome.
 
@@ -288,6 +326,8 @@ class Engine:
         elements: dict[str, Element],
         context: EngineContext,
         flow_cache: Any = None,
+        tracer: Any = None,
+        metrics: Any = None,
     ) -> None:
         """Use :func:`repro.obi.translation.build_engine` to construct."""
         self.graph = graph
@@ -296,6 +336,44 @@ class Engine:
         #: Flow-decision fast path (:mod:`repro.obi.fastpath`); None
         #: disables it and every packet takes the full traversal.
         self.flow_cache = flow_cache
+        #: Sampled tracing (:class:`~repro.observability.tracing.PacketTracer`);
+        #: None is the hard off-switch.
+        self.tracer = tracer
+        self.metrics = metrics
+        # Hot-path telemetry is plain-int accumulation; export_metrics()
+        # mirrors the totals into the registry at snapshot time (same
+        # pattern as the flow cache), so per-packet cost is a handful of
+        # integer adds whether or not a registry is attached.
+        self.dropped_total = 0
+        self.punted_total = 0
+        self.alerts_total = 0
+        self.faults_total = 0
+        #: Raw path-length counts (index = path length, clamped); folded
+        #: into the SIZE_BUCKETS histogram at export.
+        self._path_counts = [0] * 193
+        if metrics is not None:
+            self._m_packets = metrics.counter("engine_packets_total")
+            self._m_dropped = metrics.counter("engine_dropped_total")
+            self._m_punted = metrics.counter("engine_punted_total")
+            self._m_alerts = metrics.counter("engine_alerts_total")
+            self._m_faults = metrics.counter("engine_element_faults_total")
+            self._m_path = metrics.histogram("engine_path_length", SIZE_BUCKETS)
+        else:
+            self._m_packets = None
+            self._m_dropped = None
+            self._m_punted = None
+            self._m_alerts = None
+            self._m_faults = None
+            self._m_path = None
+        # Export watermarks: what has already been mirrored, so exports
+        # are additive (the registry outlives this engine across graph
+        # redeployments).
+        self._exported_packets = 0
+        self._exported_dropped = 0
+        self._exported_punted = 0
+        self._exported_alerts = 0
+        self._exported_faults = 0
+        self._exported_path = [0] * 193
         #: Metadata keys this graph routes on: part of the flow key, so
         #: two packets of one 5-tuple that carry different upstream
         #: classification results never share a cache entry.
@@ -331,6 +409,15 @@ class Engine:
         outcome = PacketOutcome()
         context = self.context
         context.current = outcome
+        tracer = self.tracer
+        trace = None
+        if tracer is not None and tracer.should_sample():
+            try:
+                summary = packet.summary()
+            except Exception:  # noqa: BLE001 — the packet may be hostile
+                summary = f"unparseable frame len={len(packet.data)}"
+            trace = tracer.begin(summary)
+            context.trace = trace
         cache = self.flow_cache
         recorder = None
         if cache is not None:
@@ -356,14 +443,58 @@ class Engine:
             context.current = None
             context.decisions = None
             context.recorder = None
+            context.trace = None
         if recorder is not None:
             # Reached only when push() completed: a traversal that
             # unwound (robustness disabled) installs nothing.
             cache.misses += 1
             cache.install(recorder.key, recorder.finish())
+        if trace is not None:
+            tracer.finish(trace, outcome)
         self.packets_processed += 1
         self.bytes_processed += len(packet)
+        if outcome.dropped:
+            self.dropped_total += 1
+        if outcome.punted:
+            self.punted_total += 1
+        if outcome.alerts:
+            self.alerts_total += len(outcome.alerts)
+        if outcome.errors:
+            self.faults_total += len(outcome.errors)
+        length = len(outcome.path)
+        self._path_counts[length if length < 192 else 192] += 1
         return outcome
+
+    def export_metrics(self) -> None:
+        """Mirror accumulated telemetry into the metrics registry.
+
+        Additive and idempotent: only the delta since the previous export
+        is applied, so the registry keeps accumulating across graph
+        redeployments (each deploy builds a fresh engine against the same
+        OBI-owned registry). No-op without a registry.
+        """
+        if self._m_packets is None:
+            return
+        self._m_packets.inc(self.packets_processed - self._exported_packets)
+        self._exported_packets = self.packets_processed
+        self._m_dropped.inc(self.dropped_total - self._exported_dropped)
+        self._exported_dropped = self.dropped_total
+        self._m_punted.inc(self.punted_total - self._exported_punted)
+        self._exported_punted = self.punted_total
+        self._m_alerts.inc(self.alerts_total - self._exported_alerts)
+        self._exported_alerts = self.alerts_total
+        self._m_faults.inc(self.faults_total - self._exported_faults)
+        self._exported_faults = self.faults_total
+        hist = self._m_path
+        exported = self._exported_path
+        for length, count in enumerate(self._path_counts):
+            delta = count - exported[length]
+            if delta:
+                slot = bisect.bisect_left(hist.boundaries, length)
+                hist.counts[slot] += delta
+                hist.count += delta
+                hist.sum += delta * length
+                exported[length] = count
 
     def element(self, name: str) -> Element:
         try:

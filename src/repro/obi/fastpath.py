@@ -162,6 +162,23 @@ class FlowDecisionCache:
         self.flush_log: collections.deque[tuple[str, int]] = collections.deque(
             maxlen=16
         )
+        self._metrics: Any = None
+
+    def bind_metrics(self, registry: Any) -> None:
+        """Publish this cache's counters on ``registry`` at snapshot time.
+
+        The hot path keeps its plain-int counters (the engine bumps them
+        inline); :meth:`export_metrics` mirrors them into gauges when a
+        snapshot is taken, so metrics cost the fast path nothing.
+        """
+        self._metrics = registry
+
+    def export_metrics(self) -> None:
+        registry = self._metrics
+        if registry is None:
+            return
+        for name, value in self.stats().items():
+            registry.gauge(f"fastpath_{name}").set(value)
 
     def __len__(self) -> int:
         return len(self._entries)

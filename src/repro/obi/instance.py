@@ -35,6 +35,8 @@ from repro.obi.robustness import (
 from repro.obi.services import LogService, PacketStorageService
 from repro.obi.storage import SessionStorage
 from repro.obi.translation import ElementFactory, build_engine
+from repro.observability.metrics import MetricsRegistry
+from repro.observability.tracing import PacketTracer
 from repro.protocol.blocks_spec import OBI_PSEUDO_BLOCK
 from repro.protocol.codec import PROTOCOL_VERSION
 from repro.protocol.errors import ErrorCode, ProtocolError
@@ -59,6 +61,8 @@ from repro.protocol.messages import (
     ListCapabilitiesRequest,
     ListCapabilitiesResponse,
     Message,
+    ObservabilitySnapshotRequest,
+    ObservabilitySnapshotResponse,
     ReadRequest,
     ReadResponse,
     SetExternalServices,
@@ -103,6 +107,13 @@ class ObiConfig:
     #: ``repro.obi.fastpath``); 0 disables the cache entirely and every
     #: packet takes the full slow-path traversal.
     flow_cache_size: int = DEFAULT_FLOW_CACHE_SIZE
+    #: Per-packet trace sampling (see ``repro.observability.tracing``):
+    #: fraction of packets to trace, deterministic 1-in-N. 0 (the
+    #: default) is the hard off-switch — no tracer is installed at all
+    #: and the engine pays one None-check per element visit.
+    trace_sample_rate: float = 0.0
+    #: How many recent sampled traces to retain for snapshots.
+    trace_buffer: int = 64
 
 
 class OpenBoxInstance:
@@ -179,6 +190,23 @@ class OpenBoxInstance:
         #: Ingress accounting: every packet offered to :meth:`inject`,
         #: whether admitted or shed.
         self.packets_offered = 0
+        #: Per-instance metrics registry: owned here (like robustness and
+        #: the flow cache) so series survive graph redeployments; an
+        #: ``ObservabilitySnapshot`` serves exactly this registry.
+        self.metrics = MetricsRegistry()
+        #: Sampled packet tracing; None when ``trace_sample_rate`` is 0.
+        self.tracer = (
+            PacketTracer(
+                config.trace_sample_rate, config.trace_buffer, clock=self.clock
+            )
+            if config.trace_sample_rate > 0
+            else None
+        )
+        self._m_offered = self.metrics.counter("obi_packets_offered_total")
+        self._m_shed = self.metrics.counter("obi_packets_shed_total")
+        self._m_alerts_sent = self.metrics.counter("obi_alerts_sent_total")
+        self._m_duplicates = self.metrics.counter("obi_duplicate_requests_total")
+        self._m_dispatch = self.metrics.histogram("obi_dispatch_seconds")
 
     # ------------------------------------------------------------------
     # Controller connection
@@ -226,12 +254,14 @@ class OpenBoxInstance:
         forwarded upstream on the controller channel (paper §3.4).
         """
         self.packets_offered += 1
+        self._m_offered.inc()
         if self._admission is not None:
             verdict = self._admission.admit(packet)
             # The gate drives degraded mode: below the watermark the
             # engine starts bypassing blocks marked ``degradable``.
             self.robustness.degraded = self._admission.degraded
             if not verdict.admitted:
+                self._m_shed.inc()
                 outcome = PacketOutcome(dropped=True, shed=True)
                 with self._lock:
                     if self.history.maxlen:
@@ -285,10 +315,12 @@ class OpenBoxInstance:
         with self._lock:
             for packet in packets:
                 self.packets_offered += 1
+                self._m_offered.inc()
                 if self._admission is not None:
                     verdict = self._admission.admit(packet)
                     self.robustness.degraded = self._admission.degraded
                     if not verdict.admitted:
+                        self._m_shed.inc()
                         outcomes.append(PacketOutcome(dropped=True, shed=True))
                         if self.history.maxlen:
                             self.history.append({
@@ -382,6 +414,7 @@ class OpenBoxInstance:
     def _notify_alert(self, alert: Alert) -> None:
         self._channel.notify(alert)
         self.alerts_sent += 1
+        self._m_alerts_sent.inc()
 
     def flush_alerts(self) -> None:
         """Summarize what the rate limiter refused: one "N suppressed"
@@ -442,7 +475,9 @@ class OpenBoxInstance:
         with self._dedup_lock:
             if message.xid in self._response_cache:
                 self.duplicate_requests += 1
+                self._m_duplicates.inc()
                 return self._response_cache[message.xid]
+        started = self.clock()
         try:
             response = self._dispatch(message)
         except ProtocolError as exc:
@@ -456,6 +491,7 @@ class OpenBoxInstance:
                 code=ErrorCode.INTERNAL_ERROR,
                 detail=f"{type(exc).__name__}: {exc}",
             )
+        self._m_dispatch.observe(self.clock() - started)
         with self._dedup_lock:
             self._response_cache[message.xid] = response
             while len(self._response_cache) > self._response_cache_limit:
@@ -484,6 +520,8 @@ class OpenBoxInstance:
             return BarrierResponse(xid=message.xid)
         if isinstance(message, BarrierRequest):
             return BarrierResponse(xid=message.xid)
+        if isinstance(message, ObservabilitySnapshotRequest):
+            return self._observability(message)
         if isinstance(message, PacketHistoryRequest):
             with self._lock:
                 records = list(self.history)
@@ -522,6 +560,8 @@ class OpenBoxInstance:
                 storage_service=self.storage_service,
                 robustness=self.robustness,
                 flow_cache=self.flow_cache,
+                tracer=self.tracer,
+                metrics=self.metrics,
             )
             # Phase 2 — verify: the entry point must have resolved to a
             # live element (an engine without one rejects every packet),
@@ -551,6 +591,11 @@ class OpenBoxInstance:
             time.sleep(self.config.reconfigure_poll_delay)
         # Phase 3 — commit: atomic swap against in-flight packets.
         with self._lock:
+            if self.engine is not None:
+                # Flush the outgoing engine's telemetry into the registry
+                # before it is dropped; the registry accumulates across
+                # deployments.
+                self.engine.export_metrics()
             self.graph = graph
             self.engine = engine
             self.graph_version += 1
@@ -561,6 +606,53 @@ class OpenBoxInstance:
         return SetProcessingGraphResponse(
             xid=message.xid, ok=True, detail=f"version {self.graph_version}"
         )
+
+    def observability_snapshot(
+        self, include_traces: bool = True, max_traces: int = 0
+    ) -> ObservabilitySnapshotResponse:
+        """The instance's metrics + recent sampled traces (PROTOCOL.md §9).
+
+        Snapshot-time-only series (flow-cache counters, quarantine and
+        degradation levels, sampling totals) are mirrored into gauges
+        here rather than maintained on the hot path — pull telemetry
+        should cost the data plane nothing between pulls.
+        """
+        if self.engine is not None:
+            self.engine.export_metrics()
+        if self.flow_cache is not None:
+            self.flow_cache.bind_metrics(self.metrics)
+            self.flow_cache.export_metrics()
+        gauges = self.metrics
+        gauges.gauge("obi_graph_version").set(self.graph_version)
+        gauges.gauge("obi_degraded").set(1.0 if self.robustness.degraded else 0.0)
+        gauges.gauge("obi_quarantined_blocks").set(
+            len(self.robustness.quarantined_blocks())
+        )
+        gauges.gauge("obi_errors_total").set(self.robustness.errors_total)
+        tracer = self.tracer
+        if tracer is not None:
+            gauges.gauge("trace_packets_seen").set(tracer.seen)
+            gauges.gauge("trace_packets_sampled").set(tracer.sampled)
+        return ObservabilitySnapshotResponse(
+            obi_id=self.config.obi_id,
+            graph_version=self.graph_version,
+            metrics=self.metrics.snapshot(),
+            traces=(
+                tracer.traces(max_traces)
+                if include_traces and tracer is not None
+                else []
+            ),
+            packets_seen=tracer.seen if tracer is not None else self.packets_offered,
+            packets_sampled=tracer.sampled if tracer is not None else 0,
+            sample_rate=tracer.sample_rate if tracer is not None else 0.0,
+        )
+
+    def _observability(self, message: ObservabilitySnapshotRequest) -> Message:
+        response = self.observability_snapshot(
+            include_traces=message.include_traces, max_traces=message.max_traces
+        )
+        response.xid = message.xid
+        return response
 
     def _global_stats(self, message: GlobalStatsRequest) -> Message:
         return GlobalStatsResponse(
@@ -634,6 +726,12 @@ class OpenBoxInstance:
             return self.flow_cache.entries if self.flow_cache is not None else 0
         if handle == "fastpath_hit_rate":
             return self.flow_cache.hit_rate if self.flow_cache is not None else 0.0
+        if handle == "trace_seen":
+            return self.tracer.seen if self.tracer is not None else 0
+        if handle == "trace_sampled":
+            return self.tracer.sampled if self.tracer is not None else 0
+        if handle == "trace_sample_rate":
+            return self.tracer.sample_rate if self.tracer is not None else 0.0
         raise KeyError(f"{OBI_PSEUDO_BLOCK} has no read handle {handle!r}")
 
     def _write(self, message: WriteRequest) -> Message:

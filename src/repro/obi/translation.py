@@ -83,6 +83,8 @@ def build_engine(
     storage_service: Any = None,
     robustness: Any = ...,
     flow_cache: Any = ...,
+    tracer: Any = None,
+    metrics: Any = None,
 ) -> Engine:
     """Instantiate and wire an :class:`Engine` for ``graph``.
 
@@ -94,6 +96,13 @@ def build_engine(
     :class:`~repro.obi.fastpath.FlowDecisionCache` (the OBI does, so
     counters survive redeploys), ``None`` to disable it, or leave the
     default for a fresh private cache.
+
+    Observability is opt-in: ``tracer`` is a
+    :class:`~repro.observability.tracing.PacketTracer` (None disables
+    sampling entirely) and ``metrics`` a
+    :class:`~repro.observability.metrics.MetricsRegistry` the engine and
+    flow cache register their instruments on. Both are owned by the OBI
+    so series survive redeploys.
     """
     import time
 
@@ -131,6 +140,13 @@ def build_engine(
         elements[block.name] = element
     for connector in graph.connectors:
         elements[connector.src].wire(connector.src_port, elements[connector.dst])
+    if flow_cache is not None and metrics is not None:
+        flow_cache.bind_metrics(metrics)
     return Engine(
-        graph=graph, elements=elements, context=context, flow_cache=flow_cache
+        graph=graph,
+        elements=elements,
+        context=context,
+        flow_cache=flow_cache,
+        tracer=tracer,
+        metrics=metrics,
     )

@@ -317,6 +317,49 @@ class HealthReport(Message):
 
 @register_message
 @dataclass
+class ObservabilitySnapshotRequest(Message):
+    """OBC → OBI: pull the instance's metrics and recent traces (§9).
+
+    Read-only and side-effect free, so it rides the normal idempotent
+    retry machinery with no special casing.
+    """
+
+    TYPE: ClassVar[str] = "ObservabilitySnapshotRequest"
+
+    #: Include the sampled trace ring in the response (metrics are
+    #: always included — they are cheap; traces can be large).
+    include_traces: bool = True
+    #: Return at most this many most-recent traces (0 = all retained).
+    max_traces: int = 0
+
+
+@register_message
+@dataclass
+class ObservabilitySnapshotResponse(Message):
+    """OBI → OBC: one instance's observability state (PROTOCOL.md §9).
+
+    ``metrics`` is the registry snapshot shape of
+    :meth:`repro.observability.metrics.MetricsRegistry.snapshot`;
+    ``traces`` is a list of serialized ``PacketTrace`` dicts whose spans
+    carry per-block ``origin_app`` attribution. Everything is plain
+    JSON — no wall-clock values appear in metric keys, so snapshots
+    from different OBIs merge and diff cleanly.
+    """
+
+    TYPE: ClassVar[str] = "ObservabilitySnapshotResponse"
+
+    obi_id: str = ""
+    graph_version: int = 0
+    metrics: dict[str, Any] = field(default_factory=dict)
+    traces: list[dict[str, Any]] = field(default_factory=list)
+    #: Trace-sampling accounting: packets considered / actually traced.
+    packets_seen: int = 0
+    packets_sampled: int = 0
+    sample_rate: float = 0.0
+
+
+@register_message
+@dataclass
 class LogMessage(Message):
     """OBI → OBC/log service: a Log block fired."""
 

@@ -21,7 +21,9 @@ from typing import Sequence
 
 from repro.apps.firewall import FirewallApp, parse_firewall_rules
 from repro.net.pcap import read_pcap, write_pcap
-from repro.obi.translation import build_engine
+from repro.obi.instance import ObiConfig, OpenBoxInstance
+from repro.observability.tracing import render_trace_tree
+from repro.protocol.messages import SetProcessingGraphRequest
 from repro.sim.traffic import TraceConfig, TrafficGenerator
 
 
@@ -69,13 +71,26 @@ def _cmd_replay(args: argparse.Namespace) -> int:
     with open(args.rules) as handle:
         rules = parse_firewall_rules(handle.read())
     app = FirewallApp("replay-fw", rules, alert_only=args.alert_only)
-    engine = build_engine(app.build_graph())
+
+    # Route through a real OBI instance, not a bare engine: replayed
+    # packets then see the full ingress path — admission gate, flow
+    # cache, fault containment — exactly as deployed traffic would.
+    instance = OpenBoxInstance(ObiConfig(
+        obi_id="replay-obi", trace_sample_rate=args.trace_sample
+    ))
+    response = instance.handle_message(
+        SetProcessingGraphRequest(graph=app.build_graph().to_dict())
+    )
+    if not getattr(response, "ok", False):
+        print(f"graph rejected: {getattr(response, 'detail', response)}")
+        return 1
+
     packets = read_pcap(args.path)
+    outcomes = instance.inject_batch(list(packets))
 
     verdicts: collections.Counter = collections.Counter()
     alert_messages: collections.Counter = collections.Counter()
-    for packet in packets:
-        outcome = engine.process(packet)
+    for outcome in outcomes:
         if outcome.dropped:
             verdicts["dropped"] += 1
         elif outcome.alerts:
@@ -92,6 +107,19 @@ def _cmd_replay(args: argparse.Namespace) -> int:
         print(f"  {verdict:8s} {count:6d}  ({count / total * 100:5.1f}%)")
     if alert_messages:
         print("alerts:", dict(alert_messages.most_common(5)))
+    shed = instance.packets_shed
+    if shed:
+        print(f"shed at admission gate: {shed}")
+    if instance.flow_cache is not None:
+        print(f"fastpath: {instance.flow_cache.hits} hits / "
+              f"{instance.flow_cache.misses} misses")
+    if instance.robustness.errors_total:
+        print(f"contained element faults: {instance.robustness.errors_total}")
+    if instance.tracer is not None:
+        sampled = instance.tracer.traces(limit=1)
+        if sampled:
+            print(f"\nsampled {instance.tracer.sampled} traces; most recent:")
+            print(render_trace_tree(sampled[-1]))
     return 0
 
 
@@ -116,6 +144,8 @@ def build_parser() -> argparse.ArgumentParser:
     replay.add_argument("path")
     replay.add_argument("--rules", required=True)
     replay.add_argument("--alert-only", action="store_true")
+    replay.add_argument("--trace-sample", type=float, default=0.0,
+                        help="sample packet traces at this rate (0 = off)")
     replay.set_defaults(func=_cmd_replay)
     return parser
 

@@ -14,6 +14,7 @@ from __future__ import annotations
 
 from typing import Callable
 
+from repro.observability.metrics import default_registry
 from repro.protocol.errors import ErrorCode, ProtocolError
 from repro.protocol.messages import ErrorMessage, Message
 from repro.transport.base import ChannelClosed, MessageHandler
@@ -30,6 +31,13 @@ class _InProcEndpoint:
         self.sent_messages = 0
         self.received_messages = 0
         self.on_deliver: Callable[[Message], None] | None = None
+        # Channels have no natural per-OBI owner, so they report on the
+        # process-wide registry; handles are resolved once per endpoint.
+        registry = default_registry()
+        self._m_sent = registry.counter("transport_sent_total", transport="inproc")
+        self._m_received = registry.counter(
+            "transport_received_total", transport="inproc"
+        )
 
     def set_handler(self, handler: MessageHandler) -> None:
         self._handler = handler
@@ -38,6 +46,7 @@ class _InProcEndpoint:
         if self._closed:
             raise ChannelClosed(f"endpoint {self.name} is closed")
         self.received_messages += 1
+        self._m_received.inc()
         if self.on_deliver is not None:
             self.on_deliver(message)
         if self._handler is None:
@@ -48,6 +57,7 @@ class _InProcEndpoint:
         if self._closed or self._peer is None:
             raise ChannelClosed(f"endpoint {self.name} is closed")
         self.sent_messages += 1
+        self._m_sent.inc()
         response = self._peer._deliver(message)
         if response is None:
             return ErrorMessage(
@@ -61,6 +71,7 @@ class _InProcEndpoint:
         if self._closed or self._peer is None:
             raise ChannelClosed(f"endpoint {self.name} is closed")
         self.sent_messages += 1
+        self._m_sent.inc()
         self._peer._deliver(message)
 
     def close(self) -> None:

@@ -24,6 +24,7 @@ import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from urllib.parse import urlparse
 
+from repro.observability.metrics import default_registry
 from repro.protocol.codec import CodecError, decode_message, encode_message
 from repro.protocol.errors import ErrorCode
 from repro.protocol.messages import ErrorMessage, Message
@@ -61,6 +62,7 @@ class _Handler(BaseHTTPRequestHandler):
             return
         length = int(self.headers.get("Content-Length", "0"))
         body = self.rfile.read(length)
+        self.endpoint.metrics_received.inc()
         try:
             message = decode_message(body)
         except CodecError as exc:
@@ -121,6 +123,9 @@ class RestEndpoint:
         self._server = ThreadingHTTPServer((host, port), handler_cls)
         self._server.daemon_threads = True
         self.handler: MessageHandler | None = None
+        self.metrics_received = default_registry().counter(
+            "transport_received_total", transport="rest"
+        )
         self._thread = threading.Thread(
             target=self._server.serve_forever, name="openbox-rest", daemon=True
         )
@@ -172,6 +177,14 @@ class RestPeerChannel:
         #: here; set_handler exists to satisfy the Channel protocol for
         #: callers that treat channels uniformly.
         self._handler: MessageHandler | None = None
+        registry = default_registry()
+        self._m_sent = registry.counter("transport_sent_total", transport="rest")
+        self._m_timeouts = registry.counter(
+            "transport_timeouts_total", transport="rest"
+        )
+        self._m_failures = registry.counter(
+            "transport_failures_total", transport="rest"
+        )
 
     def set_handler(self, handler: MessageHandler) -> None:
         self._handler = handler
@@ -197,16 +210,19 @@ class RestPeerChannel:
                 body=payload,
                 headers={"Content-Type": "application/json"},
             )
+            self._m_sent.inc()
             response = connection.getresponse()
             body = response.read()
             if response.status == 204 or not body:
                 return None
             return decode_message(body)
         except socket.timeout as exc:
+            self._m_timeouts.inc()
             raise ChannelTimeout(
                 f"peer did not answer xid={message.xid} within {read_timeout}s"
             ) from exc
         except (ConnectionError, OSError) as exc:
+            self._m_failures.inc()
             raise ChannelClosed(f"peer unreachable: {exc}") from exc
         finally:
             connection.close()

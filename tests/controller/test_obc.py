@@ -70,8 +70,14 @@ class TestDeployment:
 
     def test_out_of_scope_app_not_deployed(self, controller):
         obi = _connect(controller, segment="sales")
+        controller.segments.add("corp")
         controller.register_application(_fw_app(segment="corp"))
         assert obi.engine is None
+
+    def test_unknown_segment_rejected_at_registration(self, controller):
+        _connect(controller, segment="sales")
+        with pytest.raises(ValueError, match="corp"):
+            controller.register_application(_fw_app(segment="corp"))
 
     def test_two_apps_merge_on_deploy(self, controller):
         obi = _connect(controller)

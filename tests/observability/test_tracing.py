@@ -1,0 +1,188 @@
+"""Packet tracing: sampling, span attribution, and strict equivalence."""
+
+import pytest
+
+from repro.bootstrap import connect_inproc
+from repro.controller.apps import AppStatement, FunctionApplication
+from repro.controller.obc import OpenBoxController
+from repro.net.builder import make_tcp_packet
+from repro.obi.instance import ObiConfig, OpenBoxInstance
+from repro.observability.tracing import PacketTracer, render_trace_tree
+from tests.conftest import build_firewall_graph, build_ips_graph
+
+
+def _deploy_fw_ips(controller):
+    controller.register_application(FunctionApplication(
+        "fw", lambda: [AppStatement(graph=build_firewall_graph("fw"),
+                                    segment="corp")],
+        priority=1,
+    ))
+    controller.register_application(FunctionApplication(
+        "ips", lambda: [AppStatement(graph=build_ips_graph("ips"),
+                                     segment="corp")],
+        priority=2,
+    ))
+
+
+def _traced_obi(controller, rate=1.0, **config):
+    obi = OpenBoxInstance(ObiConfig(
+        obi_id="traced-obi", segment="corp", trace_sample_rate=rate, **config
+    ))
+    connect_inproc(controller, obi)
+    return obi
+
+
+class TestSampler:
+    def test_rate_validated(self):
+        with pytest.raises(ValueError):
+            PacketTracer(sample_rate=1.5)
+        with pytest.raises(ValueError):
+            PacketTracer(sample_rate=-0.1)
+
+    def test_rate_one_samples_everything(self):
+        tracer = PacketTracer(sample_rate=1.0)
+        assert all(tracer.should_sample() for _ in range(10))
+        assert tracer.seen == 10
+
+    def test_one_in_n_is_deterministic(self):
+        tracer = PacketTracer(sample_rate=0.25)
+        stream = [tracer.should_sample() for _ in range(16)]
+        assert sum(stream) == 4  # exactly 1-in-4
+        again = PacketTracer(sample_rate=0.25)
+        assert [again.should_sample() for _ in range(16)] == stream
+
+    def test_ring_is_bounded(self):
+        controller = OpenBoxController()
+        obi = _traced_obi(controller, rate=1.0, trace_buffer=4)
+        _deploy_fw_ips(controller)
+        for port in range(10):
+            obi.process_packet(
+                make_tcp_packet("44.0.0.1", "2.2.2.2", 1000 + port, 9000)
+            )
+        assert len(obi.tracer.traces()) == 4
+        assert obi.tracer.sampled == 10
+
+    def test_zero_rate_installs_no_tracer(self):
+        obi = OpenBoxInstance(ObiConfig(obi_id="off", trace_sample_rate=0.0))
+        assert obi.tracer is None
+
+
+class TestAttribution:
+    """Acceptance: a trace through merged fw+ips attributes every span."""
+
+    @pytest.fixture
+    def traced(self):
+        controller = OpenBoxController()
+        obi = _traced_obi(controller)
+        _deploy_fw_ips(controller)
+        return controller, obi
+
+    def _trace_for(self, obi, packet):
+        obi.process_packet(packet)
+        return obi.tracer.traces()[-1]
+
+    def test_every_span_attributed_to_its_app(self, traced):
+        controller, obi = traced
+        # dst port 80 traverses fw (pass) then ips (regex web path).
+        trace = self._trace_for(obi, make_tcp_packet(
+            "44.0.0.1", "2.2.2.2", 5, 80, payload=b"launch the attack now"
+        ))
+        origins = {span["origin_app"] for span in trace["spans"]}
+        assert "fw" in origins and "ips" in origins
+        handle = controller.obis["traced-obi"]
+        deployed_origins = handle.deployed.origin_map()
+        for span in trace["spans"]:
+            # Each span's recorded provenance matches the deployment's.
+            assert span["origin_app"] == deployed_origins[span["block"]]
+
+    def test_synthesized_blocks_attributed_to_no_app(self, traced):
+        controller, obi = traced
+        trace = self._trace_for(
+            obi, make_tcp_packet("44.0.0.1", "2.2.2.2", 5, 80)
+        )
+        merged_hc = [span for span in trace["spans"]
+                     if span["origin_app"] is None]
+        assert merged_hc  # the merged classifier is shared infrastructure
+
+    def test_controller_groups_spans_by_app(self, traced):
+        controller, obi = traced
+        trace = self._trace_for(obi, make_tcp_packet(
+            "44.0.0.1", "2.2.2.2", 5, 80, payload=b"launch the attack now"
+        ))
+        grouped = controller.attribute_trace("traced-obi", trace)
+        assert set(grouped) >= {"fw", "ips"}
+        total = sum(len(spans) for spans in grouped.values())
+        assert total == len(trace["spans"])
+
+    def test_span_tree_matches_traversal(self, traced):
+        _controller, obi = traced
+        trace = self._trace_for(
+            obi, make_tcp_packet("10.0.0.9", "2.2.2.2", 5, 23)  # fw deny
+        )
+        assert trace["dropped"]
+        spans = trace["spans"]
+        assert spans[0]["parent"] == -1
+        for span in spans[1:]:
+            parent = spans[span["parent"]]
+            assert span["parent"] < span["index"]
+            assert parent["ports"]  # the parent emitted somewhere
+
+    def test_render_tree_mentions_blocks_and_apps(self, traced):
+        _controller, obi = traced
+        trace = self._trace_for(
+            obi, make_tcp_packet("44.0.0.1", "2.2.2.2", 5, 443)
+        )
+        rendered = render_trace_tree(trace)
+        assert "[fw]" in rendered or "[ips]" in rendered
+        assert "forwarded" in rendered
+
+
+class TestEquivalence:
+    """Tracing must never change what the data plane does."""
+
+    def _packets(self):
+        return [
+            make_tcp_packet("10.0.0.9", "2.2.2.2", 5, 23),   # fw deny
+            make_tcp_packet("44.0.0.1", "2.2.2.2", 5, 22),   # fw alert
+            make_tcp_packet("44.0.0.1", "2.2.2.2", 5, 80,
+                            payload=b"launch the attack now"),  # ips alert
+            make_tcp_packet("44.0.0.1", "2.2.2.2", 5, 80,
+                            payload=b"UNION SELECT 1"),         # ips drop
+            make_tcp_packet("44.0.0.1", "2.2.2.2", 5, 9999),  # pass
+            # Repeats: the second round replays from the flow cache.
+            make_tcp_packet("10.0.0.9", "2.2.2.2", 5, 23),
+            make_tcp_packet("44.0.0.1", "2.2.2.2", 5, 9999),
+        ]
+
+    def _run(self, rate):
+        controller = OpenBoxController()
+        obi = OpenBoxInstance(ObiConfig(
+            obi_id="eq-obi", segment="corp", trace_sample_rate=rate
+        ))
+        connect_inproc(controller, obi)
+        _deploy_fw_ips(controller)
+        return obi, [obi.process_packet(p) for p in self._packets()]
+
+    def test_traced_outcomes_byte_identical_to_untraced(self):
+        _untraced_obi, untraced = self._run(0.0)
+        _traced_obi_, traced = self._run(1.0)
+        for before, after in zip(untraced, traced):
+            assert before.effects_key() == after.effects_key()
+
+    def test_fastpath_replay_marked_in_trace(self):
+        obi, outcomes = self._run(1.0)
+        assert obi.flow_cache.hits > 0  # the repeats hit the cache
+        replayed_traces = [
+            trace for trace in obi.tracer.traces() if trace["fastpath"]
+        ]
+        assert replayed_traces
+        assert any(
+            span["replayed"]
+            for trace in replayed_traces for span in trace["spans"]
+        )
+
+    def test_tracing_does_not_poison_flow_cache(self):
+        untraced, _ = self._run(0.0), None
+        traced, _ = self._run(1.0), None
+        assert traced[0].flow_cache.hits == untraced[0].flow_cache.hits
+        assert traced[0].flow_cache.misses == untraced[0].flow_cache.misses

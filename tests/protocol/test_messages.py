@@ -32,6 +32,8 @@ from repro.protocol.messages import (
     ListCapabilitiesRequest,
     ListCapabilitiesResponse,
     LogMessage,
+    ObservabilitySnapshotRequest,
+    ObservabilitySnapshotResponse,
     PacketHistoryRequest,
     PacketHistoryResponse,
     ReadRequest,
@@ -83,6 +85,14 @@ ALL_MESSAGES = [
                                 "session": {"tag": "x"}}]),
     ImportStateRequest(state=[]),
     ImportStateResponse(flows_imported=3),
+    ObservabilitySnapshotRequest(include_traces=True, max_traces=8),
+    ObservabilitySnapshotResponse(
+        obi_id="o1", graph_version=3,
+        metrics={"counters": {"engine_packets_total": 9}, "gauges": {},
+                 "histograms": {}},
+        traces=[{"seq": 1, "packet_summary": "pkt#1", "fastpath": False,
+                 "dropped": False, "punted": False, "spans": []}],
+        packets_seen=100, packets_sampled=1, sample_rate=0.01),
     BarrierRequest(),
     BarrierResponse(),
     ErrorMessage(code=ErrorCode.UNKNOWN_BLOCK, detail="nope"),
