@@ -97,5 +97,45 @@ def connect_obi_rest(
     if retry is not None:
         upstream = ResilientChannel(upstream, retry)
     instance.set_upstream(upstream)
-    upstream.request(instance.hello_message(callback_url=endpoint.url))
+    instance.reconnect(callback_url=endpoint.url)
     return endpoint, upstream
+
+
+def reconnect_inproc(
+    controller: OpenBoxController,
+    instance: OpenBoxInstance,
+    pair: InProcPair,
+    wrap_downstream: Callable[[Channel], Channel] | None = None,
+) -> InProcPair:
+    """Re-wire an existing in-process pair after a controller restart.
+
+    Models a controller process coming back at the same address: the
+    pair is reopened (sends during the outage failed with
+    ``ChannelClosed``, like a refused connection), the recovered
+    controller's handler is installed, and the OBI re-sends ``Hello`` —
+    idempotent controller-side, carrying the running graph's digest so
+    the recovered controller can *adopt* it instead of re-pushing
+    (PROTOCOL.md §10). The OBI replays anything buffered while headless
+    as part of the same exchange.
+    """
+    pair.reopen()
+    pair.left.set_handler(controller.handle_message)
+    instance.reconnect(pair.right)
+    downstream: Channel = pair.left
+    if wrap_downstream is not None:
+        downstream = wrap_downstream(downstream)
+    controller.connect_obi(instance.config.obi_id, downstream)
+    return pair
+
+
+def reconnect_obi_rest(instance: OpenBoxInstance, endpoint: RestEndpoint) -> Message:
+    """Re-register an OBI with a (possibly restarted) controller.
+
+    The REST transport needs no channel surgery — every send opens a
+    fresh connection, so a controller restarted at the same URL is
+    reachable as soon as :func:`serve_controller_rest` installs its
+    handler (the 503 window maps to ``ChannelClosed`` and is absorbed
+    by retry policies). This just re-runs the Hello handshake on the
+    existing upstream channel, advertising the same callback URL.
+    """
+    return instance.reconnect(callback_url=endpoint.url)

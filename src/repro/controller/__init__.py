@@ -17,22 +17,28 @@ The OBC (paper §3.3) is the logically-centralized control plane:
 
 from repro.controller.aggregator import GraphAggregator
 from repro.controller.apps import AppStatement, OpenBoxApplication
+from repro.controller.journal import JournalState, StateJournal
 from repro.controller.migration import StateMigrator
 from repro.controller.obc import ObiHandle, OpenBoxController
 from repro.controller.optimizer import optimize_graph
 from repro.controller.orchestrator import OrchestrationLoop
+from repro.controller.reconcile import AntiEntropyLoop, ReconcileReport
 from repro.controller.segments import SegmentHierarchy
 from repro.controller.split import deploy_split, split_at_classifier
 from repro.controller.verification import verify_application, verify_graph
 
 __all__ = [
+    "AntiEntropyLoop",
     "AppStatement",
     "GraphAggregator",
+    "JournalState",
     "ObiHandle",
     "OpenBoxApplication",
     "OpenBoxController",
     "OrchestrationLoop",
+    "ReconcileReport",
     "SegmentHierarchy",
+    "StateJournal",
     "StateMigrator",
     "deploy_split",
     "optimize_graph",

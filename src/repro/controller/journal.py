@@ -1,0 +1,304 @@
+"""Durable controller state: write-ahead journal + compacted snapshots.
+
+The paper's controller is *logically centralized* (§4.2), which is only
+viable if it can die and come back without taking the data plane with
+it. This module gives the controller a crash-consistent persistence
+layer with two halves:
+
+* an **append-only JSON-lines journal**: every state mutation (app
+  registration, segment discovery, OBI connection, successful deploy,
+  generation bump) is one self-describing record. Appends are batched
+  to ``fsync`` every ``fsync_every`` records — the classic WAL
+  throughput/durability trade, tunable down to 1 for strict durability;
+* **periodic compacted snapshots**: after ``compact_every`` appends the
+  whole logical state is rewritten as a single ``snapshot`` record into
+  a fresh file, atomically swapped in with ``os.replace``, so the
+  journal never grows without bound and replay cost stays O(state),
+  not O(history).
+
+Replay is deliberately forgiving (the fuzz suite exercises this):
+
+* a **truncated or corrupt tail** (half-written last line after a
+  crash) stops replay at the longest valid prefix — everything before
+  it is recovered;
+* **duplicate records** (a crash between apply and fsync can replay a
+  batch) fold idempotently — registering the same app or segment twice
+  is a no-op, a deploy record overwrites the previous intent for that
+  OBI.
+
+What is journaled is *intent*, not mechanism: per-OBI the canonical
+digest of the intended graph plus its version epoch — enough for the
+anti-entropy loop to tell a converged OBI from a stale one without
+reserializing whole graphs into the log. Transaction-id high-watermarks
+ride along so a recovered controller never re-issues an xid a peer may
+still hold in its dedup cache, and the **controller generation** (bumped
+and flushed durably on every recovery, before any message is sent) is
+what lets OBIs fence off a stale predecessor (split-brain guard).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from typing import Any, Iterator
+
+
+@dataclass
+class JournalState:
+    """The logical controller state a journal encodes.
+
+    This is the fold of a snapshot record plus every tail record after
+    it; :meth:`StateJournal.replay` produces one and recovery consumes
+    it. All values are plain JSON types.
+    """
+
+    #: Monotonically increasing controller generation (split-brain guard).
+    generation: int = 0
+    #: Registered application name -> {"priority": int}.
+    apps: dict[str, dict[str, Any]] = field(default_factory=dict)
+    #: Known segment paths, in discovery order.
+    segments: list[str] = field(default_factory=list)
+    #: obi_id -> {"segment", "callback_url", "digest", "graph_version"}.
+    obis: dict[str, dict[str, Any]] = field(default_factory=dict)
+    #: Highest transaction id known to have been allocated.
+    xid_high: int = 0
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "generation": self.generation,
+            "apps": self.apps,
+            "segments": list(self.segments),
+            "obis": self.obis,
+            "xid_high": self.xid_high,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "JournalState":
+        state = cls()
+        state.generation = int(data.get("generation", 0))
+        state.apps = {
+            str(name): dict(info)
+            for name, info in dict(data.get("apps", {})).items()
+        }
+        state.segments = [str(path) for path in data.get("segments", [])]
+        state.obis = {
+            str(obi_id): dict(info)
+            for obi_id, info in dict(data.get("obis", {})).items()
+        }
+        state.xid_high = int(data.get("xid_high", 0))
+        return state
+
+    # -- record folding -------------------------------------------------
+    def apply(self, record: dict[str, Any]) -> None:
+        """Fold one journal record into the state (idempotent)."""
+        kind = record.get("rec")
+        if kind == "snapshot":
+            replacement = JournalState.from_dict(record.get("state", {}))
+            self.__dict__.update(replacement.__dict__)
+        elif kind == "generation":
+            self.generation = max(self.generation, int(record.get("generation", 0)))
+        elif kind == "app":
+            name = str(record.get("name", ""))
+            if record.get("op") == "unregister":
+                self.apps.pop(name, None)
+            elif name:
+                self.apps[name] = {"priority": int(record.get("priority", 100))}
+        elif kind == "segment":
+            path = str(record.get("path", ""))
+            if path and path not in self.segments:
+                self.segments.append(path)
+        elif kind == "obi":
+            obi_id = str(record.get("obi_id", ""))
+            if obi_id:
+                entry = self.obis.setdefault(
+                    obi_id, {"segment": "", "callback_url": "",
+                             "digest": "", "graph_version": 0},
+                )
+                entry["segment"] = str(record.get("segment", entry["segment"]))
+                if record.get("callback_url"):
+                    entry["callback_url"] = str(record["callback_url"])
+        elif kind == "obi_forgotten":
+            self.obis.pop(str(record.get("obi_id", "")), None)
+        elif kind == "deploy":
+            obi_id = str(record.get("obi_id", ""))
+            if obi_id:
+                entry = self.obis.setdefault(
+                    obi_id, {"segment": "", "callback_url": "",
+                             "digest": "", "graph_version": 0},
+                )
+                entry["digest"] = str(record.get("digest", ""))
+                entry["graph_version"] = int(record.get("graph_version", 0))
+        # Any record may carry an xid high-watermark piggyback.
+        if "xid_high" in record:
+            self.xid_high = max(self.xid_high, int(record["xid_high"]))
+
+
+@dataclass
+class ReplayResult:
+    """What :meth:`StateJournal.replay` reconstructed."""
+
+    state: JournalState
+    #: Records folded into the state.
+    records: int = 0
+    #: True when replay stopped early at a corrupt/truncated line; the
+    #: state is the fold of the longest valid prefix.
+    truncated: bool = False
+    #: The offending line (repr-safe excerpt), for diagnostics.
+    bad_line: str = ""
+
+
+class JournalError(Exception):
+    """Raised for misuse (e.g. appending to a closed journal)."""
+
+
+class StateJournal:
+    """Append-only, fsync-batched, self-compacting JSON-lines journal."""
+
+    def __init__(
+        self,
+        path: str | os.PathLike[str],
+        fsync_every: int = 8,
+        compact_every: int = 256,
+    ) -> None:
+        if fsync_every < 1:
+            raise ValueError("fsync_every must be >= 1")
+        if compact_every < 1:
+            raise ValueError("compact_every must be >= 1")
+        self.path = os.fspath(path)
+        self.fsync_every = fsync_every
+        self.compact_every = compact_every
+        self._file = open(self.path, "a", encoding="utf-8")
+        self._unsynced = 0
+        self._appends_since_compact = 0
+        self.appended = 0
+        self.fsyncs = 0
+        self.compactions = 0
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # Writing
+    # ------------------------------------------------------------------
+    def append(self, record: dict[str, Any]) -> None:
+        """Append one record; durable after at most ``fsync_every`` appends."""
+        if self._closed:
+            raise JournalError("journal is closed")
+        self._file.write(json.dumps(record, separators=(",", ":")) + "\n")
+        self.appended += 1
+        self._unsynced += 1
+        self._appends_since_compact += 1
+        if self._unsynced >= self.fsync_every:
+            self.flush()
+
+    def flush(self) -> None:
+        """Force buffered appends to stable storage (fsync)."""
+        if self._closed:
+            return
+        self._file.flush()
+        os.fsync(self._file.fileno())
+        if self._unsynced:
+            self.fsyncs += 1
+        self._unsynced = 0
+
+    @property
+    def should_compact(self) -> bool:
+        return self._appends_since_compact >= self.compact_every
+
+    def compact(self, state: JournalState) -> None:
+        """Rewrite the journal as one snapshot record, atomically.
+
+        The snapshot is written to a sibling temp file, fsynced, then
+        ``os.replace``d over the journal — a crash at any point leaves
+        either the old journal or the new one, never a torn mix.
+        """
+        if self._closed:
+            raise JournalError("journal is closed")
+        self.flush()
+        tmp_path = self.path + ".compact"
+        with open(tmp_path, "w", encoding="utf-8") as tmp:
+            tmp.write(json.dumps(
+                {"rec": "snapshot", "state": state.to_dict()},
+                separators=(",", ":"),
+            ) + "\n")
+            tmp.flush()
+            os.fsync(tmp.fileno())
+        self._file.close()
+        os.replace(tmp_path, self.path)
+        self._file = open(self.path, "a", encoding="utf-8")
+        self._appends_since_compact = 0
+        self._unsynced = 0
+        self.compactions += 1
+
+    def maybe_compact(self, state: JournalState) -> bool:
+        """Compact if the tail has grown past ``compact_every`` appends."""
+        if self.should_compact:
+            self.compact(state)
+            return True
+        return False
+
+    def close(self) -> None:
+        if not self._closed:
+            self.flush()
+            self._file.close()
+            self._closed = True
+
+    # ------------------------------------------------------------------
+    # Reading
+    # ------------------------------------------------------------------
+    @staticmethod
+    def read_records(path: str | os.PathLike[str]) -> Iterator[dict[str, Any]]:
+        """Yield valid records up to the first corrupt/truncated line."""
+        try:
+            # A torn tail may hold arbitrary bytes; decode errors become
+            # replacement characters, which fail JSON parsing and stop
+            # the scan like any other corruption (instead of raising).
+            handle = open(
+                os.fspath(path), "r", encoding="utf-8", errors="replace"
+            )
+        except FileNotFoundError:
+            return
+        with handle:
+            for line in handle:
+                stripped = line.strip()
+                if not stripped:
+                    continue
+                try:
+                    record = json.loads(stripped)
+                except ValueError:
+                    return
+                if not isinstance(record, dict) or "rec" not in record:
+                    return
+                yield record
+
+    @classmethod
+    def replay(cls, path: str | os.PathLike[str]) -> ReplayResult:
+        """Fold snapshot + tail into a :class:`JournalState`.
+
+        Stops at the first invalid line (longest-valid-prefix recovery);
+        duplicate records fold idempotently, so an at-least-once writer
+        is safe.
+        """
+        state = JournalState()
+        result = ReplayResult(state=state)
+        try:
+            handle = open(
+                os.fspath(path), "r", encoding="utf-8", errors="replace"
+            )
+        except FileNotFoundError:
+            return result
+        with handle:
+            for line in handle:
+                stripped = line.strip()
+                if not stripped:
+                    continue
+                try:
+                    record = json.loads(stripped)
+                    if not isinstance(record, dict) or "rec" not in record:
+                        raise ValueError("not a journal record")
+                except ValueError:
+                    result.truncated = True
+                    result.bad_line = stripped[:120]
+                    break
+                state.apply(record)
+                result.records += 1
+        return result

@@ -21,6 +21,7 @@ from typing import Any, Callable
 
 from repro.controller.aggregator import AggregationResult, GraphAggregator
 from repro.controller.apps import OpenBoxApplication
+from repro.controller.journal import JournalState, ReplayResult, StateJournal
 from repro.controller.results import (
     AppStatsView,
     HandleError,
@@ -30,6 +31,7 @@ from repro.controller.results import (
 from repro.controller.segments import SegmentHierarchy
 from repro.controller.stats import ObiStatsTracker
 from repro.controller.xid import RequestMultiplexer
+from repro.core.graph import canonical_graph_digest
 from repro.core.merge import MergePolicy
 from repro.observability.metrics import default_registry
 from repro.protocol.codec import PROTOCOL_VERSION
@@ -42,6 +44,7 @@ from repro.protocol.messages import (
     GlobalStatsResponse,
     HealthReport,
     Hello,
+    HelloResponse,
     KeepAlive,
     LogMessage,
     Message,
@@ -53,6 +56,8 @@ from repro.protocol.messages import (
     SetProcessingGraphResponse,
     WriteRequest,
     WriteResponse,
+    advance_xids,
+    xid_watermark,
 )
 
 
@@ -71,6 +76,15 @@ class ObiHandle:
     connected_at: float = 0.0
     #: Deployment generation, bumped on every successful SetProcessingGraph.
     generation: int = 0
+    #: Canonical digest of the graph the controller intends this OBI to
+    #: run (journaled; the anti-entropy loop's "should be" side).
+    intended_digest: str = ""
+    #: What the OBI last claimed to be running (Hello/KeepAlive/deploy
+    #: response) — the anti-entropy loop's "is" side.
+    reported_digest: str = ""
+    reported_graph_version: int = 0
+    #: Highest controller generation the OBI acknowledged seeing.
+    reported_generation: int = 0
 
 
 class OpenBoxController:
@@ -85,18 +99,41 @@ class OpenBoxController:
         clock: Callable[[], float] | None = None,
         auto_deploy: bool = True,
         max_deploy_failures: int = 100,
+        journal: StateJournal | None = None,
     ) -> None:
         self.clock = clock or time.monotonic
         self.segments = SegmentHierarchy()
         self.aggregator = GraphAggregator(self.segments, merge_policy)
         self.mux = RequestMultiplexer()
-        # Forgetting an OBI sweeps its pending xid requests.
-        self.stats = ObiStatsTracker(mux=self.mux)
+        # Forgetting an OBI sweeps its pending xid requests; liveness
+        # math rides the same injectable monotonic clock as everything
+        # else, never the wall clock.
+        self.stats = ObiStatsTracker(mux=self.mux, clock=self.clock)
         self.applications: dict[str, OpenBoxApplication] = {}
         self.obis: dict[str, ObiHandle] = {}
         self.auto_deploy = auto_deploy
         self.alerts: list[Alert] = []
         self.logs: list[LogMessage] = []
+        #: Split-brain fencing epoch: bumped (durably, before any message
+        #: is sent) every time a controller recovers from a journal, so
+        #: OBIs can reject a stale predecessor's pushes.
+        self.generation = 1
+        #: Set when a peer rejected us as stale (another controller with
+        #: a higher generation owns the fleet) — stop pushing.
+        self.superseded = False
+        #: OBIs the journal says existed before a crash, keyed by obi_id:
+        #: {"segment", "callback_url", "digest", "graph_version"}. Moved
+        #: into live handles as each OBI re-establishes contact.
+        self.expected_obis: dict[str, dict[str, Any]] = {}
+        #: Replay diagnostics from :meth:`recover` (None on fresh start).
+        self.recovered_from: ReplayResult | None = None
+        self.recovery_warnings: list[str] = []
+        self.journal = journal
+        if journal is not None:
+            # A fresh journaled controller durably claims generation 1.
+            self._journal(
+                {"rec": "generation", "generation": self.generation}, flush=True
+            )
         #: Bounded audit of deploy rejections (obi_id, detail); the full
         #: count lives in :attr:`failed_deployments`.
         self.deploy_failures: collections.deque[tuple[str, str]] = collections.deque(
@@ -124,6 +161,119 @@ class OpenBoxController:
         self._m_deploy_latency = registry.histogram("controller_deploy_seconds")
 
     # ------------------------------------------------------------------
+    # Durable state (PROTOCOL.md §10)
+    # ------------------------------------------------------------------
+    def _journal(self, record: dict[str, Any], flush: bool = False) -> None:
+        """Append a record to the journal (no-op when not journaling)."""
+        if self.journal is None:
+            return
+        self.journal.append(record)
+        if flush:
+            self.journal.flush()
+        self.journal.maybe_compact(self._journal_state())
+
+    def _journal_state(self) -> JournalState:
+        """The controller's current logical state, for compaction."""
+        state = JournalState(generation=self.generation)
+        state.apps = {
+            name: {"priority": app.priority}
+            for name, app in self.applications.items()
+        }
+        state.segments = self.segments.all_paths()
+        for obi_id, handle in self.obis.items():
+            state.obis[obi_id] = {
+                "segment": handle.segment,
+                "callback_url": handle.callback_url,
+                "digest": handle.intended_digest,
+                "graph_version": handle.generation,
+            }
+        for obi_id, info in self.expected_obis.items():
+            state.obis.setdefault(obi_id, dict(info))
+        state.xid_high = xid_watermark()
+        return state
+
+    def close(self) -> None:
+        """Flush and close the journal (a SIGKILL never gets to call
+        this — that is what replay is for — but clean shutdowns should)."""
+        if self.journal is not None:
+            self.journal.close()
+
+    @classmethod
+    def recover(
+        cls,
+        path: str,
+        applications: list[OpenBoxApplication] | tuple = (),
+        merge_policy: MergePolicy | None = None,
+        clock: Callable[[], float] | None = None,
+        auto_deploy: bool = True,
+        fsync_every: int = 8,
+        compact_every: int = 256,
+    ) -> "OpenBoxController":
+        """Rebuild a controller from its journal after a crash.
+
+        Replays snapshot + tail (longest valid prefix), restores segment
+        topology and per-OBI intended state, advances the xid allocator
+        past the journaled high-watermark, durably bumps the controller
+        generation *before* anything is sent (split-brain fencing), and
+        re-registers the supplied application objects (code cannot live
+        in a journal — the journal only validates the set by name).
+
+        OBIs are *not* contacted here: they reappear in ``self.obis`` as
+        they re-Hello (or are re-dialed via their journaled callback
+        URLs), and the anti-entropy loop converges each one — adopting
+        its reported graph when it already matches intent, re-pushing
+        when it does not.
+        """
+        replay = StateJournal.replay(path)
+        state = replay.state
+        controller = cls(
+            merge_policy=merge_policy,
+            clock=clock,
+            auto_deploy=auto_deploy,
+        )
+        controller.recovered_from = replay
+        controller.generation = state.generation + 1
+        advance_xids(state.xid_high)
+        for segment_path in state.segments:
+            controller.segments.add(segment_path)
+        controller.expected_obis = {
+            obi_id: dict(info) for obi_id, info in state.obis.items()
+        }
+        # Fence the new generation durably before any message goes out.
+        controller.journal = StateJournal(
+            path, fsync_every=fsync_every, compact_every=compact_every
+        )
+        controller._journal(
+            {"rec": "generation", "generation": controller.generation,
+             "xid_high": xid_watermark()},
+            flush=True,
+        )
+        # Re-register application code; deployment waits for reconnects.
+        previous_auto = controller.auto_deploy
+        controller.auto_deploy = False
+        supplied: set[str] = set()
+        for app in applications:
+            controller.register_application(app)
+            supplied.add(app.name)
+        controller.auto_deploy = previous_auto
+        for missing in sorted(set(state.apps) - supplied):
+            controller.recovery_warnings.append(
+                f"journal names application {missing!r} but it was not "
+                "supplied to recover(); its graphs will not be deployed"
+            )
+        for extra in sorted(supplied - set(state.apps)):
+            controller.recovery_warnings.append(
+                f"application {extra!r} was not in the journal; treating "
+                "it as newly registered"
+            )
+        if replay.truncated:
+            controller.recovery_warnings.append(
+                f"journal tail was corrupt ({replay.bad_line!r}); recovered "
+                f"the longest valid prefix ({replay.records} records)"
+            )
+        return controller
+
+    # ------------------------------------------------------------------
     # Northbound: application management
     # ------------------------------------------------------------------
     def register_application(self, app: OpenBoxApplication) -> None:
@@ -146,6 +296,10 @@ class OpenBoxController:
                 )
         self.applications[app.name] = app
         app.controller = self
+        self._journal({
+            "rec": "app", "op": "register",
+            "name": app.name, "priority": app.priority,
+        })
         app.on_start(self)
         if self.auto_deploy:
             self.redeploy_all()
@@ -154,6 +308,7 @@ class OpenBoxController:
         app = self.applications.pop(name, None)
         if app is not None:
             app.controller = None
+            self._journal({"rec": "app", "op": "unregister", "name": name})
             if self.auto_deploy:
                 self.redeploy_all()
 
@@ -181,12 +336,24 @@ class OpenBoxController:
             return self._handle_hello(message)
         if isinstance(message, KeepAlive):
             self.stats.record_keepalive(message.obi_id, self.clock())
+            handle = self.obis.get(message.obi_id)
+            if handle is not None:
+                handle.reported_digest = message.graph_digest
+                handle.reported_graph_version = message.graph_version
+                handle.reported_generation = max(
+                    handle.reported_generation, message.controller_generation
+                )
+                if message.controller_generation > self.generation:
+                    self.superseded = True
             return None
         if isinstance(message, Alert):
             self._handle_alert(message)
             return None
         if isinstance(message, HealthReport):
             self.stats.record_health(message, self.clock())
+            handle = self.obis.get(message.obi_id)
+            if handle is not None and message.graph_digest:
+                handle.reported_digest = message.graph_digest
             return None
         if isinstance(message, LogMessage):
             self.logs.append(message)
@@ -205,6 +372,10 @@ class OpenBoxController:
                 ErrorCode.UNSUPPORTED_VERSION,
                 f"OBI speaks {hello.version}, controller speaks {PROTOCOL_VERSION}",
             )
+        if hello.controller_generation > self.generation:
+            # The OBI has already obeyed a newer controller: this one is
+            # the stale side of a split brain. Record it and stand down.
+            self.superseded = True
         handle = ObiHandle(
             obi_id=hello.obi_id,
             segment=hello.segment,
@@ -214,18 +385,41 @@ class OpenBoxController:
             capacity_hint=hello.capacity_hint,
             callback_url=hello.callback_url,
             connected_at=self.clock(),
+            reported_digest=hello.graph_digest,
+            reported_graph_version=hello.graph_version,
+            reported_generation=hello.controller_generation,
         )
         existing = self.obis.get(hello.obi_id)
         if existing is not None:
             handle.channel = existing.channel
+            handle.deployed = existing.deployed
+            handle.intended_digest = existing.intended_digest
+            handle.generation = existing.generation
+        expected = self.expected_obis.pop(hello.obi_id, None)
+        if expected is not None:
+            # A journaled OBI coming back after our crash: restore the
+            # pre-crash intent so anti-entropy can judge convergence.
+            handle.intended_digest = expected.get("digest", "")
+            handle.generation = int(expected.get("graph_version", 0))
         self.obis[hello.obi_id] = handle
         self.segments.add(hello.segment)
+        self._journal({"rec": "segment", "path": hello.segment})
+        self._journal({
+            "rec": "obi", "obi_id": hello.obi_id,
+            "segment": hello.segment, "callback_url": hello.callback_url,
+            "xid_high": xid_watermark(),
+        }, flush=True)
         self.stats.register(hello.obi_id, self.clock())
         for app in self.applications.values():
             app.on_obi_connected(hello.obi_id)
         if self.auto_deploy and handle.channel is not None:
-            self.deploy(hello.obi_id)
-        return SetProcessingGraphResponse(xid=hello.xid, ok=True, detail="hello ack")
+            self.reconcile_obi(hello.obi_id)
+        return HelloResponse(
+            xid=hello.xid,
+            ok=True,
+            detail="hello ack",
+            controller_generation=self.generation,
+        )
 
     def connect_obi(self, obi_id: str, channel: Any) -> None:
         """Bind the downstream channel for an OBI (after its Hello).
@@ -237,12 +431,13 @@ class OpenBoxController:
         handle = self._handle_of(obi_id)
         handle.channel = channel
         if self.auto_deploy:
-            self.deploy(obi_id)
+            self.reconcile_obi(obi_id)
 
     def disconnect_obi(self, obi_id: str) -> None:
         if self.obis.pop(obi_id, None) is not None:
             for app in self.applications.values():
                 app.on_obi_disconnected(obi_id)
+            self._journal({"rec": "obi_forgotten", "obi_id": obi_id})
         self.stats.forget(obi_id)
 
     def _handle_of(self, obi_id: str) -> ObiHandle:
@@ -292,11 +487,15 @@ class OpenBoxController:
         result = self.compute_deployment(obi_id)
         if result is None:
             return None
+        graph_dict = result.graph.to_dict()
+        digest = canonical_graph_digest(graph_dict)
         started = self.clock()
         try:
-            response = handle.channel.request(
-                SetProcessingGraphRequest(graph=result.graph.to_dict())
-            )
+            response = handle.channel.request(SetProcessingGraphRequest(
+                graph=graph_dict,
+                controller_generation=self.generation,
+                graph_digest=digest,
+            ))
         except ChannelClosed as exc:
             self._record_deploy_failure(obi_id, f"channel failed: {exc}")
             raise ProtocolError(
@@ -307,14 +506,66 @@ class OpenBoxController:
         if isinstance(response, SetProcessingGraphResponse) and response.ok:
             handle.deployed = result
             handle.generation += 1
+            handle.intended_digest = digest
+            handle.reported_digest = response.graph_digest or digest
+            handle.reported_graph_version = (
+                response.graph_version or handle.generation
+            )
+            handle.reported_generation = max(
+                handle.reported_generation, self.generation
+            )
             self.consecutive_deploy_failures.pop(obi_id, None)
             self._m_deploys.inc()
+            self._journal({
+                "rec": "deploy", "obi_id": obi_id, "digest": digest,
+                "graph_version": handle.generation,
+                "xid_high": xid_watermark(),
+            }, flush=True)
             return result
-        detail = getattr(response, "detail", "") or getattr(response, "code", "")
+        code = str(getattr(response, "code", ""))
+        if code == ErrorCode.STALE_GENERATION:
+            # The OBI has obeyed a newer controller; we are the stale
+            # side of a split brain. Record it and stop claiming the
+            # fleet — do not count this as an OBI-side deploy failure.
+            self.superseded = True
+            raise ProtocolError(
+                ErrorCode.STALE_GENERATION,
+                f"OBI {obi_id!r} rejected generation {self.generation}: "
+                f"{getattr(response, 'detail', '')}",
+            )
+        detail = getattr(response, "detail", "") or code
         self._record_deploy_failure(obi_id, str(detail))
         raise ProtocolError(
             ErrorCode.INVALID_GRAPH, f"OBI {obi_id!r} rejected graph: {detail}"
         )
+
+    def reconcile_obi(self, obi_id: str) -> AggregationResult | None:
+        """Converge one OBI on the intended graph (anti-entropy primitive).
+
+        Computes what *should* run, then compares canonical digests: if
+        the OBI already reports exactly that graph (e.g. it kept serving
+        headless across a controller crash), the deployment is **adopted**
+        — controller-side bookkeeping and the journal are updated with no
+        southbound push, so recovery causes no duplicate deploy side
+        effects. Otherwise it falls through to a normal :meth:`deploy`.
+        """
+        handle = self._handle_of(obi_id)
+        result = self.compute_deployment(obi_id)
+        if result is None:
+            return None
+        digest = canonical_graph_digest(result.graph.to_dict())
+        if handle.reported_digest and handle.reported_digest == digest:
+            handle.deployed = result
+            handle.intended_digest = digest
+            if handle.generation == 0:
+                handle.generation = max(1, handle.reported_graph_version)
+            self._journal({
+                "rec": "deploy", "obi_id": obi_id, "digest": digest,
+                "graph_version": handle.generation,
+                "xid_high": xid_watermark(),
+            }, flush=True)
+            return result
+        return self.deploy(obi_id)
 
     def redeploy_all(self) -> None:
         """Deploy to every connected OBI; one failing OBI (recorded via

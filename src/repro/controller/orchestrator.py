@@ -30,6 +30,7 @@ from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
 
 from repro.controller.migration import StateMigrator
+from repro.controller.reconcile import AntiEntropyLoop
 from repro.controller.scaling import ScalingAction, ScalingManager
 from repro.controller.steering import TrafficSteering
 from repro.protocol.errors import ProtocolError
@@ -59,6 +60,11 @@ class TickReport:
     expired_xids: list[int] = field(default_factory=list)
     #: Cumulative controller-wide deploy-failure count at tick end.
     failed_deployments: int = 0
+    #: Anti-entropy results this tick (PROTOCOL.md §10): OBIs whose
+    #: running graph was adopted without a push, and OBIs that had the
+    #: intended graph re-pushed because their reported digest diverged.
+    reconcile_adopted: list[str] = field(default_factory=list)
+    reconcile_pushed: list[str] = field(default_factory=list)
 
 
 class OrchestrationLoop:
@@ -74,12 +80,16 @@ class OrchestrationLoop:
         #: failures even if its keepalives still arrive (a live process
         #: that can no longer be (re)configured is not serving policy).
         deploy_failure_threshold: int = 3,
+        #: Run an anti-entropy round each tick, converging every OBI's
+        #: reported graph digest to current intent (PROTOCOL.md §10).
+        anti_entropy: bool = True,
     ) -> None:
         self.controller = controller
         self.scaling = scaling
         self.steering = steering
         self.migrator = StateMigrator(controller) if migrate_state else None
         self.deploy_failure_threshold = deploy_failure_threshold
+        self.reconciler = AntiEntropyLoop(controller) if anti_entropy else None
         self.reports: list[TickReport] = []
         #: Last successful session-state export per OBI — the failover
         #: stage imports from here because a dead OBI can no longer be
@@ -205,6 +215,15 @@ class OrchestrationLoop:
 
         # 0. Declare and recover from failures.
         self._failover_stage(report, now)
+
+        # 0b. Anti-entropy: converge every survivor's reported graph
+        # digest to current intent — catches OBIs that served headless
+        # through a controller restart (adopted, no push) and ones that
+        # missed a redeploy (re-pushed).
+        if self.reconciler is not None and not self.controller.superseded:
+            reconcile = self.reconciler.reconcile()
+            report.reconcile_adopted = list(reconcile.adopted)
+            report.reconcile_pushed = list(reconcile.pushed)
 
         # Snapshot session state for scale-down and the *next* failover.
         self._snapshot_stage()

@@ -1,0 +1,153 @@
+"""Anti-entropy reconciliation (PROTOCOL.md §10).
+
+After a controller crash the journal restores *intent* (which graph each
+OBI should run, by canonical digest) while the data plane kept running
+*reality* (whatever was committed before the crash). This module closes
+the gap the way replicated systems do it — periodic anti-entropy:
+
+* every OBI advertises the digest and version of its running graph on
+  ``Hello`` and every ``KeepAlive``;
+* each reconciliation round compares that **reported** digest against
+  the digest of the graph the controller would deploy right now
+  (recomputed from the registered applications, not trusted from the
+  journal — applications are the source of truth for intent);
+* a matching digest is **converged** (or **adopted**, if the controller's
+  bookkeeping lagged reality — e.g. right after recovery — which updates
+  handles and the journal without any southbound push, so an already-
+  correct OBI suffers no duplicate deploy side effects);
+* a mismatch is **pushed** via the ordinary two-phase deploy;
+* a push rejected with ``stale_generation`` flips the controller's
+  ``superseded`` flag and stops the round — a newer controller owns the
+  fleet and anti-entropy must not fight it.
+
+Rounds are idempotent: once every OBI reports its intended digest,
+further rounds do nothing, which is the convergence criterion
+:meth:`AntiEntropyLoop.converged` checks and the chaos suite asserts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from repro.core.graph import canonical_graph_digest
+from repro.protocol.errors import ErrorCode, ProtocolError
+from repro.transport.base import ChannelClosed
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.controller.obc import OpenBoxController
+
+
+@dataclass
+class ReconcileReport:
+    """What one anti-entropy round found and did."""
+
+    at: float
+    #: Every OBI examined this round.
+    checked: list[str] = field(default_factory=list)
+    #: Reported digest already matched intent, bookkeeping current.
+    converged: list[str] = field(default_factory=list)
+    #: Matched intent but controller bookkeeping lagged (post-recovery):
+    #: adopted without a push.
+    adopted: list[str] = field(default_factory=list)
+    #: Mismatched: intended graph re-pushed.
+    pushed: list[str] = field(default_factory=list)
+    #: (obi_id, reason) for OBIs that could not be converged this round.
+    failed: list[tuple[str, str]] = field(default_factory=list)
+    #: True when a push was fenced off by a newer controller generation.
+    superseded: bool = False
+
+    @property
+    def all_converged(self) -> bool:
+        return not self.pushed and not self.failed and not self.superseded
+
+
+class AntiEntropyLoop:
+    """Periodic intended-vs-reported digest reconciliation.
+
+    Drive :meth:`reconcile` from the orchestrator tick or any scheduler;
+    :meth:`run_until_converged` iterates rounds for tests and recovery
+    drills.
+    """
+
+    def __init__(self, controller: "OpenBoxController") -> None:
+        self.controller = controller
+        self.reports: list[ReconcileReport] = []
+
+    # ------------------------------------------------------------------
+    def _intended_digest(self, obi_id: str) -> str | None:
+        """Digest of the graph that should run on ``obi_id`` (None: no
+        applicable applications — nothing to reconcile)."""
+        result = self.controller.compute_deployment(obi_id)
+        if result is None:
+            return None
+        return canonical_graph_digest(result.graph.to_dict())
+
+    def reconcile(self) -> ReconcileReport:
+        """One anti-entropy round over every connected OBI."""
+        report = ReconcileReport(at=self.controller.clock())
+        if self.controller.superseded:
+            report.superseded = True
+            self.reports.append(report)
+            return report
+        for obi_id, handle in list(self.controller.obis.items()):
+            report.checked.append(obi_id)
+            try:
+                intended = self._intended_digest(obi_id)
+            except ProtocolError as exc:
+                report.failed.append((obi_id, str(exc)))
+                continue
+            if intended is None:
+                report.converged.append(obi_id)
+                continue
+            if handle.reported_digest == intended:
+                if handle.intended_digest == intended and handle.deployed is not None:
+                    report.converged.append(obi_id)
+                    continue
+                # Reality is right, bookkeeping is behind: adopt.
+                try:
+                    self.controller.reconcile_obi(obi_id)
+                except (ChannelClosed, ProtocolError) as exc:
+                    report.failed.append((obi_id, str(exc)))
+                    continue
+                report.adopted.append(obi_id)
+                continue
+            if handle.channel is None:
+                report.failed.append((obi_id, "no channel"))
+                continue
+            try:
+                self.controller.deploy(obi_id)
+            except ProtocolError as exc:
+                if exc.code == ErrorCode.STALE_GENERATION:
+                    report.superseded = True
+                    report.failed.append((obi_id, str(exc)))
+                    break
+                report.failed.append((obi_id, str(exc)))
+                continue
+            except ChannelClosed as exc:
+                report.failed.append((obi_id, str(exc)))
+                continue
+            report.pushed.append(obi_id)
+        self.reports.append(report)
+        return report
+
+    def run_until_converged(self, max_rounds: int = 10) -> list[ReconcileReport]:
+        """Reconcile until a round changes nothing (or rounds run out)."""
+        rounds: list[ReconcileReport] = []
+        for _ in range(max_rounds):
+            report = self.reconcile()
+            rounds.append(report)
+            if report.all_converged or report.superseded:
+                break
+        return rounds
+
+    def converged(self) -> bool:
+        """True when every connected OBI reports its intended digest."""
+        for obi_id, handle in self.controller.obis.items():
+            try:
+                intended = self._intended_digest(obi_id)
+            except ProtocolError:
+                return False
+            if intended is not None and handle.reported_digest != intended:
+                return False
+        return True

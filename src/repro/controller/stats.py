@@ -15,8 +15,9 @@ one that answers nothing for ``liveness_timeout`` is.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Any
+from typing import TYPE_CHECKING, Any, Callable
 
 from repro.observability.metrics import merge_snapshots
 from repro.protocol.messages import (
@@ -109,12 +110,16 @@ class ObiStatsTracker:
         liveness_timeout: float = 30.0,
         history_limit: int = 1000,
         mux: "RequestMultiplexer | None" = None,
+        clock: "Callable[[], float] | None" = None,
     ) -> None:
         if history_limit < 1:
             raise ValueError("history_limit must be >= 1")
         self.liveness_timeout = liveness_timeout
         self.history_limit = history_limit
         self.mux = mux
+        # Injectable monotonic clock: liveness math must never read the
+        # wall clock directly, so virtual-time tests stay deterministic.
+        self.clock = clock or time.monotonic
         self._views: dict[str, ObiLoadView] = {}
         #: Audit log of declared failures: (obi_id, when declared).
         self.failures: list[tuple[str, float]] = []
@@ -209,17 +214,23 @@ class ObiStatsTracker:
     def all_views(self) -> list[ObiLoadView]:
         return list(self._views.values())
 
-    def is_live(self, obi_id: str, now: float) -> bool:
+    def is_live(self, obi_id: str, now: float | None = None) -> bool:
+        if now is None:
+            now = self.clock()
         view = self._views.get(obi_id)
         return view is not None and now - view.last_heard <= self.liveness_timeout
 
-    def live_obis(self, now: float) -> list[str]:
+    def live_obis(self, now: float | None = None) -> list[str]:
+        if now is None:
+            now = self.clock()
         return [
             view.obi_id for view in self._views.values()
             if now - view.last_heard <= self.liveness_timeout
         ]
 
-    def dead_obis(self, now: float) -> list[str]:
+    def dead_obis(self, now: float | None = None) -> list[str]:
+        if now is None:
+            now = self.clock()
         return [
             view.obi_id for view in self._views.values()
             if now - view.last_heard > self.liveness_timeout

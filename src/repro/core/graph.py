@@ -8,11 +8,56 @@ input of another block via a :class:`Connector`.
 
 from __future__ import annotations
 
+import hashlib
+import json
 from collections import defaultdict, deque
 from dataclasses import dataclass
 from typing import Any, Iterable, Iterator
 
 from repro.core.blocks import Block, BlockClass
+
+
+def canonical_graph_digest(graph_dict: dict[str, Any]) -> str:
+    """Content digest of a serialized processing graph.
+
+    Canonical form is JSON with sorted keys and no whitespace, so the
+    controller (digesting what it sends) and an OBI (digesting what it
+    received) agree byte-for-byte whenever the graphs are identical —
+    the convergence test of the anti-entropy loop (PROTOCOL.md §10).
+    List order (blocks, connectors) is semantic and preserved.
+
+    Block *names* are canonicalized positionally (``b0``, ``b1``, …,
+    with connector endpoints remapped) before hashing: merged graphs
+    name their blocks with an aggregator-level gensym counter, so two
+    controllers computing the identical deployment — e.g. one recovered
+    from a journal reproducing its predecessor's intent — emit equal
+    structures under different labels. The digest must call those
+    *converged*, or anti-entropy would re-push (and the data plane
+    would churn) after every controller restart.
+    """
+    rename: dict[str, str] = {}
+    blocks = []
+    for index, block in enumerate(graph_dict.get("blocks", [])):
+        canonical = dict(block)
+        name = canonical.get("name")
+        if isinstance(name, str):
+            rename[name] = canonical["name"] = f"b{index}"
+        blocks.append(canonical)
+    connectors = []
+    for connector in graph_dict.get("connectors", []):
+        canonical = dict(connector)
+        for endpoint in ("src", "dst"):
+            value = canonical.get(endpoint)
+            if isinstance(value, str):
+                canonical[endpoint] = rename.get(value, value)
+        connectors.append(canonical)
+    canonical_dict = dict(graph_dict)
+    canonical_dict["blocks"] = blocks
+    canonical_dict["connectors"] = connectors
+    payload = json.dumps(
+        canonical_dict, sort_keys=True, separators=(",", ":"), default=str
+    )
+    return "sha256:" + hashlib.sha256(payload.encode("utf-8")).hexdigest()
 
 
 @dataclass(frozen=True, slots=True)
@@ -256,6 +301,10 @@ class ProcessingGraph:
             "blocks": [block.to_dict() for block in self.blocks.values()],
             "connectors": [connector.to_dict() for connector in self.connectors],
         }
+
+    def digest(self) -> str:
+        """Canonical content digest (see :func:`canonical_graph_digest`)."""
+        return canonical_graph_digest(self.to_dict())
 
     @classmethod
     def from_dict(cls, data: dict[str, Any]) -> "ProcessingGraph":

@@ -1,0 +1,87 @@
+"""Headless data plane: an OBI surviving controller absence.
+
+The paper's design keeps *processing* in the data plane and *policy* in
+the controller (§3), which means a controller crash must not take
+traffic down with it: an OBI that stops hearing from its controller
+keeps serving packets on the last graph it committed. What it cannot do
+is deliver upstream events — so alerts and health beacons produced while
+headless land in a bounded ring buffer and are replayed, in order, when
+contact is re-established.
+
+The buffer is a *ring*: when full, the oldest entry is evicted and the
+eviction is **counted** (``dropped``), never silent — on replay the
+controller learns both every surviving event and exactly how many were
+lost, so its view is degraded but honest.
+
+"Scaling-sensitive behavior freezes" while headless falls out of the
+same mechanism: health reports and alert beacons are the inputs to the
+controller's scaling and failover loops, and while headless they are
+buffered rather than delivered, so no stale half-connected OBI feeds
+those loops; the split-brain generation guard (PROTOCOL.md §10) keeps a
+stale controller from un-freezing it.
+"""
+
+from __future__ import annotations
+
+import collections
+from typing import Any
+
+
+class HeadlessBuffer:
+    """Bounded FIFO of upstream messages with drop accounting.
+
+    ``push`` evicts the oldest entry once ``capacity`` is reached and
+    counts the eviction; ``drain`` hands back the surviving entries plus
+    the drop count for that headless episode (cumulative totals are
+    retained separately for metrics).
+    """
+
+    def __init__(self, capacity: int = 256) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = capacity
+        self._entries: collections.deque[Any] = collections.deque()
+        #: Evictions in the current (undrained) episode.
+        self.dropped = 0
+        #: Lifetime counters, never reset by drain().
+        self.buffered_total = 0
+        self.dropped_total = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def push(self, message: Any) -> bool:
+        """Buffer one message; returns False when it evicted the oldest."""
+        evicted = False
+        if len(self._entries) >= self.capacity:
+            self._entries.popleft()
+            self.dropped += 1
+            self.dropped_total += 1
+            evicted = True
+        self._entries.append(message)
+        self.buffered_total += 1
+        return not evicted
+
+    def requeue_front(self, messages: list[Any]) -> None:
+        """Put partially-replayed entries back at the head, oldest first.
+
+        Used when a replay fails midway (the channel died again): the
+        un-replayed suffix must keep its position ahead of anything
+        buffered later. Entries shoved past ``capacity`` evict from the
+        *newest* end — the front of the buffer is the oldest history and
+        is what the drop count already promised to preserve first.
+        """
+        for message in reversed(messages):
+            self._entries.appendleft(message)
+        while len(self._entries) > self.capacity:
+            self._entries.pop()
+            self.dropped += 1
+            self.dropped_total += 1
+
+    def drain(self) -> tuple[list[Any], int]:
+        """Take every buffered entry and the episode's drop count."""
+        entries = list(self._entries)
+        self._entries.clear()
+        dropped = self.dropped
+        self.dropped = 0
+        return entries, dropped

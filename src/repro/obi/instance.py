@@ -20,11 +20,16 @@ import time
 from dataclasses import dataclass, field as dataclasses_field
 from typing import Any, Callable
 
-from repro.core.graph import GraphValidationError, ProcessingGraph
+from repro.core.graph import (
+    GraphValidationError,
+    ProcessingGraph,
+    canonical_graph_digest,
+)
 from repro.net.packet import Packet
 from repro.obi.custom import CustomModuleLoader
 from repro.obi.engine import AlertEvent, Engine, PacketOutcome
 from repro.obi.fastpath import DEFAULT_FLOW_CACHE_SIZE, FlowDecisionCache
+from repro.obi.headless import HeadlessBuffer
 from repro.obi.robustness import (
     AdmissionGate,
     AlertBatcher,
@@ -39,6 +44,7 @@ from repro.observability.metrics import MetricsRegistry
 from repro.observability.tracing import PacketTracer
 from repro.protocol.blocks_spec import OBI_PSEUDO_BLOCK
 from repro.protocol.codec import PROTOCOL_VERSION
+from repro.transport.base import ChannelClosed
 from repro.protocol.errors import ErrorCode, ProtocolError
 from repro.protocol.messages import (
     AddCustomModuleRequest,
@@ -57,6 +63,7 @@ from repro.protocol.messages import (
     GlobalStatsResponse,
     HealthReport,
     Hello,
+    HelloResponse,
     KeepAlive,
     ListCapabilitiesRequest,
     ListCapabilitiesResponse,
@@ -114,6 +121,14 @@ class ObiConfig:
     trace_sample_rate: float = 0.0
     #: How many recent sampled traces to retain for snapshots.
     trace_buffer: int = 64
+    #: Seconds of controller silence before the OBI goes *headless*
+    #: (keeps serving traffic on the last committed graph, buffers
+    #: upstream events; see ``repro.obi.headless``). 0 disables the
+    #: automatic transition entirely.
+    headless_after: float = 30.0
+    #: Ring-buffer capacity for alerts/health reports produced while
+    #: headless; overflow evicts the oldest entry and is counted.
+    headless_buffer: int = 256
 
 
 class OpenBoxInstance:
@@ -143,6 +158,20 @@ class OpenBoxInstance:
         self.bytes_processed = 0
         self.alerts_sent = 0
         self.graph_version = 0
+        #: Canonical digest of the graph dict last committed (what the
+        #: anti-entropy loop compares against controller intent).
+        self.graph_digest = ""
+        #: Highest controller generation ever obeyed; messages stamped
+        #: with a lower one are rejected (split-brain guard).
+        self.highest_controller_generation = 0
+        self.stale_generation_rejections = 0
+        #: Headless data plane (PROTOCOL.md §10): the last time any
+        #: evidence of a live controller arrived, the latched mode flag,
+        #: and the bounded replay buffer for upstream events.
+        self.last_controller_heard = self.clock()
+        self._headless = False
+        self.headless_episodes = 0
+        self.headless_buffer = HeadlessBuffer(max(config.headless_buffer, 1))
         #: Two-phase SetProcessingGraph bookkeeping: how many staged
         #: graphs were discarded (previous graph kept serving traffic).
         self.graph_rollbacks = 0
@@ -207,6 +236,15 @@ class OpenBoxInstance:
         self._m_alerts_sent = self.metrics.counter("obi_alerts_sent_total")
         self._m_duplicates = self.metrics.counter("obi_duplicate_requests_total")
         self._m_dispatch = self.metrics.histogram("obi_dispatch_seconds")
+        self._m_headless_buffered = self.metrics.counter(
+            "obi_headless_buffered_total"
+        )
+        self._m_headless_dropped = self.metrics.counter(
+            "obi_headless_dropped_total"
+        )
+        self._m_stale_rejected = self.metrics.counter(
+            "obi_stale_generation_rejected_total"
+        )
 
     # ------------------------------------------------------------------
     # Controller connection
@@ -230,16 +268,122 @@ class OpenBoxInstance:
             supports_custom_modules=self.config.supports_custom_modules,
             capacity_hint=self.config.capacity_hint,
             callback_url=callback_url,
+            graph_version=self.graph_version,
+            graph_digest=self.graph_digest,
+            controller_generation=self.highest_controller_generation,
         )
 
     def connect(self, channel: Any, callback_url: str = "") -> Message:
         """Attach ``channel`` and perform the Hello handshake."""
         self.attach_channel(channel)
-        return channel.request(self.hello_message(callback_url))
+        response = channel.request(self.hello_message(callback_url))
+        self._absorb_hello_response(response)
+        return response
+
+    def reconnect(self, channel: Any | None = None, callback_url: str = "") -> Message:
+        """Re-establish contact after losing the controller.
+
+        Re-sends Hello (idempotent controller-side: the handle is simply
+        rebuilt, and the hello's digest lets a recovered controller adopt
+        the running graph instead of re-pushing it), adopts the new
+        controller generation from the response, and — via the headless
+        exit path — replays everything buffered while out of contact.
+        """
+        if channel is not None:
+            self.attach_channel(channel)
+        if self._channel is None:
+            raise ProtocolError(ErrorCode.NOT_CONNECTED, "no upstream channel")
+        response = self._channel.request(self.hello_message(callback_url))
+        self._absorb_hello_response(response)
+        return response
+
+    def _absorb_hello_response(self, response: Message | None) -> None:
+        if isinstance(response, HelloResponse) and response.ok:
+            self.highest_controller_generation = max(
+                self.highest_controller_generation,
+                response.controller_generation,
+            )
+            self.note_controller_heard()
 
     def send_keepalive(self) -> None:
         if self._channel is not None:
-            self._channel.notify(KeepAlive(obi_id=self.config.obi_id))
+            self._channel.notify(KeepAlive(
+                obi_id=self.config.obi_id,
+                graph_version=self.graph_version,
+                graph_digest=self.graph_digest,
+                controller_generation=self.highest_controller_generation,
+            ))
+
+    # ------------------------------------------------------------------
+    # Headless mode (PROTOCOL.md §10)
+    # ------------------------------------------------------------------
+    def is_headless(self) -> bool:
+        """Whether the OBI is operating without a live controller.
+
+        The transition in is lazy: evaluated against the injectable
+        clock whenever an upstream event needs routing, so no background
+        thread is required. ``headless_after`` 0 disables it.
+        """
+        if (
+            not self._headless
+            and self.config.headless_after > 0
+            and self.clock() - self.last_controller_heard
+            > self.config.headless_after
+        ):
+            self._headless = True
+            self.headless_episodes += 1
+        return self._headless
+
+    def note_controller_heard(self) -> None:
+        """Record controller liveness; leaving headless replays the buffer."""
+        self.last_controller_heard = self.clock()
+        if self._headless:
+            self._exit_headless()
+
+    def _buffer_upstream(self, message: Message) -> None:
+        fit = self.headless_buffer.push(message)
+        self._m_headless_buffered.inc()
+        if not fit:
+            self._m_headless_dropped.inc()
+
+    def _exit_headless(self) -> None:
+        """Replay buffered events upstream, oldest first.
+
+        If the channel dies mid-replay the un-replayed suffix goes back
+        to the front of the buffer and the OBI stays headless — replay
+        is at-least-once, never lossy beyond the counted ring evictions.
+        """
+        if self._channel is None:
+            return
+        entries, dropped = self.headless_buffer.drain()
+        for index, entry in enumerate(entries):
+            try:
+                self._channel.notify(entry)
+            except ChannelClosed:
+                self.headless_buffer.requeue_front(entries[index:])
+                self.headless_buffer.dropped += dropped
+                return
+            if isinstance(entry, Alert):
+                self.alerts_sent += 1
+                self._m_alerts_sent.inc()
+        self._headless = False
+        if dropped:
+            # The controller must learn the loss, not just the survivors.
+            try:
+                self._notify_alert(Alert(
+                    obi_id=self.config.obi_id,
+                    block=OBI_PSEUDO_BLOCK,
+                    origin_app=OBI_PSEUDO_BLOCK,
+                    message=(
+                        f"{dropped} events dropped while headless "
+                        f"(buffer capacity {self.headless_buffer.capacity})"
+                    ),
+                    severity="warning",
+                    count=dropped,
+                ))
+            except ChannelClosed:
+                self._headless = True
+                self.headless_buffer.dropped += dropped
 
     # ------------------------------------------------------------------
     # Packet processing
@@ -412,6 +556,9 @@ class OpenBoxInstance:
             ))
 
     def _notify_alert(self, alert: Alert) -> None:
+        if self.is_headless():
+            self._buffer_upstream(alert)
+            return
         self._channel.notify(alert)
         self.alerts_sent += 1
         self._m_alerts_sent.inc()
@@ -453,13 +600,28 @@ class OpenBoxInstance:
             fastpath_hit_rate=(
                 self.flow_cache.hit_rate if self.flow_cache is not None else 0.0
             ),
+            headless=self.is_headless(),
+            headless_dropped=self.headless_buffer.dropped_total,
+            headless_entries=len(self.headless_buffer),
+            graph_digest=self.graph_digest,
         )
 
     def send_health_report(self) -> None:
-        """Flush suppression summaries, then beacon the health counters."""
+        """Flush suppression summaries, then beacon the health counters.
+
+        While headless the beacon is buffered, not delivered: health
+        reports are the inputs to the controller's scaling loop, and a
+        half-connected OBI must not feed it (the report is replayed on
+        reconnect instead).
+        """
         self.flush_alerts()
-        if self._channel is not None:
-            self._channel.notify(self.health_report())
+        if self._channel is None:
+            return
+        report = self.health_report()
+        if self.is_headless():
+            self._buffer_upstream(report)
+        else:
+            self._channel.notify(report)
 
     # ------------------------------------------------------------------
     # Downstream message handling
@@ -471,7 +633,29 @@ class OpenBoxInstance:
         already applied (its response was lost in transit) replays the
         cached response instead of applying the request twice, which is
         what makes the controller's blind retry idempotent.
+
+        The split-brain guard runs *before* dedup: a request stamped
+        with a controller generation older than one already obeyed is
+        rejected outright (and never cached — its xids belong to a
+        different controller's number space).
         """
+        incoming_generation = int(
+            getattr(message, "controller_generation", 0) or 0
+        )
+        if incoming_generation:
+            if incoming_generation < self.highest_controller_generation:
+                self.stale_generation_rejections += 1
+                self._m_stale_rejected.inc()
+                return ErrorMessage(
+                    xid=message.xid,
+                    code=ErrorCode.STALE_GENERATION,
+                    detail=(
+                        f"generation {incoming_generation} is stale; this OBI "
+                        f"has obeyed generation "
+                        f"{self.highest_controller_generation}"
+                    ),
+                )
+            self.highest_controller_generation = incoming_generation
         with self._dedup_lock:
             if message.xid in self._response_cache:
                 self.duplicate_requests += 1
@@ -496,6 +680,9 @@ class OpenBoxInstance:
             self._response_cache[message.xid] = response
             while len(self._response_cache) > self._response_cache_limit:
                 self._response_cache.popitem(last=False)
+        # Any authenticated downstream traffic is controller liveness
+        # evidence; leaving headless replays the buffered events.
+        self.note_controller_heard()
         return response
 
     def _dispatch(self, message: Message) -> Message | None:
@@ -549,6 +736,15 @@ class OpenBoxInstance:
         """
         # Phase 1 — stage: parse and instantiate off to the side.
         try:
+            received_digest = canonical_graph_digest(message.graph)
+            if message.graph_digest and message.graph_digest != received_digest:
+                # The controller digested what it sent; disagreement here
+                # means the graph was corrupted in transit.
+                raise ProtocolError(
+                    ErrorCode.INVALID_GRAPH,
+                    f"graph digest mismatch: sender claims "
+                    f"{message.graph_digest}, received {received_digest}",
+                )
             graph = ProcessingGraph.from_dict(message.graph)
             graph.validate()
             engine = build_engine(
@@ -599,12 +795,17 @@ class OpenBoxInstance:
             self.graph = graph
             self.engine = engine
             self.graph_version += 1
+            self.graph_digest = received_digest
             # Decisions recorded against the old graph are meaningless
             # under the new wiring.
             if self.flow_cache is not None:
                 self.flow_cache.invalidate_all("graph-swap")
         return SetProcessingGraphResponse(
-            xid=message.xid, ok=True, detail=f"version {self.graph_version}"
+            xid=message.xid,
+            ok=True,
+            detail=f"version {self.graph_version}",
+            graph_version=self.graph_version,
+            graph_digest=self.graph_digest,
         )
 
     def observability_snapshot(
@@ -629,6 +830,8 @@ class OpenBoxInstance:
             len(self.robustness.quarantined_blocks())
         )
         gauges.gauge("obi_errors_total").set(self.robustness.errors_total)
+        gauges.gauge("obi_headless").set(1.0 if self.is_headless() else 0.0)
+        gauges.gauge("obi_headless_entries").set(len(self.headless_buffer))
         tracer = self.tracer
         if tracer is not None:
             gauges.gauge("trace_packets_seen").set(tracer.seen)
@@ -732,6 +935,20 @@ class OpenBoxInstance:
             return self.tracer.sampled if self.tracer is not None else 0
         if handle == "trace_sample_rate":
             return self.tracer.sample_rate if self.tracer is not None else 0.0
+        if handle == "headless":
+            return self.is_headless()
+        if handle == "headless_entries":
+            return len(self.headless_buffer)
+        if handle == "headless_dropped":
+            return self.headless_buffer.dropped_total
+        if handle == "headless_episodes":
+            return self.headless_episodes
+        if handle == "graph_digest":
+            return self.graph_digest
+        if handle == "controller_generation":
+            return self.highest_controller_generation
+        if handle == "stale_generation_rejections":
+            return self.stale_generation_rejections
         raise KeyError(f"{OBI_PSEUDO_BLOCK} has no read handle {handle!r}")
 
     def _write(self, message: WriteRequest) -> Message:

@@ -88,6 +88,14 @@ OBI_READ_HANDLES = (
     "fastpath_invalidations",
     "fastpath_entries",
     "fastpath_hit_rate",
+    # Crash recovery / headless mode (PROTOCOL.md §10).
+    "headless",
+    "headless_entries",
+    "headless_dropped",
+    "headless_episodes",
+    "graph_digest",
+    "controller_generation",
+    "stale_generation_rejections",
 )
 
 

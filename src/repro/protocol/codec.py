@@ -8,8 +8,10 @@ from typing import Any
 from repro.protocol.errors import ErrorCode, ProtocolError
 from repro.protocol.messages import Message, message_class
 
-#: Protocol version implemented by this repo (the paper's spec is 1.1.0).
-PROTOCOL_VERSION = "1.1.0"
+#: Protocol version implemented by this repo (the paper's spec is 1.1.0;
+#: minor bump 1.2.0 adds the crash-recovery handshake: controller
+#: generations, graph digests on Hello/KeepAlive, HelloResponse).
+PROTOCOL_VERSION = "1.2.0"
 
 #: Versions this codec accepts (same major version).
 _ACCEPTED_MAJOR = PROTOCOL_VERSION.split(".")[0]

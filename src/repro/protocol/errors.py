@@ -17,6 +17,9 @@ class ErrorCode:
     MODULE_REJECTED = "module_rejected"
     INTERNAL_ERROR = "internal_error"
     NOT_CONNECTED = "not_connected"
+    #: The sender's controller generation is older than one the receiver
+    #: has already obeyed (split-brain guard, PROTOCOL.md §10).
+    STALE_GENERATION = "stale_generation"
 
 
 class ProtocolError(Exception):

@@ -11,16 +11,58 @@ JSON").
 from __future__ import annotations
 
 import base64
-import itertools
+import threading
 from dataclasses import dataclass, field, fields
 from typing import Any, ClassVar
 
-_xids = itertools.count(1)
+
+class _XidCounter:
+    """Process-wide xid allocator that can be advanced after recovery.
+
+    Receivers deduplicate requests by xid (PROTOCOL.md §6), so a
+    restarted controller must never re-issue xids its peers may still
+    hold in their dedup caches — the journal persists a high-watermark
+    and :func:`advance_xids` jumps past it on recovery.
+    """
+
+    def __init__(self) -> None:
+        self._value = 0
+        self._lock = threading.Lock()
+
+    def next(self) -> int:
+        with self._lock:
+            self._value += 1
+            return self._value
+
+    def advance(self, past: int) -> None:
+        with self._lock:
+            self._value = max(self._value, int(past))
+
+    def current(self) -> int:
+        with self._lock:
+            return self._value
+
+
+_xids = _XidCounter()
 
 
 def next_xid() -> int:
     """Allocate a process-wide unique transaction id."""
-    return next(_xids)
+    return _xids.next()
+
+
+def advance_xids(past: int) -> None:
+    """Ensure future xids are allocated strictly after ``past``.
+
+    Called during controller recovery with the journaled high-watermark,
+    so retransmit deduplication on OBIs stays sound across restarts.
+    """
+    _xids.advance(past)
+
+
+def xid_watermark() -> int:
+    """The highest xid allocated so far (journaled on every deploy)."""
+    return _xids.current()
 
 
 @dataclass
@@ -87,16 +129,52 @@ class Hello(Message):
     #: Where the OBC should send downstream requests (the OBI's local
     #: REST server, paper §4.2); empty for in-process transports.
     callback_url: str = ""
+    #: Recovery handshake (PROTOCOL.md §10): the version epoch and
+    #: canonical digest of the graph the OBI is currently running (0/""
+    #: when nothing is deployed), and the highest controller generation
+    #: the OBI has witnessed — lets a recovered controller reconcile
+    #: without blind re-pushes, and lets the OBI detect stale peers.
+    graph_version: int = 0
+    graph_digest: str = ""
+    controller_generation: int = 0
+
+
+@register_message
+@dataclass
+class HelloResponse(Message):
+    """OBC → OBI: acknowledges a Hello (PROTOCOL.md §10).
+
+    Carries the controller's current generation so the OBI can arm its
+    split-brain guard (messages stamped with a lower generation are
+    rejected as ``stale_generation``).
+    """
+
+    TYPE: ClassVar[str] = "HelloResponse"
+
+    ok: bool = True
+    detail: str = ""
+    controller_generation: int = 0
+    keepalive_interval: float = 10.0
 
 
 @register_message
 @dataclass
 class KeepAlive(Message):
-    """OBI → OBC: periodic liveness beacon (interval set by the OBC)."""
+    """OBI → OBC: periodic liveness beacon (interval set by the OBC).
+
+    Doubles as the anti-entropy report: each beacon restates what the
+    OBI is running (version epoch + canonical graph digest) and the
+    highest controller generation it has seen, so the controller's
+    reconciliation loop can compare intended vs. reported state without
+    an extra round trip.
+    """
 
     TYPE: ClassVar[str] = "KeepAlive"
 
     obi_id: str = ""
+    graph_version: int = 0
+    graph_digest: str = ""
+    controller_generation: int = 0
 
 
 # ----------------------------------------------------------------------
@@ -155,6 +233,14 @@ class SetProcessingGraphRequest(Message):
     TYPE: ClassVar[str] = "SetProcessingGraphRequest"
 
     graph: dict[str, Any] = field(default_factory=dict)
+    #: Split-brain guard (PROTOCOL.md §10): the sending controller's
+    #: generation. 0 means "unversioned" (legacy senders) and is always
+    #: accepted; otherwise an OBI rejects generations older than the
+    #: highest it has seen with ``stale_generation``.
+    controller_generation: int = 0
+    #: Canonical digest of ``graph`` as the controller computed it; the
+    #: OBI recomputes and refuses on mismatch (wire-corruption guard).
+    graph_digest: str = ""
 
 
 @register_message
@@ -164,6 +250,10 @@ class SetProcessingGraphResponse(Message):
 
     ok: bool = True
     detail: str = ""
+    #: What the OBI is now running: lets the controller update its
+    #: reported-state view without waiting for the next keepalive.
+    graph_version: int = 0
+    graph_digest: str = ""
 
 
 # ----------------------------------------------------------------------
@@ -313,6 +403,15 @@ class HealthReport(Message):
     #: Fraction of keyable packets served from the flow-decision cache
     #: since startup; feeds the controller's load estimates.
     fastpath_hit_rate: float = 0.0
+    #: Headless-mode accounting (PROTOCOL.md §10): whether the OBI is
+    #: currently running without a reachable controller, how many
+    #: upstream messages its ring buffer dropped (oldest-first) since
+    #: startup, and how many times it entered headless mode.
+    headless: bool = False
+    headless_dropped: int = 0
+    headless_entries: int = 0
+    #: Canonical digest of the running graph (anti-entropy input).
+    graph_digest: str = ""
 
 
 @register_message

@@ -22,6 +22,7 @@ from repro.net.nsh import NshHeader
 from repro.net.packet import Packet
 from repro.obi.instance import OpenBoxInstance
 from repro.sim.events import EventScheduler
+from repro.transport.base import ChannelClosed
 
 
 def flow_key_of(packet: Packet) -> int:
@@ -176,6 +177,35 @@ class SimNetwork:
         if until is None:
             return self.clock.run()
         return self.clock.run_until(until)
+
+    # ------------------------------------------------------------------
+    # Control-plane beacons
+    # ------------------------------------------------------------------
+    def schedule_keepalives(self, name: str, interval: float | None = None) -> None:
+        """Beacon an OBI node's keepalive every ``interval`` virtual seconds.
+
+        ``interval`` defaults to the instance's configured
+        ``keepalive_interval``. A dead controller makes the send raise
+        ``ChannelClosed``; that is swallowed here — exactly the signal
+        that eventually tips the OBI into headless mode, which recovery
+        scenarios drive on this same virtual clock.
+        """
+        node = self.nodes.get(name)
+        if not isinstance(node, ObiNode):
+            raise ValueError(f"node {name!r} is not an OBI node")
+        instance = node.instance
+        period = (
+            interval if interval is not None
+            else instance.config.keepalive_interval
+        )
+
+        def beacon() -> None:
+            try:
+                instance.send_keepalive()
+            except ChannelClosed:
+                pass
+
+        self.clock.schedule_every(period, beacon)
 
     # ------------------------------------------------------------------
     # Observability

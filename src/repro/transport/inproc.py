@@ -77,6 +77,19 @@ class _InProcEndpoint:
     def close(self) -> None:
         self._closed = True
 
+    def reopen(self) -> None:
+        """Bring a closed endpoint back into service.
+
+        Models a process restart at the same address: the peer keeps its
+        reference across the outage (its sends fail with
+        :class:`ChannelClosed` while closed, exactly like a connection
+        refused), and reopening restores delivery. The handler is *not*
+        preserved semantics-wise — a restarted process re-installs its
+        own via ``set_handler`` (or inherits the old one for tests that
+        restart only one side).
+        """
+        self._closed = False
+
 
 class InProcPair:
     """A linked pair of in-process channel endpoints."""
@@ -90,3 +103,7 @@ class InProcPair:
     def close(self) -> None:
         self.left.close()
         self.right.close()
+
+    def reopen(self) -> None:
+        self.left.reopen()
+        self.right.reopen()

@@ -213,6 +213,17 @@ class RestPeerChannel:
             self._m_sent.inc()
             response = connection.getresponse()
             body = response.read()
+            if response.status == 503:
+                # The peer's server socket is up but no application
+                # handler is installed — the window during a process
+                # restart at the same address. Transient by definition:
+                # surface it as a channel failure so retry layers keep
+                # trying, instead of handing the caller a NOT_CONNECTED
+                # error message as if it were a real response.
+                self._m_failures.inc()
+                raise ChannelClosed(
+                    "peer endpoint has no handler installed (restarting?)"
+                )
             if response.status == 204 or not body:
                 return None
             return decode_message(body)

@@ -37,11 +37,22 @@ class RetryPolicy:
     base_delay: float = 0.05
     multiplier: float = 2.0
     max_delay: float = 1.0
-    #: Fraction of each delay randomized away (1.0 = full jitter).
-    jitter: float = 0.5
+    #: Fraction of each delay randomized away. The default is **full
+    #: jitter** (AWS style): each pause is uniform in ``[0, nominal]``.
+    #: When a controller restart makes a whole fleet's channels fail at
+    #: once, full jitter decorrelates their reconnect retries so the
+    #: recovered controller is not hit by a thundering herd of
+    #: synchronized re-Hellos; the RNG is seeded per channel, so tests
+    #: remain deterministic.
+    jitter: float = 1.0
 
     def backoff(self, attempt: int, rng: random.Random) -> float:
-        """Delay before retry number ``attempt + 1`` (0-indexed)."""
+        """Delay before retry number ``attempt + 1`` (0-indexed).
+
+        Uniform in ``[(1 - jitter) * nominal, nominal]`` where nominal
+        is the capped exponential ``base_delay * multiplier ** attempt``
+        — i.e. full jitter at the default ``jitter=1.0``.
+        """
         delay = min(self.base_delay * self.multiplier ** attempt, self.max_delay)
         if self.jitter > 0:
             delay *= 1.0 - self.jitter * rng.random()

@@ -36,6 +36,20 @@ class TestStatsTracker:
         assert set(tracker.live_obis(now=8.0)) == {"a", "b"}
         assert tracker.dead_obis(now=12.0) == ["a"]
 
+    def test_liveness_defaults_to_injected_clock(self):
+        # The sweep must ride the controller's injectable monotonic
+        # clock, never the wall clock: callers that omit ``now`` get
+        # the injected clock's time.
+        t = {"now": 0.0}
+        tracker = ObiStatsTracker(liveness_timeout=10.0,
+                                  clock=lambda: t["now"])
+        tracker.record_keepalive("a", now=0.0)
+        assert tracker.is_live("a")
+        t["now"] = 11.0
+        assert not tracker.is_live("a")
+        assert tracker.dead_obis() == ["a"]
+        assert tracker.live_obis() == []
+
     def test_smoothed_load(self):
         tracker = ObiStatsTracker()
         for load in (0.2, 0.4, 0.6):

@@ -1,0 +1,225 @@
+"""Controller crash recovery, end to end (ISSUE acceptance scenario).
+
+A journaled controller dies SIGKILL-style *mid-deploy* — one OBI got
+the new intent, the other did not. The data plane rides out the outage
+headless (zero packet loss, events buffered with drop accounting), a
+fresh controller recovers from the journal, and the anti-entropy loop
+converges every OBI back onto the intended graphs: adopting where
+reality already matches (no duplicate deploy side effects), re-pushing
+where it does not. The stale predecessor is fenced by generation.
+"""
+
+import pytest
+
+from repro.bootstrap import connect_inproc, reconnect_inproc
+from repro.controller.apps import AppStatement, FunctionApplication
+from repro.controller.journal import StateJournal
+from repro.controller.obc import OpenBoxController
+from repro.controller.reconcile import AntiEntropyLoop
+from repro.net.builder import make_tcp_packet
+from repro.obi.instance import ObiConfig, OpenBoxInstance
+from repro.protocol.errors import ErrorCode, ProtocolError
+from tests.conftest import build_firewall_graph, build_ips_graph
+from tests.obi.test_instance_robustness import FakeClock
+
+pytestmark = pytest.mark.chaos
+
+
+def _fw_app():
+    return FunctionApplication(
+        "fw", lambda: [AppStatement(graph=build_firewall_graph("fw"))],
+        priority=1,
+    )
+
+
+def _ips_app():
+    return FunctionApplication(
+        "ips", lambda: [AppStatement(graph=build_ips_graph("ips"))],
+        priority=2,
+    )
+
+
+def alert_packet():
+    return make_tcp_packet("44.0.0.1", "192.168.0.9", 1234, 22)
+
+
+def pass_packet():
+    return make_tcp_packet("44.0.0.1", "192.168.0.9", 9999, 12345)
+
+
+class CrashScenario:
+    """Build the pre-crash world: two OBIs, a deploy cut short halfway."""
+
+    def __init__(self, tmp_path, headless_buffer=256):
+        self.clock = FakeClock()
+        self.path = str(tmp_path / "obc.journal")
+        self.controller = OpenBoxController(
+            clock=self.clock,
+            journal=StateJournal(self.path, fsync_every=1),
+        )
+        self.obis = {}
+        self.pairs = {}
+        for obi_id in ("obi-1", "obi-2"):
+            obi = OpenBoxInstance(
+                ObiConfig(obi_id=obi_id, segment="corp", headless_after=30.0,
+                          headless_buffer=headless_buffer),
+                clock=self.clock,
+            )
+            self.pairs[obi_id] = connect_inproc(self.controller, obi)
+            self.obis[obi_id] = obi
+        self.controller.register_application(_fw_app())
+        # Mid-deploy crash: the second application reaches obi-1 but the
+        # controller dies before deploying it to obi-2.
+        self.controller.auto_deploy = False
+        self.controller.register_application(_ips_app())
+        self.controller.deploy("obi-1")
+        # -- SIGKILL here: no close(), no flush beyond what fsync_every=1
+        # already forced, the object is simply abandoned. --
+        self.versions = {name: obi.graph_version
+                         for name, obi in self.obis.items()}
+
+    def outage(self, seconds=120.0):
+        self.clock.advance(seconds)
+
+    def recover(self):
+        recovered = OpenBoxController.recover(
+            self.path, applications=[_fw_app(), _ips_app()], clock=self.clock
+        )
+        for obi_id, obi in self.obis.items():
+            reconnect_inproc(recovered, obi, self.pairs[obi_id])
+        return recovered
+
+
+class TestCrashMidDeploy:
+    def test_anti_entropy_converges_every_obi(self, tmp_path):
+        scenario = CrashScenario(tmp_path)
+        scenario.outage()
+        recovered = scenario.recover()
+        loop = AntiEntropyLoop(recovered)
+        rounds = loop.run_until_converged()
+        assert rounds[-1].all_converged
+        assert loop.converged()
+        for obi_id, obi in scenario.obis.items():
+            handle = recovered.obis[obi_id]
+            assert handle.reported_digest == handle.intended_digest
+            assert obi.graph_digest == handle.intended_digest
+
+    def test_adopt_vs_push_split(self, tmp_path):
+        scenario = CrashScenario(tmp_path)
+        scenario.outage()
+        recovered = scenario.recover()
+        # obi-1 already runs fw+ips: adopted during reconnect, never
+        # re-pushed — its graph version must not move (the "no duplicate
+        # deploy side effects" acceptance clause). obi-2 missed the ips
+        # deploy: exactly one push brings it up to date.
+        assert scenario.obis["obi-1"].graph_version == \
+            scenario.versions["obi-1"]
+        assert scenario.obis["obi-2"].graph_version == \
+            scenario.versions["obi-2"] + 1
+        # Convergence is stable: further rounds do nothing.
+        loop = AntiEntropyLoop(recovered)
+        report = loop.reconcile()
+        assert report.all_converged
+        assert not report.pushed and not report.adopted
+        assert scenario.obis["obi-2"].graph_version == \
+            scenario.versions["obi-2"] + 1
+
+    def test_headless_obis_lose_zero_packets(self, tmp_path):
+        scenario = CrashScenario(tmp_path)
+        scenario.outage()
+        delivered = 0
+        for obi in scenario.obis.values():
+            assert obi.is_headless()
+            for _ in range(50):
+                outcome = obi.process_packet(pass_packet())
+                assert not outcome.dropped and not outcome.shed
+                delivered += bool(outcome.outputs)
+        assert delivered == 100
+        scenario.recover()
+        for obi in scenario.obis.values():
+            assert not obi.is_headless()
+
+    def test_buffered_events_replayed_with_drop_accounting(self, tmp_path):
+        scenario = CrashScenario(tmp_path, headless_buffer=4)
+        scenario.outage()
+        obi = scenario.obis["obi-1"]
+        assert obi.is_headless()
+        for _ in range(10):
+            scenario.clock.advance(1.0)
+            obi.process_packet(alert_packet())
+        assert len(obi.headless_buffer) == 4
+        assert obi.headless_buffer.dropped == 6
+
+        recovered = scenario.recover()
+
+        assert len(obi.headless_buffer) == 0
+        mine = [a for a in recovered.alerts if a.obi_id == "obi-1"]
+        survivors = [a for a in mine if "dropped while headless"
+                     not in a.message]
+        summaries = [a for a in mine if "dropped while headless" in a.message]
+        assert len(survivors) == 4
+        assert len(summaries) == 1
+        assert summaries[0].count == 6
+
+    def test_generation_fences_the_dead_controllers_ghost(self, tmp_path):
+        scenario = CrashScenario(tmp_path)
+        scenario.outage()
+        recovered = scenario.recover()
+        assert recovered.generation > scenario.controller.generation
+        # The pre-crash controller object lingers (a partitioned ghost,
+        # not a corpse) and tries to finish its interrupted deploy.
+        with pytest.raises(ProtocolError) as excinfo:
+            scenario.controller.deploy("obi-2")
+        assert excinfo.value.code == ErrorCode.STALE_GENERATION
+        assert scenario.controller.superseded
+        # The ghost's rejection never perturbed the converged fleet.
+        loop = AntiEntropyLoop(recovered)
+        assert loop.reconcile().all_converged
+
+    def test_second_crash_during_reconciliation(self, tmp_path):
+        # Crash, recover, converge — then crash *again* and make sure
+        # the journal written by the recovered controller is itself a
+        # sufficient basis for the next recovery.
+        scenario = CrashScenario(tmp_path)
+        scenario.outage()
+        first = scenario.recover()
+        AntiEntropyLoop(first).run_until_converged()
+        scenario.outage(60.0)
+        second = OpenBoxController.recover(
+            scenario.path, applications=[_fw_app(), _ips_app()],
+            clock=scenario.clock,
+        )
+        assert second.generation == first.generation + 1
+        for obi_id, obi in scenario.obis.items():
+            reconnect_inproc(second, obi, scenario.pairs[obi_id])
+        loop = AntiEntropyLoop(second)
+        assert loop.run_until_converged()[-1].all_converged
+        # Still no pushes needed: both OBIs kept their graphs throughout.
+        assert scenario.obis["obi-1"].graph_version == \
+            scenario.versions["obi-1"]
+        assert scenario.obis["obi-2"].graph_version == \
+            scenario.versions["obi-2"] + 1
+
+
+class TestOrchestratorIntegration:
+    def test_tick_runs_anti_entropy_after_recovery(self, tmp_path):
+        from repro.controller.orchestrator import OrchestrationLoop
+        from repro.controller.scaling import ScalingManager, ScalingPolicy
+
+        scenario = CrashScenario(tmp_path)
+        scenario.outage()
+        recovered = OpenBoxController.recover(
+            scenario.path, applications=[_fw_app(), _ips_app()],
+            clock=scenario.clock, auto_deploy=False,
+        )
+        for obi_id, obi in scenario.obis.items():
+            reconnect_inproc(recovered, obi, scenario.pairs[obi_id])
+        scaling = ScalingManager(recovered.stats, provisioner=None,
+                                 policy=ScalingPolicy())
+        loop = OrchestrationLoop(recovered, scaling)
+        report = loop.tick()
+        assert "obi-1" in report.reconcile_adopted
+        assert "obi-2" in report.reconcile_pushed
+        follow_up = loop.tick()
+        assert not follow_up.reconcile_adopted
+        assert not follow_up.reconcile_pushed

@@ -26,6 +26,7 @@ from repro.protocol.messages import (
     GlobalStatsResponse,
     HealthReport,
     Hello,
+    HelloResponse,
     ImportStateRequest,
     ImportStateResponse,
     KeepAlive,
@@ -51,8 +52,12 @@ ALL_MESSAGES = [
     Hello(obi_id="o1", version=PROTOCOL_VERSION, segment="corp",
           capabilities={"HeaderClassifier": ["trie", "tcam"]},
           supports_custom_modules=True, capacity_hint=2.0,
-          callback_url="http://127.0.0.1:9/openbox/message"),
-    KeepAlive(obi_id="o1"),
+          callback_url="http://127.0.0.1:9/openbox/message",
+          graph_version=2, graph_digest="sha256:ab", controller_generation=3),
+    HelloResponse(ok=True, detail="hello ack", controller_generation=3,
+                  keepalive_interval=5.0),
+    KeepAlive(obi_id="o1", graph_version=2, graph_digest="sha256:ab",
+              controller_generation=3),
     ListCapabilitiesRequest(),
     ListCapabilitiesResponse(capabilities={"Discard": ["default"]}),
     GlobalStatsRequest(),

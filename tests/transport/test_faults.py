@@ -169,6 +169,40 @@ class TestRetryPolicy:
         for attempt in range(5):
             assert policy.backoff(attempt, rng) <= 0.1 * 2.0 ** attempt
 
+    def test_full_jitter_is_the_default(self):
+        # Full jitter (delay uniform in [0, nominal]) decorrelates a
+        # fleet's reconnect retries after a controller restart — the
+        # thundering-herd guard is on unless explicitly tuned off.
+        assert RetryPolicy().jitter == 1.0
+
+    def test_full_jitter_spans_the_whole_range(self):
+        import random
+        policy = RetryPolicy(base_delay=1.0, multiplier=1.0, max_delay=1.0,
+                             jitter=1.0)
+        rng = random.Random(11)
+        samples = [policy.backoff(0, rng) for _ in range(200)]
+        assert all(0.0 <= s <= 1.0 for s in samples)
+        # Not clustered near the nominal delay: genuinely full jitter.
+        assert min(samples) < 0.1
+        assert max(samples) > 0.9
+
+    def test_seeded_backoff_is_deterministic(self):
+        def slept_with(seed):
+            inner = _Flaky(failures=100, error=ChannelClosed)
+            slept = []
+            channel = ResilientChannel(
+                inner, RetryPolicy(max_attempts=5), seed=seed,
+                sleep=slept.append,
+            )
+            with pytest.raises(ChannelClosed):
+                channel.request(ReadRequest())
+            return slept
+
+        assert slept_with(42) == slept_with(42)
+        # Different channels (seeds) pause differently — the point of
+        # per-channel jitter.
+        assert slept_with(42) != slept_with(43)
+
     def test_budget_and_worst_case(self):
         policy = RetryPolicy(max_attempts=3, base_delay=0.1, multiplier=2.0,
                              max_delay=10.0, request_timeout=2.0)

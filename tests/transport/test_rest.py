@@ -49,13 +49,20 @@ class TestRestChannel:
         assert response.code == ErrorCode.INTERNAL_ERROR
         assert "boom" in response.detail
 
-    def test_no_handler_yields_not_connected(self, endpoint):
+    def test_no_handler_maps_to_channel_closed(self, endpoint):
+        # A live server socket with no handler installed is the window
+        # during a process restart: transient, so it must surface as a
+        # channel failure (which retry policies absorb), not as a
+        # NOT_CONNECTED error message masquerading as a real response.
         channel = RestPeerChannel(endpoint.url)
-        response = channel.request(ReadRequest())
-        assert isinstance(response, ErrorMessage)
-        assert response.code == ErrorCode.NOT_CONNECTED
+        with pytest.raises(ChannelClosed):
+            channel.request(ReadRequest())
 
     def test_xid_echoed_in_error(self, endpoint):
+        def handler(message):
+            raise RuntimeError("boom")
+
+        endpoint.set_handler(handler)
         channel = RestPeerChannel(endpoint.url)
         request = ReadRequest()
         response = channel.request(request)
