@@ -27,7 +27,7 @@ Drive it from any scheduler: ``scheduler.schedule_every(p, loop.tick)``.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Any
 
 from repro.controller.migration import StateMigrator
 from repro.controller.reconcile import AntiEntropyLoop
@@ -91,10 +91,23 @@ class OrchestrationLoop:
         self.deploy_failure_threshold = deploy_failure_threshold
         self.reconciler = AntiEntropyLoop(controller) if anti_entropy else None
         self.reports: list[TickReport] = []
-        #: Last successful session-state export per OBI — the failover
-        #: stage imports from here because a dead OBI can no longer be
-        #: asked for its state.
-        self.snapshots: dict[str, list] = {}
+        #: Last successful state checkpoint per OBI, as
+        #: ``{"generation": int, "entries": [...]}`` — the failover
+        #: stage hands this to a survivor because a dead OBI can no
+        #: longer be asked for its state. Legacy plain-list snapshots
+        #: (pre-checkpoint format) are still understood.
+        self.snapshots: dict[str, Any] = {}
+
+    @staticmethod
+    def _snapshot_entries(state: Any) -> list:
+        """Flow entries of a snapshot, whatever its format."""
+        if isinstance(state, dict):
+            return state.get("entries", [])
+        return state or []
+
+    @staticmethod
+    def _snapshot_generation(state: Any) -> int:
+        return state.get("generation", 0) if isinstance(state, dict) else 0
 
     # ------------------------------------------------------------------
     # Stage 1: stats polling (also refreshes liveness evidence)
@@ -152,13 +165,21 @@ class OrchestrationLoop:
                     self.scaling.add_member(group, survivor)
                 except Exception:  # noqa: BLE001 - provisioning is best-effort
                     survivor = None
-            # Import the dead member's last exported session state into
-            # the survivor so re-steered flows keep their verdicts.
+            # Hand the dead member's last checkpoint to the survivor so
+            # re-steered flows keep their verdicts. The handoff carries
+            # the checkpoint's state generation: if a partitioned ghost
+            # of the same OBI already handed over newer state, the
+            # survivor rejects this one as stale instead of regressing.
             state = self.snapshots.pop(obi_id, None)
-            if self.migrator is not None and survivor is not None and state:
+            entries = self._snapshot_entries(state)
+            if self.migrator is not None and survivor is not None and entries:
                 try:
-                    self.migrator.import_state(survivor, state)
-                    report.migrations.append((obi_id, survivor))
+                    outcome = self.migrator.handoff(
+                        obi_id, survivor,
+                        self._snapshot_generation(state), entries,
+                    )
+                    if outcome.accepted:
+                        report.migrations.append((obi_id, survivor))
                 except (ChannelClosed, ProtocolError):
                     pass
             self.scaling.remove_member(group, obi_id)
@@ -189,7 +210,9 @@ class OrchestrationLoop:
                 if obi_id not in self.controller.obis:
                     continue
                 try:
-                    self.snapshots[obi_id] = self.migrator.export_state(obi_id)
+                    self.snapshots[obi_id] = self.migrator.export_checkpoint(
+                        obi_id
+                    )
                 except (ChannelClosed, ProtocolError):
                     # Keep the previous snapshot: stale state beats none.
                     pass
@@ -247,8 +270,9 @@ class OrchestrationLoop:
                         (m for m in members if m in self.controller.obis), None
                     )
                     state = self.snapshots.get(action.obi_id)
-                    if survivor is not None and state:
-                        self.migrator.import_state(survivor, state)
+                    entries = self._snapshot_entries(state)
+                    if survivor is not None and entries:
+                        self.migrator.import_state(survivor, entries)
                         report.migrations.append((action.obi_id, survivor))
             if self.steering is not None:
                 self.steering.update_replicas(action.group, members)

@@ -199,6 +199,20 @@ def _register_builtin_types() -> None:
         cacheable=False,
     ))
     reg(BlockTypeSpec(
+        "Conntrack", C,
+        "Stateful connection-tracking firewall (SYN/EST/FIN machine): "
+        "port 0 passes valid connection packets, port 1 drops invalid ones",
+        num_ports=2, params=("drop_invalid",),
+        handles=(
+            HandleSpec("count"), HandleSpec("state_counts"),
+            HandleSpec("transitions"), HandleSpec("invalid_dropped"),
+            HandleSpec("state_drops"), HandleSpec("established"),
+            HandleSpec("flush", writable=True,
+                       description="remove all tracked connection state"),
+            HandleSpec("reset_counts", writable=True),
+        ),
+    ))
+    reg(BlockTypeSpec(
         "VlanClassifier", C, "Classify by 802.1Q VLAN id",
         num_ports=PORTS_BY_CONFIG, params=("rules", "default_port"),
         required_params=("rules",), mergeable=True,

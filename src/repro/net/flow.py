@@ -84,6 +84,14 @@ class Flow:
     fin_seen: bool = False
     rst_seen: bool = False
     session: dict[str, Any] = field(default_factory=dict)
+    #: Bumped on every session write / state transition; cached flow
+    #: decisions record the version they read so a transition can
+    #: invalidate exactly the affected flow's cache entry.
+    version: int = 0
+    #: Protected entries (established connections) are never evicted by
+    #: state-pressure policies — a SYN flood may only displace other
+    #: embryonic entries, not live sessions.
+    protected: bool = False
 
     @property
     def closed(self) -> bool:

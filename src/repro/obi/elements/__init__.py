@@ -18,6 +18,7 @@ from repro.obi.elements.classifiers import (
     RegexClassifierElement,
     VlanClassifierElement,
 )
+from repro.obi.elements.conntrack import ConntrackElement
 from repro.obi.elements.metadata import (
     GeneveDecapsulateElement,
     GeneveEncapsulateElement,
@@ -85,6 +86,7 @@ element_registry = {
     "HeaderPayloadClassifier": HeaderPayloadClassifierElement,
     "ProtocolAnalyzer": ProtocolAnalyzerElement,
     "FlowClassifier": FlowClassifierElement,
+    "Conntrack": ConntrackElement,
     "MetadataClassifier": MetadataClassifierElement,
     "VlanClassifier": VlanClassifierElement,
     "NetworkHeaderFieldRewriter": NetworkHeaderFieldRewriterElement,

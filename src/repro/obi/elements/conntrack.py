@@ -1,0 +1,282 @@
+"""Connection-tracking stateful firewall (the resilient-flow-state proof).
+
+The Conntrack block is the stateful NF the flow-state subsystem exists
+for: a SYN/EST/FIN state machine whose per-flow state lives in session
+storage (a :class:`~repro.obi.flowstate.FlowStateTable`), so established
+verdicts are versioned, bounded by the exhaustion-defense policy,
+journaled to a crash-safe checkpoint, and handed off to a failover
+survivor. Ports: 0 = pass, 1 = drop.
+
+State machine (session key ``ct_state``)::
+
+    TCP:  (none) --SYN--> syn --SYN|ACK(reply)--> synack
+          --ACK(initiator)--> established --FIN--> fin_wait --FIN/RST--> closed
+    UDP/other: (none) --> new --reply--> established
+
+Establishment marks the flow *protected* (never evicted under
+state-pressure) and *durable* (journaled); teardown transitions are
+durable too, so a restore reflects closures. Packets that match no
+state and are not connection-opening are invalid and dropped (configur-
+able via ``drop_invalid``); a new flow the exhausted table refuses is
+treated the same way — the visible degradation mode is "new connections
+fail, established connections keep working".
+
+Fast-path contract: the element records its own decision
+(``records_own_decision``) — only the established steady state installs
+a cacheable verdict, tagged with the flow's state version via
+``note_flow_state``. Every other state only tags the traversal, so the
+entry dies the moment the flow transitions. :meth:`replay_decision`
+still runs teardown detection, keeping fast-path effects and handles
+byte-identical to a slow-path run.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.net.flow import FiveTuple, Flow
+from repro.net.packet import Packet
+from repro.net.tcp import TcpFlags
+from repro.obi.engine import Element
+
+PORT_PASS = 0
+PORT_DROP = 1
+
+
+class ConntrackElement(Element):
+    caches_decision = True
+    records_own_decision = True
+    # "flush" removals fire per-flow invalidation hooks themselves, so
+    # the handle needs no whole-cache flush.
+    ROUTING_NEUTRAL_HANDLES = frozenset({"reset_counts", "flush"})
+
+    def __init__(
+        self, name: str, config: dict[str, Any], origin_app: str | None = None
+    ) -> None:
+        super().__init__(name, config, origin_app)
+        self.drop_invalid = bool(config.get("drop_invalid", True))
+        #: Per-packet tally of the conntrack state the packet arrived in
+        #: ("none" for stateless packets), mirrored on replay.
+        self.state_counts: dict[str, int] = {}
+        self.transitions = 0
+        self.invalid_dropped = 0
+        #: New connections refused because the state table would not
+        #: admit an entry (exhaustion defense in action).
+        self.state_drops = 0
+
+    # ------------------------------------------------------------------
+    # State machine
+    # ------------------------------------------------------------------
+    def _table(self):
+        return self.context.session.flow_table
+
+    def _count_state(self, state: str | None) -> None:
+        label = state or "none"
+        self.state_counts[label] = self.state_counts.get(label, 0) + 1
+
+    def _transition(
+        self,
+        flow: Flow,
+        new_state: str,
+        *,
+        protected: bool | None = None,
+        durable: bool = False,
+    ) -> None:
+        old = flow.session.get("ct_state")
+        flow.session["ct_state"] = new_state
+        self.transitions += 1
+        self._table().note_state_change(
+            flow, f"ct:{old}->{new_state}", protected=protected, durable=durable
+        )
+        # This traversal mutated the state it read: whatever is being
+        # recorded right now reflects the pre-transition world. Install
+        # nothing; the next packet records against the settled state.
+        recorder = self.context.recorder if self.context is not None else None
+        if recorder is not None:
+            recorder.abandon()
+
+    def _drop(self, packet: Packet) -> list[tuple[int, Packet]]:
+        if not self.drop_invalid:
+            return [(PORT_PASS, packet)]
+        self.invalid_dropped += 1
+        return [(PORT_DROP, packet)]
+
+    @staticmethod
+    def _from_initiator(flow: Flow, tuple5: FiveTuple) -> bool:
+        return flow.session.get("ct_init") == [tuple5.src_ip, tuple5.src_port]
+
+    def process(self, packet: Packet) -> list[tuple[int, Packet]]:
+        context = self.context
+        tuple5 = FiveTuple.of(packet)
+        if tuple5 is None or context is None:
+            # Non-IP frames carry no connection: pass untracked.
+            self._count_state("none")
+            return [(PORT_PASS, packet)]
+        now = context.now
+        table = self._table()
+        flow = table.observe(packet, now)
+        recorder = context.recorder
+        if flow is None:
+            # The exhaustion policy refused a new entry. The verdict
+            # depends on table occupancy, not the flow: never cache it.
+            self.state_drops += 1
+            self._count_state("none")
+            if recorder is not None:
+                recorder.poison()
+            return self._drop(packet)
+        state = flow.session.get("ct_state")
+        self._count_state(state)
+        if recorder is not None:
+            # Tag the traversal with the state it read: whatever gets
+            # installed for this flow key dies on its next transition.
+            recorder.note_flow_state(flow.key, flow.version)
+
+        tcp = packet.tcp
+        if tcp is None:
+            return self._process_connectionless(flow, tuple5, state, packet)
+
+        syn = tcp.has_flag(TcpFlags.SYN)
+        ack = tcp.has_flag(TcpFlags.ACK)
+        fin = tcp.has_flag(TcpFlags.FIN)
+        rst = tcp.has_flag(TcpFlags.RST)
+        initiator = self._from_initiator(flow, tuple5)
+
+        if state is None:
+            if syn and not ack:
+                flow.session["ct_init"] = [tuple5.src_ip, tuple5.src_port]
+                self._transition(flow, "syn")
+                return [(PORT_PASS, packet)]
+            # Mid-stream packet with no state (stray ACK, scan): invalid.
+            return self._drop(packet)
+        if state == "syn":
+            if rst:
+                self._transition(flow, "closed")
+                return [(PORT_PASS, packet)]
+            if syn and ack and not initiator:
+                self._transition(flow, "synack")
+                return [(PORT_PASS, packet)]
+            if syn and not ack and initiator:
+                # SYN retransmission: no transition.
+                return [(PORT_PASS, packet)]
+            return self._drop(packet)
+        if state == "synack":
+            if rst:
+                self._transition(flow, "closed")
+                return [(PORT_PASS, packet)]
+            if ack and not syn and initiator:
+                self._transition(
+                    flow, "established", protected=True, durable=True
+                )
+                return [(PORT_PASS, packet)]
+            if syn and ack and not initiator:
+                # SYN|ACK retransmission: no transition.
+                return [(PORT_PASS, packet)]
+            return self._drop(packet)
+        if state == "established":
+            if rst:
+                self._transition(flow, "closed", protected=False, durable=True)
+                return [(PORT_PASS, packet)]
+            if fin:
+                self._transition(flow, "fin_wait", durable=True)
+                return [(PORT_PASS, packet)]
+            # Steady state: the verdict is a pure function of flow key +
+            # flow state — safe to cache (version tagged above).
+            if recorder is not None:
+                recorder.record(self.name, PORT_PASS)
+            return [(PORT_PASS, packet)]
+        if state == "fin_wait":
+            if rst or fin:
+                self._transition(flow, "closed", protected=False, durable=True)
+            # The closing handshake's remaining ACKs are legitimate.
+            return [(PORT_PASS, packet)]
+        # state == "closed" (or unknown): the connection is over; late
+        # packets are invalid.
+        return self._drop(packet)
+
+    def _process_connectionless(
+        self, flow: Flow, tuple5: FiveTuple, state: str | None, packet: Packet
+    ) -> list[tuple[int, Packet]]:
+        recorder = self.context.recorder if self.context is not None else None
+        if state is None:
+            flow.session["ct_init"] = [tuple5.src_ip, tuple5.src_port]
+            self._transition(flow, "new")
+            return [(PORT_PASS, packet)]
+        if state == "new":
+            if not self._from_initiator(flow, tuple5):
+                # First reply: a bidirectional exchange is established.
+                self._transition(
+                    flow, "established", protected=True, durable=True
+                )
+            return [(PORT_PASS, packet)]
+        if state == "established":
+            if recorder is not None:
+                recorder.record(self.name, PORT_PASS)
+            return [(PORT_PASS, packet)]
+        return self._drop(packet)
+
+    def replay_decision(self, port: int, packet: Packet) -> None:
+        """Fast-path replay of an established-flow pass verdict.
+
+        Must leave every handle and state bit exactly as a slow-path
+        run would: the flow is touched (packet/byte accounting), the
+        state tally bumped, and — critically — teardown flags still
+        drive the FIN/RST transitions. The transition's version bump
+        invalidates this very cache entry, so the *next* packet takes
+        the slow path against the new state.
+        """
+        context = self.context
+        if context is None:
+            return
+        now = context.now
+        flow = self._table().observe(packet, now)
+        if flow is None:
+            return
+        state = flow.session.get("ct_state")
+        self._count_state(state)
+        if state != "established":
+            # Unreachable in practice (transitions invalidate the cache
+            # entry before another packet can replay it), but never let
+            # a stale replay advance the machine from the wrong state.
+            return
+        tcp = packet.tcp
+        if tcp is not None:
+            if tcp.has_flag(TcpFlags.RST):
+                self._transition(flow, "closed", protected=False, durable=True)
+            elif tcp.has_flag(TcpFlags.FIN):
+                self._transition(flow, "fin_wait", durable=True)
+
+    # ------------------------------------------------------------------
+    # Handles
+    # ------------------------------------------------------------------
+    def read_handle(self, name: str) -> Any:
+        if name == "state_counts":
+            return dict(self.state_counts)
+        if name == "transitions":
+            return self.transitions
+        if name == "invalid_dropped":
+            return self.invalid_dropped
+        if name == "state_drops":
+            return self.state_drops
+        if name == "established":
+            return sum(
+                1 for flow in self._table()
+                if flow.session.get("ct_state") == "established"
+            )
+        return super().read_handle(name)
+
+    def write_handle(self, name: str, value: Any) -> None:
+        if name == "flush":
+            table = self._table()
+            for flow in [
+                f for f in table if "ct_state" in f.session
+            ]:
+                table.remove(flow.key)
+            return
+        if name == "reset_counts":
+            super().write_handle(name, value)
+            self.state_counts.clear()
+            self.transitions = 0
+            self.invalid_dropped = 0
+            self.state_drops = 0
+            return
+        super().write_handle(name, value)

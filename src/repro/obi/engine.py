@@ -152,6 +152,19 @@ class Element:
     #: route on; the engine folds these into the flow key (the
     #: "metadata scope" of the deployed graph).
     metadata_key: str | None = None
+    #: True for stateful classifiers (conntrack) that decide for
+    #: themselves when a decision is safe to record — the engine's
+    #: automatic single-emission recording is skipped, and the element
+    #: calls ``context.recorder.record(...)`` in the states where its
+    #: verdict really is a pure function of flow key + flow state (and
+    #: declares that state via ``recorder.note_flow_state``).
+    records_own_decision: bool = False
+    #: Write handles that cannot change routing decisions: a write to
+    #: one skips the whole-cache invalidation in Engine.write_handle.
+    #: Subclasses extend this only for handles that are provably
+    #: routing-neutral (counter resets, flushes whose state changes
+    #: already invalidate per flow).
+    ROUTING_NEUTRAL_HANDLES: frozenset[str] = frozenset({"reset_counts"})
 
     def __init__(self, name: str, config: dict[str, Any], origin_app: str | None = None) -> None:
         self.name = name
@@ -280,7 +293,11 @@ class Element:
             if recorder is not None:
                 if not element.cacheable:
                     recorder.poison()
-                elif element.caches_decision and len(emissions) == 1:
+                elif (
+                    element.caches_decision
+                    and not element.records_own_decision
+                    and len(emissions) == 1
+                ):
                     recorder.record(element.name, emissions[0][0])
             # Reversed so the first emission is processed first (DFS).
             for port, out_packet in reversed(emissions):
@@ -446,9 +463,13 @@ class Engine:
             context.trace = None
         if recorder is not None:
             # Reached only when push() completed: a traversal that
-            # unwound (robustness disabled) installs nothing.
+            # unwound (robustness disabled) installs nothing. An
+            # abandoned recording (the traversal transitioned the flow
+            # state it read) installs nothing either — the next packet
+            # records afresh against the settled state.
             cache.misses += 1
-            cache.install(recorder.key, recorder.finish())
+            if not recorder.abandoned:
+                cache.install(recorder.key, recorder.finish())
         if trace is not None:
             tracer.finish(trace, outcome)
         self.packets_processed += 1
@@ -506,8 +527,15 @@ class Engine:
         return self.element(block).read_handle(handle)
 
     def write_handle(self, block: str, handle: str, value: Any) -> None:
-        self.element(block).write_handle(handle, value)
+        element = self.element(block)
+        element.write_handle(handle, value)
         # Any handle write may change routing (rule replacement, shaper
-        # rates): recorded decisions are no longer trustworthy.
-        if self.flow_cache is not None:
+        # rates): recorded decisions are no longer trustworthy. Handles
+        # an element declares routing-neutral (counter resets, state
+        # flushes that invalidate per flow) are exempt — they were the
+        # dominant source of full-cache invalidation storms.
+        if (
+            self.flow_cache is not None
+            and handle not in element.ROUTING_NEUTRAL_HANDLES
+        ):
             self.flow_cache.invalidate_all("write-handle")

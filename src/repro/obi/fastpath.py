@@ -26,11 +26,18 @@ Soundness rests on three rules, enforced here and in the engine:
   taking the slow path without re-recording.
 * **Invalidation** — the whole cache is flushed on any event that can
   change what a slow-path traversal would decide: a
-  ``SetProcessingGraph`` swap, any ``write_handle``, and every
-  circuit-breaker transition (open, first half-open probe, close).
-  The fast path is additionally disabled outright while any breaker
-  is non-closed or the OBI is degraded, so a stale entry can never
-  bypass an opened breaker (see ``EngineRobustness.fastpath_blocked``).
+  ``SetProcessingGraph`` swap, a ``write_handle`` that is not declared
+  routing-neutral, and every circuit-breaker transition (open, first
+  half-open probe, close). The fast path is additionally disabled
+  outright while any breaker is non-closed or the OBI is degraded, so
+  a stale entry can never bypass an opened breaker (see
+  ``EngineRobustness.fastpath_blocked``).
+
+  Per-flow *state* changes are surgical instead: a stateful element
+  (conntrack) records which flow-state entries its decision read
+  (:meth:`DecisionRecorder.note_flow_state`), and a state transition
+  calls :meth:`FlowDecisionCache.invalidate_flow` to drop exactly the
+  cache entries that depended on that flow — no invalidation storm.
 """
 
 from __future__ import annotations
@@ -92,26 +99,54 @@ class FlowDecision:
     wasting a recorder on every packet).
     """
 
-    __slots__ = ("decisions", "uncacheable")
+    __slots__ = ("decisions", "uncacheable", "state_refs")
 
-    def __init__(self, decisions: dict[str, int], uncacheable: bool = False) -> None:
+    def __init__(
+        self,
+        decisions: dict[str, int],
+        uncacheable: bool = False,
+        state_refs: tuple = (),
+    ) -> None:
         self.decisions = decisions
         self.uncacheable = uncacheable
+        #: ``(flow_ref, version)`` pairs for every flow-state entry the
+        #: recorded decisions read; a state transition on any of them
+        #: invalidates this cache entry (and only this one).
+        self.state_refs = state_refs
 
 
 class DecisionRecorder:
     """Accumulates one slow-path traversal's decisions for installation."""
 
-    __slots__ = ("key", "decisions", "poisoned")
+    __slots__ = ("key", "decisions", "poisoned", "abandoned", "state_refs")
 
     def __init__(self, key: tuple) -> None:
         self.key = key
         self.decisions: dict[str, int] = {}
         self.poisoned = False
+        self.abandoned = False
+        self.state_refs: dict[Any, int] = {}
 
     def poison(self) -> None:
         """The traversal is not flow-deterministic: install a negative entry."""
         self.poisoned = True
+
+    def abandon(self) -> None:
+        """Install nothing at all — not even a negative entry.
+
+        Used by stateful elements when the traversal *itself* changed
+        the flow state it read (a conntrack transition): the recording
+        reflects a state that no longer exists, but the flow is
+        perfectly cacheable once it stabilizes, so it must not be
+        branded uncacheable either. The next packet simply records
+        afresh against the new state.
+        """
+        self.abandoned = True
+
+    def note_flow_state(self, ref: Any, version: int) -> None:
+        """Declare that this traversal read flow-state entry ``ref`` at
+        ``version`` — the installed decision must die with it."""
+        self.state_refs[ref] = version
 
     def record(self, name: str, port: int) -> None:
         """Record one classifier decision; conflicting re-visits poison.
@@ -131,7 +166,9 @@ class DecisionRecorder:
     def finish(self) -> FlowDecision:
         if self.poisoned:
             return FlowDecision({}, uncacheable=True)
-        return FlowDecision(self.decisions)
+        return FlowDecision(
+            self.decisions, state_refs=tuple(self.state_refs.items())
+        )
 
 
 class FlowDecisionCache:
@@ -157,11 +194,16 @@ class FlowDecisionCache:
         #: Full flushes performed (graph swap, write_handle, breaker
         #: transitions).
         self.invalidations = 0
+        #: Entries dropped by per-flow (surgical) invalidation.
+        self.flow_invalidations = 0
         self.evictions = 0
-        #: Recent flush reasons, for debugging invalidation storms.
+        #: Recent invalidation reasons — full flushes *and* per-flow
+        #: drops (prefixed ``flow:``), for debugging invalidation storms.
         self.flush_log: collections.deque[tuple[str, int]] = collections.deque(
             maxlen=16
         )
+        #: flow-state ref -> cache keys whose decisions read that state.
+        self._flow_index: dict[Any, set[tuple]] = {}
         self._metrics: Any = None
 
     def bind_metrics(self, registry: Any) -> None:
@@ -196,21 +238,68 @@ class FlowDecisionCache:
     def lookup(self, key: tuple) -> FlowDecision | None:
         return self._entries.get(key)
 
+    def _unindex(self, key: tuple, decision: FlowDecision) -> None:
+        for ref, _version in decision.state_refs:
+            keys = self._flow_index.get(ref)
+            if keys is None:
+                continue
+            keys.discard(key)
+            if not keys:
+                del self._flow_index[ref]
+
     def install(self, key: tuple, decision: FlowDecision) -> None:
-        if key not in self._entries and len(self._entries) >= self.max_entries:
+        previous = self._entries.get(key)
+        if previous is not None:
+            self._unindex(key, previous)
+        elif len(self._entries) >= self.max_entries:
             # FIFO eviction: dicts preserve insertion order and flow
             # caches are churn-tolerant — precision is not worth LRU
             # bookkeeping on the hot path.
-            self._entries.pop(next(iter(self._entries)))
+            evicted_key = next(iter(self._entries))
+            self._unindex(evicted_key, self._entries.pop(evicted_key))
             self.evictions += 1
         self._entries[key] = decision
+        for ref, _version in decision.state_refs:
+            self._flow_index.setdefault(ref, set()).add(key)
 
     def invalidate_all(self, reason: str = "") -> int:
         """Flush every entry; returns how many were dropped."""
         dropped = len(self._entries)
         self._entries.clear()
+        self._flow_index.clear()
         self.invalidations += 1
         self.flush_log.append((reason, dropped))
+        return dropped
+
+    def invalidate_flow(self, ref: Any, reason: str = "") -> int:
+        """Drop only the entries whose decisions read flow-state ``ref``.
+
+        This is the surgical alternative to :meth:`invalidate_all` for
+        per-flow state transitions: a conntrack establishment or FIN
+        teardown kills the one flow's cached verdict while every other
+        flow stays warm. A ref no decision ever read is a free no-op
+        (flow expiry of untracked flows costs nothing here).
+        """
+        keys = self._flow_index.pop(ref, None)
+        if not keys:
+            return 0
+        dropped = 0
+        for key in keys:
+            decision = self._entries.pop(key, None)
+            if decision is None:
+                continue
+            dropped += 1
+            # The entry may have read other flows' state too; drop its
+            # back-references so the index never points at dead keys.
+            for other, _version in decision.state_refs:
+                if other != ref:
+                    others = self._flow_index.get(other)
+                    if others is not None:
+                        others.discard(key)
+                        if not others:
+                            del self._flow_index[other]
+        self.flow_invalidations += dropped
+        self.flush_log.append((f"flow:{reason}" if reason else "flow", dropped))
         return dropped
 
     def stats(self) -> dict[str, Any]:
@@ -220,6 +309,7 @@ class FlowDecisionCache:
             "uncacheable_hits": self.uncacheable_hits,
             "bypassed": self.bypassed,
             "invalidations": self.invalidations,
+            "flow_invalidations": self.flow_invalidations,
             "evictions": self.evictions,
             "entries": len(self._entries),
             "hit_rate": self.hit_rate,

@@ -29,6 +29,11 @@ from repro.net.packet import Packet
 from repro.obi.custom import CustomModuleLoader
 from repro.obi.engine import AlertEvent, Engine, PacketOutcome
 from repro.obi.fastpath import DEFAULT_FLOW_CACHE_SIZE, FlowDecisionCache
+from repro.obi.flowstate import (
+    FlowStateCheckpointer,
+    FlowStatePolicy,
+    load_checkpoint,
+)
 from repro.obi.headless import HeadlessBuffer
 from repro.obi.robustness import (
     AdmissionGate,
@@ -75,6 +80,10 @@ from repro.protocol.messages import (
     SetExternalServices,
     SetProcessingGraphRequest,
     SetProcessingGraphResponse,
+    StateCheckpointRequest,
+    StateCheckpointResponse,
+    StateHandoffRequest,
+    StateHandoffResponse,
     WriteRequest,
     WriteResponse,
 )
@@ -97,6 +106,17 @@ class ObiConfig:
     module_checksums: set[str] | None = None
     keepalive_interval: float = 10.0
     session_idle_timeout: float = 60.0
+    #: Flow-state exhaustion defense (entry cap, per-source-prefix
+    #: budgets, pressure/degradation watermarks, early TTL); None uses
+    #: the FlowStatePolicy defaults.
+    flow_state: FlowStatePolicy | None = None
+    #: Journal path for crash-safe flow-state checkpoints ("" disables
+    #: them). On construction the OBI replays the journal's longest
+    #: valid prefix, so durable session state survives a SIGKILL.
+    state_checkpoint_path: str = ""
+    #: Journal fsync batching / snapshot compaction cadence (appends).
+    state_checkpoint_fsync_every: int = 8
+    state_snapshot_every: int = 256
     #: How many recent per-packet traversal records to retain for the
     #: packet-history debugging facility (paper §6); 0 disables it.
     history_size: int = 256
@@ -147,7 +167,29 @@ class OpenBoxInstance:
         self.loader = CustomModuleLoader(
             self.factory, allowed_checksums=config.module_checksums
         )
-        self.session = SessionStorage(idle_timeout=config.session_idle_timeout)
+        restored = None
+        checkpointer = None
+        if config.state_checkpoint_path:
+            # Restore-before-open: fold the previous incarnation's
+            # journal (tolerating a torn tail) before the checkpointer
+            # reopens the file for appending.
+            restored = load_checkpoint(config.state_checkpoint_path)
+            checkpointer = FlowStateCheckpointer(
+                config.state_checkpoint_path,
+                fsync_every=config.state_checkpoint_fsync_every,
+                snapshot_every=config.state_snapshot_every,
+            )
+        self.session = SessionStorage(
+            idle_timeout=config.session_idle_timeout,
+            policy=config.flow_state,
+            checkpoint=checkpointer,
+        )
+        #: Flow entries recovered from the checkpoint journal at startup.
+        self.state_restored = 0
+        #: Per-source-OBI generation fence for state handoffs: the
+        #: highest state generation already imported from each peer.
+        self._handoff_fence: dict[str, int] = {}
+        self.stale_handoff_rejections = 0
         self.log_service = log_service or LogService()
         self.storage_service = storage_service or PacketStorageService()
         self.engine: Engine | None = None
@@ -208,6 +250,14 @@ class OpenBoxInstance:
             else None
         )
         self.robustness.flow_cache = self.flow_cache
+        if self.flow_cache is not None:
+            # Per-flow state changes invalidate exactly the affected
+            # flow's cached decisions (no whole-cache flush).
+            self.session.bind_flow_cache(self.flow_cache)
+        if restored is not None and (restored.entries or restored.generation):
+            self.state_restored = self.session.restore(
+                restored, now=self.clock()
+            )
         self._admission = (
             AdmissionGate(config.overload, self.clock)
             if config.overload.admission_rate > 0
@@ -399,6 +449,9 @@ class OpenBoxInstance:
         """
         self.packets_offered += 1
         self._m_offered.inc()
+        # Flow-state exhaustion degrades the OBI through the same path
+        # as ingress overload (ORed inside EngineRobustness.degraded).
+        self.robustness.state_pressure = self.session.under_degradation
         if self._admission is not None:
             verdict = self._admission.admit(packet)
             # The gate drives degraded mode: below the watermark the
@@ -460,6 +513,9 @@ class OpenBoxInstance:
             for packet in packets:
                 self.packets_offered += 1
                 self._m_offered.inc()
+                self.robustness.state_pressure = (
+                    self.session.under_degradation
+                )
                 if self._admission is not None:
                     verdict = self._admission.admit(packet)
                     self.robustness.degraded = self._admission.degraded
@@ -604,6 +660,12 @@ class OpenBoxInstance:
             headless_dropped=self.headless_buffer.dropped_total,
             headless_entries=len(self.headless_buffer),
             graph_digest=self.graph_digest,
+            state_entries=self.session.flow_count(),
+            state_protected=self.session.flow_table.protected_count,
+            state_evictions=self.session.flow_table.evictions,
+            state_drops=self.session.flow_table.drops,
+            state_pressure=self.session.under_degradation,
+            state_generation=self.session.state_generation,
         )
 
     def send_health_report(self) -> None:
@@ -717,13 +779,54 @@ class OpenBoxInstance:
             return PacketHistoryResponse(xid=message.xid, records=records)
         if isinstance(message, ExportStateRequest):
             return ExportStateResponse(
-                xid=message.xid, state=self.session.export_entries()
+                xid=message.xid,
+                state=self.session.export_entries(now=self.clock()),
             )
         if isinstance(message, ImportStateRequest):
-            imported = self.session.import_entries(message.state, now=self.clock())
-            return ImportStateResponse(xid=message.xid, flows_imported=imported)
+            report = self.session.import_entries_checked(
+                message.state, now=self.clock()
+            )
+            return ImportStateResponse(
+                xid=message.xid,
+                flows_imported=report.imported,
+                rejected=dict(report.rejected),
+            )
+        if isinstance(message, StateCheckpointRequest):
+            return StateCheckpointResponse(
+                xid=message.xid,
+                obi_id=self.config.obi_id,
+                state_generation=self.session.state_generation,
+                state=self.session.export_entries(now=self.clock()),
+            )
+        if isinstance(message, StateHandoffRequest):
+            return self._state_handoff(message)
         raise ProtocolError(
             ErrorCode.UNKNOWN_MESSAGE, f"OBI cannot handle {message.TYPE}"
+        )
+
+    def _state_handoff(self, message: StateHandoffRequest) -> Message:
+        """Install a dead peer's checkpoint, fenced by state generation.
+
+        The fence is per source OBI: once generation G has been imported
+        from ``source_obi``, anything older from the same source (a
+        partitioned ghost's stale checkpoint) is rejected; an equal
+        generation is an idempotent retry and accepted.
+        """
+        fence = self._handoff_fence.get(message.source_obi)
+        if fence is not None and message.state_generation < fence:
+            self.stale_handoff_rejections += 1
+            return StateHandoffResponse(
+                xid=message.xid, accepted=False, stale=True
+            )
+        self._handoff_fence[message.source_obi] = message.state_generation
+        report = self.session.import_entries_checked(
+            message.state, now=self.clock()
+        )
+        return StateHandoffResponse(
+            xid=message.xid,
+            accepted=True,
+            flows_imported=report.imported,
+            rejected=dict(report.rejected),
         )
 
     def _set_graph(self, message: SetProcessingGraphRequest) -> Message:
@@ -832,6 +935,14 @@ class OpenBoxInstance:
         gauges.gauge("obi_errors_total").set(self.robustness.errors_total)
         gauges.gauge("obi_headless").set(1.0 if self.is_headless() else 0.0)
         gauges.gauge("obi_headless_entries").set(len(self.headless_buffer))
+        table = self.session.flow_table
+        gauges.gauge("obi_state_entries").set(len(table))
+        gauges.gauge("obi_state_protected").set(table.protected_count)
+        gauges.gauge("obi_state_evictions").set(table.evictions)
+        gauges.gauge("obi_state_drops").set(table.drops)
+        gauges.gauge("obi_state_pressure").set(
+            1.0 if table.under_degradation else 0.0
+        )
         tracer = self.tracer
         if tracer is not None:
             gauges.gauge("trace_packets_seen").set(tracer.seen)
@@ -949,6 +1060,30 @@ class OpenBoxInstance:
             return self.highest_controller_generation
         if handle == "stale_generation_rejections":
             return self.stale_generation_rejections
+        # Resilient flow state (PROTOCOL.md §11).
+        if handle == "fastpath_flow_invalidations":
+            return (
+                self.flow_cache.flow_invalidations
+                if self.flow_cache is not None else 0
+            )
+        if handle == "state_entries":
+            return self.session.flow_count()
+        if handle == "state_protected":
+            return self.session.flow_table.protected_count
+        if handle == "state_evictions":
+            return self.session.flow_table.evictions
+        if handle == "state_eviction_reasons":
+            return dict(self.session.flow_table.eviction_reasons)
+        if handle == "state_drops":
+            return self.session.flow_table.drops
+        if handle == "state_drop_reasons":
+            return dict(self.session.flow_table.drop_reasons)
+        if handle == "state_pressure":
+            return self.session.under_degradation
+        if handle == "state_generation":
+            return self.session.state_generation
+        if handle == "stale_handoff_rejections":
+            return self.stale_handoff_rejections
         raise KeyError(f"{OBI_PSEUDO_BLOCK} has no read handle {handle!r}")
 
     def _write(self, message: WriteRequest) -> Message:

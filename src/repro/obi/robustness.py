@@ -151,7 +151,12 @@ class EngineRobustness:
         #: Degradable elements bypassed while the OBI was degraded.
         self.degraded_bypasses = 0
         #: Overload degradation flag, driven by the admission gate.
-        self.degraded = False
+        self._degraded = False
+        #: Flow-state exhaustion flag, driven by the session storage's
+        #: degradation watermark (see FlowStatePolicy): ORed into
+        #: :attr:`degraded`, so state pressure degrades the OBI through
+        #: the same path as ingress overload.
+        self.state_pressure = False
         #: Bounded digests of packets that made elements fail.
         self.poison: collections.deque[dict[str, Any]] = collections.deque(
             maxlen=max(self.policy.poison_quarantine_size, 1)
@@ -164,6 +169,15 @@ class EngineRobustness:
         #: OBI / translation layer, None when the fast path is off.
         self.flow_cache: Any = None
         self._open_breakers = 0
+
+    @property
+    def degraded(self) -> bool:
+        """Overload degradation OR flow-state exhaustion pressure."""
+        return self._degraded or self.state_pressure
+
+    @degraded.setter
+    def degraded(self, value: bool) -> None:
+        self._degraded = bool(value)
 
     @property
     def fastpath_blocked(self) -> bool:

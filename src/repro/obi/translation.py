@@ -127,6 +127,11 @@ def build_engine(
         storage_service=storage_service,
         robustness=robustness,
     )
+    if flow_cache is not None:
+        # Per-flow state transitions surgically invalidate the cached
+        # decisions that read them (stateful elements tag their reads
+        # via DecisionRecorder.note_flow_state).
+        context.session.bind_flow_cache(flow_cache)
     elements: dict[str, Element] = {}
     for block in graph.blocks.values():
         element_cls = factory.resolve(block.type)

@@ -96,6 +96,17 @@ OBI_READ_HANDLES = (
     "graph_digest",
     "controller_generation",
     "stale_generation_rejections",
+    # Resilient flow state (PROTOCOL.md §11).
+    "fastpath_flow_invalidations",
+    "state_entries",
+    "state_protected",
+    "state_evictions",
+    "state_eviction_reasons",
+    "state_drops",
+    "state_drop_reasons",
+    "state_pressure",
+    "state_generation",
+    "stale_handoff_rejections",
 )
 
 

@@ -412,6 +412,16 @@ class HealthReport(Message):
     headless_entries: int = 0
     #: Canonical digest of the running graph (anti-entropy input).
     graph_digest: str = ""
+    #: Flow-state table accounting (PROTOCOL.md §11): live entries,
+    #: protected (established) entries, evictions and refused inserts
+    #: since startup, whether occupancy crossed the degradation
+    #: watermark, and the state generation (bumped per restore).
+    state_entries: int = 0
+    state_protected: int = 0
+    state_evictions: int = 0
+    state_drops: int = 0
+    state_pressure: bool = False
+    state_generation: int = 0
 
 
 @register_message
@@ -545,6 +555,66 @@ class ImportStateResponse(Message):
     TYPE: ClassVar[str] = "ImportStateResponse"
 
     flows_imported: int = 0
+    #: Entries refused by validation, keyed by reason ("malformed",
+    #: "expired", "capacity"); empty on a complete transfer.
+    rejected: dict[str, int] = field(default_factory=dict)
+
+
+@register_message
+@dataclass
+class StateCheckpointRequest(Message):
+    """OBC → OBI: export session state *with* its generation (§11).
+
+    The checkpoint form of ExportStateRequest: the orchestrator's
+    snapshot stage uses it so a later handoff can be generation-fenced
+    against a ghost OBI's stale state.
+    """
+
+    TYPE: ClassVar[str] = "StateCheckpointRequest"
+
+
+@register_message
+@dataclass
+class StateCheckpointResponse(Message):
+    TYPE: ClassVar[str] = "StateCheckpointResponse"
+
+    obi_id: str = ""
+    #: The exporting table's incarnation (bumped on every restore).
+    state_generation: int = 0
+    #: export_entries() schema, including per-entry "age", "version",
+    #: and "protected".
+    state: list[dict[str, Any]] = field(default_factory=list)
+
+
+@register_message
+@dataclass
+class StateHandoffRequest(Message):
+    """OBC → OBI: install a dead peer's last checkpoint (failover, §11).
+
+    The survivor fences on ``(source_obi, state_generation)``: a
+    handoff older than one it already imported from the same source is
+    rejected as stale — a partitioned ghost OBI's checkpoint can never
+    overwrite the state a newer incarnation handed off.
+    """
+
+    TYPE: ClassVar[str] = "StateHandoffRequest"
+
+    source_obi: str = ""
+    state_generation: int = 0
+    state: list[dict[str, Any]] = field(default_factory=list)
+
+
+@register_message
+@dataclass
+class StateHandoffResponse(Message):
+    TYPE: ClassVar[str] = "StateHandoffResponse"
+
+    accepted: bool = True
+    #: True when the handoff was fenced as stale (generation below the
+    #: highest already imported from the same source OBI).
+    stale: bool = False
+    flows_imported: int = 0
+    rejected: dict[str, int] = field(default_factory=dict)
 
 
 @register_message

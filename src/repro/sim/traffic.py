@@ -178,5 +178,96 @@ class TrafficGenerator:
             packet.timestamp = start + index * interarrival
         return packets
 
+    def syn_flood(
+        self,
+        num_packets: int,
+        dst_ip: str = "192.168.10.80",
+        dst_port: int = 80,
+        start: float = 0.0,
+        rate: float = 100_000.0,
+    ) -> list[Packet]:
+        """A spoofed-source SYN flood (state-exhaustion attack traffic).
+
+        Every packet is a bare SYN from a *unique* spoofed source
+        (random address and port, never repeated within the flood), and
+        no handshake ever completes — exactly the traffic that fills a
+        naive connection table with embryonic entries. A conntrack table
+        under :class:`~repro.obi.flowstate.FlowStatePolicy` must shed
+        these while keeping established flows alive.
+        """
+        rnd = self._random
+        seen: set[tuple[str, int]] = set()
+        packets: list[Packet] = []
+        for index in range(num_packets):
+            while True:
+                src = (
+                    f"{rnd.randrange(1, 224)}.{rnd.randrange(256)}"
+                    f".{rnd.randrange(256)}.{rnd.randrange(1, 255)}",
+                    rnd.randrange(1024, 65535),
+                )
+                if src not in seen:
+                    seen.add(src)
+                    break
+            packets.append(make_tcp_packet(
+                src[0], dst_ip, src[1], dst_port,
+                flags=TcpFlags.SYN,
+                timestamp=start + index / rate,
+            ))
+        return packets
+
+    def established_flows(
+        self,
+        num_flows: int,
+        data_packets: int = 4,
+        start: float = 0.0,
+        rate: float = 10_000.0,
+    ) -> tuple[list[Packet], list[_Flow]]:
+        """Long-lived legitimate connections: full handshakes plus data.
+
+        Each flow opens with SYN / SYN|ACK / ACK and then exchanges
+        ``data_packets`` bidirectional segments. Packets from different
+        flows are round-interleaved (flow 0's SYN, flow 1's SYN, ...,
+        flow 0's SYN|ACK, ...) so the connection table holds every flow
+        concurrently — the population a SYN flood must not evict.
+        Returns the packets and the flow descriptors (for later probes).
+        """
+        rnd = self._random
+        flows = [self._make_flow() for _ in range(num_flows)]
+        # Per-flow packet scripts, then interleave round-robin.
+        scripts: list[list[Packet]] = []
+        for flow in flows:
+            script = [
+                make_tcp_packet(flow.src_ip, flow.dst_ip,
+                                flow.src_port, flow.dst_port,
+                                flags=TcpFlags.SYN),
+                make_tcp_packet(flow.dst_ip, flow.src_ip,
+                                flow.dst_port, flow.src_port,
+                                flags=TcpFlags.SYN | TcpFlags.ACK),
+                make_tcp_packet(flow.src_ip, flow.dst_ip,
+                                flow.src_port, flow.dst_port,
+                                flags=TcpFlags.ACK),
+            ]
+            for turn in range(data_packets):
+                outbound = turn % 2 == 0
+                script.append(make_tcp_packet(
+                    flow.src_ip if outbound else flow.dst_ip,
+                    flow.dst_ip if outbound else flow.src_ip,
+                    flow.src_port if outbound else flow.dst_port,
+                    flow.dst_port if outbound else flow.src_port,
+                    payload=bytes(rnd.randrange(256)
+                                  for _ in range(rnd.choice((0, 512, 1400)))),
+                    flags=TcpFlags.ACK | TcpFlags.PSH,
+                ))
+            scripts.append(script)
+        packets: list[Packet] = []
+        depth = max(len(script) for script in scripts) if scripts else 0
+        for round_index in range(depth):
+            for script in scripts:
+                if round_index < len(script):
+                    packets.append(script[round_index])
+        for index, packet in enumerate(packets):
+            packet.timestamp = start + index / rate
+        return packets, flows
+
     def mean_frame_size(self, packets: list[Packet]) -> float:
         return sum(len(packet) for packet in packets) / len(packets) if packets else 0.0

@@ -42,6 +42,21 @@ def build_firewall_graph(name: str = "fw") -> ProcessingGraph:
     return graph
 
 
+def build_conntrack_graph(name: str = "ct") -> ProcessingGraph:
+    """Stateful firewall: connection tracking -> {out|drop}."""
+    graph = ProcessingGraph(name)
+    read = Block("FromDevice", name=f"{name}_read", config={"devname": "in"})
+    track = Block("Conntrack", name=f"{name}_track", config={}, origin_app=name)
+    out = Block("ToDevice", name=f"{name}_out", config={"devname": "out"})
+    drop = Block("Discard", name=f"{name}_drop")
+    graph.add_blocks([read, track, out, drop])
+    graph.connect(read, track)
+    graph.connect(track, out, 0)
+    graph.connect(track, drop, 1)
+    graph.validate()
+    return graph
+
+
 def build_ips_graph(name: str = "ips") -> ProcessingGraph:
     """The paper's Figure 2(b) IPS: classify -> regex -> {alert|drop|out}."""
     graph = ProcessingGraph(name)

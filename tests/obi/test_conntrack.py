@@ -1,0 +1,199 @@
+"""Conntrack element: the SYN/EST/FIN machine and its fast-path contract.
+
+Runs the element through a real engine (FromDevice -> Conntrack ->
+{out|drop}) so recording, replay, and per-flow invalidation behave as
+they do in production. Survival-under-attack and crash-restore live in
+tests/integration/test_state_failover.py.
+"""
+
+import pytest
+
+from repro.net.builder import make_tcp_packet, make_udp_packet
+from repro.net.tcp import TcpFlags
+from repro.obi.flowstate import FlowStatePolicy
+from repro.obi.storage import SessionStorage
+from repro.obi.translation import build_engine
+from tests.conftest import build_conntrack_graph
+
+CLIENT = "10.0.0.1"
+SERVER = "192.168.0.9"
+
+
+def c2s(flags, sport=4242, payload=b""):
+    return make_tcp_packet(CLIENT, SERVER, sport, 80, flags=flags, payload=payload)
+
+
+def s2c(flags, sport=4242, payload=b""):
+    return make_tcp_packet(SERVER, CLIENT, 80, sport, flags=flags, payload=payload)
+
+
+def handshake(sport=4242):
+    return [
+        c2s(TcpFlags.SYN, sport),
+        s2c(TcpFlags.SYN | TcpFlags.ACK, sport),
+        c2s(TcpFlags.ACK, sport),
+    ]
+
+
+@pytest.fixture
+def world():
+    session = SessionStorage(idle_timeout=60.0)
+    engine = build_engine(
+        build_conntrack_graph(), clock=lambda: 0.0, session=session
+    )
+    return engine, engine.elements["ct_track"], session
+
+
+def forwarded(outcome) -> bool:
+    return bool(outcome.outputs) and not outcome.dropped
+
+
+class TestTcpStateMachine:
+    def test_full_handshake_establishes(self, world):
+        engine, track, session = world
+        for packet in handshake():
+            assert forwarded(engine.process(packet))
+        assert track.read_handle("established") == 1
+        assert track.read_handle("state_counts") == {
+            "none": 1, "syn": 1, "synack": 1
+        }
+        flow = session.flow_table.lookup(
+            next(iter(session.flow_table)).key
+        )
+        assert flow.session["ct_state"] == "established" and flow.protected
+
+    def test_stray_midstream_packet_is_invalid(self, world):
+        engine, track, _ = world
+        outcome = engine.process(c2s(TcpFlags.ACK | TcpFlags.PSH))
+        assert outcome.dropped
+        assert track.read_handle("invalid_dropped") == 1
+
+    def test_wrong_direction_ack_does_not_establish(self, world):
+        engine, track, session = world
+        engine.process(c2s(TcpFlags.SYN))
+        engine.process(s2c(TcpFlags.SYN | TcpFlags.ACK))
+        # The *server* acks — only the initiator's ACK establishes.
+        assert engine.process(s2c(TcpFlags.ACK)).dropped
+        assert track.read_handle("established") == 0
+
+    def test_retransmissions_pass_without_transition(self, world):
+        engine, track, _ = world
+        engine.process(c2s(TcpFlags.SYN))
+        before = track.read_handle("transitions")
+        assert forwarded(engine.process(c2s(TcpFlags.SYN)))
+        engine.process(s2c(TcpFlags.SYN | TcpFlags.ACK))
+        mid = track.read_handle("transitions")
+        assert forwarded(engine.process(s2c(TcpFlags.SYN | TcpFlags.ACK)))
+        assert track.read_handle("transitions") == mid == before + 1
+
+    def test_fin_teardown_then_late_packet_invalid(self, world):
+        engine, track, _ = world
+        for packet in handshake():
+            engine.process(packet)
+        assert forwarded(engine.process(c2s(TcpFlags.FIN | TcpFlags.ACK)))
+        assert forwarded(engine.process(s2c(TcpFlags.FIN | TcpFlags.ACK)))
+        # Connection is closed: late data is invalid.
+        assert engine.process(c2s(TcpFlags.ACK | TcpFlags.PSH)).dropped
+
+    def test_rst_closes_and_unprotects(self, world):
+        engine, _, session = world
+        for packet in handshake():
+            engine.process(packet)
+        assert session.flow_table.protected_count == 1
+        engine.process(c2s(TcpFlags.RST))
+        assert session.flow_table.protected_count == 0
+
+    def test_drop_invalid_false_passes_invalid_packets(self):
+        graph = build_conntrack_graph()
+        graph.blocks["ct_track"].config["drop_invalid"] = False
+        engine = build_engine(graph, clock=lambda: 0.0)
+        outcome = engine.process(c2s(TcpFlags.ACK | TcpFlags.PSH))
+        assert forwarded(outcome)
+        assert engine.elements["ct_track"].read_handle("invalid_dropped") == 0
+
+
+class TestConnectionless:
+    def test_udp_establishes_on_reply(self, world):
+        engine, track, _ = world
+        query = make_udp_packet(CLIENT, SERVER, 5353, 53)
+        reply = make_udp_packet(SERVER, CLIENT, 53, 5353)
+        assert forwarded(engine.process(query))
+        assert forwarded(engine.process(reply))
+        assert track.read_handle("established") == 1
+        # Steady-state UDP is cacheable.
+        assert forwarded(engine.process(query))
+        assert forwarded(engine.process(query))
+        assert engine.flow_cache.hits >= 1
+
+
+class TestFastPathContract:
+    def test_only_established_steady_state_caches(self, world):
+        engine, _, _ = world
+        for packet in handshake():
+            engine.process(packet)
+        assert engine.flow_cache.entries == 0  # transitions abandon
+        engine.process(c2s(TcpFlags.ACK | TcpFlags.PSH, payload=b"hi"))
+        assert engine.flow_cache.entries == 1
+        engine.process(c2s(TcpFlags.ACK | TcpFlags.PSH, payload=b"yo"))
+        assert engine.flow_cache.hits == 1
+
+    def test_replay_still_detects_teardown(self, world):
+        engine, track, session = world
+        for packet in handshake():
+            engine.process(packet)
+        engine.process(c2s(TcpFlags.ACK | TcpFlags.PSH))  # installs entry
+        # FIN arrives as a fast-path replay: it must still transition,
+        # and the transition must invalidate the cached entry.
+        assert forwarded(engine.process(c2s(TcpFlags.FIN | TcpFlags.ACK)))
+        assert engine.flow_cache.hits == 1
+        flow = next(iter(session.flow_table))
+        assert flow.session["ct_state"] == "fin_wait"
+        assert engine.flow_cache.entries == 0
+        assert engine.flow_cache.flow_invalidations >= 1
+
+    def test_exhaustion_refusal_is_never_cached(self):
+        session = SessionStorage(
+            idle_timeout=60.0,
+            policy=FlowStatePolicy(
+                max_entries=1, prefix_share=0.0, pressure_watermark=1.0,
+                degradation_watermark=1.0,
+            ),
+        )
+        engine = build_engine(
+            build_conntrack_graph(), clock=lambda: 0.0, session=session
+        )
+        track = engine.elements["ct_track"]
+        for packet in handshake(sport=1):
+            engine.process(packet)
+        # Table is one protected entry; a second connection is refused.
+        # The occupancy-dependent drop is poisoned: at most an
+        # *uncacheable* marker may exist, never a replayable verdict —
+        # a retry always takes the slow path and re-asks the table.
+        assert engine.process(c2s(TcpFlags.SYN, sport=2)).dropped
+        assert track.read_handle("state_drops") == 1
+        assert engine.process(c2s(TcpFlags.SYN, sport=2)).dropped
+        assert track.read_handle("state_drops") == 2
+        assert engine.flow_cache.hits == 0
+
+
+class TestHandles:
+    def test_flush_drops_tracked_flows_without_cache_wipe(self, world):
+        engine, _, session = world
+        for packet in handshake():
+            engine.process(packet)
+        engine.process(c2s(TcpFlags.ACK | TcpFlags.PSH))  # cache entry
+        invalidations_before = engine.flow_cache.invalidations
+        engine.write_handle("ct_track", "flush", True)
+        assert len(session.flow_table) == 0
+        # flush is routing-neutral: per-flow hooks cleaned the cache,
+        # no whole-cache invalidation happened.
+        assert engine.flow_cache.invalidations == invalidations_before
+        assert engine.flow_cache.entries == 0
+
+    def test_reset_counts_clears_tallies(self, world):
+        engine, track, _ = world
+        for packet in handshake():
+            engine.process(packet)
+        engine.write_handle("ct_track", "reset_counts", True)
+        assert track.read_handle("state_counts") == {}
+        assert track.read_handle("transitions") == 0

@@ -301,3 +301,88 @@ class TestInjectBatch:
         assert batched._alert_batcher.coalesced_total == 2
         # Per-packet outcomes are unchanged by the batching.
         assert all(len(outcome.alerts) == 1 for outcome in outcomes)
+
+
+class TestPerFlowInvalidation:
+    """Surgical invalidation: one flow's transition, one flow's entries."""
+
+    def _decision(self, refs):
+        recorder = DecisionRecorder(("k",))
+        recorder.record("hc", 0)
+        for ref, version in refs:
+            recorder.note_flow_state(ref, version)
+        return recorder.finish()
+
+    def test_invalidate_flow_drops_only_that_flows_entries(self):
+        cache = FlowDecisionCache()
+        cache.install(("a",), self._decision([("flow-a", 1)]))
+        cache.install(("b",), self._decision([("flow-b", 1)]))
+        assert cache.invalidate_flow("flow-a", "ct:est") == 1
+        assert cache.entries == 1
+        assert cache.lookup(("b",)) is not None
+        assert cache.flow_invalidations == 1
+        assert cache.invalidations == 0  # no whole-cache flush
+        assert cache.flush_log[-1] == ("flow:ct:est", 1)
+
+    def test_unknown_ref_is_free_noop(self):
+        cache = FlowDecisionCache()
+        cache.install(("a",), self._decision([("flow-a", 1)]))
+        log_before = list(cache.flush_log)
+        assert cache.invalidate_flow("never-seen") == 0
+        assert cache.flow_invalidations == 0
+        assert list(cache.flush_log) == log_before
+
+    def test_multi_ref_entry_cleans_cross_references(self):
+        cache = FlowDecisionCache()
+        cache.install(("ab",), self._decision([("flow-a", 1), ("flow-b", 2)]))
+        assert cache.invalidate_flow("flow-a") == 1
+        # The other ref's index entry must not point at the dead key.
+        assert cache.invalidate_flow("flow-b") == 0
+
+    def test_eviction_and_reinstall_unindex(self):
+        cache = FlowDecisionCache(max_entries=1)
+        cache.install(("a",), self._decision([("flow-a", 1)]))
+        cache.install(("b",), self._decision([("flow-b", 1)]))  # evicts a
+        assert cache.invalidate_flow("flow-a") == 0
+        cache.install(("b",), self._decision([("flow-c", 1)]))  # replaces
+        assert cache.invalidate_flow("flow-b") == 0
+        assert cache.invalidate_flow("flow-c") == 1
+
+    def test_invalidate_all_clears_flow_index(self):
+        cache = FlowDecisionCache()
+        cache.install(("a",), self._decision([("flow-a", 1)]))
+        cache.invalidate_all("swap")
+        assert cache.invalidate_flow("flow-a") == 0
+
+    def test_abandoned_recorder_installs_nothing(self):
+        recorder = DecisionRecorder(("k",))
+        recorder.record("hc", 0)
+        recorder.abandon()
+        assert recorder.abandoned
+        # finish() still works, but engines must skip install entirely —
+        # covered end-to-end in test_conntrack; here we pin the flag.
+
+    def test_stats_include_flow_invalidations(self):
+        cache = FlowDecisionCache()
+        assert "flow_invalidations" in cache.stats()
+
+
+class TestRoutingNeutralHandles:
+    def test_reset_counts_does_not_flush(self):
+        engine = build_engine(build_firewall_graph(), clock=lambda: 0.0)
+        packet = fw_packet()
+        engine.process(packet)
+        engine.process(packet)
+        assert engine.flow_cache.entries == 1
+        engine.write_handle("fw_hc", "reset_counts", True)
+        assert engine.flow_cache.entries == 1
+        assert engine.flow_cache.invalidations == 0
+
+    def test_routing_handles_still_flush(self):
+        engine = build_engine(build_firewall_graph(), clock=lambda: 0.0)
+        engine.process(fw_packet())
+        engine.write_handle("fw_hc", "rules", {
+            "rules": [{"src_ip": "10.0.0.0/8", "dst_port": [23, 23], "port": 0}],
+            "default_port": 2,
+        })
+        assert engine.flow_cache.invalidations == 1

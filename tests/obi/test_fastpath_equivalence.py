@@ -177,3 +177,78 @@ class TestFastPathEquivalence:
         _assert_equivalent(fast, slow, [b"\x00" * 14] * 3)
         assert fast.flow_cache.bypassed == 3
         assert len(fast.flow_cache) == 0
+
+
+# ----------------------------------------------------------------------
+# Stateful (conntrack) equivalence: cached decisions must stay
+# byte-identical to the slow path across state transitions.
+# ----------------------------------------------------------------------
+from repro.net.tcp import TcpFlags  # noqa: E402
+
+from tests.conftest import build_conntrack_graph  # noqa: E402
+
+
+def _ct(src, dst, sport, dport, flags, payload=b""):
+    return make_tcp_packet(src, dst, sport, dport,
+                           flags=flags, payload=payload).data
+
+
+def _ct_flow_frames(sport: int) -> list[bytes]:
+    c, s = "10.0.0.1", "192.168.0.9"
+    return [
+        _ct(c, s, sport, 80, TcpFlags.SYN),
+        _ct(s, c, 80, sport, TcpFlags.SYN | TcpFlags.ACK),
+        _ct(c, s, sport, 80, TcpFlags.ACK),
+        _ct(c, s, sport, 80, TcpFlags.ACK | TcpFlags.PSH, b"data-up"),
+        _ct(s, c, 80, sport, TcpFlags.ACK | TcpFlags.PSH, b"data-down"),
+        _ct(c, s, sport, 80, TcpFlags.FIN | TcpFlags.ACK),
+        _ct(s, c, 80, sport, TcpFlags.FIN | TcpFlags.ACK),
+        _ct(c, s, sport, 80, TcpFlags.RST),
+    ]
+
+
+#: Three interleavable connections plus UDP and stray/invalid frames:
+#: random subsequences exercise every state-machine edge, including
+#: packets that arrive "too early" or after teardown.
+_CT_POOL: list[bytes] = (
+    _ct_flow_frames(4001) + _ct_flow_frames(4002) + _ct_flow_frames(4003)
+    + [
+        make_udp_packet("10.0.0.1", "192.168.0.9", 5353, 53).data,
+        make_udp_packet("192.168.0.9", "10.0.0.1", 53, 5353).data,
+        _ct("10.9.9.9", "192.168.0.9", 777, 80, TcpFlags.ACK | TcpFlags.PSH),
+        _ct("10.0.0.1", "192.168.0.9", 4001, 80, TcpFlags.SYN | TcpFlags.FIN),
+    ]
+)
+
+
+class TestConntrackEquivalence:
+    """The stateful-firewall fast path is behaviour-preserving.
+
+    The oracle engine runs the same Conntrack graph with the cache
+    disabled on its own private state table; any divergence — a stale
+    verdict replayed after a FIN, a missed transition on the fast path,
+    a count that drifted — fails the property.
+    """
+
+    @given(st.lists(st.sampled_from(_CT_POOL), min_size=1, max_size=80))
+    @settings(max_examples=120, deadline=None)
+    def test_stateful_traffic_equivalence(self, frames):
+        fast, slow = _engine_pair(build_conntrack_graph())
+        _assert_equivalent(fast, slow, frames)
+        tracked, oracle = fast.elements["ct_track"], slow.elements["ct_track"]
+        assert tracked.state_counts == oracle.state_counts
+        assert tracked.transitions == oracle.transitions
+        assert tracked.invalid_dropped == oracle.invalid_dropped
+        assert tracked.state_drops == oracle.state_drops
+
+    def test_transition_invalidates_before_any_replay(self):
+        """A FIN after a cached steady-state verdict must not replay the
+        old PASS on the closing sequence's successors."""
+        fast, slow = _engine_pair(build_conntrack_graph())
+        frames = _ct_flow_frames(5001)
+        # establish + one data packet (installs the cached verdict),
+        # replay once, then tear down and send late data.
+        sequence = frames[:4] + [frames[3], frames[5], frames[6], frames[3]]
+        _assert_equivalent(fast, slow, sequence)
+        assert fast.flow_cache.hits >= 1
+        assert fast.flow_cache.flow_invalidations >= 1

@@ -1,0 +1,291 @@
+"""FlowStateTable mechanics: exhaustion defense, versioning, checkpoints.
+
+The end-to-end survival properties (SYN flood, SIGKILL restore, ghost
+fencing) live in tests/integration/test_state_failover.py; this file
+pins the table's unit behaviour — admission order, budget accounting,
+protection guarantees, journal round-trips, torn-tail recovery.
+"""
+
+import json
+
+import pytest
+
+from repro.net.builder import make_tcp_packet
+from repro.net.flow import FiveTuple, Flow
+from repro.net.ip import ip_to_int
+from repro.obi.flowstate import (
+    FlowStateCheckpointer,
+    FlowStatePolicy,
+    FlowStateTable,
+    load_checkpoint,
+)
+
+
+def packet(src="10.0.0.1", dst="192.168.0.9", sport=1000, dport=80):
+    return make_tcp_packet(src, dst, sport, dport)
+
+
+def small_table(max_entries=4, **kwargs) -> FlowStateTable:
+    defaults = dict(
+        max_entries=max_entries, prefix_share=0.0,
+        pressure_watermark=0.5, degradation_watermark=0.75,
+        early_ttl=5.0,
+    )
+    defaults.update(kwargs)
+    return FlowStateTable(idle_timeout=60.0, policy=FlowStatePolicy(**defaults))
+
+
+class TestPolicyValidation:
+    def test_rejects_zero_cap(self):
+        with pytest.raises(ValueError):
+            FlowStatePolicy(max_entries=0)
+
+    def test_rejects_bad_prefix_bits(self):
+        with pytest.raises(ValueError):
+            FlowStatePolicy(prefix_bits=33)
+
+
+class TestExhaustionDefense:
+    def test_hard_cap_is_never_exceeded(self):
+        table = small_table(max_entries=3)
+        for sport in range(1000, 1010):
+            table.observe(packet(sport=sport), now=0.0)
+        assert len(table) == 3
+
+    def test_lru_evicts_least_recently_touched(self):
+        table = small_table(max_entries=2)
+        table.observe(packet(sport=1), now=0.0)
+        table.observe(packet(sport=2), now=1.0)
+        table.observe(packet(sport=1), now=2.0)  # refresh flow 1
+        table.observe(packet(sport=3), now=3.0)  # evicts flow 2
+        keys = {flow.key.src_port for flow in table}
+        assert keys == {1, 3}
+        assert table.eviction_reasons == {"lru": 1}
+
+    def test_protected_entries_are_never_evicted(self):
+        table = small_table(max_entries=2)
+        kept = table.observe(packet(sport=1), now=0.0)
+        table.note_state_change(kept, "est", protected=True)
+        table.observe(packet(sport=2), now=1.0)
+        table.observe(packet(sport=3), now=2.0)  # evicts flow 2, not 1
+        assert table.lookup(kept.key) is kept
+        # Fill with protected entries only: the newcomer is refused.
+        other = next(iter([f for f in table if f is not kept]))
+        table.note_state_change(other, "est", protected=True)
+        refused = table.observe(packet(sport=4), now=3.0)
+        assert refused is None
+        assert table.drop_reasons == {"table-full": 1}
+        assert len(table) == 2
+
+    def test_early_ttl_reclaims_idle_entries_under_pressure(self):
+        table = small_table(max_entries=4, pressure_watermark=0.5)
+        table.observe(packet(sport=1), now=0.0)
+        table.observe(packet(sport=2), now=0.0)
+        # Occupancy 0.5 >= watermark: the next insertion sweeps entries
+        # idle past early_ttl (5s) even though idle_timeout (60s) is far.
+        table.observe(packet(sport=3), now=10.0)
+        assert table.eviction_reasons.get("early-ttl") == 2
+        assert {flow.key.src_port for flow in table} == {3}
+
+    def test_prefix_budget_reclaims_from_offender_only(self):
+        # /8 budget = 50% of 4 entries = 2 per prefix.
+        table = small_table(
+            max_entries=4, prefix_bits=8, prefix_share=0.5,
+            pressure_watermark=1.0,
+        )
+        table.observe(packet(src="10.0.0.1", sport=1), now=0.0)
+        innocent = table.observe(packet(src="44.0.0.1", sport=2), now=0.0)
+        table.observe(packet(src="10.0.0.2", sport=3), now=1.0)
+        # Third 10/8 flow: the 10/8 aggregate is at budget; its own
+        # oldest entry is reclaimed, the 44/8 bystander untouched.
+        table.observe(packet(src="10.0.0.3", sport=4), now=2.0)
+        assert table.lookup(innocent.key) is innocent
+        assert table.eviction_reasons == {"prefix-budget": 1}
+        srcs = {flow.key.src_ip for flow in table}
+        assert ip_to_int("10.0.0.1") not in srcs
+
+    def test_prefix_budget_refuses_when_offender_all_protected(self):
+        table = small_table(
+            max_entries=8, prefix_bits=8, prefix_share=0.25,
+            pressure_watermark=1.0,
+        )
+        flow = table.observe(packet(src="10.0.0.1", sport=1), now=0.0)
+        table.note_state_change(flow, "est", protected=True)
+        flow = table.observe(packet(src="10.0.0.2", sport=2), now=0.0)
+        table.note_state_change(flow, "est", protected=True)
+        assert table.observe(packet(src="10.0.0.3", sport=3), now=1.0) is None
+        assert table.drop_reasons == {"prefix-budget": 1}
+
+    def test_pressure_flags_track_occupancy(self):
+        table = small_table(
+            max_entries=4, pressure_watermark=0.5, degradation_watermark=0.75
+        )
+        assert not table.under_pressure
+        table.observe(packet(sport=1), now=0.0)
+        table.observe(packet(sport=2), now=0.0)
+        assert table.under_pressure and not table.under_degradation
+        table.observe(packet(sport=3), now=0.0)
+        assert table.under_degradation
+
+
+class TestVersioningAndHooks:
+    def test_state_change_bumps_version_and_fires_hook(self):
+        table = small_table()
+        events = []
+        table.on_state_change = lambda key, reason: events.append((key, reason))
+        flow = table.observe(packet(), now=0.0)
+        assert flow.version == 0
+        assert table.note_state_change(flow, "ct:none->syn") == 1
+        assert table.note_state_change(flow, "est", protected=True) == 2
+        assert [reason for _, reason in events] == ["ct:none->syn", "est"]
+        assert events[0][0] == flow.key
+
+    def test_removal_fires_gone_hook(self):
+        table = small_table()
+        events = []
+        table.on_state_change = lambda key, reason: events.append(reason)
+        flow = table.observe(packet(), now=0.0)
+        table.remove(flow.key)
+        assert events == ["gone:removed"]
+        assert table.eviction_reasons == {}  # explicit removal ≠ eviction
+
+    def test_protection_toggles_are_idempotent_in_counts(self):
+        table = small_table()
+        flow = table.observe(packet(), now=0.0)
+        table.note_state_change(flow, "est", protected=True)
+        table.note_state_change(flow, "still-est", protected=True)
+        assert table.protected_count == 1
+        table.note_state_change(flow, "closed", protected=False)
+        assert table.protected_count == 0
+
+
+class TestCheckpoints:
+    def make_table(self, tmp_path, **kwargs):
+        table = small_table(**kwargs)
+        table.checkpoint = FlowStateCheckpointer(
+            tmp_path / "flows.journal", fsync_every=1, snapshot_every=1000
+        )
+        return table
+
+    def durable_flow(self, table, sport=1):
+        flow = table.observe(packet(sport=sport), now=0.0)
+        flow.session["ct_state"] = "established"
+        table.note_state_change(flow, "est", protected=True, durable=True)
+        return flow
+
+    def test_durable_changes_round_trip(self, tmp_path):
+        table = self.make_table(tmp_path)
+        flow = self.durable_flow(table)
+        table.checkpoint.flush()
+        result = load_checkpoint(tmp_path / "flows.journal")
+        assert not result.truncated
+        assert len(result.entries) == 1
+        entry = result.entries[0]
+        assert entry["session"] == {"ct_state": "established"}
+        assert entry["protected"] is True
+        assert FiveTuple.from_dict(entry["key"]) == flow.key
+
+    def test_embryonic_entries_never_touch_the_journal(self, tmp_path):
+        table = self.make_table(tmp_path)
+        flow = table.observe(packet(sport=1), now=0.0)
+        table.note_state_change(flow, "ct:none->syn")  # not durable
+        table.remove(flow.key)
+        table.checkpoint.flush()
+        result = load_checkpoint(tmp_path / "flows.journal")
+        assert result.entries == [] and result.records == 0
+
+    def test_flow_gone_deletes_on_replay(self, tmp_path):
+        table = self.make_table(tmp_path)
+        flow = self.durable_flow(table)
+        table.remove(flow.key)
+        table.checkpoint.flush()
+        result = load_checkpoint(tmp_path / "flows.journal")
+        assert result.entries == []
+
+    def test_restore_after_torn_tail(self, tmp_path):
+        path = tmp_path / "flows.journal"
+        table = self.make_table(tmp_path)
+        self.durable_flow(table, sport=1)
+        self.durable_flow(table, sport=2)
+        table.checkpoint.flush()
+        # SIGKILL mid-write: the last line is half a record.
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write('{"rec": "flow", "entry": {"key": {"src_i')
+        result = load_checkpoint(path)
+        assert result.truncated
+        assert {e["key"]["src_port"] for e in result.entries} == {1, 2}
+
+    def test_restore_bumps_generation_and_compacts(self, tmp_path):
+        path = tmp_path / "flows.journal"
+        table = self.make_table(tmp_path)
+        self.durable_flow(table)
+        table.checkpoint.flush()
+        table.checkpoint.close()
+
+        result = load_checkpoint(path)
+        fresh = small_table()
+        fresh.checkpoint = FlowStateCheckpointer(path, fsync_every=1)
+        assert fresh.restore(result, now=100.0) == 1
+        assert fresh.state_generation == result.generation + 1
+        restored = next(iter(fresh))
+        assert restored.session["ct_state"] == "established"
+        assert restored.protected and restored.last_seen == 100.0
+        # The journal was compacted to one snapshot carrying the new
+        # generation: a second crash replays O(state), not O(history).
+        again = load_checkpoint(path)
+        assert again.generation == fresh.state_generation
+        assert len(again.entries) == 1
+
+    def test_snapshot_compaction_bounds_journal_growth(self, tmp_path):
+        path = tmp_path / "flows.journal"
+        table = self.make_table(tmp_path)
+        table.checkpoint.journal.compact_every = 8
+        for sport in range(1, 4):
+            self.durable_flow(table, sport=sport)
+        for _ in range(20):  # re-write the same flows repeatedly
+            for flow in list(table):
+                table.note_state_change(flow, "rewrite", durable=True)
+        table.checkpoint.flush()
+        with open(path, encoding="utf-8") as handle:
+            lines = [line for line in handle if line.strip()]
+        assert len(lines) <= 10  # snapshot + a short tail, not ~60 deltas
+        result = load_checkpoint(path)
+        assert len(result.entries) == 3
+
+    def test_unknown_record_kinds_are_skipped(self, tmp_path):
+        path = tmp_path / "flows.journal"
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(json.dumps({"rec": "from-the-future", "x": 1}) + "\n")
+            handle.write(json.dumps({
+                "rec": "state_generation", "generation": 7
+            }) + "\n")
+        result = load_checkpoint(path)
+        assert not result.truncated and result.generation == 7
+
+    def test_missing_journal_is_empty_restore(self, tmp_path):
+        result = load_checkpoint(tmp_path / "nope.journal")
+        assert result.entries == [] and result.generation == 0
+
+
+class TestInstall:
+    def test_install_replaces_in_place(self):
+        table = small_table(max_entries=2)
+        flow = table.observe(packet(sport=1), now=0.0)
+        replacement = Flow(key=flow.key, created_at=5.0, last_seen=5.0)
+        assert table.install(replacement)
+        assert len(table) == 1
+        assert table.lookup(flow.key) is replacement
+
+    def test_install_respects_admission(self):
+        table = small_table(max_entries=1)
+        flow = table.observe(packet(sport=1), now=0.0)
+        table.note_state_change(flow, "est", protected=True)
+        newcomer = Flow(
+            key=FiveTuple(
+                src_ip=ip_to_int("9.9.9.9"), dst_ip=ip_to_int("8.8.8.8"),
+                src_port=1, dst_port=2, proto=6,
+            ),
+            created_at=1.0, last_seen=1.0,
+        )
+        assert not table.install(newcomer)
+        assert table.drop_reasons == {"table-full": 1}

@@ -61,3 +61,99 @@ class TestSessionStorage:
         storage.observe(_pkt(sport=1), now=0.0)
         storage.observe(_pkt(sport=2), now=0.0)
         assert storage.flow_count() == 2
+
+
+class TestImportValidation:
+    """Checked imports: every entry is validated, rejections counted."""
+
+    def seeded(self, *, idle_timeout=60.0) -> SessionStorage:
+        storage = SessionStorage(idle_timeout=idle_timeout)
+        storage.put(_pkt(sport=1), "verdict", "ok", now=0.0)
+        storage.put(_pkt(sport=2), "verdict", "bad", now=0.0)
+        return storage
+
+    def test_round_trip_preserves_entries(self):
+        source = self.seeded()
+        target = SessionStorage()
+        report = target.import_entries_checked(
+            source.export_entries(), now=50.0
+        )
+        assert report.imported == 2 and report.rejected == {}
+        assert target.get(_pkt(sport=1), "verdict") == "ok"
+        assert target.get(_pkt(sport=2), "verdict") == "bad"
+
+    def test_duplicate_import_is_idempotent_merge(self):
+        source = self.seeded()
+        target = SessionStorage()
+        entries = source.export_entries()
+        target.import_entries_checked(entries, now=0.0)
+        report = target.import_entries_checked(entries, now=1.0)
+        assert report.imported == 2 and report.duplicates == 2
+        assert target.flow_count() == 2
+        assert target.get(_pkt(sport=1), "verdict") == "ok"
+
+    def test_duplicate_merge_keeps_local_keys_and_max_version(self):
+        source = self.seeded()
+        target = SessionStorage()
+        target.put(_pkt(sport=1), "local", "keep", now=0.0)
+        flow = next(iter(target.flow_table))
+        flow.version = 99
+        report = target.import_entries_checked(
+            source.export_entries(), now=1.0
+        )
+        assert report.duplicates == 1
+        assert target.get(_pkt(sport=1), "local") == "keep"
+        assert target.get(_pkt(sport=1), "verdict") == "ok"
+        merged = target.flow_table.lookup(flow.key)
+        assert merged.version == 99  # max(local, imported)
+
+    def test_expired_entries_rejected_by_age(self):
+        source = self.seeded()
+        # Age one flow far past the target's idle timeout, keep the
+        # other fresh, and export with age stamping.
+        stale = next(
+            f for f in source.flow_table if f.key.src_port in (1, 80)
+        )
+        entries = source.export_entries(now=1000.0)
+        for entry in entries:
+            assert "age" in entry
+        aged = [dict(entry) for entry in entries]
+        aged[0]["age"] = 120.0  # beyond idle_timeout
+        target = SessionStorage(idle_timeout=60.0)
+        report = target.import_entries_checked(aged, now=0.0)
+        assert report.imported == 1
+        assert report.rejected == {"expired": 1}
+
+    def test_malformed_entries_rejected(self):
+        target = SessionStorage()
+        good = self.seeded().export_entries()[0]
+        report = target.import_entries_checked(
+            [
+                "not-a-dict",
+                {"session": {}},                      # missing key
+                {"key": {"src_ip": 1}, "session": {}},  # incomplete key
+                {"key": good["key"], "session": "nope"},  # bad session
+                good,
+            ],
+            now=0.0,
+        )
+        assert report.imported == 1
+        assert report.rejected == {"malformed": 4}
+        assert report.rejected_total == 4
+
+    def test_capacity_rejection_counted(self):
+        from repro.obi.flowstate import FlowStatePolicy
+
+        source = self.seeded()
+        target = SessionStorage(policy=FlowStatePolicy(
+            max_entries=1, prefix_share=0.0,
+            pressure_watermark=1.0, degradation_watermark=1.0,
+        ))
+        blocker = target.flow_table.observe(_pkt(sport=99), now=0.0)
+        target.flow_table.note_state_change(blocker, "est", protected=True)
+        report = target.import_entries_checked(
+            source.export_entries(), now=0.0
+        )
+        assert report.imported == 0
+        assert report.rejected == {"capacity": 2}
+        assert target.last_import is report

@@ -42,6 +42,10 @@ from repro.protocol.messages import (
     SetExternalServices,
     SetProcessingGraphRequest,
     SetProcessingGraphResponse,
+    StateCheckpointRequest,
+    StateCheckpointResponse,
+    StateHandoffRequest,
+    StateHandoffResponse,
     WriteRequest,
     WriteResponse,
     message_class,
@@ -89,7 +93,20 @@ ALL_MESSAGES = [
                                         "dst_port": 4, "proto": 6},
                                 "session": {"tag": "x"}}]),
     ImportStateRequest(state=[]),
-    ImportStateResponse(flows_imported=3),
+    ImportStateResponse(flows_imported=3, rejected={"expired": 1}),
+    StateCheckpointRequest(),
+    StateCheckpointResponse(
+        obi_id="o1", state_generation=4,
+        state=[{"key": {"src_ip": 1, "dst_ip": 2, "src_port": 3,
+                        "dst_port": 4, "proto": 6},
+                "session": {"ct_state": "established"}}]),
+    StateHandoffRequest(source_obi="o2", state_generation=4,
+                        state=[{"key": {"src_ip": 1, "dst_ip": 2,
+                                        "src_port": 3, "dst_port": 4,
+                                        "proto": 6},
+                                "session": {"ct_state": "established"}}]),
+    StateHandoffResponse(accepted=True, stale=False, flows_imported=1,
+                         rejected={}),
     ObservabilitySnapshotRequest(include_traces=True, max_traces=8),
     ObservabilitySnapshotResponse(
         obi_id="o1", graph_version=3,
