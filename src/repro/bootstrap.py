@@ -20,7 +20,7 @@ from repro.protocol.messages import Hello, Message
 from repro.transport.base import Channel
 from repro.transport.inproc import InProcPair
 from repro.transport.rest import RestEndpoint, RestPeerChannel
-from repro.transport.retry import ResilientChannel, RetryPolicy
+from repro.transport.retry import ResilientChannel, RetryPolicy, derive_seed
 
 
 def connect_inproc(
@@ -67,7 +67,16 @@ def serve_controller_rest(
         if isinstance(message, Hello) and message.callback_url:
             downstream: Channel = RestPeerChannel(message.callback_url)
             if retry is not None:
-                downstream = ResilientChannel(downstream, retry)
+                # Seed jitter by who we dial and under which epoch —
+                # never by construction order, which two controllers
+                # replaying the same journal would share (their
+                # "jittered" retries would land in lockstep).
+                downstream = ResilientChannel(
+                    downstream, retry,
+                    seed=derive_seed(
+                        message.callback_url, controller.generation
+                    ),
+                )
             controller.connect_obi(message.obi_id, downstream)
         return response
 
@@ -95,7 +104,10 @@ def connect_obi_rest(
     endpoint.start()
     upstream: Channel = RestPeerChannel(controller_url)
     if retry is not None:
-        upstream = ResilientChannel(upstream, retry)
+        upstream = ResilientChannel(
+            upstream, retry,
+            seed=derive_seed(controller_url, instance.config.obi_id),
+        )
     instance.set_upstream(upstream)
     instance.reconnect(callback_url=endpoint.url)
     return endpoint, upstream
@@ -126,6 +138,44 @@ def reconnect_inproc(
         downstream = wrap_downstream(downstream)
     controller.connect_obi(instance.config.obi_id, downstream)
     return pair
+
+
+def rehome_inproc(
+    instance: OpenBoxInstance,
+    candidates: list[tuple[str, OpenBoxController | None]],
+) -> tuple[str, InProcPair] | None:
+    """Re-home an OBI across controllers over fresh in-process pairs.
+
+    Models the failover dial sequence (PROTOCOL.md §12): each candidate
+    endpoint gets its own channel pair — a different controller lives
+    at a different address — and the OBI walks them in order with
+    :meth:`OpenBoxInstance.rehome`, skipping dead addresses (a ``None``
+    controller: the pair is closed, so dialing it raises like a refused
+    connection) and deposed leaders (stale HelloResponse generation).
+    The winner's downstream channel is bound exactly like a reconnect.
+
+    Returns ``(endpoint, pair)`` for the adopted controller, or None.
+    """
+    pairs: dict[str, tuple[InProcPair, OpenBoxController | None]] = {}
+    dial_list = []
+    for endpoint, controller in candidates:
+        pair = InProcPair(
+            left_name=f"obc:{endpoint}",
+            right_name=f"obi:{instance.config.obi_id}",
+        )
+        if controller is None:
+            pair.close()
+        else:
+            pair.left.set_handler(controller.handle_message)
+        pairs[endpoint] = (pair, controller)
+        dial_list.append((endpoint, pair.right))
+    winner = instance.rehome(dial_list)
+    if winner is None:
+        return None
+    pair, controller = pairs[winner]
+    assert controller is not None
+    controller.connect_obi(instance.config.obi_id, pair.left)
+    return winner, pair
 
 
 def reconnect_obi_rest(instance: OpenBoxInstance, endpoint: RestEndpoint) -> Message:

@@ -12,17 +12,28 @@ The OBC (paper §3.3) is the logically-centralized control plane:
 * the steering module maps service chains onto the forwarding plane
   (:mod:`.steering`), placement chooses which OBIs host which NFs
   (:mod:`.placement`), and :mod:`.split` divides a graph between a
-  hardware-classifier OBI and a software OBI (paper Figures 5-6).
+  hardware-classifier OBI and a software OBI (paper Figures 5-6);
+* high availability (PROTOCOL.md §12): lease-based leadership with
+  epoch fencing (:mod:`.lease`) and journal streaming to hot standbys
+  with lease-epoch-fenced takeover (:mod:`.replication`).
 """
 
 from repro.controller.aggregator import GraphAggregator
 from repro.controller.apps import AppStatement, OpenBoxApplication
-from repro.controller.journal import JournalState, StateJournal
+from repro.controller.journal import JournalCursor, JournalState, StateJournal
+from repro.controller.lease import (
+    InProcLeaseStore,
+    Lease,
+    LeaseManager,
+    LeaseStore,
+    LeaseUnavailable,
+)
 from repro.controller.migration import StateMigrator
 from repro.controller.obc import ObiHandle, OpenBoxController
 from repro.controller.optimizer import optimize_graph
 from repro.controller.orchestrator import OrchestrationLoop
 from repro.controller.reconcile import AntiEntropyLoop, ReconcileReport
+from repro.controller.replication import ReplicationHub, StandbyController
 from repro.controller.segments import SegmentHierarchy
 from repro.controller.split import deploy_split, split_at_classifier
 from repro.controller.verification import verify_application, verify_graph
@@ -31,13 +42,21 @@ __all__ = [
     "AntiEntropyLoop",
     "AppStatement",
     "GraphAggregator",
+    "InProcLeaseStore",
+    "JournalCursor",
     "JournalState",
+    "Lease",
+    "LeaseManager",
+    "LeaseStore",
+    "LeaseUnavailable",
     "ObiHandle",
     "OpenBoxApplication",
     "OpenBoxController",
     "OrchestrationLoop",
     "ReconcileReport",
+    "ReplicationHub",
     "SegmentHierarchy",
+    "StandbyController",
     "StateJournal",
     "StateMigrator",
     "deploy_split",

@@ -134,6 +134,47 @@ class JournalState:
             self.xid_high = max(self.xid_high, int(record["xid_high"]))
 
 
+@dataclass(frozen=True)
+class JournalCursor:
+    """A replication position: (segment, record offset within it).
+
+    A journal's **segment** is its compaction incarnation: every
+    :meth:`StateJournal.compact` rewrites the file and bumps the segment
+    number, invalidating record offsets taken against the previous file.
+    A follower whose cursor names an older segment cannot be served a
+    delta — the bytes it was tailing no longer exist — so it is caught
+    up with a **snapshot**: the entire current file (whose first record
+    is a state snapshot) plus a fresh cursor. ``segment`` -1 is the
+    null cursor ("never synced"), which always takes the snapshot path.
+    """
+
+    segment: int = -1
+    offset: int = 0
+
+    def to_dict(self) -> dict[str, int]:
+        return {"segment": self.segment, "offset": self.offset}
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "JournalCursor":
+        return cls(
+            segment=int(data.get("segment", -1)),
+            offset=int(data.get("offset", 0)),
+        )
+
+
+@dataclass
+class StreamBatch:
+    """What :meth:`StateJournal.read_since` produced for one follower."""
+
+    #: Records after the cursor (or the whole file on a snapshot).
+    records: list[dict[str, Any]] = field(default_factory=list)
+    #: Position after applying :attr:`records`.
+    cursor: JournalCursor = field(default_factory=JournalCursor)
+    #: True when the batch replaces the follower's journal wholesale
+    #: (cursor named a compacted-away segment, or was the null cursor).
+    snapshot: bool = False
+
+
 @dataclass
 class ReplayResult:
     """What :meth:`StateJournal.replay` reconstructed."""
@@ -168,6 +209,17 @@ class StateJournal:
         self.path = os.fspath(path)
         self.fsync_every = fsync_every
         self.compact_every = compact_every
+        # Learn the replication position of an existing file before
+        # opening it for append: the segment number rides in the head
+        # snapshot record (compaction incarnation), and the offset is
+        # the count of valid records already present. Journal files are
+        # compaction-bounded, so this scan is O(state), not O(history).
+        self.segment = 0
+        self.record_count = 0
+        for record in self.read_records(self.path):
+            if self.record_count == 0 and record.get("rec") == "snapshot":
+                self.segment = int(record.get("segment", 0))
+            self.record_count += 1
         self._file = open(self.path, "a", encoding="utf-8")
         self._unsynced = 0
         self._appends_since_compact = 0
@@ -185,6 +237,7 @@ class StateJournal:
             raise JournalError("journal is closed")
         self._file.write(json.dumps(record, separators=(",", ":")) + "\n")
         self.appended += 1
+        self.record_count += 1
         self._unsynced += 1
         self._appends_since_compact += 1
         if self._unsynced >= self.fsync_every:
@@ -217,7 +270,8 @@ class StateJournal:
         tmp_path = self.path + ".compact"
         with open(tmp_path, "w", encoding="utf-8") as tmp:
             tmp.write(json.dumps(
-                {"rec": "snapshot", "state": state.to_dict()},
+                {"rec": "snapshot", "state": state.to_dict(),
+                 "segment": self.segment + 1},
                 separators=(",", ":"),
             ) + "\n")
             tmp.flush()
@@ -228,6 +282,10 @@ class StateJournal:
         self._appends_since_compact = 0
         self._unsynced = 0
         self.compactions += 1
+        # Offsets taken against the old file are now meaningless:
+        # followers behind this point catch up via the snapshot path.
+        self.segment += 1
+        self.record_count = 1
 
     def maybe_compact(self, state: JournalState) -> bool:
         """Compact if the tail has grown past ``compact_every`` appends."""
@@ -241,6 +299,40 @@ class StateJournal:
             self.flush()
             self._file.close()
             self._closed = True
+
+    # ------------------------------------------------------------------
+    # Streaming replication (PROTOCOL.md §12)
+    # ------------------------------------------------------------------
+    def cursor(self) -> JournalCursor:
+        """The current end-of-journal position (for a caught-up follower)."""
+        return JournalCursor(segment=self.segment, offset=self.record_count)
+
+    def read_since(self, cursor: JournalCursor) -> StreamBatch:
+        """Records a follower at ``cursor`` is missing.
+
+        Durability before visibility: the journal is flushed first, so a
+        record a follower acknowledges can never be one the leader would
+        lose in a crash (the replica would otherwise be *ahead* of its
+        leader's own disk). A cursor from a compacted-away segment (or
+        the null cursor) takes the catch-up snapshot path: the whole
+        current file, flagged so the follower replaces its copy instead
+        of appending.
+        """
+        if self._closed:
+            raise JournalError("journal is closed")
+        self.flush()
+        records = list(self.read_records(self.path))
+        if cursor.segment != self.segment or cursor.offset > len(records):
+            return StreamBatch(
+                records=records,
+                cursor=JournalCursor(self.segment, len(records)),
+                snapshot=True,
+            )
+        return StreamBatch(
+            records=records[cursor.offset:],
+            cursor=JournalCursor(self.segment, len(records)),
+            snapshot=False,
+        )
 
     # ------------------------------------------------------------------
     # Reading

@@ -273,6 +273,30 @@ class OpenBoxController:
             )
         return controller
 
+    def adopt_epoch(self, epoch: int) -> None:
+        """Adopt a lease epoch as the controller generation (§12).
+
+        For lease-managed controllers the store-minted epoch *is* the
+        fencing token OBIs check, so a freshly promoted standby raises
+        its generation to the lease epoch — journaled and fsynced
+        before returning, i.e. before any OBI can see a message
+        stamped with it. Adopting an epoch at or below the current
+        generation is a no-op (a renewal never moves the fence).
+        """
+        if epoch <= self.generation:
+            return
+        self.generation = int(epoch)
+        self._journal(
+            {"rec": "generation", "generation": self.generation,
+             "xid_high": xid_watermark()},
+            flush=True,
+        )
+
+    @property
+    def epoch(self) -> int:
+        """Alias: the generation viewed as a lease epoch (§12)."""
+        return self.generation
+
     # ------------------------------------------------------------------
     # Northbound: application management
     # ------------------------------------------------------------------

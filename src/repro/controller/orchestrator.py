@@ -37,7 +37,9 @@ from repro.protocol.errors import ProtocolError
 from repro.transport.base import ChannelClosed
 
 if TYPE_CHECKING:  # pragma: no cover
+    from repro.controller.lease import LeaseManager
     from repro.controller.obc import OpenBoxController
+    from repro.controller.replication import ReplicationHub
 
 
 @dataclass
@@ -65,6 +67,14 @@ class TickReport:
     #: intended graph re-pushed because their reported digest diverged.
     reconcile_adopted: list[str] = field(default_factory=list)
     reconcile_pushed: list[str] = field(default_factory=list)
+    #: Leadership this tick (PROTOCOL.md §12). Always True when the
+    #: controller is not lease-managed; when it is, a tick without the
+    #: lease does *nothing* southbound and stops here.
+    leader: bool = True
+    #: Epoch of the held lease (0 when not leading / not lease-managed).
+    lease_epoch: int = 0
+    #: Standbys that acknowledged the journal stream this tick.
+    replicated: list[str] = field(default_factory=list)
 
 
 class OrchestrationLoop:
@@ -83,6 +93,12 @@ class OrchestrationLoop:
         #: Run an anti-entropy round each tick, converging every OBI's
         #: reported graph digest to current intent (PROTOCOL.md §10).
         anti_entropy: bool = True,
+        #: Leadership lease (PROTOCOL.md §12): when set, every tick
+        #: renews it first and a tick without the lease does nothing.
+        lease: "LeaseManager | None" = None,
+        #: Journal replication to hot standbys: when set, every leading
+        #: tick ends by streaming the tick's journal delta.
+        replication: "ReplicationHub | None" = None,
     ) -> None:
         self.controller = controller
         self.scaling = scaling
@@ -90,6 +106,8 @@ class OrchestrationLoop:
         self.migrator = StateMigrator(controller) if migrate_state else None
         self.deploy_failure_threshold = deploy_failure_threshold
         self.reconciler = AntiEntropyLoop(controller) if anti_entropy else None
+        self.lease = lease
+        self.replication = replication
         self.reports: list[TickReport] = []
         #: Last successful state checkpoint per OBI, as
         #: ``{"generation": int, "entries": [...]}`` — the failover
@@ -222,6 +240,21 @@ class OrchestrationLoop:
         now = self.controller.clock()
         report = TickReport(at=now)
 
+        # -1. Leadership first: renew (or try to acquire) the lease.
+        # Without it this controller does *nothing* this tick — no
+        # polls, no deploys, no reconciliation — because every one of
+        # those is an act of ownership the lease arbitrates (§12).
+        if self.lease is not None:
+            held = self.lease.tick(now)
+            report.leader = held is not None
+            if held is None:
+                self.reports.append(report)
+                return report
+            report.lease_epoch = held.epoch
+            # A fresh acquisition's epoch becomes the fencing token,
+            # journaled durably before anything southbound below.
+            self.controller.adopt_epoch(held.epoch)
+
         # 1. Poll stats first — answering a poll is proof of life, so a
         # healthy-but-quiet OBI is never misdeclared dead; a hung one
         # fails its poll and stays silent, so stage 0 catches it.
@@ -280,6 +313,17 @@ class OrchestrationLoop:
         # 5. Sweep application requests that outlived their deadline.
         report.expired_xids = self.controller.mux.expire(now)
         report.failed_deployments = self.controller.failed_deployments
+
+        # 6. Ship this tick's journal delta to the hot standbys, so the
+        # replication lag at any crash is bounded by one tick.
+        if self.replication is not None and not self.controller.superseded:
+            report.replicated = self.replication.sync()
+            if self.lease is not None and self.lease.lease is not None:
+                self.replication.announce(
+                    lease_remaining=max(
+                        self.lease.lease.expires_at - now, 0.0
+                    )
+                )
 
         self.reports.append(report)
         return report

@@ -92,6 +92,18 @@ class AntiEntropyLoop:
             return report
         for obi_id, handle in list(self.controller.obis.items()):
             report.checked.append(obi_id)
+            if handle.reported_generation > self.controller.generation:
+                # The OBI has already heard from a newer controller — we
+                # are a fenced-out ghost. Stop the round *before* any
+                # adopt or push: a ghost must not absorb a successor's
+                # digests into its journal, let alone overwrite them.
+                self.controller.superseded = True
+                report.superseded = True
+                report.failed.append(
+                    (obi_id, f"reports generation {handle.reported_generation} "
+                             f"> ours ({self.controller.generation})")
+                )
+                break
             try:
                 intended = self._intended_digest(obi_id)
             except ProtocolError as exc:

@@ -70,6 +70,7 @@ from repro.protocol.messages import (
     Hello,
     HelloResponse,
     KeepAlive,
+    LeaseAnnounce,
     ListCapabilitiesRequest,
     ListCapabilitiesResponse,
     Message,
@@ -149,6 +150,11 @@ class ObiConfig:
     #: Ring-buffer capacity for alerts/health reports produced while
     #: headless; overflow evicts the oldest entry and is counted.
     headless_buffer: int = 256
+    #: Ordered controller endpoints for re-homing (PROTOCOL.md §12):
+    #: tried first-to-last after losing the leader. Refreshed in place
+    #: by every ``LeaseAnnounce`` the OBI accepts, so the list tracks
+    #: whichever controller currently holds the lease.
+    controller_endpoints: list[str] = dataclasses_field(default_factory=list)
 
 
 class OpenBoxInstance:
@@ -207,6 +213,15 @@ class OpenBoxInstance:
         #: with a lower one are rejected (split-brain guard).
         self.highest_controller_generation = 0
         self.stale_generation_rejections = 0
+        #: Re-homing (PROTOCOL.md §12): endpoints walked, deposed
+        #: leaders skipped as stale, successful adoptions, and where
+        #: the OBI currently believes the leadership lives.
+        self.rehome_attempts = 0
+        self.rehome_stale_skipped = 0
+        self.rehomes = 0
+        self.rehomed_to = ""
+        self.lease_announcements = 0
+        self.announced_leader = ""
         #: Headless data plane (PROTOCOL.md §10): the last time any
         #: evidence of a live controller arrived, the latched mode flag,
         #: and the bounded replay buffer for upstream events.
@@ -354,6 +369,63 @@ class OpenBoxInstance:
                 response.controller_generation,
             )
             self.note_controller_heard()
+
+    def rehome(
+        self,
+        candidates: list[tuple[str, Any]],
+        callback_url: str = "",
+    ) -> str | None:
+        """Walk the controller endpoint list and adopt the first live,
+        non-stale responder (PROTOCOL.md §12).
+
+        ``candidates`` is an ordered ``(endpoint, channel)`` list —
+        typically built from ``config.controller_endpoints``, which
+        every accepted ``LeaseAnnounce`` refreshes. Each candidate gets
+        a Hello; a responder whose HelloResponse carries a generation
+        *below* the highest this OBI has obeyed is a deposed leader
+        still answering its socket and is skipped, never adopted.
+        Adopting a winner re-binds the upstream channel and (via the
+        headless exit path) replays everything buffered while out of
+        contact to *that* controller — at-least-once, to whoever
+        actually won, not to whoever the events were born under.
+
+        Returns the adopted endpoint, or None when nobody qualified.
+        """
+        for endpoint, channel in candidates:
+            self.rehome_attempts += 1
+            try:
+                response = channel.request(self.hello_message(callback_url))
+            except (ChannelClosed, OSError):
+                continue
+            if not (isinstance(response, HelloResponse) and response.ok):
+                continue
+            if (
+                response.controller_generation
+                < self.highest_controller_generation
+            ):
+                self.rehome_stale_skipped += 1
+                continue
+            self.attach_channel(channel)
+            self._absorb_hello_response(response)
+            self.rehomes += 1
+            self.rehomed_to = endpoint
+            return endpoint
+        return None
+
+    def _lease_announce(self, message: LeaseAnnounce) -> Message:
+        """Absorb a leadership announcement (§12).
+
+        The epoch fence already ran in :meth:`handle_message`, so by
+        here the announce is from the current (or a newer) leader:
+        refresh the re-homing endpoint list and remember who leads.
+        The announce also counts as controller liveness, like any
+        authenticated downstream traffic.
+        """
+        self.lease_announcements += 1
+        self.announced_leader = message.leader_id
+        if message.endpoints:
+            self.config.controller_endpoints = list(message.endpoints)
+        return BarrierResponse(xid=message.xid)
 
     def send_keepalive(self) -> None:
         if self._channel is not None:
@@ -699,10 +771,15 @@ class OpenBoxInstance:
         The split-brain guard runs *before* dedup: a request stamped
         with a controller generation older than one already obeyed is
         rejected outright (and never cached — its xids belong to a
-        different controller's number space).
+        different controller's number space). Lease epochs (§12) ride
+        the same fence: for lease-managed controllers the epoch *is*
+        the generation, so HA messages stamped ``epoch`` are judged by
+        the one monotonic token this OBI tracks.
         """
         incoming_generation = int(
-            getattr(message, "controller_generation", 0) or 0
+            getattr(message, "controller_generation", 0)
+            or getattr(message, "epoch", 0)
+            or 0
         )
         if incoming_generation:
             if incoming_generation < self.highest_controller_generation:
@@ -767,6 +844,8 @@ class OpenBoxInstance:
         if isinstance(message, SetExternalServices):
             self.config.keepalive_interval = message.keepalive_interval
             return BarrierResponse(xid=message.xid)
+        if isinstance(message, LeaseAnnounce):
+            return self._lease_announce(message)
         if isinstance(message, BarrierRequest):
             return BarrierResponse(xid=message.xid)
         if isinstance(message, ObservabilitySnapshotRequest):
@@ -1084,6 +1163,14 @@ class OpenBoxInstance:
             return self.session.state_generation
         if handle == "stale_handoff_rejections":
             return self.stale_handoff_rejections
+        if handle == "rehomes":
+            return self.rehomes
+        if handle == "rehome_stale_skipped":
+            return self.rehome_stale_skipped
+        if handle == "announced_leader":
+            return self.announced_leader
+        if handle == "controller_endpoints":
+            return list(self.config.controller_endpoints)
         raise KeyError(f"{OBI_PSEUDO_BLOCK} has no read handle {handle!r}")
 
     def _write(self, message: WriteRequest) -> Message:

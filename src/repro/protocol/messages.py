@@ -617,6 +617,81 @@ class StateHandoffResponse(Message):
     rejected: dict[str, int] = field(default_factory=dict)
 
 
+# ----------------------------------------------------------------------
+# Controller high availability (PROTOCOL.md §12)
+# ----------------------------------------------------------------------
+
+@register_message
+@dataclass
+class LeaseAnnounce(Message):
+    """Leader → standby/OBI: "I hold the leadership lease".
+
+    ``epoch`` is the lease epoch, which **is** the controller
+    generation for lease-managed controllers — one monotonic fencing
+    token for both replication and the data plane. ``endpoints`` is the
+    ordered list of controller endpoints an OBI should try when
+    re-homing after leader loss (the announcing leader first).
+    Receivers fence: an announce with an epoch below the highest
+    witnessed is answered ``stale_generation``.
+    """
+
+    TYPE: ClassVar[str] = "LeaseAnnounce"
+
+    leader_id: str = ""
+    epoch: int = 0
+    #: Seconds of lease validity remaining at send time (advisory: lets
+    #: a standby size its takeover patience without a shared clock).
+    lease_remaining: float = 0.0
+    endpoints: list[str] = field(default_factory=list)
+
+
+@register_message
+@dataclass
+class JournalStream(Message):
+    """Leader → standby: a batch of journal records past the replica's
+    acknowledged cursor (PROTOCOL.md §12).
+
+    ``snapshot`` True means the batch replaces the replica's journal
+    wholesale — sent when the replica's cursor predates a compaction
+    (its segment no longer exists) or on first contact. The replica
+    fences on ``epoch`` exactly like an OBI fences deploys: a stream
+    from a lower epoch than the highest witnessed is rejected
+    ``stale_generation`` (a deposed leader must not overwrite the
+    replica that may be about to succeed it).
+    """
+
+    TYPE: ClassVar[str] = "JournalStream"
+
+    leader_id: str = ""
+    epoch: int = 0
+    snapshot: bool = False
+    #: Position after applying ``records`` (segment = the leader
+    #: journal's compaction incarnation, offset = record count).
+    segment: int = 0
+    offset: int = 0
+    records: list[dict[str, Any]] = field(default_factory=list)
+
+
+@register_message
+@dataclass
+class ReplicaAck(Message):
+    """Standby → leader: durable replication progress (PROTOCOL.md §12).
+
+    Acknowledges the cursor position the replica has *fsynced*; the
+    leader uses it to track lag and to resume streaming after its own
+    restart. ``epoch`` echoes the highest epoch the replica has
+    witnessed — a leader seeing its own epoch exceeded there knows it
+    has been superseded without waiting for an OBI to fence it.
+    """
+
+    TYPE: ClassVar[str] = "ReplicaAck"
+
+    replica_id: str = ""
+    epoch: int = 0
+    segment: int = 0
+    offset: int = 0
+
+
 @register_message
 @dataclass
 class BarrierRequest(Message):

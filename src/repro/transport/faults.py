@@ -16,7 +16,14 @@ injects the classic distributed-systems failure modes:
 * **delay** — added latency, charged via an injectable ``sleep`` so
   virtual-time tests never really sleep;
 * **peer crash** — after ``crash_after`` sends, or an explicit
-  :meth:`kill`, every send raises :class:`ChannelClosed`.
+  :meth:`kill`, every send raises :class:`ChannelClosed`;
+* **partition** — an explicit network cut via :meth:`partition` /
+  :meth:`heal`. Unlike a crash the peer is alive; unlike the random
+  drops the cut is total and directional: ``"both"`` severs the link,
+  ``"tx"`` loses every request before the peer sees it, and ``"rx"``
+  lets the peer receive *and apply* every request but loses every
+  response — the asymmetric one-way partition that makes a leader
+  believe it is merely slow while the rest of the world has moved on.
 
 All randomness comes from one ``random.Random(plan.seed)``: the same
 seed over the same call sequence injects the same faults.
@@ -70,12 +77,16 @@ class FaultyChannel:
         self._rng = random.Random(self.plan.seed)
         self._sleep = sleep
         self._peer_dead = False
+        #: Active partition mode: None, "both", "tx" (requests lost
+        #: before the peer), or "rx" (peer applies, responses lost).
+        self._partition: str | None = None
         self.sends = 0
         self.drops = 0
         self.response_drops = 0
         self.duplicates = 0
         self.delays = 0
         self.total_delay = 0.0
+        self.partition_drops = 0
 
     # -- fault controls -------------------------------------------------
     def kill(self) -> None:
@@ -85,6 +96,29 @@ class FaultyChannel:
     def revive(self) -> None:
         """Undo :meth:`kill` (a restarted peer)."""
         self._peer_dead = False
+
+    def partition(self, mode: str = "both") -> None:
+        """Cut the link until :meth:`heal`.
+
+        ``"both"`` — nothing crosses in either direction;
+        ``"tx"``   — this side's sends never reach the peer (timeout,
+                     peer never applied anything);
+        ``"rx"``   — the peer receives and applies every send, but
+                     every response/ack is lost on the way back (the
+                     caller times out after real side effects — the
+                     asymmetric cut split-brain drills need).
+        """
+        if mode not in ("both", "tx", "rx"):
+            raise ValueError(f"unknown partition mode {mode!r}")
+        self._partition = mode
+
+    def heal(self) -> None:
+        """Remove the partition (traffic flows, faults still apply)."""
+        self._partition = None
+
+    @property
+    def partitioned(self) -> str | None:
+        return self._partition
 
     # -- Channel protocol ----------------------------------------------
     def set_handler(self, handler: MessageHandler) -> None:
@@ -98,6 +132,14 @@ class FaultyChannel:
         if self._peer_dead:
             raise ChannelClosed(
                 f"peer crashed (send #{self.sends}, seed {self.plan.seed})"
+            )
+        if self._partition in ("both", "tx"):
+            # The cut swallows the request before the peer sees it.
+            self.partition_drops += 1
+            self._charge(timeout)
+            raise ChannelTimeout(
+                f"request xid={message.xid} lost in {self._partition!r} "
+                f"partition after {timeout}s"
             )
         if self._rng.random() < self.plan.drop_rate:
             self.drops += 1
@@ -118,6 +160,14 @@ class FaultyChannel:
     def request(self, message: Message, timeout: float = 10.0) -> Message:
         self._pre_send(message, timeout)
         response = self.inner.request(message, timeout=timeout)
+        if self._partition == "rx":
+            # The peer applied the request; only the answer is lost.
+            self.partition_drops += 1
+            self._charge(timeout)
+            raise ChannelTimeout(
+                f"response for xid={message.xid} lost in 'rx' partition "
+                "(request was applied)"
+            )
         if self._rng.random() < self.plan.duplicate_rate:
             self.duplicates += 1
             self.inner.request(message, timeout=timeout)

@@ -18,6 +18,7 @@ longer than its timeout plus the maximum backoff budget).
 
 from __future__ import annotations
 
+import hashlib
 import random
 import time
 from dataclasses import dataclass
@@ -25,6 +26,26 @@ from typing import Callable
 
 from repro.protocol.messages import Message
 from repro.transport.base import ChannelClosed, MessageHandler
+
+
+def derive_seed(*parts: object) -> int:
+    """Stable jitter seed from identifying parts (endpoint, epoch, ...).
+
+    Jitter only decorrelates retries if different channels draw from
+    different streams. Seeding by construction order (channel #0, #1,
+    ...) looks fine until two controllers replay the same journal:
+    both build their channels in the same order, get the same seeds,
+    and their "jittered" retries land in lockstep. Hashing *who* the
+    channel talks to and *under which epoch* keeps seeds deterministic
+    for tests while making any two distinct (endpoint, epoch) pairs —
+    including the same endpoint before and after a failover —
+    independent streams. SHA-256, not ``hash()``: Python randomizes
+    string hashes per process, which would desync replays.
+    """
+    digest = hashlib.sha256(
+        "\x1f".join(str(part) for part in parts).encode("utf-8")
+    ).digest()
+    return int.from_bytes(digest[:8], "big")
 
 
 @dataclass(frozen=True)

@@ -1,0 +1,163 @@
+"""Lease-based leadership: grants, renewal, expiry, epochs, partitions."""
+
+import pytest
+
+from repro.controller.lease import (
+    InProcLeaseStore,
+    LeaseManager,
+    LeaseUnavailable,
+)
+
+
+class TestInProcLeaseStore:
+    def test_first_acquire_mints_epoch_one(self):
+        store = InProcLeaseStore()
+        lease = store.acquire("a", ttl=10.0, now=0.0)
+        assert lease is not None
+        assert lease.owner == "a" and lease.epoch == 1
+        assert lease.expires_at == 10.0
+
+    def test_second_owner_rejected_while_lease_valid(self):
+        store = InProcLeaseStore()
+        store.acquire("a", ttl=10.0, now=0.0)
+        assert store.acquire("b", ttl=10.0, now=5.0) is None
+        assert store.rejected == 1
+
+    def test_reacquire_by_holder_is_idempotent(self):
+        store = InProcLeaseStore()
+        first = store.acquire("a", ttl=10.0, now=0.0)
+        again = store.acquire("a", ttl=10.0, now=5.0)
+        assert again == first  # same epoch, same expiry — no fresh mint
+        assert store.acquisitions == 1
+
+    def test_renew_extends_without_epoch_bump(self):
+        store = InProcLeaseStore()
+        store.acquire("a", ttl=10.0, now=0.0)
+        renewed = store.renew("a", ttl=10.0, now=8.0)
+        assert renewed is not None
+        assert renewed.epoch == 1 and renewed.expires_at == 18.0
+
+    def test_expired_lease_cannot_be_renewed(self):
+        store = InProcLeaseStore()
+        store.acquire("a", ttl=10.0, now=0.0)
+        assert store.renew("a", ttl=10.0, now=10.0) is None
+
+    def test_takeover_after_expiry_mints_next_epoch(self):
+        store = InProcLeaseStore()
+        store.acquire("a", ttl=10.0, now=0.0)
+        taken = store.acquire("b", ttl=10.0, now=11.0)
+        assert taken is not None
+        assert taken.owner == "b" and taken.epoch == 2
+
+    def test_epochs_stay_monotonic_across_flapping(self):
+        store = InProcLeaseStore()
+        epochs = []
+        now = 0.0
+        for owner in ("a", "b", "a", "c"):
+            now += 11.0
+            lease = store.acquire(owner, ttl=10.0, now=now)
+            epochs.append(lease.epoch)
+        assert epochs == sorted(epochs) and len(set(epochs)) == 4
+
+    def test_peek_hides_expired_leases(self):
+        store = InProcLeaseStore()
+        store.acquire("a", ttl=10.0, now=0.0)
+        assert store.peek(now=5.0).owner == "a"
+        assert store.peek(now=10.0) is None
+
+    def test_release_allows_immediate_takeover(self):
+        store = InProcLeaseStore()
+        store.acquire("a", ttl=100.0, now=0.0)
+        assert store.release("a", now=1.0)
+        taken = store.acquire("b", ttl=10.0, now=1.0)
+        assert taken is not None and taken.epoch == 2
+
+    def test_partitioned_owner_calls_raise(self):
+        store = InProcLeaseStore()
+        store.acquire("a", ttl=10.0, now=0.0)
+        store.partition("a")
+        with pytest.raises(LeaseUnavailable):
+            store.renew("a", ttl=10.0, now=5.0)
+        # Other owners still reach the store.
+        assert store.acquire("b", ttl=10.0, now=5.0) is None
+        store.heal("a")
+        assert store.renew("a", ttl=10.0, now=6.0) is not None
+
+
+class TestLeaseManager:
+    def test_tick_acquires_then_renews(self):
+        store = InProcLeaseStore()
+        manager = LeaseManager("a", store, ttl=10.0)
+        lease = manager.tick(now=0.0)
+        assert lease is not None and manager.is_leader(now=1.0)
+        assert manager.epoch == 1
+        manager.tick(now=5.0)
+        assert manager.renewals == 1 and manager.acquisitions == 1
+        assert manager.is_leader(now=14.0)  # renewal pushed expiry out
+
+    def test_follower_waits_for_expiry(self):
+        store = InProcLeaseStore()
+        leader = LeaseManager("a", store, ttl=10.0)
+        standby = LeaseManager("b", store, ttl=10.0)
+        leader.tick(now=0.0)
+        assert standby.tick(now=5.0) is None
+        assert not standby.is_leader(now=5.0)
+        # The incumbent stops renewing; only after expiry does the
+        # standby's tick succeed — with a fresh epoch.
+        taken = standby.tick(now=11.0)
+        assert taken is not None and taken.epoch == 2
+        assert standby.is_leader(now=12.0)
+
+    def test_partitioned_leader_demotes_at_expiry(self):
+        store = InProcLeaseStore()
+        leader = LeaseManager("a", store, ttl=10.0)
+        leader.tick(now=0.0)
+        store.partition("a")
+        # Still inside its grant: leadership persists without renewal.
+        assert leader.tick(now=5.0) is not None
+        assert leader.is_leader(now=9.0)
+        # Past expiry the manager demotes itself — no store round trip
+        # required to *lose* a lease.
+        assert leader.tick(now=11.0) is None
+        assert not leader.is_leader(now=11.0)
+        assert leader.losses == 1 and leader.store_failures == 2
+
+    def test_reacquire_after_partition_heals_mints_new_epoch(self):
+        store = InProcLeaseStore()
+        leader = LeaseManager("a", store, ttl=10.0)
+        standby = LeaseManager("b", store, ttl=10.0)
+        leader.tick(now=0.0)
+        store.partition("a")
+        leader.tick(now=11.0)  # demoted in absentia
+        taken = standby.tick(now=12.0)
+        assert taken.epoch == 2
+        store.heal("a")
+        # The old leader comes back as a follower: the standby's live
+        # lease blocks it, and when it eventually wins again the epoch
+        # is newer than anything it held before.
+        assert leader.tick(now=13.0) is None
+        reacquired = leader.tick(now=23.0)
+        assert reacquired is not None and reacquired.epoch == 3
+
+    def test_release_hands_over_cleanly(self):
+        store = InProcLeaseStore()
+        leader = LeaseManager("a", store, ttl=100.0)
+        standby = LeaseManager("b", store, ttl=100.0)
+        leader.tick(now=0.0)
+        leader.release(now=1.0)
+        assert not leader.is_leader(now=1.0)
+        assert standby.tick(now=1.0).epoch == 2
+
+    def test_requires_clock_or_explicit_now(self):
+        manager = LeaseManager("a", InProcLeaseStore(), ttl=10.0)
+        with pytest.raises(ValueError):
+            manager.tick()
+        ticks = iter([0.0, 1.0, 2.0])
+        clocked = LeaseManager(
+            "b", InProcLeaseStore(), ttl=10.0, clock=lambda: next(ticks)
+        )
+        assert clocked.tick() is not None
+
+    def test_zero_ttl_rejected(self):
+        with pytest.raises(ValueError):
+            LeaseManager("a", InProcLeaseStore(), ttl=0.0)

@@ -29,7 +29,9 @@ from repro.protocol.messages import (
     HelloResponse,
     ImportStateRequest,
     ImportStateResponse,
+    JournalStream,
     KeepAlive,
+    LeaseAnnounce,
     ListCapabilitiesRequest,
     ListCapabilitiesResponse,
     LogMessage,
@@ -39,6 +41,7 @@ from repro.protocol.messages import (
     PacketHistoryResponse,
     ReadRequest,
     ReadResponse,
+    ReplicaAck,
     SetExternalServices,
     SetProcessingGraphRequest,
     SetProcessingGraphResponse,
@@ -115,6 +118,11 @@ ALL_MESSAGES = [
         traces=[{"seq": 1, "packet_summary": "pkt#1", "fastpath": False,
                  "dropped": False, "punted": False, "spans": []}],
         packets_seen=100, packets_sampled=1, sample_rate=0.01),
+    LeaseAnnounce(leader_id="c1", epoch=2, lease_remaining=7.5,
+                  endpoints=["c1:6633", "c2:6633"]),
+    JournalStream(leader_id="c1", epoch=2, snapshot=True, segment=1, offset=3,
+                  records=[{"rec": "generation", "generation": 2}]),
+    ReplicaAck(replica_id="c2", epoch=2, segment=1, offset=3),
     BarrierRequest(),
     BarrierResponse(),
     ErrorMessage(code=ErrorCode.UNKNOWN_BLOCK, detail="nope"),

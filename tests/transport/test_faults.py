@@ -271,3 +271,87 @@ class TestResilientChannel:
         request = ReadRequest()
         channel.request(request)
         assert seen == [request.xid] * 3
+
+
+class TestPartitions:
+    def test_symmetric_partition_blocks_and_heals(self):
+        channel, calls = make_channel(FaultPlan())
+        channel.partition()
+        with pytest.raises(ChannelTimeout):
+            channel.request(ReadRequest(), timeout=1.0)
+        assert calls == []  # nothing crossed the cut
+        assert channel.partition_drops == 1
+        channel.heal()
+        channel.request(ReadRequest())
+        assert len(calls) == 1
+
+    def test_tx_partition_request_never_reaches_peer(self):
+        channel, calls = make_channel(FaultPlan())
+        channel.partition("tx")
+        with pytest.raises(ChannelTimeout):
+            channel.request(ReadRequest(), timeout=1.0)
+        assert calls == []
+
+    def test_rx_partition_peer_applies_but_response_lost(self):
+        """The asymmetric cut: the peer receives and APPLIES every
+        request, but the caller never learns — the hazard that makes
+        a deposed leader believe the network is merely slow."""
+        channel, calls = make_channel(FaultPlan())
+        channel.partition("rx")
+        with pytest.raises(ChannelTimeout):
+            channel.request(ReadRequest(), timeout=1.0)
+        assert len(calls) == 1  # side effects happened
+        assert channel.partition_drops == 1
+
+    def test_rx_partition_notify_still_delivers(self):
+        # A notification has no response to lose: under "rx" it lands.
+        channel, calls = make_channel(FaultPlan())
+        channel.partition("rx")
+        channel.notify(ReadRequest())
+        assert len(calls) == 1
+
+    def test_partition_mode_validated(self):
+        channel, _calls = make_channel(FaultPlan())
+        with pytest.raises(ValueError):
+            channel.partition("sideways")
+        assert channel.partitioned is None
+        channel.partition("tx")
+        assert channel.partitioned == "tx"
+
+    def test_partition_is_charged_like_a_timeout(self):
+        channel, _calls = make_channel(FaultPlan())
+        channel.partition("both")
+        with pytest.raises(ChannelTimeout):
+            channel.request(ReadRequest(), timeout=2.0)
+        assert channel.total_delay == 2.0
+
+
+class TestDeriveSeed:
+    def test_stable_across_processes(self):
+        # SHA-256 based, not hash(): the same parts must produce the
+        # same seed in every interpreter invocation.
+        from repro.transport.retry import derive_seed
+        assert derive_seed("http://a:1", 1) == 14205611758207990109
+
+    def test_distinct_endpoints_and_epochs_decorrelate(self):
+        from repro.transport.retry import derive_seed
+        seeds = {
+            derive_seed("http://a:1", 1),
+            derive_seed("http://a:1", 2),
+            derive_seed("http://b:1", 1),
+            derive_seed("http://b:1", 2),
+        }
+        assert len(seeds) == 4
+
+    def test_two_controllers_same_journal_get_distinct_jitter(self):
+        """The regression this guards: seeding by channel construction
+        order gives two controllers replaying the same journal identical
+        jitter streams — their retries land in lockstep. Seeding by
+        (endpoint, epoch) keeps each incarnation's stream independent."""
+        import random
+        from repro.transport.retry import derive_seed
+        policy = RetryPolicy(max_attempts=6)
+        def stream(epoch):
+            rng = random.Random(derive_seed("http://obi-1/cb", epoch))
+            return [policy.backoff(a, rng) for a in range(5)]
+        assert stream(1) != stream(2)
