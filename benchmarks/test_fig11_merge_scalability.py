@@ -9,17 +9,29 @@ Graph generator: NF pairs whose classifiers are small (so the
 cross-product stays bounded) but whose branches carry long chains of
 static blocks — merged size is swept by the chain length, exactly the
 regime where merge cost is dominated by tree copying/rewiring.
+
+Regression gate: the growth exponent and max merged size are
+machine-independent, so they are checked against the committed
+baseline ``benchmarks/BENCH_merge.json`` (>30% exponent regression
+fails), mirroring the BENCH_fastpath.json pattern.
 """
 
+import json
 import math
+import pathlib
 import time
 
 import pytest
 
-from benchmarks.conftest import write_result
+from benchmarks.conftest import RESULTS_DIR, write_result
 from repro.core.blocks import Block
 from repro.core.graph import ProcessingGraph
 from repro.core.merge import merge_graphs
+
+BASELINE_PATH = pathlib.Path(__file__).parent / "BENCH_merge.json"
+
+#: Largest tolerated growth-exponent increase vs the committed baseline.
+MAX_EXPONENT_REGRESSION = 0.30
 
 
 def build_wide_nf(name: str, branches: int, chain_length: int) -> ProcessingGraph:
@@ -86,6 +98,16 @@ def test_fig11_merge_time_scaling(benchmark, scalability_series):
     lines.append(f"\ngrowth exponent (log-log endpoints): {exponent:.2f} "
                  f"(paper: ~1.0, nearly linear)")
     write_result("fig11_merge_scalability", "\n".join(lines) + "\n")
+    result = {
+        "growth_exponent": round(exponent, 3),
+        "connectors_max": sizes[-1],
+        # Machine-dependent, recorded for context only — not gated.
+        "merge_ms_at_max": round(times[-1], 1),
+    }
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "BENCH_merge.json").write_text(
+        json.dumps(result, indent=2) + "\n"
+    )
 
     # The x-axis is meaningful: larger inputs give larger merged graphs,
     # reaching the paper's thousands-of-connectors range.
@@ -96,8 +118,21 @@ def test_fig11_merge_time_scaling(benchmark, scalability_series):
     # at 5000 connectors on their Xeon; interpreted Python is slower but
     # the same order of magnitude).
     assert times[-1] < 3000.0
-    for _connectors, _millis, result in scalability_series:
-        assert not result.used_naive
+    for _connectors, _millis, merge_result in scalability_series:
+        assert not merge_result.used_naive
+
+    # Ratio-style regression gate vs the committed baseline: the
+    # exponent is machine-independent, so a >30% increase means the
+    # merge algorithm itself lost its near-linear behaviour.
+    baseline = json.loads(BASELINE_PATH.read_text())
+    ceiling = baseline["growth_exponent"] * (1.0 + MAX_EXPONENT_REGRESSION)
+    assert exponent <= ceiling, (
+        f"growth exponent {exponent:.2f} regressed more than "
+        f"{MAX_EXPONENT_REGRESSION:.0%} vs baseline "
+        f"{baseline['growth_exponent']:.2f} (ceiling {ceiling:.2f})"
+    )
+    # The sweep must still reach the paper's size range.
+    assert sizes[-1] >= baseline["connectors_max"]
 
     # Benchmark kernel: the mid-size merge.
     first = build_wide_nf("a", branches=4, chain_length=64)

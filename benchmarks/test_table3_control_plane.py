@@ -13,14 +13,22 @@ the OBI's reconfigure poll set to the paper's 1000 ms, and measures the
 same four round trips. Shape criterion: SetProcessingGraph is dominated
 by the poll delay; the other operations are small and ordered
 KeepAlive <= GlobalStats < AddCustomModule << SetProcessingGraph.
+
+Regression gate: SetProcessingGraph (pinned near the fixed 1000 ms
+poll) and the AddCustomModule/GlobalStats ratio are stable across
+machines, so they are checked against the committed baseline
+``benchmarks/BENCH_control_plane.json`` (>30% regression fails),
+mirroring the BENCH_fastpath.json pattern.
 """
 
+import json
+import pathlib
 import statistics
 import time
 
 import pytest
 
-from benchmarks.conftest import write_result
+from benchmarks.conftest import RESULTS_DIR, write_result
 from repro.bootstrap import connect_obi_rest, serve_controller_rest
 from repro.controller.obc import OpenBoxController
 from repro.obi.instance import ObiConfig, OpenBoxInstance
@@ -31,6 +39,11 @@ from repro.protocol.messages import (
     SetProcessingGraphRequest,
 )
 from tests.conftest import build_firewall_graph
+
+BASELINE_PATH = pathlib.Path(__file__).parent / "BENCH_control_plane.json"
+
+#: Largest tolerated slowdown of the gated metrics vs the baseline.
+MAX_RTT_REGRESSION = 0.30
 
 #: A custom module comparable to the paper's 22.3 KB binary: one block
 #: type plus padding to the same size.
@@ -109,6 +122,18 @@ def test_table3_control_plane_rtt(benchmark, rest_pair):
         "than the paper's absolute numbers."
     )
     write_result("table3_control_plane", "\n".join(lines) + "\n")
+    result = {
+        "set_graph_ms": round(set_graph_ms, 1),
+        "module_over_stats": round(add_module_ms / stats_ms, 3),
+        # Machine-dependent, recorded for context only — not gated.
+        "keepalive_ms": round(keepalive_ms, 2),
+        "stats_ms": round(stats_ms, 2),
+        "add_module_ms": round(add_module_ms, 2),
+    }
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "BENCH_control_plane.json").write_text(
+        json.dumps(result, indent=2) + "\n"
+    )
 
     # Shape criteria.
     assert set_graph_ms > 1000.0          # dominated by the engine poll
@@ -116,6 +141,24 @@ def test_table3_control_plane_rtt(benchmark, rest_pair):
     assert keepalive_ms < stats_ms * 3    # both are small round trips
     assert stats_ms < add_module_ms       # module transfer+load costs more
     assert add_module_ms < set_graph_ms / 4
+
+    # Ratio-style regression gates vs the committed baseline.
+    # SetProcessingGraph sits just above the fixed 1000 ms poll, so its
+    # absolute RTT is comparable across machines; the module/stats
+    # ratio cancels host speed entirely.
+    baseline = json.loads(BASELINE_PATH.read_text())
+    set_graph_ceiling = baseline["set_graph_ms"] * (1.0 + MAX_RTT_REGRESSION)
+    assert set_graph_ms <= set_graph_ceiling, (
+        f"SetProcessingGraph {set_graph_ms:.0f} ms regressed more than "
+        f"{MAX_RTT_REGRESSION:.0%} vs baseline "
+        f"{baseline['set_graph_ms']:.0f} ms (ceiling {set_graph_ceiling:.0f})"
+    )
+    ratio_ceiling = baseline["module_over_stats"] * (1.0 + MAX_RTT_REGRESSION)
+    assert result["module_over_stats"] <= ratio_ceiling, (
+        f"AddCustomModule/GlobalStats ratio {result['module_over_stats']:.2f} "
+        f"regressed more than {MAX_RTT_REGRESSION:.0%} vs baseline "
+        f"{baseline['module_over_stats']:.2f} (ceiling {ratio_ceiling:.2f})"
+    )
 
     # Cleanup registered bench block types to keep the registry tidy.
     from repro.core.blocks import block_registry

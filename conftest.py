@@ -1,0 +1,84 @@
+"""Repo-root pytest plugin: impact-based test selection.
+
+Thin shim over :mod:`repro.tools.testselect`. Opt-in only — without
+``--impact-base``/``--impact-changed`` collection is untouched::
+
+    pytest -q --impact-base origin/main
+    pytest -q --impact-changed src/repro/apps/firewall.py
+
+Selection happens at collection time by deselecting every test file
+outside the selector's affected set; widening triggers (core/,
+protocol/messages.py, any conftest.py, pyproject.toml, non-Python
+files) keep the full collection. See docs/TESTING.md.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+import sys
+
+_ROOT = pathlib.Path(__file__).resolve().parent
+
+
+def pytest_addoption(parser):
+    group = parser.getgroup("impact", "impact-based test selection")
+    group.addoption(
+        "--impact-base", metavar="REF", default=None,
+        help="deselect tests unaffected by changes vs this git ref",
+    )
+    group.addoption(
+        "--impact-changed", action="append", metavar="PATH", default=None,
+        help="treat PATH as changed instead of asking git (repeatable)",
+    )
+
+
+def _testselect():
+    src = str(_ROOT / "src")
+    if src not in sys.path:
+        sys.path.insert(0, src)
+    from repro.tools import testselect
+    return testselect
+
+
+def pytest_collection_modifyitems(config, items):
+    base = config.getoption("--impact-base")
+    changed_opt = config.getoption("--impact-changed")
+    if not base and not changed_opt:
+        return
+    testselect = _testselect()
+    changed = list(changed_opt or [])
+    if base:
+        changed.extend(testselect.changed_files(base, root=_ROOT))
+    selection = testselect.select(changed, root=_ROOT)
+    config.stash[_IMPACT_KEY] = selection
+    if selection.full:
+        return
+    keep = set(selection.tests)
+    kept, dropped = [], []
+    for item in items:
+        rel = os.path.relpath(str(item.fspath), _ROOT).replace(os.sep, "/")
+        (kept if rel in keep else dropped).append(item)
+    if dropped:
+        config.hook.pytest_deselected(items=dropped)
+        items[:] = kept
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    selection = config.stash.get(_IMPACT_KEY, None)
+    if selection is None:
+        return
+    scope = "FULL SUITE" if selection.full else (
+        f"{len(selection.tests)} test file(s)"
+    )
+    terminalreporter.write_line(
+        f"impact selection: {scope} — {selection.reason}"
+    )
+
+
+try:  # pytest.StashKey (pytest >= 7); fall back to a plain attribute dict
+    import pytest
+
+    _IMPACT_KEY = pytest.StashKey()
+except AttributeError:  # pragma: no cover - ancient pytest
+    _IMPACT_KEY = "impact-selection"

@@ -1,6 +1,14 @@
-"""Shared fixtures: canonical graphs, packets, and wiring helpers."""
+"""Shared fixtures: canonical graphs, packets, and wiring helpers.
+
+Also hosts the tier-1 determinism guard: test code must not call bare
+``time.sleep``/``time.time`` (wall-clock coupling makes runs flaky and
+slow); inject a fake clock instead. See docs/TESTING.md.
+"""
 
 from __future__ import annotations
+
+import sys
+import time
 
 import pytest
 
@@ -132,6 +140,53 @@ def sample_packets() -> list:
         make_udp_packet("44.0.0.1", "192.168.0.9", 53, 53),         # pass
         make_tcp_packet("44.0.0.1", "192.168.0.9", 9999, 12345),    # pass
     ]
+
+
+TESTS_DIR = str(__file__).rsplit("/", 1)[0] + "/"
+
+
+class WallClockInTestError(AssertionError):
+    """A tier-1 test touched the wall clock directly."""
+
+
+def _guarded(original, name: str, hint: str):
+    def guard(*args, **kwargs):
+        caller = sys._getframe(1).f_code.co_filename
+        if caller.startswith(TESTS_DIR):
+            raise WallClockInTestError(
+                f"bare time.{name}() called from test code ({caller}). "
+                f"Tier-1 tests must be deterministic: {hint} "
+                f"(see docs/TESTING.md, 'Determinism guard')."
+            )
+        return original(*args, **kwargs)
+
+    guard.__wrapped__ = original
+    return guard
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _forbid_wall_clock_in_tests():
+    """Trap bare time.sleep/time.time calls issued from under tests/.
+
+    Production code reached *through* a test (e.g. the reconfigure poll
+    in obi/instance.py) still sees the real clock — only frames whose
+    code object lives under tests/ are rejected. Injectables to use
+    instead: ``clock=`` parameters on leases/conntrack/checkpoints and
+    ``RetryPolicy(sleep=...)`` for backoff.
+    """
+    real_sleep, real_time = time.sleep, time.time
+    time.sleep = _guarded(
+        real_sleep, "sleep",
+        "inject RetryPolicy(sleep=...) or drive the component directly",
+    )
+    time.time = _guarded(
+        real_time, "time",
+        "pass a fake clock= callable and advance it explicitly",
+    )
+    try:
+        yield
+    finally:
+        time.sleep, time.time = real_sleep, real_time
 
 
 @pytest.fixture

@@ -1,0 +1,37 @@
+"""Meta-tests for the tier-1 determinism guard (tests/conftest.py).
+
+These calls *are* test code, so the session-wide guard must reject
+them; production frames keep the real clock.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from tests.conftest import WallClockInTestError
+
+
+def test_bare_sleep_from_test_code_is_rejected():
+    with pytest.raises(WallClockInTestError, match="docs/TESTING.md"):
+        time.sleep(0)
+
+
+def test_bare_time_from_test_code_is_rejected():
+    with pytest.raises(WallClockInTestError, match="fake clock"):
+        time.time()
+
+
+def test_monotonic_is_untouched():
+    assert time.monotonic() > 0
+
+
+def test_src_frames_still_reach_the_real_clock():
+    # The guard exempts frames outside tests/ — production code driven
+    # by a test (retry backoff, lease expiry polls) must keep working.
+    assert getattr(time.sleep, "__wrapped__", None) is not None
+    assert getattr(time.time, "__wrapped__", None) is not None
+    # Calling through the unwrapped original is the sanctioned escape
+    # hatch for harness-level code that genuinely needs wall time.
+    assert time.time.__wrapped__() > 0
