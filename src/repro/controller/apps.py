@@ -112,19 +112,14 @@ class OpenBoxApplication:
         obi_id: str,
         block: str,
         handle: str,
-        callback: Callable[[Any], None] | None = None,
     ) -> "HandleReadResult":
         """Invoke a read handle in the data plane.
 
         Returns a typed :class:`~repro.controller.results.HandleReadResult`
         carrying per-clone values, per-block errors, and round-trip
-        latency; ``result.value`` gives the aggregated value. Passing
-        ``callback`` is deprecated (it fires with ``result.value`` on
-        full success, as the old API did).
+        latency; ``result.value`` gives the aggregated value.
         """
-        return self._require_controller().app_read(
-            self, obi_id, block, handle, callback
-        )
+        return self._require_controller().app_read(self, obi_id, block, handle)
 
     def request_write(
         self,
@@ -132,18 +127,15 @@ class OpenBoxApplication:
         block: str,
         handle: str,
         value: Any,
-        callback: Callable[[bool], None] | None = None,
     ) -> "HandleWriteResult":
         """Invoke a write handle in the data plane; returns a typed result."""
         return self._require_controller().app_write(
-            self, obi_id, block, handle, value, callback
+            self, obi_id, block, handle, value
         )
 
-    def request_stats(
-        self, obi_id: str, callback: Callable[[GlobalStatsResponse], None] | None = None
-    ) -> "AppStatsView":
+    def request_stats(self, obi_id: str) -> "AppStatsView":
         """Request load information from an OBI (paper §3.4 example)."""
-        return self._require_controller().app_stats(self, obi_id, callback)
+        return self._require_controller().app_stats(self, obi_id)
 
     def update_logic(self) -> None:
         """Signal that :meth:`statements` changed; triggers redeployment.

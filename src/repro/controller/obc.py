@@ -48,17 +48,20 @@ from repro.protocol.messages import (
     KeepAlive,
     LogMessage,
     Message,
-    ObservabilitySnapshotRequest,
     ObservabilitySnapshotResponse,
     ReadRequest,
     ReadResponse,
     SetProcessingGraphRequest,
     SetProcessingGraphResponse,
+    TelemetryAck,
+    TelemetryStream,
+    TelemetrySubscribe,
     WriteRequest,
     WriteResponse,
     advance_xids,
     xid_watermark,
 )
+from repro.telemetry.bus import TelemetryBus, Watch
 
 
 @dataclass
@@ -159,6 +162,21 @@ class OpenBoxController:
         )
         self._m_app_requests = registry.counter("controller_app_requests_total")
         self._m_deploy_latency = registry.histogram("controller_deploy_seconds")
+        #: Streaming telemetry (PROTOCOL.md §13): pushed TelemetryStream
+        #: batches fold here; watch()/subscribe() fan matching events out
+        #: to northbound consumers without any polling sweep.
+        self.telemetry = TelemetryBus()
+        #: Per-OBI subscription parameters the controller asked for
+        #: (window/topics), echoed back in every ack.
+        self._telemetry_subscriptions: dict[str, dict[str, Any]] = {}
+        #: Pending NACK rewinds (obi_id -> cursor): the next pushed batch
+        #: from that OBI is refused and its cursor rewound — the ops/test
+        #: hook for forcing an at-least-once replay.
+        self._pending_nacks: dict[str, int] = {}
+        self._m_streams = registry.counter("controller_telemetry_streams_total")
+        self._m_stream_records = registry.counter(
+            "controller_telemetry_records_total"
+        )
 
     # ------------------------------------------------------------------
     # Durable state (PROTOCOL.md §10)
@@ -382,6 +400,8 @@ class OpenBoxController:
         if isinstance(message, LogMessage):
             self.logs.append(message)
             return None
+        if isinstance(message, TelemetryStream):
+            return self._handle_telemetry_stream(message)
         # Anything else is a response to an app-initiated request.
         if self.mux.dispatch(message):
             return None
@@ -685,36 +705,20 @@ class OpenBoxController:
             )
         return handle, targets
 
-    @staticmethod
-    def _warn_callback_deprecated(method: str) -> None:
-        warnings.warn(
-            f"the callback form of {method} is deprecated; use the returned "
-            "typed result instead",
-            DeprecationWarning,
-            stacklevel=3,
-        )
-
     def app_read(
         self,
         app: OpenBoxApplication,
         obi_id: str,
         block: str,
         handle_name: str,
-        callback: Callable[[Any], None] | None = None,
     ) -> HandleReadResult:
         """Read a handle on an application's block; returns a typed result.
 
         If merging cloned the block, ``result.values`` holds every
-        clone's value and ``result.value`` aggregates them the way the
-        old callback API did (single value / sum of numerics / list).
-        Per-clone failures land in ``result.errors`` instead of raising.
-
-        ``callback`` is the deprecated pre-typed form: invoked with
-        ``result.value`` once every clone answered without error, and a
-        channel failure raises ``ProtocolError`` as it always did.
+        clone's value and ``result.value`` aggregates them (single value
+        / sum of numerics / list). Per-clone failures land in
+        ``result.errors`` instead of raising.
         """
-        if callback is not None:
-            self._warn_callback_deprecated("app_read")
         obi, targets = self._resolve_targets(app, obi_id, block)
         self._m_app_requests.inc()
         started = self.clock()
@@ -727,12 +731,6 @@ class OpenBoxController:
                     ReadRequest(block=target, handle=handle_name)
                 )
             except ChannelClosed as exc:
-                if callback is not None:
-                    # The deprecated form surfaced transport failure as
-                    # an exception; keep that contract for old callers.
-                    raise ProtocolError(
-                        ErrorCode.NOT_CONNECTED, f"OBI {obi_id!r} unreachable: {exc}"
-                    ) from exc
                 result.errors.append(HandleError(
                     obi_id=obi_id,
                     block=target,
@@ -752,8 +750,6 @@ class OpenBoxController:
                     detail=getattr(response, "detail", f"unexpected {response.TYPE}"),
                 ))
         result.latency = self.clock() - started
-        if callback is not None and result.ok:
-            callback(result.value)
         return result
 
     def app_write(
@@ -763,33 +759,20 @@ class OpenBoxController:
         block: str,
         handle_name: str,
         value: Any,
-        callback: Callable[[bool], None] | None = None,
     ) -> HandleWriteResult:
-        """Write a handle on an application's block (all deployed clones).
-
-        ``callback`` is the deprecated pre-typed form: invoked with the
-        conjunction of per-clone acks once every clone answered without
-        error; a channel failure raises ``ProtocolError`` as before.
-        """
-        if callback is not None:
-            self._warn_callback_deprecated("app_write")
+        """Write a handle on an application's block (all deployed clones)."""
         obi, targets = self._resolve_targets(app, obi_id, block)
         self._m_app_requests.inc()
         started = self.clock()
         result = HandleWriteResult(
             app_name=app.name, obi_id=obi_id, block=block, handle=handle_name
         )
-        acks: list[bool] = []
         for target in targets:
             try:
                 response = obi.channel.request(
                     WriteRequest(block=target, handle=handle_name, value=value)
                 )
             except ChannelClosed as exc:
-                if callback is not None:
-                    raise ProtocolError(
-                        ErrorCode.NOT_CONNECTED, f"OBI {obi_id!r} unreachable: {exc}"
-                    ) from exc
                 result.errors.append(HandleError(
                     obi_id=obi_id,
                     block=target,
@@ -799,7 +782,6 @@ class OpenBoxController:
                 ))
                 continue
             if isinstance(response, WriteResponse):
-                acks.append(response.ok)
                 if response.ok:
                     result.written.append(target)
                 else:
@@ -819,23 +801,18 @@ class OpenBoxController:
                     detail=getattr(response, "detail", f"unexpected {response.TYPE}"),
                 ))
         result.latency = self.clock() - started
-        if callback is not None and len(acks) == len(targets):
-            callback(all(acks))
         return result
 
     def app_stats(
         self,
         app: OpenBoxApplication,
         obi_id: str,
-        callback: Callable[[GlobalStatsResponse], None] | None = None,
     ) -> AppStatsView:
         """Fetch GlobalStats for an application; returns a typed view.
 
         Success is also recorded on the stats tracker and delivered to
-        the app's ``on_stats`` hook, exactly as the callback form did.
+        the app's ``on_stats`` hook.
         """
-        if callback is not None:
-            self._warn_callback_deprecated("app_stats")
         handle = self._handle_of(obi_id)
         if handle.channel is None:
             raise ProtocolError(
@@ -847,10 +824,6 @@ class OpenBoxController:
         try:
             response = handle.channel.request(GlobalStatsRequest())
         except ChannelClosed as exc:
-            if callback is not None:
-                raise ProtocolError(
-                    ErrorCode.NOT_CONNECTED, f"OBI {obi_id!r} unreachable: {exc}"
-                ) from exc
             view.error = HandleError(
                 obi_id=obi_id, code=ErrorCode.NOT_CONNECTED, detail=str(exc)
             )
@@ -861,8 +834,6 @@ class OpenBoxController:
             view.stats = response
             self.stats.record_stats(response, self.clock())
             app.on_stats(response)
-            if callback is not None:
-                callback(response)
         else:
             view.error = HandleError(
                 obi_id=obi_id,
@@ -892,34 +863,225 @@ class OpenBoxController:
         return view.last_health if view is not None else None
 
     # ------------------------------------------------------------------
-    # Observability (PROTOCOL.md §9)
+    # Streaming telemetry (PROTOCOL.md §13)
     # ------------------------------------------------------------------
-    def poll_observability(
+    def _handle_telemetry_stream(self, stream: TelemetryStream) -> Message:
+        """Fold one pushed batch; the response is the ack (or a fence).
+
+        A stream stamped with an epoch below this controller's
+        generation was opened by a deposed predecessor — it is refused
+        ``stale_generation`` so the OBI tears the subscription down
+        (the live controller re-subscribes under its own epoch).
+        """
+        if stream.epoch and stream.epoch < self.generation:
+            return TelemetryAck(
+                xid=stream.xid,
+                subscriber=stream.subscriber,
+                ok=False,
+                cursor=0,
+                error=ErrorCode.STALE_GENERATION,
+            )
+        if stream.epoch > self.generation:
+            # The OBI subscribed under a newer controller: we are the
+            # stale side. Record it; the data itself is still folded.
+            self.superseded = True
+        rewind = self._pending_nacks.pop(stream.obi_id, None)
+        if rewind is not None:
+            self.telemetry.reset(stream.obi_id, rewind)
+            return TelemetryAck(
+                xid=stream.xid,
+                subscriber=stream.subscriber,
+                ok=False,
+                cursor=rewind,
+            )
+        handle = self.obis.get(stream.obi_id)
+        segment = handle.segment if handle is not None else ""
+        folded = self.telemetry.apply_stream(stream, segment=segment)
+        self._m_streams.inc()
+        self._m_stream_records.inc(folded)
+        snapshot = self.telemetry.snapshot_response(stream.obi_id)
+        if snapshot is not None:
+            # Feed the existing per-OBI stats views incrementally —
+            # push replaces the poll sweep without changing consumers.
+            self.stats.record_observability(snapshot, self.clock())
+        subscription = self._telemetry_subscriptions.get(stream.obi_id, {})
+        return TelemetryAck(
+            xid=stream.xid,
+            subscriber=stream.subscriber,
+            ok=True,
+            cursor=self.telemetry.last_seq(stream.obi_id),
+            window=int(subscription.get("window", 64)),
+        )
+
+    def subscribe_telemetry(
+        self,
+        obi_id: str,
+        topics: list[str] | None = None,
+        window: int = 64,
+        cursor: int | None = None,
+        drain: bool = False,
+    ) -> TelemetryStream | None:
+        """Open (or refresh) the telemetry subscription on one OBI.
+
+        The response — the first batch — is folded before returning.
+        ``cursor`` None picks the safe default: resume the OBI-side
+        cursor when this controller has folded state for the OBI, else
+        start from 0 so a freshly promoted controller replays the OBI's
+        retained history (any evicted prefix arrives as a counted gap
+        plus a fresh baseline — degraded but never silently wrong).
+        """
+        handle = self._handle_of(obi_id)
+        if handle.channel is None:
+            return None
+        if cursor is None:
+            cursor = -1 if self.telemetry.last_seq(obi_id) else 0
+        self._telemetry_subscriptions[obi_id] = {
+            "topics": list(topics or []),
+            "window": window,
+        }
+        response = handle.channel.request(TelemetrySubscribe(
+            subscriber="controller",
+            topics=list(topics or []),
+            cursor=cursor,
+            window=window,
+            drain=drain,
+            controller_generation=self.generation,
+        ))
+        if isinstance(response, ErrorMessage):
+            if response.code == ErrorCode.STALE_GENERATION:
+                self.superseded = True
+            return None
+        if isinstance(response, TelemetryStream):
+            self._handle_telemetry_stream(response)
+            return response
+        return None
+
+    def _ack_telemetry(self, obi_id: str) -> None:
+        """Push the folded high-water mark back as the OBI-side cursor.
+
+        Needed after a subscribe/drain round trip: the batch arrived as
+        the *response* to our request, so the OBI never saw our ack and
+        its cursor has not moved yet.
+        """
+        handle = self.obis.get(obi_id)
+        if handle is None or handle.channel is None:
+            return
+        subscription = self._telemetry_subscriptions.get(obi_id, {})
+        try:
+            handle.channel.request(TelemetryAck(
+                subscriber="controller",
+                ok=True,
+                cursor=self.telemetry.last_seq(obi_id),
+                window=int(subscription.get("window", 64)),
+            ))
+        except ChannelClosed:
+            # The cursor stays put; the records replay on reconnect.
+            pass
+
+    def request_telemetry_rewind(self, obi_id: str, cursor: int = 0) -> None:
+        """Refuse the next pushed batch and rewind to ``cursor``.
+
+        The NACK path of §13: the next TelemetryStream from ``obi_id``
+        is answered ``ok=False`` with this cursor, the OBI rewinds, and
+        the interval replays (folding is idempotent, so the re-delivery
+        is harmless). ``cursor=0`` also discards the folded state and
+        rebuilds it from the baseline the replay starts with.
+        """
+        self._pending_nacks[obi_id] = cursor
+
+    def watch(
+        self,
+        topics: list[str] | None = None,
+        obi_ids: list[str] | None = None,
+        segments: list[str] | None = None,
+        apps: list[str] | None = None,
+        max_pending: int = 1024,
+    ) -> Watch:
+        """Northbound iterator subscription over telemetry events.
+
+        Events are delivered as they are folded from pushed streams;
+        segment filters match whole subtrees ("core" matches
+        "core/east"). Close the watch when done.
+        """
+        return self.telemetry.watch(
+            topics=topics,
+            obi_ids=obi_ids,
+            segments=segments,
+            apps=apps,
+            max_pending=max_pending,
+        )
+
+    def subscribe(
+        self,
+        callback: Callable[[dict[str, Any]], None],
+        topics: list[str] | None = None,
+        obi_ids: list[str] | None = None,
+        segments: list[str] | None = None,
+        apps: list[str] | None = None,
+    ) -> Callable[[], None]:
+        """Northbound callback subscription; returns an unsubscribe hook."""
+        return self.telemetry.subscribe(
+            callback,
+            topics=topics,
+            obi_ids=obi_ids,
+            segments=segments,
+            apps=apps,
+        )
+
+    def telemetry_snapshot(
         self, obi_id: str, include_traces: bool = True, max_traces: int = 0
     ) -> ObservabilitySnapshotResponse | None:
-        """Pull one OBI's metrics + recent traces and record them."""
+        """One-shot: drain the OBI's telemetry ring, return folded state.
+
+        Subscribe-with-drain, ack, and read back the folded per-OBI
+        state shaped exactly like the old pull response — the modern
+        replacement for :meth:`poll_observability`.
+        """
         handle = self._handle_of(obi_id)
         if handle.channel is None:
             return None
         self._m_obsv_polls.inc()
-        response = handle.channel.request(ObservabilitySnapshotRequest(
-            include_traces=include_traces, max_traces=max_traces
-        ))
-        if isinstance(response, ObservabilitySnapshotResponse):
-            self.stats.record_observability(response, self.clock())
-            return response
-        return None
+        stream = self.subscribe_telemetry(obi_id, drain=True)
+        if stream is None:
+            return None
+        self._ack_telemetry(obi_id)
+        return self.telemetry.snapshot_response(
+            obi_id, include_traces=include_traces, max_traces=max_traces
+        )
+
+    # ------------------------------------------------------------------
+    # Observability (PROTOCOL.md §9 — deprecated polling wrappers)
+    # ------------------------------------------------------------------
+    def poll_observability(
+        self, obi_id: str, include_traces: bool = True, max_traces: int = 0
+    ) -> ObservabilitySnapshotResponse | None:
+        """Deprecated: one-shot drain over the subscribe API (§13)."""
+        warnings.warn(
+            "poll_observability is deprecated; use telemetry_snapshot() or "
+            "the watch()/subscribe() streaming API",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self.telemetry_snapshot(
+            obi_id, include_traces=include_traces, max_traces=max_traces
+        )
 
     def poll_observability_all(
         self, include_traces: bool = True, max_traces: int = 0
     ) -> dict[str, ObservabilitySnapshotResponse]:
-        """Snapshot every reachable OBI; unreachable ones are skipped."""
+        """Deprecated: drain every reachable OBI via the subscribe API."""
+        warnings.warn(
+            "poll_observability_all is deprecated; use telemetry_snapshot() "
+            "per OBI or the watch()/subscribe() streaming API",
+            DeprecationWarning,
+            stacklevel=2,
+        )
         snapshots: dict[str, ObservabilitySnapshotResponse] = {}
         for obi_id, handle in list(self.obis.items()):
             if handle.channel is None:
                 continue
             try:
-                response = self.poll_observability(
+                response = self.telemetry_snapshot(
                     obi_id, include_traces=include_traces, max_traces=max_traces
                 )
             except ChannelClosed:

@@ -13,6 +13,11 @@ eviction is **counted** (``dropped``), never silent — on replay the
 controller learns both every surviving event and exactly how many were
 lost, so its view is degraded but honest.
 
+The ring mechanics now live in :class:`repro.telemetry.TelemetryRing`
+(the same bounded, drop-accounted log backs the streaming telemetry bus
+of PROTOCOL.md §13); ``HeadlessBuffer`` keeps its original push/drain/
+requeue surface as a thin subclass.
+
 "Scaling-sensitive behavior freezes" while headless falls out of the
 same mechanism: health reports and alert beacons are the inputs to the
 controller's scaling and failover loops, and while headless they are
@@ -23,11 +28,12 @@ stale controller from un-freezing it.
 
 from __future__ import annotations
 
-import collections
 from typing import Any
 
+from repro.telemetry.ring import TelemetryRing
 
-class HeadlessBuffer:
+
+class HeadlessBuffer(TelemetryRing):
     """Bounded FIFO of upstream messages with drop accounting.
 
     ``push`` evicts the oldest entry once ``capacity`` is reached and
@@ -37,30 +43,18 @@ class HeadlessBuffer:
     """
 
     def __init__(self, capacity: int = 256) -> None:
-        if capacity < 1:
-            raise ValueError("capacity must be >= 1")
-        self.capacity = capacity
-        self._entries: collections.deque[Any] = collections.deque()
-        #: Evictions in the current (undrained) episode.
-        self.dropped = 0
-        #: Lifetime counters, never reset by drain().
-        self.buffered_total = 0
-        self.dropped_total = 0
+        super().__init__(capacity)
 
-    def __len__(self) -> int:
-        return len(self._entries)
+    @property
+    def buffered_total(self) -> int:
+        """Lifetime count of messages ever buffered (never reset)."""
+        return self.appended_total
 
     def push(self, message: Any) -> bool:
         """Buffer one message; returns False when it evicted the oldest."""
-        evicted = False
-        if len(self._entries) >= self.capacity:
-            self._entries.popleft()
-            self.dropped += 1
-            self.dropped_total += 1
-            evicted = True
-        self._entries.append(message)
-        self.buffered_total += 1
-        return not evicted
+        before = self.dropped_total
+        self.append(message)
+        return self.dropped_total == before
 
     def requeue_front(self, messages: list[Any]) -> None:
         """Put partially-replayed entries back at the head, oldest first.
@@ -71,17 +65,8 @@ class HeadlessBuffer:
         *newest* end — the front of the buffer is the oldest history and
         is what the drop count already promised to preserve first.
         """
-        for message in reversed(messages):
-            self._entries.appendleft(message)
-        while len(self._entries) > self.capacity:
-            self._entries.pop()
-            self.dropped += 1
-            self.dropped_total += 1
+        self.prepend(messages)
 
     def drain(self) -> tuple[list[Any], int]:
         """Take every buffered entry and the episode's drop count."""
-        entries = list(self._entries)
-        self._entries.clear()
-        dropped = self.dropped
-        self.dropped = 0
-        return entries, dropped
+        return self.clear(), self.take_dropped()

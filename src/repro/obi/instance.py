@@ -85,9 +85,13 @@ from repro.protocol.messages import (
     StateCheckpointResponse,
     StateHandoffRequest,
     StateHandoffResponse,
+    TelemetryAck,
+    TelemetryStream,
+    TelemetrySubscribe,
     WriteRequest,
     WriteResponse,
 )
+from repro.telemetry.publisher import TelemetryPublisher
 
 
 @dataclass
@@ -155,6 +159,10 @@ class ObiConfig:
     #: by every ``LeaseAnnounce`` the OBI accepts, so the list tracks
     #: whichever controller currently holds the lease.
     controller_endpoints: list[str] = dataclasses_field(default_factory=list)
+    #: Telemetry ring capacity (PROTOCOL.md §13): how many cursored
+    #: records (metric deltas, traces, alerts) are retained for replay
+    #: across subscriber reconnects; overflow evicts oldest, counted.
+    telemetry_buffer: int = 1024
 
 
 class OpenBoxInstance:
@@ -309,6 +317,14 @@ class OpenBoxInstance:
         )
         self._m_stale_rejected = self.metrics.counter(
             "obi_stale_generation_rejected_total"
+        )
+        #: Streaming telemetry producer (PROTOCOL.md §13): cursored ring
+        #: of metric deltas / traces / alerts pushed to the subscribed
+        #: controller. Deliberately NOT mirrored into ``self.metrics`` —
+        #: a ring gauge would make every collect see its own append as a
+        #: change, so an idle OBI would never go quiet.
+        self.telemetry = TelemetryPublisher(
+            config.obi_id, max(config.telemetry_buffer, 1)
         )
 
     # ------------------------------------------------------------------
@@ -684,6 +700,9 @@ class OpenBoxInstance:
             ))
 
     def _notify_alert(self, alert: Alert) -> None:
+        # Mirror into the telemetry ring at send/buffer time so stream
+        # subscribers see the alert even when the notify channel drops it.
+        self.telemetry.note_alert(alert)
         if self.is_headless():
             self._buffer_upstream(alert)
             return
@@ -879,6 +898,11 @@ class OpenBoxInstance:
             )
         if isinstance(message, StateHandoffRequest):
             return self._state_handoff(message)
+        if isinstance(message, TelemetrySubscribe):
+            return self._telemetry_subscribe(message)
+        if isinstance(message, TelemetryAck):
+            self.telemetry.handle_ack(message)
+            return BarrierResponse(xid=message.xid)
         raise ProtocolError(
             ErrorCode.UNKNOWN_MESSAGE, f"OBI cannot handle {message.TYPE}"
         )
@@ -982,6 +1006,11 @@ class OpenBoxInstance:
             # under the new wiring.
             if self.flow_cache is not None:
                 self.flow_cache.invalidate_all("graph-swap")
+                # Flush the cache's post-invalidate gauges immediately so
+                # a subscriber attaching mid-swap reads registry state
+                # consistent with the new graph, not the stale mirrors.
+                self.flow_cache.bind_metrics(self.metrics)
+                self.flow_cache.export_metrics()
         return SetProcessingGraphResponse(
             xid=message.xid,
             ok=True,
@@ -1000,45 +1029,66 @@ class OpenBoxInstance:
         here rather than maintained on the hot path — pull telemetry
         should cost the data plane nothing between pulls.
         """
-        if self.engine is not None:
-            self.engine.export_metrics()
-        if self.flow_cache is not None:
-            self.flow_cache.bind_metrics(self.metrics)
-            self.flow_cache.export_metrics()
-        gauges = self.metrics
-        gauges.gauge("obi_graph_version").set(self.graph_version)
-        gauges.gauge("obi_degraded").set(1.0 if self.robustness.degraded else 0.0)
-        gauges.gauge("obi_quarantined_blocks").set(
-            len(self.robustness.quarantined_blocks())
-        )
-        gauges.gauge("obi_errors_total").set(self.robustness.errors_total)
-        gauges.gauge("obi_headless").set(1.0 if self.is_headless() else 0.0)
-        gauges.gauge("obi_headless_entries").set(len(self.headless_buffer))
-        table = self.session.flow_table
-        gauges.gauge("obi_state_entries").set(len(table))
-        gauges.gauge("obi_state_protected").set(table.protected_count)
-        gauges.gauge("obi_state_evictions").set(table.evictions)
-        gauges.gauge("obi_state_drops").set(table.drops)
-        gauges.gauge("obi_state_pressure").set(
-            1.0 if table.under_degradation else 0.0
-        )
-        tracer = self.tracer
-        if tracer is not None:
-            gauges.gauge("trace_packets_seen").set(tracer.seen)
-            gauges.gauge("trace_packets_sampled").set(tracer.sampled)
-        return ObservabilitySnapshotResponse(
-            obi_id=self.config.obi_id,
-            graph_version=self.graph_version,
-            metrics=self.metrics.snapshot(),
-            traces=(
-                tracer.traces(max_traces)
-                if include_traces and tracer is not None
-                else []
-            ),
-            packets_seen=tracer.seen if tracer is not None else self.packets_offered,
-            packets_sampled=tracer.sampled if tracer is not None else 0,
-            sample_rate=tracer.sample_rate if tracer is not None else 0.0,
-        )
+        with self._lock:
+            snapshot = self._export_registry_locked()
+            tracer = self.tracer
+            return ObservabilitySnapshotResponse(
+                obi_id=self.config.obi_id,
+                graph_version=self.graph_version,
+                metrics=snapshot,
+                traces=(
+                    tracer.traces(max_traces)
+                    if include_traces and tracer is not None
+                    else []
+                ),
+                packets_seen=(
+                    tracer.seen if tracer is not None else self.packets_offered
+                ),
+                packets_sampled=tracer.sampled if tracer is not None else 0,
+                sample_rate=tracer.sample_rate if tracer is not None else 0.0,
+            )
+
+    def _export_registry_locked(self) -> dict[str, Any]:
+        """Flush watermarks, mirror gauges, snapshot — one critical section.
+
+        ``Engine.export_metrics`` is an unguarded read-inc-write
+        watermark: two concurrent exports (a snapshot racing a graph
+        swap) would double-apply the same delta and inflate the shared
+        registry. Every exporting path therefore runs under the engine
+        lock, and the snapshot is taken in the *same* critical section —
+        so the absolute values any consumer (pull response or telemetry
+        ring record) observes are mutually consistent and monotonic.
+        """
+        with self._lock:
+            if self.engine is not None:
+                self.engine.export_metrics()
+            if self.flow_cache is not None:
+                self.flow_cache.bind_metrics(self.metrics)
+                self.flow_cache.export_metrics()
+            gauges = self.metrics
+            gauges.gauge("obi_graph_version").set(self.graph_version)
+            gauges.gauge("obi_degraded").set(
+                1.0 if self.robustness.degraded else 0.0
+            )
+            gauges.gauge("obi_quarantined_blocks").set(
+                len(self.robustness.quarantined_blocks())
+            )
+            gauges.gauge("obi_errors_total").set(self.robustness.errors_total)
+            gauges.gauge("obi_headless").set(1.0 if self.is_headless() else 0.0)
+            gauges.gauge("obi_headless_entries").set(len(self.headless_buffer))
+            table = self.session.flow_table
+            gauges.gauge("obi_state_entries").set(len(table))
+            gauges.gauge("obi_state_protected").set(table.protected_count)
+            gauges.gauge("obi_state_evictions").set(table.evictions)
+            gauges.gauge("obi_state_drops").set(table.drops)
+            gauges.gauge("obi_state_pressure").set(
+                1.0 if table.under_degradation else 0.0
+            )
+            tracer = self.tracer
+            if tracer is not None:
+                gauges.gauge("trace_packets_seen").set(tracer.seen)
+                gauges.gauge("trace_packets_sampled").set(tracer.sampled)
+            return self.metrics.snapshot()
 
     def _observability(self, message: ObservabilitySnapshotRequest) -> Message:
         response = self.observability_snapshot(
@@ -1046,6 +1096,84 @@ class OpenBoxInstance:
         )
         response.xid = message.xid
         return response
+
+    # ------------------------------------------------------------------
+    # Streaming telemetry (PROTOCOL.md §13)
+    # ------------------------------------------------------------------
+    def _telemetry_meta(self) -> dict[str, Any]:
+        """Context riding metric records (the pull response's envelope)."""
+        tracer = self.tracer
+        return {
+            "graph_version": self.graph_version,
+            "packets_seen": (
+                tracer.seen if tracer is not None else self.packets_offered
+            ),
+            "packets_sampled": tracer.sampled if tracer is not None else 0,
+            "sample_rate": tracer.sample_rate if tracer is not None else 0.0,
+        }
+
+    def _telemetry_collect(self) -> int:
+        """Diff current state into the telemetry ring; records appended.
+
+        Runs under the engine lock so the snapshot, the meta envelope,
+        and the trace list are taken atomically with respect to graph
+        swaps — ring order matches registry order, which is what keeps
+        a folding subscriber's counters monotonic.
+        """
+        with self._lock:
+            snapshot = self._export_registry_locked()
+            tracer = self.tracer
+            traces = tracer.traces(0) if tracer is not None else ()
+            return self.telemetry.collect(
+                snapshot, self._telemetry_meta(), traces
+            )
+
+    def _telemetry_subscribe(self, message: TelemetrySubscribe) -> Message:
+        """Open/refresh a subscription; the response is the first batch."""
+        epoch = (
+            message.controller_generation or self.highest_controller_generation
+        )
+        self.telemetry.subscribe(message, epoch=epoch)
+        self._telemetry_collect()
+        stream = self.telemetry.build_stream(drain=message.drain)
+        if stream is None:
+            # Nothing past the cursor (an idempotent re-subscribe):
+            # answer with an empty batch so the consumer still learns
+            # the covered seq.
+            stream = TelemetryStream(
+                obi_id=self.config.obi_id,
+                subscriber=message.subscriber,
+                through_seq=self.telemetry.ring.cursor(message.subscriber),
+                epoch=epoch,
+            )
+        stream.xid = message.xid
+        return stream
+
+    def publish_telemetry(self) -> TelemetryAck | None:
+        """Push one batch upstream; returns the consumer's ack (or None).
+
+        Collection happens unconditionally — while headless or
+        disconnected the ring keeps accumulating (bounded, drop-counted)
+        so history replays after reconnect. The wire send is skipped
+        when there is no live subscriber; a dead channel leaves the
+        cursor unmoved, so the next publish replays the batch
+        (at-least-once). A stream with nothing new costs no send at all:
+        push cost scales with change rate, not with the publish cadence.
+        """
+        if self.telemetry.subscription is None:
+            return None
+        self._telemetry_collect()
+        if self._channel is None or self.is_headless():
+            return None
+        stream = self.telemetry.build_stream()
+        if stream is None:
+            return None
+        try:
+            response = self._channel.request(stream)
+        except ChannelClosed:
+            return None
+        self.telemetry.handle_ack(response)
+        return response if isinstance(response, TelemetryAck) else None
 
     def _global_stats(self, message: GlobalStatsRequest) -> Message:
         return GlobalStatsResponse(

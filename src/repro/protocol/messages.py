@@ -715,3 +715,91 @@ class ErrorMessage(Message):
 
     code: str = ""
     detail: str = ""
+
+
+# ----------------------------------------------------------------------
+# Streaming telemetry (PROTOCOL.md §13)
+# ----------------------------------------------------------------------
+
+@register_message
+@dataclass
+class TelemetrySubscribe(Message):
+    """OBC → OBI: open or refresh a telemetry subscription (§13).
+
+    The OBI registers (or resumes) the named subscriber cursor on its
+    telemetry ring and answers with a :class:`TelemetryStream` — the
+    first batch, starting with a baseline record for a brand-new or
+    gap-afflicted cursor. ``controller_generation`` rides the standard
+    split-brain fence (§10): a subscribe from a deposed controller is
+    rejected ``stale_generation`` before it can redirect the stream.
+    """
+
+    TYPE: ClassVar[str] = "TelemetrySubscribe"
+
+    subscriber: str = "controller"
+    #: Topic filter: any subset of {"metrics", "traces", "alerts"}
+    #: (empty = all). Baselines ride the metrics topic.
+    topics: list[str] = field(default_factory=list)
+    #: Resume position: -1 resumes the OBI-side cursor (0 for a new
+    #: subscriber, i.e. replay retained history); >= 0 sets it exactly.
+    cursor: int = -1
+    #: Max records per TelemetryStream batch (backpressure credit).
+    window: int = 64
+    #: One-shot drain: ignore ``window`` and return everything pending
+    #: (the poll_observability compatibility wrapper uses this).
+    drain: bool = False
+    controller_generation: int = 0
+
+
+@register_message
+@dataclass
+class TelemetryStream(Message):
+    """OBI → OBC (push) or subscribe response: one cursored batch (§13).
+
+    ``records`` each carry their ring ``seq``; the consumer folds only
+    seqs above its cursor, so at-least-once redelivery after a
+    reconnect deduplicates cleanly. ``lost`` counts records evicted
+    before this batch could be read — never silent; the OBI emits a
+    fresh baseline record after any gap so the consumer cannot stay
+    stale. ``epoch`` is the controller generation the subscription was
+    registered under; a consumer at a higher generation rejects the
+    batch (NACK ``stale_generation``) so a stream started by a deposed
+    controller dies at the first fence.
+    """
+
+    TYPE: ClassVar[str] = "TelemetryStream"
+
+    obi_id: str = ""
+    subscriber: str = "controller"
+    #: Each record: {"seq": int, "kind": "baseline|metrics|trace|alert", ...}
+    records: list[dict[str, Any]] = field(default_factory=list)
+    #: Records evicted unread before this batch (counted gap).
+    lost: int = 0
+    #: Records still retained past this batch (drain loops stop at 0).
+    pending: int = 0
+    #: Highest ring seq this batch covers *inclusive* — may exceed the
+    #: last record's seq when topic-filtered records were skipped; the
+    #: consumer acks ``through_seq`` so filtered history is not replayed.
+    through_seq: int = 0
+    epoch: int = 0
+
+
+@register_message
+@dataclass
+class TelemetryAck(Message):
+    """OBC → OBI: consume/refuse a pushed TelemetryStream batch (§13).
+
+    ``ok`` True acknowledges durably folding through ``cursor`` — the
+    OBI advances the subscriber cursor and may evict acked records.
+    ``ok`` False is a NACK: the OBI rewinds the cursor to ``cursor``
+    and replays from there on the next publish (at-least-once).
+    ``window`` re-extends backpressure credit for the next batch.
+    """
+
+    TYPE: ClassVar[str] = "TelemetryAck"
+
+    subscriber: str = "controller"
+    ok: bool = True
+    cursor: int = 0
+    window: int = 64
+    error: str = ""

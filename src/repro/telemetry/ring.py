@@ -1,0 +1,167 @@
+"""Cursored telemetry ring: the durable buffer behind the push bus.
+
+This is the generalization of the headless-mode ``HeadlessBuffer``
+(``obi/headless.py``): the same bounded ring with honest drop
+accounting, extended with two things the push bus needs —
+
+* **Sequence numbers.** Every appended record is stamped with a
+  monotonically increasing ``seq``; a batch on the wire names the exact
+  interval it covers, so replays after a reconnect are deduplicated by
+  comparing seqs rather than by trusting delivery order.
+* **Per-subscriber cursors.** Each named subscriber tracks the last seq
+  it has durably consumed. ``read_after`` serves any cursor position;
+  ``ack`` advances a cursor (never backwards), ``rewind`` moves it back
+  (NACK-driven replay). A subscriber that falls behind eviction gets a
+  *counted* gap (``lost``), never a silent one — the consumer knows to
+  request a fresh baseline.
+
+Memory stays bounded exactly as before: once ``capacity`` is reached,
+the oldest record is evicted and the eviction is counted (``dropped`` /
+``dropped_total``). ``HeadlessBuffer`` is now a thin subclass that keeps
+its original drain/requeue surface (see ``obi/headless.py``).
+"""
+
+from __future__ import annotations
+
+import collections
+from typing import Any, Iterable
+
+
+class TelemetryRing:
+    """Bounded, seq-stamped record log with per-subscriber cursors."""
+
+    def __init__(self, capacity: int = 1024) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = capacity
+        self._entries: collections.deque[tuple[int, Any]] = collections.deque()
+        self._next_seq = 1
+        #: Evictions in the current (untaken) episode — see take_dropped().
+        self.dropped = 0
+        #: Lifetime counters, never reset.
+        self.appended_total = 0
+        self.dropped_total = 0
+        self._cursors: dict[str, int] = {}
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def last_seq(self) -> int:
+        """Seq of the newest record ever appended (0 before the first)."""
+        return self._next_seq - 1
+
+    @property
+    def oldest_seq(self) -> int | None:
+        """Seq of the oldest *retained* record (None when empty)."""
+        return self._entries[0][0] if self._entries else None
+
+    # ------------------------------------------------------------------
+    # Producing
+    # ------------------------------------------------------------------
+    def append(self, record: Any) -> int:
+        """Stamp and store one record; evicts (and counts) when full."""
+        if len(self._entries) >= self.capacity:
+            self._entries.popleft()
+            self.dropped += 1
+            self.dropped_total += 1
+        seq = self._next_seq
+        self._next_seq += 1
+        self._entries.append((seq, record))
+        self.appended_total += 1
+        return seq
+
+    def prepend(self, records: Iterable[Any]) -> None:
+        """Re-insert history at the *oldest* end, oldest record first.
+
+        Used when a partially consumed batch must regain its place ahead
+        of anything appended later (headless replay died midway). The
+        re-inserted records take descending seqs below the current
+        oldest; entries shoved past ``capacity`` evict from the *newest*
+        end — the front is the oldest history and is what the drop count
+        already promised to preserve first.
+        """
+        base = self.oldest_seq if self._entries else self._next_seq
+        seq = base - 1
+        for record in reversed(list(records)):
+            self._entries.appendleft((seq, record))
+            seq -= 1
+        while len(self._entries) > self.capacity:
+            self._entries.pop()
+            self.dropped += 1
+            self.dropped_total += 1
+
+    def clear(self) -> list[Any]:
+        """Remove and return every retained record (cursors untouched)."""
+        records = [record for _, record in self._entries]
+        self._entries.clear()
+        return records
+
+    def take_dropped(self) -> int:
+        """The episode's drop count, resetting it (totals retained)."""
+        dropped, self.dropped = self.dropped, 0
+        return dropped
+
+    # ------------------------------------------------------------------
+    # Consuming
+    # ------------------------------------------------------------------
+    def read_after(
+        self, cursor: int, limit: int | None = None
+    ) -> tuple[int, list[tuple[int, Any]]]:
+        """Records strictly after ``cursor``, plus the evicted-gap size.
+
+        Returns ``(lost, [(seq, record), ...])`` where ``lost`` counts
+        records the cursor never saw because they were evicted before
+        this read. ``limit`` caps the batch (subscriber window).
+        """
+        lost = 0
+        # An empty ring still implies loss when history was appended and
+        # then evicted/cleared past the cursor: everything up to last_seq
+        # is gone, so the effective "oldest retained" is next_seq.
+        oldest = self._entries[0][0] if self._entries else self._next_seq
+        if cursor + 1 < oldest:
+            lost = oldest - cursor - 1
+        out: list[tuple[int, Any]] = []
+        for seq, record in self._entries:
+            if seq <= cursor:
+                continue
+            out.append((seq, record))
+            if limit is not None and len(out) >= limit:
+                break
+        return lost, out
+
+    # ------------------------------------------------------------------
+    # Cursors
+    # ------------------------------------------------------------------
+    def register(self, name: str, cursor: int | None = None) -> int:
+        """Create or refresh subscriber ``name``; returns its cursor.
+
+        ``cursor=None`` resumes an existing cursor (0 for a brand-new
+        subscriber — i.e. replay from the start of retained history).
+        """
+        if cursor is None:
+            cursor = self._cursors.get(name, 0)
+        self._cursors[name] = cursor
+        return cursor
+
+    def cursor(self, name: str) -> int:
+        return self._cursors.get(name, 0)
+
+    def ack(self, name: str, seq: int) -> int:
+        """Advance ``name`` to ``seq`` (never backwards); returns it."""
+        cur = max(self._cursors.get(name, 0), seq)
+        self._cursors[name] = cur
+        return cur
+
+    def rewind(self, name: str, seq: int) -> int:
+        """Move ``name`` back to ``seq`` (NACK replay); returns it."""
+        cur = min(self._cursors.get(name, 0), seq)
+        self._cursors[name] = cur
+        return cur
+
+    def forget(self, name: str) -> None:
+        self._cursors.pop(name, None)
+
+    def pending(self, name: str) -> int:
+        """How many retained records subscriber ``name`` has not read."""
+        return sum(1 for seq, _ in self._entries if seq > self.cursor(name))

@@ -64,7 +64,7 @@ def _build_demo_snapshot(
     generator = TrafficGenerator(TraceConfig(seed=7, num_packets=packets))
     obi.inject_batch(list(generator.packets()))
 
-    response = controller.poll_observability("obi-1", max_traces=max_traces)
+    response = controller.telemetry_snapshot("obi-1", max_traces=max_traces)
     if response is None:
         raise RuntimeError("snapshot pull failed: OBI unreachable")
     return response.to_dict()

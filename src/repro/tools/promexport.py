@@ -1,0 +1,186 @@
+"""Prometheus text-format exporter for OpenBox metric snapshots.
+
+Renders a :meth:`MetricsRegistry.snapshot`-shaped dict (or a dumped
+``ObservabilitySnapshotResponse``) as Prometheus exposition text
+(version 0.0.4): counters and gauges become single samples, histograms
+expand into cumulative ``_bucket`` series with ``le`` labels plus
+``_count``/``_sum``. Registry keys like ``name{k=v,...}`` are rewritten
+to Prometheus label syntax (``name{k="v",...}``).
+
+Usage::
+
+    openbox-prom --demo [--packets 500]      # quickstart topology
+    openbox-prom --input snap.json           # render a dumped snapshot
+    python -m repro.tools.obsv dump -o s.json && openbox-prom -i s.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import re
+import sys
+from typing import Any, Iterator, Sequence
+
+_KEYED = re.compile(r"^(?P<name>[^{]+)\{(?P<labels>.*)\}$")
+_VALID_NAME = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def _split_key(key: str) -> tuple[str, dict[str, str]]:
+    """``name{k=v,...}`` → (name, labels); bare names pass through."""
+    match = _KEYED.match(key)
+    if not match:
+        return key, {}
+    labels: dict[str, str] = {}
+    for pair in match.group("labels").split(","):
+        if not pair:
+            continue
+        k, _, v = pair.partition("=")
+        labels[k.strip()] = v.strip()
+    return match.group("name"), labels
+
+
+def _escape(value: str) -> str:
+    return (
+        value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    )
+
+
+def _sample(name: str, labels: dict[str, str], value: float) -> str:
+    name = _VALID_NAME.sub("_", name)
+    if labels:
+        inner = ",".join(
+            f'{k}="{_escape(str(v))}"' for k, v in sorted(labels.items())
+        )
+        return f"{name}{{{inner}}} {_format(value)}"
+    return f"{name} {_format(value)}"
+
+
+def _format(value: float) -> str:
+    if value == float("inf"):
+        return "+Inf"
+    if isinstance(value, float) and value.is_integer():
+        return str(int(value))
+    return repr(value)
+
+
+def _render_histogram(
+    key: str, hist: dict[str, Any]
+) -> Iterator[str]:
+    name, labels = _split_key(key)
+    boundaries = list(hist.get("boundaries", []))
+    counts = list(hist.get("counts", []))
+    cumulative = 0
+    for index, bound in enumerate(boundaries):
+        cumulative += counts[index] if index < len(counts) else 0
+        yield _sample(
+            f"{name}_bucket", {**labels, "le": _format(float(bound))},
+            cumulative,
+        )
+    total = hist.get("count", sum(counts))
+    yield _sample(f"{name}_bucket", {**labels, "le": "+Inf"}, total)
+    yield _sample(f"{name}_count", labels, total)
+    yield _sample(f"{name}_sum", labels, hist.get("sum", 0.0))
+
+
+def render_prometheus(metrics: dict[str, Any]) -> str:
+    """Exposition text for one ``{counters, gauges, histograms}`` dict."""
+    lines: list[str] = []
+    seen_types: set[str] = set()
+
+    def _header(key: str, kind: str) -> str:
+        return _VALID_NAME.sub("_", _split_key(key)[0]), kind
+
+    for key in sorted(metrics.get("counters", {})):
+        name, _ = _header(key, "counter")
+        if name not in seen_types:
+            seen_types.add(name)
+            lines.append(f"# TYPE {name} counter")
+        lines.append(
+            _sample(*_split_key(key), metrics["counters"][key])
+        )
+    for key in sorted(metrics.get("gauges", {})):
+        name, _ = _header(key, "gauge")
+        if name not in seen_types:
+            seen_types.add(name)
+            lines.append(f"# TYPE {name} gauge")
+        lines.append(_sample(*_split_key(key), metrics["gauges"][key]))
+    for key in sorted(metrics.get("histograms", {})):
+        name, _ = _header(key, "histogram")
+        if name not in seen_types:
+            seen_types.add(name)
+            lines.append(f"# TYPE {name} histogram")
+        lines.extend(_render_histogram(key, metrics["histograms"][key]))
+    return "\n".join(lines) + "\n"
+
+
+def _load_metrics(path: str) -> dict[str, Any]:
+    with open(path) as handle:
+        data = json.load(handle)
+    # Accept a full snapshot-response dump or a bare metrics dict.
+    return data["metrics"] if "metrics" in data else data
+
+
+def _demo_metrics(packets: int) -> dict[str, Any]:
+    """Folded metrics from the quickstart topology over the push path."""
+    from repro.apps.firewall import FirewallApp, parse_firewall_rules
+    from repro.bootstrap import connect_inproc
+    from repro.controller.obc import OpenBoxController
+    from repro.obi.instance import ObiConfig, OpenBoxInstance
+    from repro.sim.traffic import TraceConfig, TrafficGenerator
+
+    rules = """
+    deny  tcp 10.0.0.0/8 any any 23
+    alert tcp any        any any 22
+    allow any any        any any any
+    """
+    controller = OpenBoxController()
+    obi = OpenBoxInstance(ObiConfig(obi_id="obi-1", segment="corp"))
+    connect_inproc(controller, obi)
+    controller.register_application(
+        FirewallApp("fw", parse_firewall_rules(rules), segment="corp")
+    )
+    generator = TrafficGenerator(TraceConfig(seed=7, num_packets=packets))
+    obi.inject_batch(list(generator.packets()))
+    response = controller.telemetry_snapshot("obi-1", include_traces=False)
+    if response is None:
+        raise RuntimeError("telemetry drain failed: OBI unreachable")
+    return response.metrics
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="openbox-prom", description=__doc__.splitlines()[0]
+    )
+    source = parser.add_mutually_exclusive_group(required=True)
+    source.add_argument(
+        "--input", "-i", help="metrics JSON (obsv dump or bare snapshot)"
+    )
+    source.add_argument(
+        "--demo", action="store_true",
+        help="run the quickstart topology and export its folded metrics",
+    )
+    parser.add_argument("--packets", type=int, default=500,
+                        help="demo traffic volume (with --demo)")
+    parser.add_argument("--output", "-o",
+                        help="write exposition text here instead of stdout")
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    metrics = (
+        _demo_metrics(args.packets) if args.demo else _load_metrics(args.input)
+    )
+    text = render_prometheus(metrics)
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(text)
+        print(f"wrote {args.output}: {len(text.splitlines())} lines")
+    else:
+        sys.stdout.write(text)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -617,6 +617,42 @@ def explain(
     return f"{rel}:\n  " + "\n  -> ".join(hops)
 
 
+def affects(
+    changed: Iterable[str],
+    targets: Iterable[str],
+    root: pathlib.Path = REPO_ROOT,
+    graph: ImpactGraph | None = None,
+) -> dict[str, bool]:
+    """Whether the changed set reaches each target.
+
+    A target is a repo-relative path prefix (``benchmarks``,
+    ``tests/integration``), a single file, or ``marker:NAME`` (any
+    impacted module carrying that pytest marker). CI uses this to
+    decide whether optional jobs (chaos, bench) need to run for a PR.
+    Anything that widens ``select()`` to the full suite affects every
+    target — the same conservative failure mode.
+    """
+    graph = graph or ImpactGraph.scan(root)
+    targets = list(targets)
+    selection = select(changed, root=root, graph=graph)
+    if selection.full:
+        return {target: True for target in targets}
+    seeds = {graph.by_path[path] for path in selection.changed}
+    impacted = [graph.nodes[module] for module in graph.dependents(seeds)]
+    verdicts: dict[str, bool] = {}
+    for target in targets:
+        if target.startswith("marker:"):
+            name = target[len("marker:"):]
+            verdicts[target] = any(name in node.markers for node in impacted)
+            continue
+        prefix = pathlib.PurePosixPath(target).as_posix().rstrip("/")
+        verdicts[target] = any(
+            node.path == prefix or node.path.startswith(prefix + "/")
+            for node in impacted
+        )
+    return verdicts
+
+
 def changed_files(base: str, root: pathlib.Path = REPO_ROOT) -> list[str]:
     """Changed paths vs ``base``: merge-base diff of worktree+commits,
     plus untracked files under the scanned trees."""
@@ -650,6 +686,10 @@ def main(argv: list[str] | None = None) -> int:
                         help="explicit changed-file list (bypasses git)")
     parser.add_argument("--explain", metavar="TEST_FILE",
                         help="print the import chain justifying TEST_FILE")
+    parser.add_argument("--affects", nargs="+", metavar="NAME=PATHS",
+                        help="gate mode: for each NAME=path[,path|marker:M...]"
+                             " print NAME=true|false (job scheduling) instead"
+                             " of a test selection")
     parser.add_argument("--out", metavar="FILE",
                         help="also write the selected paths to FILE")
     parser.add_argument("--verbose", action="store_true",
@@ -660,6 +700,17 @@ def main(argv: list[str] | None = None) -> int:
     graph = ImpactGraph.scan(REPO_ROOT)
     if args.explain:
         print(explain(args.explain, changed, graph=graph))
+        return 0
+    if args.affects:
+        specs = []
+        for raw in args.affects:
+            name, _, rest = raw.partition("=")
+            specs.append((name, (rest or name).split(",")))
+        flat = sorted({part for _, parts in specs for part in parts})
+        verdicts = affects(changed, flat, graph=graph)
+        for name, parts in specs:
+            hit = any(verdicts[part] for part in parts)
+            print(f"{name}={'true' if hit else 'false'}")
         return 0
     selection = select(changed, graph=graph)
     lines = selection.pytest_args()

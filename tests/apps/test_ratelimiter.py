@@ -62,9 +62,8 @@ class TestRateLimiter:
         app.set_rate("10.0.0.0/8", 1e9, obi_id="o")
         # No redeployment happened — the write handle did the work.
         assert obi.graph_version == generation_before
-        values = []
-        app.request_read("o", "rl_shape_0", "rate", values.append)
-        assert values == [1e9]
+        result = app.request_read("o", "rl_shape_0", "rate")
+        assert result.value == 1e9
 
     def test_merge_does_not_cross_shaper(self):
         """Classifiers must not be merged across a shaper (§2.2.1)."""

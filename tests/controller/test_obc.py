@@ -147,36 +147,36 @@ class TestEvents:
 
 
 class TestAppRequests:
-    def test_app_read_callback(self, controller):
+    def test_app_read(self, controller):
         obi = _connect(controller)
         fw = _fw_app("fw", segment="corp")
         controller.register_application(fw)
         obi.process_packet(make_tcp_packet("10.0.0.1", "2.2.2.2", 5, 23))
-        values = []
-        fw.request_read("obi-1", "fw_drop", "count", values.append)
-        assert values == [1]
+        result = fw.request_read("obi-1", "fw_drop", "count")
+        assert result.ok
+        assert result.value == 1
 
-    def test_app_write_callback(self, controller):
+    def test_app_write(self, controller):
         obi = _connect(controller)
         fw = _fw_app("fw", segment="corp")
         controller.register_application(fw)
-        results = []
-        fw.request_write("obi-1", "fw_drop", "reset_counts", None, results.append)
-        assert results == [True]
+        result = fw.request_write("obi-1", "fw_drop", "reset_counts", None)
+        assert result.ok
+        assert result.written
 
     def test_app_stats_recorded(self, controller):
         _connect(controller)
         fw = _fw_app("fw", segment="corp")
         controller.register_application(fw)
-        stats = []
-        fw.request_stats("obi-1", stats.append)
-        assert stats[0].obi_id == "obi-1"
+        view = fw.request_stats("obi-1")
+        assert view.ok
+        assert view.obi_id == "obi-1"
         assert controller.stats.view("obi-1").last_stats is not None
 
     def test_unregistered_app_cannot_request(self):
         app = _fw_app("lonely")
         with pytest.raises(RuntimeError):
-            app.request_read("obi-1", "b", "h", lambda v: None)
+            app.request_read("obi-1", "b", "h")
 
     def test_update_logic_redeploys(self, controller):
         obi = _connect(controller)

@@ -1,4 +1,4 @@
-"""The typed synchronous northbound API and its deprecated callback shim."""
+"""The typed synchronous northbound API (callback shim removed)."""
 
 import pytest
 
@@ -114,36 +114,30 @@ class TestTypedStats:
         assert controller.stats.view("obi-1").last_stats is not None
 
 
-class TestDeprecatedCallbackShim:
-    def test_read_callback_warns_and_fires(self, controller):
-        obi = _connect(controller)
-        fw = _fw_app()
-        controller.register_application(fw)
-        obi.process_packet(make_tcp_packet("10.0.0.1", "2.2.2.2", 5, 23))
-        values = []
-        with pytest.warns(DeprecationWarning):
-            result = fw.request_read("obi-1", "fw_drop", "count", values.append)
-        assert values == [1]
-        assert result.value == 1  # shim still returns the typed result
+class TestCallbackShimRemoved:
+    """The deprecated callback argument is gone, not silently ignored."""
 
-    def test_write_callback_warns_and_fires(self, controller):
+    def test_read_callback_argument_rejected(self, controller):
         _connect(controller)
         fw = _fw_app()
         controller.register_application(fw)
-        acks = []
-        with pytest.warns(DeprecationWarning):
+        with pytest.raises(TypeError):
+            fw.request_read("obi-1", "fw_drop", "count", lambda v: None)
+
+    def test_write_callback_argument_rejected(self, controller):
+        _connect(controller)
+        fw = _fw_app()
+        controller.register_application(fw)
+        with pytest.raises(TypeError):
             fw.request_write("obi-1", "fw_drop", "reset_counts", None,
-                             acks.append)
-        assert acks == [True]
+                             lambda ok: None)
 
-    def test_stats_callback_warns_and_fires(self, controller):
+    def test_stats_callback_argument_rejected(self, controller):
         _connect(controller)
         fw = _fw_app()
         controller.register_application(fw)
-        stats = []
-        with pytest.warns(DeprecationWarning):
-            fw.request_stats("obi-1", stats.append)
-        assert stats[0].obi_id == "obi-1"
+        with pytest.raises(TypeError):
+            fw.request_stats("obi-1", lambda s: None)
 
     def test_typed_form_does_not_warn(self, controller, recwarn):
         _connect(controller)

@@ -73,13 +73,12 @@ class TestMultiTenancy:
     def test_tenant_reads_only_its_blocks(self, tenants):
         controller, eng_obi, _sales, corp_fw, eng_fw, _sales_fw = tenants
         eng_obi.process_packet(make_tcp_packet("1.1.1.1", "2.2.2.2", 5, 3389))
-        values = []
-        eng_fw.request_read("eng-obi", "eng-fw_drop", "count", values.append)
-        assert values == [1]
+        result = eng_fw.request_read("eng-obi", "eng-fw_drop", "count")
+        assert result.value == 1
         # corp-fw cannot address eng-fw's blocks.
         from repro.protocol.errors import ProtocolError
         with pytest.raises(ProtocolError):
-            corp_fw.request_read("eng-obi", "eng-fw_drop", "count", values.append)
+            corp_fw.request_read("eng-obi", "eng-fw_drop", "count")
 
     def test_merged_classifier_not_addressable_by_tenants(self, tenants):
         """The merged cross-product classifier belongs to no single
@@ -94,7 +93,7 @@ class TestMultiTenancy:
         from repro.protocol.errors import ProtocolError
         with pytest.raises(ProtocolError):
             corp_fw.request_read(
-                "eng-obi", merged_classifiers[0].name, "count", lambda v: None
+                "eng-obi", merged_classifiers[0].name, "count"
             )
 
     def test_priority_preserved_in_merge_order(self, tenants):

@@ -74,9 +74,8 @@ class TestRestControlPlane:
         )
         controller.register_application(app)
         obi.process_packet(make_tcp_packet("10.0.0.1", "2.2.2.2", 5, 23))
-        values = []
-        app.request_read("rest-obi", "fw_drop", "count", values.append)
-        assert values == [1]
+        result = app.request_read("rest-obi", "fw_drop", "count")
+        assert result.value == 1
 
     def test_two_obis_same_controller(self):
         controller = OpenBoxController()

@@ -1,4 +1,9 @@
-"""ObservabilitySnapshot round-trips: inproc AND REST (PROTOCOL.md §9)."""
+"""Observability snapshot round-trips: inproc AND REST.
+
+The §9 response shape, obtained through the §13 one-shot drain
+(``telemetry_snapshot``); the deprecated polling wrappers are covered
+in tests/telemetry/test_push_pipeline.py.
+"""
 
 import pytest
 
@@ -46,7 +51,7 @@ class TestInprocRoundTrip:
     def test_poll_returns_metrics_and_traces(self, plane):
         controller, obi = plane
         _drive(obi)
-        snapshot = controller.poll_observability("obi-1", max_traces=3)
+        snapshot = controller.telemetry_snapshot("obi-1", max_traces=3)
         assert isinstance(snapshot, ObservabilitySnapshotResponse)
         assert snapshot.metrics["counters"]["engine_packets_total"] == 5
         assert snapshot.packets_seen == 5
@@ -56,7 +61,7 @@ class TestInprocRoundTrip:
     def test_poll_recorded_in_stats_tracker(self, plane):
         controller, obi = plane
         _drive(obi)
-        controller.poll_observability("obi-1")
+        controller.telemetry_snapshot("obi-1")
         view = controller.stats.view("obi-1")
         assert view.last_observability is not None
         assert view.last_observability.graph_version == obi.graph_version
@@ -64,7 +69,7 @@ class TestInprocRoundTrip:
     def test_include_traces_false_omits_traces(self, plane):
         controller, obi = plane
         _drive(obi)
-        snapshot = controller.poll_observability("obi-1", include_traces=False)
+        snapshot = controller.telemetry_snapshot("obi-1", include_traces=False)
         assert snapshot.traces == []
         assert snapshot.metrics["counters"]["engine_packets_total"] == 5
 
@@ -90,7 +95,10 @@ class TestInprocRoundTrip:
         _register_fw(controller)
         for obi in obis:
             _drive(obi, n=4)
-        snapshots = controller.poll_observability_all(max_traces=2)
+        snapshots = {
+            obi_id: controller.telemetry_snapshot(obi_id, max_traces=2)
+            for obi_id in controller.obis
+        }
         assert set(snapshots) == {"obi-1", "obi-2"}
         fleet = controller.stats.aggregate_observability()
         assert fleet["metrics"]["counters"]["engine_packets_total"] == 8
@@ -104,7 +112,7 @@ class TestInprocRoundTrip:
         connect_inproc(controller, obi)
         _register_fw(controller)
         _drive(obi)
-        snapshot = controller.poll_observability("obi-1")
+        snapshot = controller.telemetry_snapshot("obi-1")
         assert snapshot.sample_rate == 0.0
         assert snapshot.traces == []
         assert snapshot.packets_seen == 5  # falls back to offered count
@@ -128,7 +136,7 @@ class TestRestRoundTrip:
         controller, obi = rest_plane
         _register_fw(controller)
         _drive(obi)
-        snapshot = controller.poll_observability("rest-obi", max_traces=2)
+        snapshot = controller.telemetry_snapshot("rest-obi", max_traces=2)
         assert isinstance(snapshot, ObservabilitySnapshotResponse)
         # Counters, histogram shapes, and trace spans all crossed HTTP.
         assert snapshot.metrics["counters"]["engine_packets_total"] == 5

@@ -49,6 +49,9 @@ from repro.protocol.messages import (
     StateCheckpointResponse,
     StateHandoffRequest,
     StateHandoffResponse,
+    TelemetryAck,
+    TelemetryStream,
+    TelemetrySubscribe,
     WriteRequest,
     WriteResponse,
     message_class,
@@ -123,6 +126,16 @@ ALL_MESSAGES = [
     JournalStream(leader_id="c1", epoch=2, snapshot=True, segment=1, offset=3,
                   records=[{"rec": "generation", "generation": 2}]),
     ReplicaAck(replica_id="c2", epoch=2, segment=1, offset=3),
+    TelemetrySubscribe(subscriber="controller", topics=["metrics", "alerts"],
+                       cursor=-1, window=32, drain=False,
+                       controller_generation=3),
+    TelemetryStream(obi_id="o1", subscriber="controller",
+                    records=[{"seq": 5, "kind": "metrics",
+                              "counters": {"engine_packets_total": 9},
+                              "gauges": {}, "histograms": {},
+                              "meta": {"graph_version": 3}}],
+                    lost=2, pending=1, through_seq=6, epoch=3),
+    TelemetryAck(subscriber="controller", ok=True, cursor=6, window=32),
     BarrierRequest(),
     BarrierResponse(),
     ErrorMessage(code=ErrorCode.UNKNOWN_BLOCK, detail="nope"),

@@ -1,0 +1,129 @@
+"""TelemetryRing: seq stamping, cursors, bounded memory, counted loss."""
+
+import pytest
+
+from repro.telemetry.ring import TelemetryRing
+
+
+class TestAppend:
+    def test_seqs_monotonic_from_one(self):
+        ring = TelemetryRing(capacity=4)
+        assert [ring.append(chr(97 + i)) for i in range(3)] == [1, 2, 3]
+        assert ring.last_seq == 3
+        assert ring.oldest_seq == 1
+        assert len(ring) == 3
+
+    def test_eviction_counts_and_keeps_newest(self):
+        ring = TelemetryRing(capacity=2)
+        for value in "abc":
+            ring.append(value)
+        assert len(ring) == 2
+        assert ring.oldest_seq == 2
+        assert ring.dropped == 1
+        assert ring.dropped_total == 1
+        assert ring.appended_total == 3
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            TelemetryRing(capacity=0)
+
+    def test_take_dropped_resets_episode_not_total(self):
+        ring = TelemetryRing(capacity=1)
+        ring.append("a")
+        ring.append("b")
+        assert ring.take_dropped() == 1
+        assert ring.dropped == 0
+        assert ring.dropped_total == 1
+
+
+class TestReadAfter:
+    def test_reads_strictly_after_cursor(self):
+        ring = TelemetryRing(capacity=8)
+        for value in "abcd":
+            ring.append(value)
+        lost, entries = ring.read_after(2)
+        assert lost == 0
+        assert entries == [(3, "c"), (4, "d")]
+
+    def test_limit_caps_the_batch(self):
+        ring = TelemetryRing(capacity=8)
+        for value in "abcd":
+            ring.append(value)
+        _, entries = ring.read_after(0, limit=2)
+        assert entries == [(1, "a"), (2, "b")]
+
+    def test_eviction_past_cursor_is_counted_loss(self):
+        ring = TelemetryRing(capacity=2)
+        for value in "abcde":
+            ring.append(value)  # retains seqs 4, 5
+        lost, entries = ring.read_after(1)
+        assert lost == 2  # seqs 2 and 3 evicted unread
+        assert [seq for seq, _ in entries] == [4, 5]
+
+    def test_empty_ring_after_clear_still_reports_loss(self):
+        ring = TelemetryRing(capacity=4)
+        for value in "abc":
+            ring.append(value)
+        ring.clear()
+        lost, entries = ring.read_after(1)
+        assert lost == 2  # seqs 2, 3 gone without being read
+        assert entries == []
+
+    def test_fresh_empty_ring_reports_no_loss(self):
+        ring = TelemetryRing(capacity=4)
+        assert ring.read_after(0) == (0, [])
+
+
+class TestCursors:
+    def test_register_new_defaults_to_zero(self):
+        ring = TelemetryRing()
+        assert ring.register("c") == 0
+
+    def test_register_none_resumes_existing(self):
+        ring = TelemetryRing()
+        ring.register("c", 7)
+        assert ring.register("c", None) == 7
+
+    def test_register_explicit_overwrites(self):
+        ring = TelemetryRing()
+        ring.register("c", 7)
+        assert ring.register("c", 3) == 3
+
+    def test_ack_never_goes_backwards(self):
+        ring = TelemetryRing()
+        ring.register("c")
+        assert ring.ack("c", 5) == 5
+        assert ring.ack("c", 3) == 5
+
+    def test_rewind_never_goes_forward(self):
+        ring = TelemetryRing()
+        ring.register("c", 5)
+        assert ring.rewind("c", 2) == 2
+        assert ring.rewind("c", 9) == 2
+
+    def test_pending_counts_unread_retained(self):
+        ring = TelemetryRing(capacity=8)
+        for value in "abcd":
+            ring.append(value)
+        ring.register("c", 2)
+        assert ring.pending("c") == 2
+        ring.forget("c")
+        assert ring.cursor("c") == 0
+
+
+class TestPrepend:
+    def test_prepend_takes_descending_seqs_below_oldest(self):
+        ring = TelemetryRing(capacity=8)
+        ring.append("c")  # seq 1... then pretend a, b were consumed
+        ring.prepend(["a", "b"])
+        _, entries = ring.read_after(-5)
+        assert entries == [(-1, "a"), (0, "b"), (1, "c")]
+
+    def test_prepend_overflow_evicts_newest_end(self):
+        ring = TelemetryRing(capacity=3)
+        ring.append("d")
+        ring.prepend(["a", "b", "c"])
+        assert ring.dropped == 1
+        assert [record for _, record in ring.read_after(-10)[1]] == [
+            "a", "b", "c"
+        ]

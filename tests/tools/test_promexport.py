@@ -1,0 +1,81 @@
+"""Prometheus text exporter: rendering rules and the CLI round-trip."""
+
+import json
+
+import pytest
+
+from repro.tools.promexport import main, render_prometheus
+
+SNAPSHOT = {
+    "counters": {
+        "engine_packets_total": 42,
+        "alerts{app=fw}": 3,
+    },
+    "gauges": {"obi_graph_version": 2.0},
+    "histograms": {
+        "dispatch_seconds": {
+            "boundaries": [0.001, 0.01],
+            "counts": [5, 2, 1],
+            "count": 8,
+            "sum": 0.25,
+        },
+    },
+}
+
+
+class TestRendering:
+    def test_counters_and_gauges_are_single_samples(self):
+        text = render_prometheus(SNAPSHOT)
+        assert "engine_packets_total 42" in text
+        assert "obi_graph_version 2" in text
+
+    def test_registry_labels_become_prometheus_labels(self):
+        text = render_prometheus(SNAPSHOT)
+        assert 'alerts{app="fw"} 3' in text
+
+    def test_histogram_expands_to_cumulative_buckets(self):
+        lines = render_prometheus(SNAPSHOT).splitlines()
+        buckets = [l for l in lines if l.startswith("dispatch_seconds_bucket")]
+        assert buckets == [
+            'dispatch_seconds_bucket{le="0.001"} 5',
+            'dispatch_seconds_bucket{le="0.01"} 7',
+            'dispatch_seconds_bucket{le="+Inf"} 8',
+        ]
+        assert "dispatch_seconds_count 8" in lines
+        assert "dispatch_seconds_sum 0.25" in lines
+
+    def test_type_headers_emitted_once_per_family(self):
+        text = render_prometheus(SNAPSHOT)
+        assert text.count("# TYPE engine_packets_total counter") == 1
+        assert "# TYPE obi_graph_version gauge" in text
+        assert "# TYPE dispatch_seconds histogram" in text
+
+    def test_empty_sections_render_cleanly(self):
+        assert render_prometheus({}) == "\n"
+
+
+class TestCli:
+    def test_input_mode_accepts_obsv_dump_shape(self, tmp_path, capsys):
+        dump = tmp_path / "snap.json"
+        dump.write_text(json.dumps({"obi_id": "o1", "metrics": SNAPSHOT}))
+        assert main(["--input", str(dump)]) == 0
+        out = capsys.readouterr().out
+        assert "engine_packets_total 42" in out
+
+    def test_output_file(self, tmp_path, capsys):
+        dump = tmp_path / "snap.json"
+        dump.write_text(json.dumps(SNAPSHOT))
+        target = tmp_path / "metrics.prom"
+        assert main(["-i", str(dump), "-o", str(target)]) == 0
+        assert "engine_packets_total 42" in target.read_text()
+        assert "wrote" in capsys.readouterr().out
+
+    def test_demo_mode_exports_live_topology(self, capsys):
+        assert main(["--demo", "--packets", "50"]) == 0
+        out = capsys.readouterr().out
+        assert "# TYPE engine_packets_total counter" in out
+        assert "engine_packets_total 50" in out
+
+    def test_requires_a_source(self):
+        with pytest.raises(SystemExit):
+            main([])

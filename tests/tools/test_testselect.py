@@ -18,6 +18,7 @@ from repro.tools.testselect import (
     REPO_ROOT,
     ImpactGraph,
     Selection,
+    affects,
     explain,
     select,
     widening_reason,
@@ -156,6 +157,55 @@ class TestSelection:
         assert selection.pytest_args() == selection.tests
 
 
+class TestAffects:
+    """The CI gate mode: does a diff reach the chaos/bench modules?"""
+
+    def test_path_prefix_hit_and_miss(self, graph):
+        verdicts = affects(
+            ["src/repro/apps/firewall.py"],
+            ["benchmarks", "tests/apps", "tests/protocol"],
+            graph=graph,
+        )
+        assert verdicts["benchmarks"] is True
+        assert verdicts["tests/apps"] is True
+        assert verdicts["tests/protocol"] is False
+
+    def test_single_file_target(self, graph):
+        verdicts = affects(
+            ["src/repro/controller/lease.py"],
+            ["tests/controller/test_lease.py", "tests/net/test_tcp_udp.py"],
+            graph=graph,
+        )
+        assert verdicts["tests/controller/test_lease.py"] is True
+        assert verdicts["tests/net/test_tcp_udp.py"] is False
+
+    def test_marker_target(self, graph):
+        # The controller core is exercised by chaos-marked tests; a
+        # leaf net test file is not.
+        hit = affects(
+            ["src/repro/controller/obc.py"], ["marker:chaos"], graph=graph
+        )
+        miss = affects(
+            ["tests/net/test_tcp_udp.py"], ["marker:chaos"], graph=graph
+        )
+        assert hit["marker:chaos"] is True
+        assert miss["marker:chaos"] is False
+
+    def test_widening_change_affects_everything(self, graph):
+        verdicts = affects(
+            ["pyproject.toml"],
+            ["benchmarks", "marker:chaos", "tests/net"],
+            graph=graph,
+        )
+        assert all(verdicts.values())
+
+    def test_trailing_slash_normalised(self, graph):
+        verdicts = affects(
+            ["src/repro/apps/firewall.py"], ["tests/apps/"], graph=graph
+        )
+        assert verdicts["tests/apps/"] is True
+
+
 class TestExplain:
     def test_chain_ends_at_changed_module(self, graph):
         text = explain(
@@ -211,6 +261,18 @@ class TestCommandLine:
         assert proc.returncode == 0, proc.stderr
         assert proc.stdout.split() == ["tests"]
         assert out.read_text().split() == ["tests"]
+
+    def test_affects_flag_emits_github_output_lines(self):
+        proc = self._run(
+            "--changed", "src/repro/apps/firewall.py",
+            "--affects", "bench=benchmarks", "proto=tests/protocol",
+            "chaos=marker:chaos,tests/integration",
+        )
+        assert proc.returncode == 0, proc.stderr
+        lines = proc.stdout.split()
+        assert "bench=true" in lines
+        assert "proto=false" in lines
+        assert "chaos=true" in lines
 
     def test_explain_flag(self):
         proc = self._run(

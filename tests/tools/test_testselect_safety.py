@@ -122,10 +122,10 @@ MUTATIONS = (
         "exhaustion defense engages only when the table is empty",
     ),
     Mutation(
-        "headless-capacity-doubled", "src/repro/obi/headless.py",
+        "telemetry-ring-capacity-doubled", "src/repro/telemetry/ring.py",
         "if len(self._entries) >= self.capacity:",
         "if len(self._entries) >= self.capacity * 2:",
-        "headless buffer ignores its configured capacity",
+        "telemetry/headless ring ignores its configured capacity",
     ),
     Mutation(
         "journal-autoflush-disabled", "src/repro/controller/journal.py",
