@@ -1,0 +1,62 @@
+"""CLI for the seeded chaos soak (the nightly job's entry point).
+
+``python -m repro.chaos --seeds 40 --steps 60`` plays 40 seeded random
+fault schedules of 60 steps each, checking every system-wide invariant
+after every step. Failing seeds are persisted under ``--results`` as
+``CHAOS_seed_<seed>.json`` — schedule, violations, and a ddmin-shrunk
+repro — and the exit status is non-zero, so CI turns red with the
+repro already uploaded. ``CHAOS_soak.json`` summarizes every run.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.chaos.search import run_soak
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.chaos",
+        description="Play seeded random chaos schedules against the "
+                    "standard leader/standby/OBI topology and check "
+                    "every invariant after every step.",
+    )
+    parser.add_argument("--seeds", type=int, default=20,
+                        help="number of seeds to play (default 20)")
+    parser.add_argument("--seed-base", type=int, default=0,
+                        help="first seed (default 0)")
+    parser.add_argument("--steps", type=int, default=40,
+                        help="random steps per schedule (default 40)")
+    parser.add_argument("--results", default="benchmarks/results",
+                        help="directory for CHAOS_*.json artifacts")
+    parser.add_argument("--work-dir", default=None,
+                        help="scratch directory for journals/checkpoints "
+                             "(default: a fresh temp dir)")
+    parser.add_argument("--no-shrink", action="store_true",
+                        help="skip ddmin shrinking of failing schedules")
+    args = parser.parse_args(argv)
+
+    summary = run_soak(
+        seeds=range(args.seed_base, args.seed_base + args.seeds),
+        steps=args.steps,
+        work_dir=args.work_dir,
+        results_dir=args.results,
+        shrink_failures=not args.no_shrink,
+    )
+    json.dump({key: value for key, value in summary.items()
+               if key != "failures"}, sys.stdout, indent=2, sort_keys=True)
+    print()
+    for failure in summary["failures"]:
+        print(
+            f"seed {failure['seed']}: "
+            f"{failure['violations'] or failure['error']}",
+            file=sys.stderr,
+        )
+    return 1 if summary["failed"] else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

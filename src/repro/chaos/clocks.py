@@ -1,0 +1,69 @@
+"""Skewable, jumpable clocks for the chaos engine (clock-layer faults).
+
+Every lease, liveness timeout, and headless transition in the repo rides
+an injectable ``clock()`` callable. :class:`ChaosClock` wraps one such
+base clock (typically the virtual-time scheduler's ``now``) and lets a
+scenario inject the two classic clock pathologies:
+
+* **jump** — a step change (NTP slew gone wrong, a VM resume): the
+  clock instantly reads ``seconds`` later (or earlier);
+* **skew** — a rate error (a bad oscillator): the clock runs ``rate``
+  times as fast as the base from this moment on.
+
+Both compose and both are reversible via :meth:`reset`, which re-anchors
+at the *current skewed reading* — healing a clock never makes time run
+backwards (that would be a third, nastier fault; scenarios that want it
+can :meth:`jump` negative explicitly).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+
+class ChaosClock:
+    """A monotonic-ish clock with injectable skew and jumps.
+
+    Instances are callable, matching every ``clock=`` seam in the repo.
+    """
+
+    def __init__(self, base: Callable[[], float]) -> None:
+        self._base = base
+        self._rate = 1.0
+        #: Base-clock reading at the last (re)anchor.
+        self._anchor_base = base()
+        #: Chaos-clock reading at the last (re)anchor.
+        self._anchor_value = self._anchor_base
+        self.jumps = 0
+        self.skews = 0
+
+    def __call__(self) -> float:
+        elapsed = self._base() - self._anchor_base
+        return self._anchor_value + elapsed * self._rate
+
+    # -- fault controls -------------------------------------------------
+    def jump(self, seconds: float) -> None:
+        """Step the clock by ``seconds`` (negative steps it backwards)."""
+        self._anchor_value += seconds
+        self.jumps += 1
+
+    def skew(self, rate: float) -> None:
+        """Run at ``rate`` × base speed from the current reading on."""
+        if rate <= 0:
+            raise ValueError("clock rate must be positive")
+        self._reanchor()
+        self._rate = rate
+        self.skews += 1
+
+    def reset(self) -> None:
+        """Heal: rate back to 1.0, anchored at the current reading."""
+        self._reanchor()
+        self._rate = 1.0
+
+    @property
+    def rate(self) -> float:
+        return self._rate
+
+    def _reanchor(self) -> None:
+        self._anchor_value = self()
+        self._anchor_base = self._base()

@@ -1,0 +1,311 @@
+"""Random scenario search: bounded vocabulary, shrinkable schedules.
+
+Hand-written scenarios verify the failures someone already imagined;
+the soak verifies the ones nobody did. :func:`random_scenario` draws a
+schedule from the same bounded op vocabulary the declarative runner
+executes — every fault is addressed by fault-point name, every knob by
+a small numeric range — so any failing schedule is (a) replayable from
+its seed alone and (b) *shrinkable*: :func:`shrink` greedily deletes
+steps (ddmin-style, halving chunk sizes) while the failure reproduces,
+leaving the minimal schedule to debug.
+
+:func:`run_soak` is the nightly job: N seeds, each played to the end
+with every invariant checked after every step; failing seeds are
+persisted (schedule + violations + shrunken repro) as JSON under
+``benchmarks/results/`` so a red nightly run ships its own repro.
+
+Every schedule ends with a deterministic **heal epilogue** — lift all
+faults, fail over if the leader was killed, revive dead OBIs, tick,
+converge — because the strongest invariants (digest agreement, journal
+replay) are promises about the *healed* system: chaos may bend the
+fleet, but healing must always straighten it.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import random
+import tempfile
+from typing import Any, Callable, Iterable
+
+from repro.chaos.scenario import Scenario, ScenarioResult, ScenarioRunner, Step, step
+
+#: Clock faults stay within one lease TTL so leadership perturbations
+#: are recoverable by design (bigger jumps belong in targeted tests).
+_MAX_CLOCK_JUMP = 25.0
+
+
+def random_scenario(
+    seed: int,
+    steps: int = 40,
+    obi_ids: tuple[str, ...] = ("obi-1", "obi-2"),
+) -> Scenario:
+    """A seeded random fault schedule over the standard topology."""
+    rng = random.Random(seed)
+    storage_points = (["storage:leader", "storage:standby"]
+                      + [f"storage:{o}" for o in obi_ids])
+    transport_points = (["transport:standby"]
+                        + [f"transport:{o}" for o in obi_ids])
+    clock_points = (["clock:leader", "clock:standby"]
+                    + [f"clock:{o}" for o in obi_ids])
+
+    schedule: list[Step] = []
+    leader_dead = False
+    failed_over = False
+    dead_obis: set[str] = set()
+
+    def fault_ops() -> list[tuple[float, Callable[[], Step | None]]]:
+        return [
+            (3.0, lambda: step("advance",
+                               seconds=round(rng.uniform(0.5, 12.0), 3))),
+            (3.0, lambda: step("inject", count=rng.randint(1, 8),
+                               kind=rng.choice(["pass", "drop", "alert"]))),
+            (2.0, lambda: step("tick")),
+            (1.0, lambda: step("deploy", obi=rng.choice(obi_ids))),
+            (1.0, lambda: step("storage_fail_writes",
+                               point=rng.choice(storage_points),
+                               error=rng.choice(["ENOSPC", "EIO"]),
+                               count=rng.randint(1, 4))),
+            (1.0, lambda: step("storage_fail_fsync",
+                               point=rng.choice(storage_points),
+                               error=rng.choice(["ENOSPC", "EIO"]),
+                               count=rng.randint(1, 4))),
+            (0.5, lambda: step("storage_lie_fsync",
+                               point=rng.choice(storage_points),
+                               count=rng.randint(1, 3))),
+            (0.5, lambda: step("storage_fail_replace",
+                               point=rng.choice(storage_points),
+                               count=rng.randint(1, 2))),
+            (0.5, lambda: step("storage_slow",
+                               point=rng.choice(storage_points),
+                               seconds=round(rng.uniform(0.01, 0.2), 3))),
+            (1.0, lambda: step("storage_heal",
+                               point=rng.choice(storage_points))),
+            (1.0, lambda: step("partition",
+                               point=rng.choice(transport_points),
+                               mode=rng.choice(["both", "tx", "rx"]))),
+            (1.0, lambda: step("heal", point=rng.choice(transport_points))),
+            (0.5, lambda: step("clock_jump", point=rng.choice(clock_points),
+                               seconds=round(rng.uniform(
+                                   -_MAX_CLOCK_JUMP, _MAX_CLOCK_JUMP), 3))),
+            (0.5, lambda: step("clock_skew", point=rng.choice(clock_points),
+                               rate=round(rng.uniform(0.5, 2.0), 3))),
+            (0.5, _kill_obi),
+            (0.5, _revive_obi),
+            (0.3, _kill_leader),
+            (0.3, _fail_over),
+        ]
+
+    def _kill_obi() -> Step | None:
+        candidates = [o for o in obi_ids if o not in dead_obis]
+        if not candidates:
+            return None
+        victim = rng.choice(candidates)
+        dead_obis.add(victim)
+        return step("kill", point=f"process:{victim}")
+
+    def _revive_obi() -> Step | None:
+        if not dead_obis:
+            return None
+        lucky = rng.choice(sorted(dead_obis))
+        dead_obis.discard(lucky)
+        return step("revive", point=f"process:{lucky}")
+
+    def _kill_leader() -> Step | None:
+        nonlocal leader_dead
+        if leader_dead:
+            return None
+        leader_dead = True
+        return step("kill", point="process:leader")
+
+    def _fail_over() -> Step | None:
+        nonlocal failed_over
+        if failed_over or not leader_dead:
+            return None
+        failed_over = True
+        return [step("advance", seconds=61.0), step("fail_over")]  # type: ignore[return-value]
+
+    while len(schedule) < steps:
+        ops = fault_ops()
+        total = sum(weight for weight, _ in ops)
+        roll = rng.uniform(0.0, total)
+        for weight, make in ops:
+            roll -= weight
+            if roll <= 0:
+                produced = make()
+                if produced is None:
+                    break
+                if isinstance(produced, list):
+                    schedule.extend(produced)
+                else:
+                    schedule.append(produced)
+                break
+
+    # The deterministic heal epilogue (see module docstring).
+    schedule.append(step("heal_all"))
+    if leader_dead and not failed_over:
+        schedule.append(step("advance", seconds=61.0))
+        schedule.append(step("fail_over"))
+    for name in sorted(dead_obis):
+        schedule.append(step("revive", point=f"process:{name}"))
+    schedule.append(step("advance", seconds=5.0))
+    schedule.append(step("tick", n=2))
+    schedule.append(step("converge"))
+    schedule.append(step("inject", count=4))
+
+    return Scenario(name=f"random-{seed}", steps=schedule, seed=seed)
+
+
+def shrink(
+    scenario: Scenario,
+    still_fails: Callable[[Scenario], bool],
+    max_attempts: int = 200,
+) -> Scenario:
+    """Greedy ddmin-style schedule minimization.
+
+    Repeatedly tries deleting chunks of steps (halving the chunk size
+    down to 1) and keeps any deletion under which ``still_fails`` —
+    typically "re-run in a fresh root and check it still violates" —
+    remains true. The result reproduces the same failure with (usually
+    far) fewer steps. ``max_attempts`` bounds total re-runs.
+    """
+    current = scenario
+    attempts = 0
+    chunk = max(1, len(current.steps) // 2)
+    while chunk >= 1 and attempts < max_attempts:
+        shrunk_this_pass = False
+        start = 0
+        while start < len(current.steps) and attempts < max_attempts:
+            candidate_steps = (current.steps[:start]
+                               + current.steps[start + chunk:])
+            if not candidate_steps:
+                start += chunk
+                continue
+            candidate = Scenario(
+                name=current.name, steps=candidate_steps,
+                seed=current.seed, env_kwargs=dict(current.env_kwargs),
+            )
+            attempts += 1
+            if still_fails(candidate):
+                current = candidate
+                shrunk_this_pass = True
+                # Same start index now names the next chunk.
+            else:
+                start += chunk
+        if not shrunk_this_pass:
+            chunk //= 2
+    return current
+
+
+def run_soak(
+    seeds: Iterable[int] | int = 20,
+    steps: int = 40,
+    work_dir: str | None = None,
+    results_dir: str | None = None,
+    runner: ScenarioRunner | None = None,
+    shrink_failures: bool = True,
+) -> dict[str, Any]:
+    """Play N random scenarios; persist every failing seed with a repro.
+
+    Returns a summary dict (also what the nightly job uploads):
+    ``{"scenarios", "passed", "failed", "failures": [...]}`` where each
+    failure carries the seed, the violations, and the shrunken schedule.
+    """
+    if isinstance(seeds, int):
+        seeds = range(seeds)
+    seed_list = list(seeds)
+    runner = runner or ScenarioRunner()
+    work_dir = work_dir or tempfile.mkdtemp(prefix="chaos-soak-")
+    os.makedirs(work_dir, exist_ok=True)
+
+    counter = 0
+
+    def fresh_root() -> str:
+        nonlocal counter
+        counter += 1
+        root = os.path.join(work_dir, f"run-{counter}")
+        os.makedirs(root, exist_ok=True)
+        return root
+
+    failures: list[dict[str, Any]] = []
+    for seed in seed_list:
+        scenario = random_scenario(seed, steps=steps)
+        result = runner.run(scenario, fresh_root())
+        if result.ok:
+            continue
+        failure: dict[str, Any] = {
+            "seed": seed,
+            "steps": steps,
+            "violations": [str(v) for v in result.violations],
+            "error": result.error,
+            "schedule": scenario.to_dict(),
+        }
+        if shrink_failures:
+            def _reproduces(candidate: Scenario) -> bool:
+                rerun = runner.run(candidate, fresh_root())
+                return not rerun.ok
+            shrunk = shrink(scenario, _reproduces, max_attempts=60)
+            failure["shrunk_schedule"] = shrunk.to_dict()
+        failures.append(failure)
+
+    summary = {
+        "scenarios": len(seed_list),
+        "steps_per_scenario": steps,
+        "passed": len(seed_list) - len(failures),
+        "failed": len(failures),
+        "failures": failures,
+    }
+    if results_dir is not None and failures:
+        os.makedirs(results_dir, exist_ok=True)
+        for failure in failures:
+            path = os.path.join(
+                results_dir, f"CHAOS_seed_{failure['seed']}.json"
+            )
+            with open(path, "w", encoding="utf-8") as handle:
+                json.dump(failure, handle, indent=2, sort_keys=True)
+    if results_dir is not None:
+        os.makedirs(results_dir, exist_ok=True)
+        with open(os.path.join(results_dir, "CHAOS_soak.json"), "w",
+                  encoding="utf-8") as handle:
+            json.dump(
+                {key: value for key, value in summary.items()
+                 if key != "failures"},
+                handle, indent=2, sort_keys=True,
+            )
+    return summary
+
+
+def acceptance_scenario() -> Scenario:
+    """The ISSUE's end-to-end acceptance schedule: ENOSPC during an
+    fsync-batched append storm, graceful degradation, heal, automatic
+    resume with a valid fresh segment (see tests/integration)."""
+    return Scenario(
+        name="enospc-degrade-heal-resume",
+        seed=1337,
+        steps=[
+            # Healthy baseline: traffic flows, journal is in sync.
+            step("inject", count=10),
+            step("tick"),
+            # The disk fills: every fsync refuses until healed.
+            step("storage_fail_fsync", point="storage:leader",
+                 error="ENOSPC"),
+            # The next journaled mutation trips degraded mode.
+            step("register_app", name="ips"),
+            step("tick"),
+            # Deploys are fenced; the data plane keeps forwarding.
+            step("deploy", obi="obi-1"),
+            step("inject", count=25),
+            step("advance", seconds=5.0),
+            step("inject", count=25),
+            # Storage heals; the next tick's probe rebuilds a fresh
+            # fsync'd segment and lifts the fence automatically.
+            step("storage_heal", point="storage:leader"),
+            step("tick"),
+            step("deploy", obi="obi-1"),
+            step("deploy", obi="obi-2"),
+            step("tick"),
+            step("converge"),
+            step("inject", count=10),
+        ],
+    )

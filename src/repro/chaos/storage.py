@@ -1,0 +1,343 @@
+"""Storage-fault injection: a :class:`~repro.durable.Storage` that lies.
+
+The durable layers (controller journal, flow-state checkpoints, the
+replication sink) promise exactly one thing: *a record acknowledged as
+durable survives a crash*. Disks attack that promise in well-known
+ways, and this backend reproduces each of them deterministically:
+
+* **write errors** — ``write`` raises ENOSPC/EIO mid-append, possibly
+  after some bytes already landed (a torn line);
+* **fsync errors** — the device refuses the barrier; the caller must
+  not count the batch as durable and must re-surface the failure;
+* **fsyncs that lie** — fsync "succeeds" but the bytes never reached
+  stable storage, which only :meth:`crash` can reveal;
+* **torn replace** — the atomic snapshot swap fails, leaving the temp
+  file behind and the original journal untouched;
+* **slow I/O** — latency charged through an injectable ``sleep`` so
+  virtual-time tests never really block.
+
+Durability is modeled honestly: the backend tracks, per path, the byte
+offset covered by the last *honest* fsync. :meth:`crash` — power loss,
+not a polite SIGKILL — truncates every file back to that offset (and
+can smear a torn half-record over the cut), so recovery code is tested
+against what a real disk would actually serve after the outage.
+
+Faults come from two sources that compose: **scripted windows**
+(:meth:`fail_writes`, :meth:`fail_fsync`, :meth:`lie_fsync`,
+:meth:`fail_replace` — used by declarative scenarios) take precedence;
+otherwise seeded **probabilistic rates** from :class:`StoragePlan`
+roll per operation (used by the random scenario search). Same seed,
+same call sequence ⇒ same faults.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import errno as errno_module
+import os
+import random
+from dataclasses import dataclass
+from typing import IO, Any, Callable
+
+from repro.durable import Storage
+
+#: Errno names accepted by the fault controls.
+_ERRNOS = {
+    "ENOSPC": errno_module.ENOSPC,
+    "EIO": errno_module.EIO,
+    "EDQUOT": getattr(errno_module, "EDQUOT", errno_module.ENOSPC),
+    "EROFS": errno_module.EROFS,
+}
+
+
+def _errno_of(name: str) -> int:
+    try:
+        return _ERRNOS[name.upper()]
+    except KeyError:
+        raise ValueError(
+            f"unknown storage errno {name!r} (know {sorted(_ERRNOS)})"
+        ) from None
+
+
+@dataclass(frozen=True)
+class StoragePlan:
+    """Seeded probabilistic storage faults (the random-search vocabulary)."""
+
+    seed: int = 0
+    #: Probability one ``write`` call raises.
+    write_error_rate: float = 0.0
+    #: Probability one ``fsync`` raises (the batch stays non-durable).
+    fsync_error_rate: float = 0.0
+    #: Probability one ``fsync`` *lies*: returns success without
+    #: advancing the durable offset. Only :meth:`FaultyStorage.crash`
+    #: exposes the betrayal.
+    fsync_lie_rate: float = 0.0
+    #: Probability one ``replace`` raises, leaving the temp file behind.
+    replace_error_rate: float = 0.0
+    #: Errno name injected by the probabilistic failures.
+    error: str = "ENOSPC"
+    #: Probability an operation is slow, and the uniform latency bounds.
+    slow_rate: float = 0.0
+    slow_range: tuple[float, float] = (0.0, 0.0)
+
+
+class _Scripted:
+    """One scripted fault window: fail the next ``count`` ops (None=all)."""
+
+    def __init__(self, error: str, count: int | None) -> None:
+        self.errno = _errno_of(error)
+        self.error = error
+        self.count = count
+
+    def consume(self) -> bool:
+        """True when this window claims the current operation."""
+        if self.count is None:
+            return True
+        if self.count <= 0:
+            return False
+        self.count -= 1
+        return True
+
+    @property
+    def exhausted(self) -> bool:
+        return self.count is not None and self.count <= 0
+
+
+class _FaultyFile:
+    """Write-path proxy charging every write to the fault rolls."""
+
+    def __init__(self, storage: "FaultyStorage", path: str, inner: IO[str]) -> None:
+        self._storage = storage
+        self.path = path
+        self.inner = inner
+        self.closed = False
+
+    def write(self, data: str) -> int:
+        self._storage._roll_write(self.path)
+        return self.inner.write(data)
+
+    def flush(self) -> None:
+        self.inner.flush()
+
+    def fileno(self) -> int:
+        return self.inner.fileno()
+
+    def close(self) -> None:
+        if not self.closed:
+            self.closed = True
+            with contextlib.suppress(OSError, ValueError):
+                self.inner.close()
+            self._storage._files.discard(self)
+
+    def __enter__(self) -> "_FaultyFile":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()
+
+
+class FaultyStorage(Storage):
+    """A chaos proxy implementing the :class:`~repro.durable.Storage` seam.
+
+    ``sleep`` receives injected latency; the default accumulates it in
+    :attr:`total_delay` without sleeping (virtual-time safe).
+    """
+
+    def __init__(
+        self,
+        plan: StoragePlan | None = None,
+        sleep: Callable[[float], None] | None = None,
+    ) -> None:
+        self.plan = plan or StoragePlan()
+        self._rng = random.Random(self.plan.seed)
+        self._sleep = sleep
+        #: path -> byte offset covered by the last honest fsync.
+        self._durable: dict[str, int] = {}
+        self._files: set[_FaultyFile] = set()
+        # Scripted fault windows (None = no window active).
+        self._write_fault: _Scripted | None = None
+        self._fsync_fault: _Scripted | None = None
+        self._fsync_lies: int | None = 0  # remaining lies; None = forever
+        self._replace_fault: _Scripted | None = None
+        self._slow: float = 0.0
+        # Accounting.
+        self.writes = 0
+        self.write_failures = 0
+        self.fsyncs = 0
+        self.fsync_failures = 0
+        self.fsync_lies = 0
+        self.replaces = 0
+        self.replace_failures = 0
+        self.crashes = 0
+        self.total_delay = 0.0
+
+    # ------------------------------------------------------------------
+    # Fault controls (the scenario vocabulary)
+    # ------------------------------------------------------------------
+    def fail_writes(self, error: str = "ENOSPC", count: int | None = None) -> None:
+        """Fail the next ``count`` writes (None = until :meth:`heal`)."""
+        self._write_fault = _Scripted(error, count)
+
+    def fail_fsync(self, error: str = "EIO", count: int | None = None) -> None:
+        """Fail the next ``count`` fsyncs (None = until :meth:`heal`)."""
+        self._fsync_fault = _Scripted(error, count)
+
+    def lie_fsync(self, count: int | None = None) -> None:
+        """The next ``count`` fsyncs return success without durability."""
+        self._fsync_lies = count
+
+    def fail_replace(self, error: str = "EIO", count: int | None = None) -> None:
+        """Fail the next ``count`` replaces, leaving the temp file behind."""
+        self._replace_fault = _Scripted(error, count)
+
+    def slow_io(self, seconds: float) -> None:
+        """Charge ``seconds`` of latency to every write/fsync until healed."""
+        self._slow = max(0.0, seconds)
+
+    def heal(self) -> None:
+        """Clear every scripted fault window (plan rates still roll)."""
+        self._write_fault = None
+        self._fsync_fault = None
+        self._fsync_lies = 0
+        self._replace_fault = None
+        self._slow = 0.0
+
+    @property
+    def healthy(self) -> bool:
+        """No scripted fault window is currently active."""
+        return (
+            (self._write_fault is None or self._write_fault.exhausted)
+            and (self._fsync_fault is None or self._fsync_fault.exhausted)
+            and not self._fsync_lies
+            and (self._replace_fault is None or self._replace_fault.exhausted)
+        )
+
+    def crash(self, torn_tail: bool = False) -> None:
+        """Power loss: discard everything past the last honest fsync.
+
+        Closes every open handle, truncates each tracked file back to
+        its durable offset, and — with ``torn_tail`` — smears half a
+        record over the cut so replay must exercise its
+        longest-valid-prefix tolerance. Scripted faults survive the
+        crash (the disk is still the same bad disk).
+        """
+        self.crashes += 1
+        for handle in list(self._files):
+            handle.close()
+        for path, durable in self._durable.items():
+            if not os.path.exists(path):
+                continue
+            with contextlib.suppress(OSError):
+                os.truncate(path, durable)
+                if torn_tail:
+                    with open(path, "ab") as tail:
+                        tail.write(b'{"rec":"torn')
+
+    def durable_size(self, path: str | os.PathLike[str]) -> int | None:
+        """The honestly-fsynced byte offset of ``path`` (None: untracked)."""
+        return self._durable.get(os.fspath(path))
+
+    # ------------------------------------------------------------------
+    # Fault rolls
+    # ------------------------------------------------------------------
+    def _charge(self) -> None:
+        seconds = self._slow
+        if not seconds and self.plan.slow_rate and (
+            self._rng.random() < self.plan.slow_rate
+        ):
+            low, high = self.plan.slow_range
+            seconds = self._rng.uniform(low, high)
+        if seconds > 0:
+            self.total_delay += seconds
+            if self._sleep is not None:
+                self._sleep(seconds)
+
+    def _roll_write(self, path: str) -> None:
+        self.writes += 1
+        self._charge()
+        if self._write_fault is not None and self._write_fault.consume():
+            self.write_failures += 1
+            raise OSError(
+                self._write_fault.errno,
+                f"injected {self._write_fault.error} writing {path!r}",
+            )
+        if self._rng.random() < self.plan.write_error_rate:
+            self.write_failures += 1
+            raise OSError(
+                _errno_of(self.plan.error),
+                f"injected {self.plan.error} writing {path!r} "
+                f"(seed {self.plan.seed})",
+            )
+
+    # ------------------------------------------------------------------
+    # Storage API
+    # ------------------------------------------------------------------
+    def open(self, path: str | os.PathLike[str], mode: str = "a") -> IO[str]:
+        fspath = os.fspath(path)
+        inner = open(fspath, mode, encoding="utf-8")
+        # What is on disk at open is durable ("a" inherits the existing
+        # bytes; "w" truncates to zero) — until the first honest fsync
+        # moves the high-water mark.
+        self._durable[fspath] = (
+            os.path.getsize(fspath) if "a" in mode else 0
+        )
+        proxy = _FaultyFile(self, fspath, inner)
+        self._files.add(proxy)
+        return proxy  # type: ignore[return-value]
+
+    def fsync(self, handle: Any) -> None:
+        self.fsyncs += 1
+        self._charge()
+        handle.flush()
+        if self._fsync_fault is not None and self._fsync_fault.consume():
+            self.fsync_failures += 1
+            raise OSError(
+                self._fsync_fault.errno,
+                f"injected {self._fsync_fault.error} on fsync",
+            )
+        if self._rng.random() < self.plan.fsync_error_rate:
+            self.fsync_failures += 1
+            raise OSError(
+                _errno_of(self.plan.error),
+                f"injected {self.plan.error} on fsync (seed {self.plan.seed})",
+            )
+        lying = False
+        if self._fsync_lies is None:
+            lying = True
+        elif self._fsync_lies > 0:
+            self._fsync_lies -= 1
+            lying = True
+        elif self._rng.random() < self.plan.fsync_lie_rate:
+            lying = True
+        if lying:
+            # Success reported, durability withheld: the bytes sit in a
+            # cache :meth:`crash` will destroy.
+            self.fsync_lies += 1
+            return
+        os.fsync(handle.fileno())
+        path = getattr(handle, "path", None)
+        if path is not None:
+            self._durable[path] = os.fstat(handle.fileno()).st_size
+
+    def replace(self, src: str | os.PathLike[str],
+                dst: str | os.PathLike[str]) -> None:
+        self.replaces += 1
+        self._charge()
+        src_path, dst_path = os.fspath(src), os.fspath(dst)
+        if self._replace_fault is not None and self._replace_fault.consume():
+            self.replace_failures += 1
+            raise OSError(
+                self._replace_fault.errno,
+                f"injected {self._replace_fault.error} replacing "
+                f"{dst_path!r} (temp file left behind)",
+            )
+        if self._rng.random() < self.plan.replace_error_rate:
+            self.replace_failures += 1
+            raise OSError(
+                _errno_of(self.plan.error),
+                f"injected {self.plan.error} replacing {dst_path!r} "
+                f"(seed {self.plan.seed})",
+            )
+        os.replace(src_path, dst_path)
+        self._durable[dst_path] = os.path.getsize(dst_path)
+        self._durable.pop(src_path, None)

@@ -38,10 +38,13 @@ what lets OBIs fence off a stale predecessor (split-brain guard).
 
 from __future__ import annotations
 
+import contextlib
 import json
 import os
 from dataclasses import dataclass, field
 from typing import Any, Iterator
+
+from repro.durable import LOCAL, Storage
 
 
 @dataclass
@@ -201,6 +204,7 @@ class StateJournal:
         path: str | os.PathLike[str],
         fsync_every: int = 8,
         compact_every: int = 256,
+        storage: Storage | None = None,
     ) -> None:
         if fsync_every < 1:
             raise ValueError("fsync_every must be >= 1")
@@ -209,6 +213,13 @@ class StateJournal:
         self.path = os.fspath(path)
         self.fsync_every = fsync_every
         self.compact_every = compact_every
+        #: Durable-storage backend; every write-side syscall goes through
+        #: it so the chaos engine can inject ENOSPC/EIO/lying fsyncs.
+        self.storage = storage or LOCAL
+        # A crash mid-compact can leave the snapshot temp file behind;
+        # the journal itself is intact (the replace never happened), so
+        # the stale attempt is simply discarded.
+        self.storage.remove(self.path + ".compact")
         # Learn the replication position of an existing file before
         # opening it for append: the segment number rides in the head
         # snapshot record (compaction incarnation), and the offset is
@@ -220,12 +231,18 @@ class StateJournal:
             if self.record_count == 0 and record.get("rec") == "snapshot":
                 self.segment = int(record.get("segment", 0))
             self.record_count += 1
-        self._file = open(self.path, "a", encoding="utf-8")
+        self._file = self.storage.open(self.path, "a")
         self._unsynced = 0
         self._appends_since_compact = 0
         self.appended = 0
         self.fsyncs = 0
+        #: Failed append writes / failed fsyncs (storage refused); the
+        #: affected records were never counted as present or durable.
+        self.append_failures = 0
+        self.sync_failures = 0
         self.compactions = 0
+        #: Fresh segments started by :meth:`rebuild` (degraded-mode resume).
+        self.rebuilds = 0
         self._closed = False
 
     # ------------------------------------------------------------------
@@ -235,7 +252,15 @@ class StateJournal:
         """Append one record; durable after at most ``fsync_every`` appends."""
         if self._closed:
             raise JournalError("journal is closed")
-        self._file.write(json.dumps(record, separators=(",", ":")) + "\n")
+        try:
+            self._file.write(json.dumps(record, separators=(",", ":")) + "\n")
+        except (OSError, ValueError):
+            # The record may be absent or torn on disk; replay's
+            # longest-valid-prefix tolerance absorbs either form. It is
+            # NOT counted into record_count — replication cursors must
+            # only ever count records that parse.
+            self.append_failures += 1
+            raise
         self.appended += 1
         self.record_count += 1
         self._unsynced += 1
@@ -244,11 +269,20 @@ class StateJournal:
             self.flush()
 
     def flush(self) -> None:
-        """Force buffered appends to stable storage (fsync)."""
+        """Force buffered appends to stable storage (fsync).
+
+        Durability accounting is honest: ``_unsynced`` is only reset —
+        and ``fsyncs`` only incremented — after the fsync *succeeded*.
+        A refused barrier re-surfaces on the next flush instead of
+        silently marking the batch durable.
+        """
         if self._closed:
             return
-        self._file.flush()
-        os.fsync(self._file.fileno())
+        try:
+            self.storage.fsync(self._file)
+        except OSError:
+            self.sync_failures += 1
+            raise
         if self._unsynced:
             self.fsyncs += 1
         self._unsynced = 0
@@ -266,19 +300,30 @@ class StateJournal:
         """
         if self._closed:
             raise JournalError("journal is closed")
+        # Everything the snapshot summarizes must be durable first; a
+        # refused fsync aborts the compaction before any file is touched.
         self.flush()
         tmp_path = self.path + ".compact"
-        with open(tmp_path, "w", encoding="utf-8") as tmp:
-            tmp.write(json.dumps(
-                {"rec": "snapshot", "state": state.to_dict(),
-                 "segment": self.segment + 1},
-                separators=(",", ":"),
-            ) + "\n")
-            tmp.flush()
-            os.fsync(tmp.fileno())
-        self._file.close()
-        os.replace(tmp_path, self.path)
-        self._file = open(self.path, "a", encoding="utf-8")
+        try:
+            with self.storage.open(tmp_path, "w") as tmp:
+                tmp.write(json.dumps(
+                    {"rec": "snapshot", "state": state.to_dict(),
+                     "segment": self.segment + 1},
+                    separators=(",", ":"),
+                ) + "\n")
+                self.storage.fsync(tmp)
+            self._file.close()
+            self.storage.replace(tmp_path, self.path)
+        except OSError:
+            # Failure anywhere leaves the old journal authoritative:
+            # drop the temp attempt, make sure the append handle is
+            # usable again, and surface the error un-counted (segment
+            # and record_count describe the file that still exists).
+            self.storage.remove(tmp_path)
+            if getattr(self._file, "closed", False):
+                self._file = self.storage.open(self.path, "a")
+            raise
+        self._file = self.storage.open(self.path, "a")
         self._appends_since_compact = 0
         self._unsynced = 0
         self.compactions += 1
@@ -294,10 +339,51 @@ class StateJournal:
             return True
         return False
 
+    def rebuild(self, state: JournalState) -> None:
+        """Start a fresh fsync'd segment from ``state`` (degraded resume).
+
+        Unlike :meth:`compact`, the current journal tail is *not*
+        flushed first — after a storage outage the tail is known-stale
+        (appends were dropped while degraded) and the broken handle may
+        not even accept a flush. The in-memory ``state`` is the
+        authority; it is snapshotted to a temp file, fsynced, and
+        atomically swapped over the stale journal.
+        """
+        if self._closed:
+            raise JournalError("journal is closed")
+        tmp_path = self.path + ".compact"
+        try:
+            with self.storage.open(tmp_path, "w") as tmp:
+                tmp.write(json.dumps(
+                    {"rec": "snapshot", "state": state.to_dict(),
+                     "segment": self.segment + 1},
+                    separators=(",", ":"),
+                ) + "\n")
+                self.storage.fsync(tmp)
+            with contextlib.suppress(OSError, ValueError):
+                self._file.close()
+            self.storage.replace(tmp_path, self.path)
+        except OSError:
+            self.storage.remove(tmp_path)
+            if getattr(self._file, "closed", False):
+                with contextlib.suppress(OSError):
+                    self._file = self.storage.open(self.path, "a")
+            raise
+        self._file = self.storage.open(self.path, "a")
+        self._appends_since_compact = 0
+        self._unsynced = 0
+        self.segment += 1
+        self.record_count = 1
+        self.rebuilds += 1
+
     def close(self) -> None:
         if not self._closed:
-            self.flush()
-            self._file.close()
+            # Best-effort durability on the way out: a dying disk must
+            # not leave the handle open/leaked behind a raised flush.
+            with contextlib.suppress(OSError):
+                self.flush()
+            with contextlib.suppress(OSError, ValueError):
+                self._file.close()
             self._closed = True
 
     # ------------------------------------------------------------------

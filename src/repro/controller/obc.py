@@ -33,6 +33,7 @@ from repro.controller.stats import ObiStatsTracker
 from repro.controller.xid import RequestMultiplexer
 from repro.core.graph import canonical_graph_digest
 from repro.core.merge import MergePolicy
+from repro.durable import Storage
 from repro.observability.metrics import default_registry
 from repro.protocol.codec import PROTOCOL_VERSION
 from repro.transport.base import ChannelClosed
@@ -132,11 +133,17 @@ class OpenBoxController:
         self.recovered_from: ReplayResult | None = None
         self.recovery_warnings: list[str] = []
         self.journal = journal
-        if journal is not None:
-            # A fresh journaled controller durably claims generation 1.
-            self._journal(
-                {"rec": "generation", "generation": self.generation}, flush=True
-            )
+        #: True while in journaled-read-only degraded mode: the journal
+        #: storage refused a write, so state-mutating southbound pushes
+        #: are fenced (OBIs keep forwarding on headless semantics) until
+        #: :meth:`try_resume_journal` rebuilds a fresh durable segment.
+        self.degraded = False
+        self.degraded_since = 0.0
+        #: Journal records shed while degraded (drop accounting; the
+        #: rebuilt segment snapshots live state, so nothing is lost).
+        self.journal_dropped_records = 0
+        #: Successful returns from degraded mode.
+        self.journal_resumes = 0
         #: Bounded audit of deploy rejections (obi_id, detail); the full
         #: count lives in :attr:`failed_deployments`.
         self.deploy_failures: collections.deque[tuple[str, str]] = collections.deque(
@@ -177,18 +184,90 @@ class OpenBoxController:
         self._m_stream_records = registry.counter(
             "controller_telemetry_records_total"
         )
+        if journal is not None:
+            # A fresh journaled controller durably claims generation 1.
+            # (Last in __init__: a storage failure here lands on the
+            # fully-wired degraded path, not a half-built object.)
+            self._journal(
+                {"rec": "generation", "generation": self.generation}, flush=True
+            )
 
     # ------------------------------------------------------------------
     # Durable state (PROTOCOL.md §10)
     # ------------------------------------------------------------------
     def _journal(self, record: dict[str, Any], flush: bool = False) -> None:
-        """Append a record to the journal (no-op when not journaling)."""
+        """Append a record to the journal (no-op when not journaling).
+
+        A storage failure (ENOSPC, EIO, a dead handle) does **not**
+        crash the control loop: the controller enters journaled-read-only
+        degraded mode — the record is shed (counted), deploys are fenced,
+        and a ``_controller`` alert fires. Nothing is ultimately lost:
+        :meth:`try_resume_journal` rebuilds the journal from live state
+        once storage heals.
+        """
         if self.journal is None:
             return
-        self.journal.append(record)
-        if flush:
-            self.journal.flush()
-        self.journal.maybe_compact(self._journal_state())
+        if self.degraded:
+            self.journal_dropped_records += 1
+            return
+        try:
+            self.journal.append(record)
+            if flush:
+                self.journal.flush()
+            self.journal.maybe_compact(self._journal_state())
+        except (OSError, ValueError) as exc:
+            # ValueError covers writes through a handle a failed compact
+            # had to close; both mean the same thing — storage is gone.
+            self.journal_dropped_records += 1
+            self._enter_degraded(str(exc) or type(exc).__name__)
+
+    def _enter_degraded(self, detail: str) -> None:
+        """Shed to journaled-read-only mode and raise the operator alert."""
+        if self.degraded:
+            return
+        self.degraded = True
+        self.degraded_since = self.clock()
+        self._handle_alert(Alert(
+            obi_id="",
+            origin_app=self.CONTROLLER_ORIGIN,
+            message=(
+                f"journal storage failed ({detail}); controller entering "
+                "journaled-read-only degraded mode — deploys fenced, OBIs "
+                "continue on headless semantics until storage heals"
+            ),
+            severity="critical",
+        ))
+
+    def try_resume_journal(self) -> bool:
+        """Attempt to leave degraded mode (called from the orchestrator).
+
+        One successful :meth:`StateJournal.rebuild` — a fresh fsync'd
+        segment snapshotting the *live* controller state, which absorbed
+        every record shed while degraded — makes the journal whole and
+        lifts the deploy fence. Returns True when no longer degraded.
+        """
+        if not self.degraded:
+            return True
+        if self.journal is None:
+            self.degraded = False
+            return True
+        try:
+            self.journal.rebuild(self._journal_state())
+        except OSError:
+            return False
+        self.degraded = False
+        self.journal_resumes += 1
+        self._handle_alert(Alert(
+            obi_id="",
+            origin_app=self.CONTROLLER_ORIGIN,
+            message=(
+                "journal storage healed; rebuilt as fresh segment "
+                f"{self.journal.segment} ({self.journal_dropped_records} "
+                "records shed while degraded, state re-snapshotted)"
+            ),
+            severity="info",
+        ))
+        return True
 
     def _journal_state(self) -> JournalState:
         """The controller's current logical state, for compaction."""
@@ -226,6 +305,7 @@ class OpenBoxController:
         auto_deploy: bool = True,
         fsync_every: int = 8,
         compact_every: int = 256,
+        storage: "Storage | None" = None,
     ) -> "OpenBoxController":
         """Rebuild a controller from its journal after a crash.
 
@@ -259,7 +339,8 @@ class OpenBoxController:
         }
         # Fence the new generation durably before any message goes out.
         controller.journal = StateJournal(
-            path, fsync_every=fsync_every, compact_every=compact_every
+            path, fsync_every=fsync_every, compact_every=compact_every,
+            storage=storage,
         )
         controller._journal(
             {"rec": "generation", "generation": controller.generation,
@@ -525,6 +606,17 @@ class OpenBoxController:
 
     def deploy(self, obi_id: str) -> AggregationResult | None:
         """Merge and push the applicable graphs to one OBI."""
+        if self.degraded:
+            # Journaled-read-only: a deploy the journal cannot record is
+            # a deploy a recovered controller would not know about —
+            # exactly the intent-divergence the journal exists to
+            # prevent. OBIs keep forwarding on what they already run.
+            raise ProtocolError(
+                ErrorCode.DEGRADED,
+                f"deploy to {obi_id!r} fenced: controller is in "
+                "journaled-read-only degraded mode (journal storage "
+                "failed); will resume when storage heals",
+            )
         handle = self._handle_of(obi_id)
         if handle.channel is None:
             raise ProtocolError(ErrorCode.NOT_CONNECTED, f"OBI {obi_id!r} has no channel")

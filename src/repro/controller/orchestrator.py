@@ -75,6 +75,12 @@ class TickReport:
     lease_epoch: int = 0
     #: Standbys that acknowledged the journal stream this tick.
     replicated: list[str] = field(default_factory=list)
+    #: True when the controller spent this tick in journaled-read-only
+    #: degraded mode (journal storage down; deploys fenced).
+    degraded: bool = False
+    #: True when this tick's resume probe rebuilt the journal and left
+    #: degraded mode (a fresh fsync'd segment now holds live state).
+    journal_resumed: bool = False
 
 
 class OrchestrationLoop:
@@ -255,6 +261,14 @@ class OrchestrationLoop:
             # journaled durably before anything southbound below.
             self.controller.adopt_epoch(held.epoch)
 
+        # -0.5. Storage health: while in journaled-read-only degraded
+        # mode, every tick probes whether the journal storage healed and
+        # rebuilds a fresh segment the moment it has — this is what makes
+        # degradation *graceful* (automatic resume, no operator action).
+        if self.controller.degraded:
+            report.journal_resumed = self.controller.try_resume_journal()
+        report.degraded = self.controller.degraded
+
         # 1. Poll stats first — answering a poll is proof of life, so a
         # healthy-but-quiet OBI is never misdeclared dead; a hung one
         # fails its poll and stays silent, so stage 0 catches it.
@@ -276,7 +290,13 @@ class OrchestrationLoop:
         # digest to current intent — catches OBIs that served headless
         # through a controller restart (adopted, no push) and ones that
         # missed a redeploy (re-pushed).
-        if self.reconciler is not None and not self.controller.superseded:
+        # A degraded controller skips anti-entropy pushes: re-pushing a
+        # graph it cannot journal would diverge intent from the record.
+        if (
+            self.reconciler is not None
+            and not self.controller.superseded
+            and not self.controller.degraded
+        ):
             reconcile = self.reconciler.reconcile()
             report.reconcile_adopted = list(reconcile.adopted)
             report.reconcile_pushed = list(reconcile.pushed)

@@ -46,6 +46,7 @@ from repro.controller.journal import (
     JournalState,
     StateJournal,
 )
+from repro.durable import LOCAL, Storage
 from repro.protocol.errors import ErrorCode
 from repro.protocol.messages import (
     ErrorMessage,
@@ -142,9 +143,15 @@ class ReplicationHub:
         """Stream pending records; returns the replicas that acked.
 
         A deposed leader (``superseded``) streams nothing — its journal
-        must not overwrite a successor's replica.
+        must not overwrite a successor's replica. A *degraded* leader
+        (journal storage refusing writes) streams nothing either: the
+        on-disk journal is known-stale, and ``read_since`` could not
+        flush it anyway; replicas catch up via the snapshot path once
+        the journal is rebuilt.
         """
         if self.controller.superseded or self.controller.journal is None:
+            return []
+        if self.controller.degraded:
             return []
         acked: list[str] = []
         targets = (
@@ -153,7 +160,13 @@ class ReplicationHub:
             else list(self.replicas.values())
         )
         for link in targets:
-            batch = self.controller.journal.read_since(link.cursor)
+            try:
+                batch = self.controller.journal.read_since(link.cursor)
+            except OSError as exc:
+                # The leader's own disk refused the pre-stream flush:
+                # same condition _journal sheds on — degrade, stop.
+                self.controller._enter_degraded(str(exc))
+                return acked
             if not batch.records and not batch.snapshot:
                 acked.append(link.replica_id)  # already caught up
                 continue
@@ -220,11 +233,19 @@ class StandbyController:
         replica_id: str,
         journal_path: str | os.PathLike[str],
         clock: Callable[[], float] | None = None,
+        storage: Storage | None = None,
     ) -> None:
         self.replica_id = replica_id
         self.path = os.fspath(journal_path)
         self.clock = clock
-        self.journal = StateJournal(self.path, fsync_every=1)
+        self.storage = storage or LOCAL
+        # A crash mid-catch-up can leave the snapshot temp file behind;
+        # the replica journal itself is intact (the replace never
+        # happened), so the stale attempt is discarded.
+        self.storage.remove(self.path + ".catchup")
+        self.journal = StateJournal(
+            self.path, fsync_every=1, storage=self.storage
+        )
         #: Highest leader epoch witnessed on the stream; the fence.
         self.highest_epoch = 0
         # A replica journal inherited from a previous run already
@@ -240,6 +261,8 @@ class StandbyController:
         self.streams_received = 0
         self.stale_streams_rejected = 0
         self.duplicate_streams = 0
+        #: Streams refused because the replica's own disk failed.
+        self.storage_failures = 0
         self._response_cache: collections.OrderedDict[int, Message] = (
             collections.OrderedDict()
         )
@@ -256,16 +279,32 @@ class StandbyController:
 
     # ------------------------------------------------------------------
     def _replace_journal(self, records: list[dict[str, Any]]) -> None:
-        """Snapshot catch-up: atomically replace the replica journal."""
+        """Snapshot catch-up: atomically replace the replica journal.
+
+        Failure anywhere leaves the old replica journal authoritative:
+        the temp attempt is removed, the journal handle reopened, and
+        the error propagates so the stream is *not* acked (the leader
+        retries the snapshot later).
+        """
         self.journal.close()
         tmp_path = self.path + ".catchup"
-        with open(tmp_path, "w", encoding="utf-8") as tmp:
-            for record in records:
-                tmp.write(json.dumps(record, separators=(",", ":")) + "\n")
-            tmp.flush()
-            os.fsync(tmp.fileno())
-        os.replace(tmp_path, self.path)
-        self.journal = StateJournal(self.path, fsync_every=1)
+        try:
+            with self.storage.open(tmp_path, "w") as tmp:
+                for record in records:
+                    tmp.write(
+                        json.dumps(record, separators=(",", ":")) + "\n"
+                    )
+                self.storage.fsync(tmp)
+            self.storage.replace(tmp_path, self.path)
+        except OSError:
+            self.storage.remove(tmp_path)
+            self.journal = StateJournal(
+                self.path, fsync_every=1, storage=self.storage
+            )
+            raise
+        self.journal = StateJournal(
+            self.path, fsync_every=1, storage=self.storage
+        )
 
     def _ack(self, xid: int) -> ReplicaAck:
         cursor = self.journal.cursor()
@@ -329,13 +368,25 @@ class StandbyController:
         if stream.leader_id:
             self.leader_id = stream.leader_id
         self.streams_received += 1
-        if stream.snapshot:
-            self._replace_journal(stream.records)
-            self.snapshots_received += 1
-        else:
-            for record in stream.records:
-                self.journal.append(record)
-            self.journal.flush()
+        try:
+            if stream.snapshot:
+                self._replace_journal(stream.records)
+                self.snapshots_received += 1
+            else:
+                for record in stream.records:
+                    self.journal.append(record)
+                self.journal.flush()
+        except OSError as exc:
+            # Replica storage refused: the batch is NOT acked (the
+            # cursor the leader holds stays put and the records are
+            # re-streamed later). Not cached either — a retry of this
+            # xid must retry the write, not replay the refusal.
+            self.storage_failures += 1
+            return ErrorMessage(
+                xid=stream.xid,
+                code=ErrorCode.INTERNAL_ERROR,
+                detail=f"replica storage failed: {exc}",
+            )
         self.records_applied += len(stream.records)
         response = self._ack(stream.xid)
         self._response_cache[stream.xid] = response

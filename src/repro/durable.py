@@ -1,0 +1,66 @@
+"""The durable-storage seam: every fsync in the repo goes through here.
+
+The crash-safety machinery (controller journal, flow-state checkpoints,
+the replication sink) was written directly against ``open`` /
+``os.fsync`` / ``os.replace`` — which made its *failure* behaviour
+untestable: an ENOSPC raised straight through the orchestration loop
+and no test could ever produce one. :class:`Storage` is the injectable
+backend those modules now write through. The default implementation is
+a trivial passthrough to the OS; the chaos engine substitutes
+:class:`repro.chaos.storage.FaultyStorage`, which injects EIO, ENOSPC,
+fsyncs that lie, torn replaces, and slow I/O — and can simulate a
+power-loss ``crash()`` that discards everything past the last honest
+fsync.
+
+Only the *write* path is abstracted (open-for-write, fsync, replace,
+remove). Reads stay plain ``open``: replay after a crash always runs
+against whatever bytes really survived, which is exactly what the
+fault model manipulates.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import os
+from typing import IO, Any
+
+
+class Storage:
+    """Durable file operations (OS passthrough; subclass to inject faults).
+
+    All paths are plain strings/PathLike; all files are text-mode UTF-8
+    (the journal format is JSON lines). Subclasses may wrap the returned
+    file objects — callers must only rely on ``write``/``flush``/
+    ``close``/``fileno`` and must route durability through
+    :meth:`fsync`, never ``os.fsync`` directly.
+    """
+
+    def open(self, path: str | os.PathLike[str], mode: str = "a") -> IO[str]:
+        """Open ``path`` for writing (append/truncate per ``mode``)."""
+        return open(os.fspath(path), mode, encoding="utf-8")
+
+    def fsync(self, handle: Any) -> None:
+        """Flush ``handle`` and force its bytes to stable storage.
+
+        Raises ``OSError`` when the device refuses; a successful return
+        is the durability promise callers account against.
+        """
+        handle.flush()
+        os.fsync(handle.fileno())
+
+    def replace(self, src: str | os.PathLike[str],
+                dst: str | os.PathLike[str]) -> None:
+        """Atomically rename ``src`` over ``dst`` (the snapshot swap)."""
+        os.replace(os.fspath(src), os.fspath(dst))
+
+    def remove(self, path: str | os.PathLike[str]) -> None:
+        """Best-effort unlink (cleanup of temp files; missing is fine)."""
+        with contextlib.suppress(FileNotFoundError):
+            os.remove(os.fspath(path))
+
+    def exists(self, path: str | os.PathLike[str]) -> bool:
+        return os.path.exists(os.fspath(path))
+
+
+#: Shared default backend — stateless, so one instance serves everyone.
+LOCAL = Storage()

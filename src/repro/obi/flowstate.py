@@ -38,6 +38,7 @@ from dataclasses import dataclass, field
 from typing import Any, Callable
 
 from repro.controller.journal import StateJournal
+from repro.durable import Storage
 from repro.net.flow import FiveTuple, Flow, FlowTable
 from repro.net.packet import Packet
 
@@ -186,6 +187,17 @@ class FlowStateCheckpointer:
     connection, a session verdict) are journaled: a SYN flood's
     embryonic entries never touch the disk, which keeps the journal
     write rate proportional to real sessions, not attack packets.
+
+    **Storage degradation**: persistence is an *enhancement* of the
+    in-memory table, never a dependency — when the disk starts refusing
+    writes (ENOSPC, EIO) the checkpointer sheds to in-memory-only
+    operation instead of letting an OSError reach the packet path.
+    Every shed record is counted (:attr:`dropped_records`), and every
+    ``resume_every`` sheds the disk is probed with a full-table
+    :meth:`StateJournal.rebuild`: on success the journal is a fresh
+    fsync'd snapshot of the *live* table (nothing dropped while
+    degraded is lost — the table itself is the authority) and delta
+    journaling resumes.
     """
 
     def __init__(
@@ -193,55 +205,133 @@ class FlowStateCheckpointer:
         path: str | os.PathLike[str],
         fsync_every: int = 8,
         snapshot_every: int = 256,
+        storage: Storage | None = None,
+        resume_every: int = 32,
     ) -> None:
         self.journal = StateJournal(
-            path, fsync_every=fsync_every, compact_every=snapshot_every
+            path, fsync_every=fsync_every, compact_every=snapshot_every,
+            storage=storage,
         )
         #: Keys present in the journal (snapshot or delta): removals of
         #: never-journaled flows are skipped so flood-evicted embryonic
         #: entries cost no journal traffic on the way out either.
         self._journaled: set[FiveTuple] = set()
+        #: True while shedding to in-memory-only (storage refused a write).
+        self.degraded = False
+        #: Durable-state records shed while degraded (drop accounting).
+        self.dropped_records = 0
+        #: Successful returns from degraded mode (fresh rebuilt segment).
+        self.resumes = 0
+        #: Probe the disk for recovery after this many sheds.
+        self.resume_every = max(1, resume_every)
+        self._sheds_since_probe = 0
 
     @property
     def path(self) -> str:
         return self.journal.path
 
+    def _shed(self) -> None:
+        self.degraded = True
+        self.dropped_records += 1
+        self._sheds_since_probe += 1
+
     def record_entry(self, key: FiveTuple, entry: dict[str, Any]) -> None:
-        self.journal.append({"rec": "flow", "entry": entry})
+        if self.degraded:
+            self._shed()
+            return
+        try:
+            self.journal.append({"rec": "flow", "entry": entry})
+        except OSError:
+            self._shed()
+            return
         self._journaled.add(key)
 
     def record_remove(self, key: FiveTuple) -> None:
         if key not in self._journaled:
             return
+        if self.degraded:
+            self._shed()
+            return
         self._journaled.discard(key)
-        self.journal.append({"rec": "flow_gone", "key": key.to_dict()})
+        try:
+            self.journal.append({"rec": "flow_gone", "key": key.to_dict()})
+        except OSError:
+            self._shed()
 
     def record_generation(self, generation: int) -> None:
-        self.journal.append(
-            {"rec": "state_generation", "generation": generation}
-        )
-        self.journal.flush()
+        if self.degraded:
+            self._shed()
+            return
+        try:
+            self.journal.append(
+                {"rec": "state_generation", "generation": generation}
+            )
+            self.journal.flush()
+        except OSError:
+            self._shed()
 
     def snapshot(
         self, generation: int, entries: list[dict[str, Any]],
         keys: set[FiveTuple],
     ) -> None:
-        self.journal.compact(_CheckpointImage(generation, entries))
+        try:
+            self.journal.compact(_CheckpointImage(generation, entries))
+        except OSError:
+            self._shed()
+            return
         self._journaled = set(keys)
 
     def maybe_snapshot(
         self, generation: int,
         image: Callable[[], tuple[list[dict[str, Any]], set[FiveTuple]]],
     ) -> bool:
-        """Compact when the delta tail has outgrown ``snapshot_every``."""
+        """Compact when the delta tail has outgrown ``snapshot_every``.
+
+        While degraded, doubles as the resume probe: every
+        ``resume_every`` sheds, :meth:`try_resume` tests whether the
+        storage has healed.
+        """
+        if self.degraded:
+            if self._sheds_since_probe >= self.resume_every:
+                self._sheds_since_probe = 0
+                return self.try_resume(generation, image)
+            return False
         if not self.journal.should_compact:
             return False
         entries, keys = image()
         self.snapshot(generation, entries, keys)
+        return not self.degraded
+
+    def try_resume(
+        self, generation: int,
+        image: Callable[[], tuple[list[dict[str, Any]], set[FiveTuple]]],
+    ) -> bool:
+        """Attempt to leave degraded mode with a fresh rebuilt segment.
+
+        The live table image is the authority — everything shed while
+        degraded is inside it — so one successful
+        :meth:`StateJournal.rebuild` makes the journal whole again.
+        """
+        if not self.degraded:
+            return True
+        entries, keys = image()
+        try:
+            self.journal.rebuild(_CheckpointImage(generation, entries))
+        except OSError:
+            return False
+        self._journaled = set(keys)
+        self.degraded = False
+        self._sheds_since_probe = 0
+        self.resumes += 1
         return True
 
     def flush(self) -> None:
-        self.journal.flush()
+        if self.degraded:
+            return
+        try:
+            self.journal.flush()
+        except OSError:
+            self.degraded = True
 
     def close(self) -> None:
         self.journal.close()

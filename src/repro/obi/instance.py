@@ -174,6 +174,7 @@ class OpenBoxInstance:
         clock: Callable[[], float] | None = None,
         log_service: LogService | None = None,
         storage_service: PacketStorageService | None = None,
+        state_storage: Any = None,
     ) -> None:
         self.config = config
         self.clock = clock or time.monotonic
@@ -192,6 +193,7 @@ class OpenBoxInstance:
                 config.state_checkpoint_path,
                 fsync_every=config.state_checkpoint_fsync_every,
                 snapshot_every=config.state_snapshot_every,
+                storage=state_storage,
             )
         self.session = SessionStorage(
             idle_timeout=config.session_idle_timeout,
@@ -1289,6 +1291,17 @@ class OpenBoxInstance:
             return self.session.under_degradation
         if handle == "state_generation":
             return self.session.state_generation
+        if handle == "state_checkpoint_degraded":
+            checkpoint = self.session.flow_table.checkpoint
+            return checkpoint.degraded if checkpoint is not None else False
+        if handle == "state_checkpoint_dropped":
+            checkpoint = self.session.flow_table.checkpoint
+            return (
+                checkpoint.dropped_records if checkpoint is not None else 0
+            )
+        if handle == "state_checkpoint_resumes":
+            checkpoint = self.session.flow_table.checkpoint
+            return checkpoint.resumes if checkpoint is not None else 0
         if handle == "stale_handoff_rejections":
             return self.stale_handoff_rejections
         if handle == "rehomes":

@@ -20,6 +20,10 @@ class ErrorCode:
     #: The sender's controller generation is older than one the receiver
     #: has already obeyed (split-brain guard, PROTOCOL.md §10).
     STALE_GENERATION = "stale_generation"
+    #: The controller is in journaled-read-only degraded mode (its
+    #: durable storage is refusing writes): state-mutating operations
+    #: are fenced until storage heals and the journal is rebuilt.
+    DEGRADED = "degraded"
 
 
 class ProtocolError(Exception):

@@ -69,6 +69,10 @@ class ObiNode:
         self.instance = instance
         self.dropped = 0
         self.punted = 0
+        #: Packets refused by overload admission control — counted here
+        #: so the packet-conservation invariant (injected == delivered +
+        #: accounted drops) closes over every loss reason.
+        self.shed = 0
 
     def deliver(self, network: "SimNetwork", packet: Packet) -> None:
         outcome = self.instance.process_packet(packet)
@@ -76,6 +80,8 @@ class ObiNode:
             self.dropped += 1
         if outcome.punted:
             self.punted += 1
+        if outcome.shed:
+            self.shed += 1
         for devname, out_packet in outcome.outputs:
             network.emit(self.name, devname, out_packet)
 

@@ -15,6 +15,9 @@ injects the classic distributed-systems failure modes:
   a slow response);
 * **delay** — added latency, charged via an injectable ``sleep`` so
   virtual-time tests never really sleep;
+* **reordering** — a send is held in a bounded holdback queue and
+  delivered only after the next successful send (the caller times out;
+  retry + receiver-side xid dedup must absorb the late replay);
 * **peer crash** — after ``crash_after`` sends, or an explicit
   :meth:`kill`, every send raises :class:`ChannelClosed`;
 * **partition** — an explicit network cut via :meth:`partition` /
@@ -54,6 +57,14 @@ class FaultPlan:
     #: Probability a send is delayed, and the uniform delay bounds.
     delay_rate: float = 0.0
     delay_range: tuple[float, float] = (0.0, 0.0)
+    #: Probability a send is *reordered*: held back in a bounded queue
+    #: and delivered only after the next successful send (so it arrives
+    #: late, behind a younger message). The caller observes a timeout —
+    #: retry plus receiver-side xid dedup must absorb the late replay.
+    reorder_rate: float = 0.0
+    #: Holdback queue bound; when full, the oldest held message is
+    #: flushed (delivered late) to make room.
+    reorder_depth: int = 4
     #: Crash the peer permanently after this many sends (None = never).
     crash_after: int | None = None
 
@@ -87,6 +98,10 @@ class FaultyChannel:
         self.delays = 0
         self.total_delay = 0.0
         self.partition_drops = 0
+        #: Messages held back for reordering / late deliveries made.
+        self.reorders = 0
+        self.reorder_flushes = 0
+        self._holdback: list[tuple[str, Message]] = []
 
     # -- fault controls -------------------------------------------------
     def kill(self) -> None:
@@ -157,9 +172,53 @@ class FaultyChannel:
         if self._sleep is not None and seconds > 0:
             self._sleep(seconds)
 
+    # -- reordering (bounded holdback queue) ---------------------------
+    def _maybe_hold(self, kind: str, message: Message) -> bool:
+        """Roll the reorder fault; True means the send was held back."""
+        if self._rng.random() >= self.plan.reorder_rate:
+            return False
+        self.reorders += 1
+        self._holdback.append((kind, message))
+        while len(self._holdback) > max(1, self.plan.reorder_depth):
+            self._deliver_late(*self._holdback.pop(0))
+        return True
+
+    def _deliver_late(self, kind: str, message: Message) -> None:
+        """Deliver a held message out of order; its response is lost
+        (the caller long since timed out — dedup absorbs the replay)."""
+        self.reorder_flushes += 1
+        try:
+            if kind == "request":
+                self.inner.request(message)
+            else:
+                self.inner.notify(message)
+        except (ChannelClosed, ChannelTimeout):
+            pass
+
+    def flush_holdback(self) -> int:
+        """Deliver every held message now, oldest first; returns count.
+
+        Called automatically after each successful send (that is what
+        makes the held messages *reordered* rather than lost) and on
+        :meth:`close`; deterministic — no randomness in the flush.
+        """
+        held, self._holdback = self._holdback, []
+        for kind, message in held:
+            self._deliver_late(kind, message)
+        return len(held)
+
     def request(self, message: Message, timeout: float = 10.0) -> Message:
         self._pre_send(message, timeout)
+        if self._maybe_hold("request", message):
+            self._charge(timeout)
+            raise ChannelTimeout(
+                f"request xid={message.xid} held back for reordering "
+                f"after {timeout}s"
+            )
         response = self.inner.request(message, timeout=timeout)
+        # Predecessors held in the queue come out *behind* this send —
+        # the definition of reordering on a message channel.
+        self.flush_holdback()
         if self._partition == "rx":
             # The peer applied the request; only the answer is lost.
             self.partition_drops += 1
@@ -181,10 +240,16 @@ class FaultyChannel:
 
     def notify(self, message: Message) -> None:
         self._pre_send(message, timeout=0.0)
+        if self._maybe_hold("notify", message):
+            raise ChannelTimeout(
+                f"notify xid={message.xid} held back for reordering"
+            )
         self.inner.notify(message)
+        self.flush_holdback()
         if self._rng.random() < self.plan.duplicate_rate:
             self.duplicates += 1
             self.inner.notify(message)
 
     def close(self) -> None:
+        self.flush_holdback()
         self.inner.close()

@@ -1,0 +1,21 @@
+"""The soak CLI (``python -m repro.chaos``): the nightly entry point."""
+
+import json
+
+from repro.chaos.__main__ import main
+
+
+class TestSoakCli:
+    def test_green_soak_exits_zero_and_writes_summary(self, tmp_path):
+        results = tmp_path / "results"
+        status = main([
+            "--seeds", "1", "--seed-base", "1337", "--steps", "12",
+            "--results", str(results),
+            "--work-dir", str(tmp_path / "work"),
+            "--no-shrink",
+        ])
+        assert status == 0
+        summary = json.loads((results / "CHAOS_soak.json").read_text())
+        assert summary["scenarios"] == 1
+        assert summary["failed"] == 0
+        assert not list(results.glob("CHAOS_seed_*.json"))

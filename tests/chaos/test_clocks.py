@@ -1,0 +1,85 @@
+"""ChaosClock: injectable skew and jumps over any base clock."""
+
+import pytest
+
+from repro.chaos.clocks import ChaosClock
+
+
+class FakeBase:
+    def __init__(self):
+        self.now = 100.0
+
+    def __call__(self):
+        return self.now
+
+
+class TestChaosClock:
+    def test_tracks_base_at_rate_one(self):
+        base = FakeBase()
+        clock = ChaosClock(base)
+        assert clock() == pytest.approx(100.0)
+        base.now += 5.0
+        assert clock() == pytest.approx(105.0)
+
+    def test_jump_steps_instantly(self):
+        base = FakeBase()
+        clock = ChaosClock(base)
+        clock.jump(30.0)
+        assert clock() == pytest.approx(130.0)
+        base.now += 1.0
+        assert clock() == pytest.approx(131.0)
+        assert clock.jumps == 1
+
+    def test_negative_jump_steps_backwards(self):
+        base = FakeBase()
+        clock = ChaosClock(base)
+        clock.jump(-10.0)
+        assert clock() == pytest.approx(90.0)
+
+    def test_skew_scales_elapsed_time(self):
+        base = FakeBase()
+        clock = ChaosClock(base)
+        base.now += 10.0  # reads 110 at the moment of skew
+        clock.skew(2.0)
+        base.now += 5.0
+        assert clock() == pytest.approx(110.0 + 5.0 * 2.0)
+        assert clock.rate == 2.0
+        assert clock.skews == 1
+
+    def test_skew_anchors_at_current_reading(self):
+        # Skew must not retroactively rescale time already elapsed.
+        base = FakeBase()
+        clock = ChaosClock(base)
+        base.now += 10.0
+        clock.skew(0.5)
+        assert clock() == pytest.approx(110.0)
+
+    def test_faults_compose(self):
+        base = FakeBase()
+        clock = ChaosClock(base)
+        clock.jump(100.0)
+        clock.skew(2.0)
+        base.now += 4.0
+        assert clock() == pytest.approx(200.0 + 8.0)
+
+    def test_reset_heals_without_time_travel(self):
+        base = FakeBase()
+        clock = ChaosClock(base)
+        clock.jump(50.0)
+        clock.skew(3.0)
+        base.now += 2.0
+        reading = clock()
+        clock.reset()
+        assert clock.rate == 1.0
+        # Healing re-anchors at the skewed reading: monotonic, no
+        # backwards step even though the faults are gone.
+        assert clock() == pytest.approx(reading)
+        base.now += 1.0
+        assert clock() == pytest.approx(reading + 1.0)
+
+    def test_nonpositive_rate_rejected(self):
+        clock = ChaosClock(FakeBase())
+        with pytest.raises(ValueError):
+            clock.skew(0.0)
+        with pytest.raises(ValueError):
+            clock.skew(-1.0)

@@ -1,0 +1,86 @@
+"""ChaosRegistry and ProcessPoint: the flat fault-point namespace."""
+
+import pytest
+
+from repro.chaos.points import LAYERS, ChaosRegistry, FaultPoint, ProcessPoint
+
+
+class TestRegistry:
+    def test_register_and_resolve(self):
+        registry = ChaosRegistry()
+        target = object()
+        point = registry.register("storage:leader", "storage", target,
+                                  description="the leader's disk")
+        assert isinstance(point, FaultPoint)
+        assert registry.get("storage:leader").target is target
+        assert registry.target("storage:leader") is target
+        assert "storage:leader" in registry
+        assert len(registry) == 1
+
+    def test_unknown_layer_rejected(self):
+        registry = ChaosRegistry()
+        with pytest.raises(ValueError) as excinfo:
+            registry.register("x", "network", object())
+        assert str(LAYERS) in str(excinfo.value)
+
+    def test_duplicate_name_rejected(self):
+        registry = ChaosRegistry()
+        registry.register("clock:leader", "clock", object())
+        with pytest.raises(ValueError):
+            registry.register("clock:leader", "clock", object())
+
+    def test_unknown_name_lists_catalog(self):
+        registry = ChaosRegistry()
+        registry.register("transport:obi-1", "transport", object())
+        with pytest.raises(KeyError) as excinfo:
+            registry.get("transport:obi-9")
+        assert "transport:obi-1" in str(excinfo.value)
+
+    def test_by_layer_and_names(self):
+        registry = ChaosRegistry()
+        registry.register("storage:a", "storage", object())
+        registry.register("storage:b", "storage", object())
+        registry.register("clock:a", "clock", object())
+        assert registry.names("storage") == ["storage:a", "storage:b"]
+        assert registry.names() == ["clock:a", "storage:a", "storage:b"]
+        assert {p.name for p in registry.by_layer("storage")} == {
+            "storage:a", "storage:b"
+        }
+        with pytest.raises(ValueError):
+            registry.by_layer("network")
+
+    def test_iteration(self):
+        registry = ChaosRegistry()
+        registry.register("process:leader", "process", object())
+        assert [p.name for p in registry] == ["process:leader"]
+
+
+class TestProcessPoint:
+    def test_kill_is_idempotent(self):
+        killed = []
+        point = ProcessPoint("process:x", kill=lambda: killed.append(1))
+        point.kill()
+        point.kill()  # already dead: no second close
+        assert killed == [1]
+        assert not point.alive
+        assert point.kills == 1
+
+    def test_revive_restores_and_counts(self):
+        log = []
+        point = ProcessPoint(
+            "process:x", kill=lambda: log.append("kill"),
+            revive=lambda: log.append("revive"),
+        )
+        point.revive()  # alive: no-op
+        point.kill()
+        point.revive()
+        assert log == ["kill", "revive"]
+        assert point.alive
+        assert (point.kills, point.revives) == (1, 1)
+
+    def test_non_revivable_raises(self):
+        # A SIGKILLed leader is replaced via failover, never revived.
+        point = ProcessPoint("process:leader", kill=lambda: None)
+        point.kill()
+        with pytest.raises(ValueError):
+            point.revive()

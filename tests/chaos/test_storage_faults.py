@@ -1,0 +1,217 @@
+"""FaultyStorage: the disk that lies (chaos storage layer).
+
+The backend models durability honestly: per path it tracks the byte
+offset covered by the last *honest* fsync, and :meth:`crash` — power
+loss, not SIGKILL — truncates back to it. These tests pin the contract
+each durable layer (journal, checkpoints, replication sink) is hardened
+against.
+"""
+
+import os
+
+import pytest
+
+from repro.chaos.storage import FaultyStorage, StoragePlan
+
+
+def write_line(storage, path, line="hello\n", sync=True):
+    with storage.open(path, "a") as handle:
+        handle.write(line)
+        if sync:
+            storage.fsync(handle)
+
+
+class TestScriptedWindows:
+    def test_fail_writes_window_counts_down(self, tmp_path):
+        storage = FaultyStorage()
+        storage.fail_writes(error="ENOSPC", count=2)
+        path = str(tmp_path / "f")
+        handle = storage.open(path, "a")
+        for _ in range(2):
+            with pytest.raises(OSError) as excinfo:
+                handle.write("x\n")
+            assert "ENOSPC" in str(excinfo.value)
+        # Window exhausted: the third write lands.
+        assert handle.write("x\n") == 2
+        handle.close()
+        assert storage.write_failures == 2
+
+    def test_fail_fsync_refuses_the_barrier(self, tmp_path):
+        storage = FaultyStorage()
+        path = str(tmp_path / "f")
+        handle = storage.open(path, "a")
+        handle.write("one\n")
+        storage.fail_fsync(error="EIO", count=1)
+        with pytest.raises(OSError):
+            storage.fsync(handle)
+        # The refused barrier never advanced the durable offset...
+        assert storage.durable_size(path) == 0
+        # ...but the bytes were flushed to the OS, so a polite close
+        # (not a power loss) still leaves them readable.
+        storage.fsync(handle)
+        assert storage.durable_size(path) == len("one\n")
+        handle.close()
+
+    def test_unbounded_window_until_heal(self, tmp_path):
+        storage = FaultyStorage()
+        storage.fail_fsync(error="ENOSPC")  # count=None: forever
+        path = str(tmp_path / "f")
+        handle = storage.open(path, "a")
+        handle.write("x\n")
+        for _ in range(3):
+            with pytest.raises(OSError):
+                storage.fsync(handle)
+        assert not storage.healthy
+        storage.heal()
+        assert storage.healthy
+        storage.fsync(handle)
+        handle.close()
+
+    def test_fail_replace_leaves_temp_file(self, tmp_path):
+        storage = FaultyStorage()
+        tmp = tmp_path / "snap.tmp"
+        dst = tmp_path / "snap"
+        write_line(storage, str(tmp), "snapshot\n")
+        write_line(storage, str(dst), "old\n")
+        storage.fail_replace(count=1)
+        with pytest.raises(OSError):
+            storage.replace(tmp, dst)
+        # The torn swap: temp left behind, original untouched.
+        assert tmp.exists()
+        assert dst.read_text() == "old\n"
+        storage.replace(tmp, dst)
+        assert dst.read_text() == "snapshot\n"
+        assert not tmp.exists()
+
+    def test_slow_io_charges_injected_sleep(self, tmp_path):
+        slept = []
+        storage = FaultyStorage(sleep=slept.append)
+        storage.slow_io(0.25)
+        write_line(storage, str(tmp_path / "f"))
+        assert slept and all(s == pytest.approx(0.25) for s in slept)
+        assert storage.total_delay == pytest.approx(0.25 * len(slept))
+        storage.heal()
+        before = len(slept)
+        write_line(storage, str(tmp_path / "f"))
+        assert len(slept) == before
+
+    def test_unknown_errno_rejected(self):
+        storage = FaultyStorage()
+        with pytest.raises(ValueError):
+            storage.fail_writes(error="EWHATEVER")
+
+
+class TestCrashSemantics:
+    def test_crash_discards_unsynced_tail(self, tmp_path):
+        storage = FaultyStorage()
+        path = str(tmp_path / "f")
+        handle = storage.open(path, "a")
+        handle.write("durable\n")
+        storage.fsync(handle)
+        handle.write("in the page cache\n")
+        handle.flush()  # on disk per the OS, but never fsynced
+        storage.crash()
+        assert open(path).read() == "durable\n"
+
+    def test_lying_fsync_exposed_only_by_crash(self, tmp_path):
+        storage = FaultyStorage()
+        path = str(tmp_path / "f")
+        handle = storage.open(path, "a")
+        handle.write("durable\n")
+        storage.fsync(handle)
+        storage.lie_fsync(count=1)
+        handle = storage.open(path, "a")
+        handle.write("acknowledged but not durable\n")
+        storage.fsync(handle)  # "succeeds"
+        assert storage.fsync_lies == 1
+        # Until the crash, reads see everything (flush happened) — the
+        # lie is invisible to a merely-restarting process.
+        assert "acknowledged" in open(path).read()
+        storage.crash()
+        assert open(path).read() == "durable\n"
+
+    def test_torn_tail_smears_half_a_record(self, tmp_path):
+        storage = FaultyStorage()
+        path = str(tmp_path / "f")
+        handle = storage.open(path, "a")
+        handle.write('{"rec":"good"}\n')
+        storage.fsync(handle)
+        handle.write('{"rec":"lost"}\n')
+        storage.crash(torn_tail=True)
+        data = open(path, "rb").read()
+        assert data.startswith(b'{"rec":"good"}\n')
+        assert data.endswith(b'{"rec":"torn')  # no newline: half a line
+
+    def test_append_mode_inherits_existing_bytes_as_durable(self, tmp_path):
+        path = tmp_path / "f"
+        path.write_text("preexisting\n")
+        storage = FaultyStorage()
+        handle = storage.open(str(path), "a")
+        handle.write("new\n")
+        storage.crash()
+        assert path.read_text() == "preexisting\n"
+
+    def test_scripted_faults_survive_the_crash(self, tmp_path):
+        # The disk that filled up is still full after the power blip.
+        storage = FaultyStorage()
+        storage.fail_fsync(error="ENOSPC")
+        storage.crash()
+        handle = storage.open(str(tmp_path / "f"), "a")
+        handle.write("x\n")
+        with pytest.raises(OSError):
+            storage.fsync(handle)
+
+
+class TestProbabilisticPlan:
+    def run_sequence(self, tmp_path, seed, name):
+        storage = FaultyStorage(StoragePlan(seed=seed, write_error_rate=0.4))
+        outcomes = []
+        handle = storage.open(str(tmp_path / name), "a")
+        for _ in range(40):
+            try:
+                handle.write("x\n")
+                outcomes.append("ok")
+            except OSError:
+                outcomes.append("fail")
+        handle.close()
+        return outcomes
+
+    def test_same_seed_reproduces_faults(self, tmp_path):
+        assert (self.run_sequence(tmp_path, 7, "a")
+                == self.run_sequence(tmp_path, 7, "b"))
+
+    def test_different_seeds_differ(self, tmp_path):
+        assert (self.run_sequence(tmp_path, 1, "a")
+                != self.run_sequence(tmp_path, 2, "b"))
+
+    def test_scripted_window_takes_precedence_over_plan(self, tmp_path):
+        # A 0-rate plan plus a scripted window: the window still fires.
+        storage = FaultyStorage(StoragePlan(seed=3, write_error_rate=0.0))
+        storage.fail_writes(count=1)
+        handle = storage.open(str(tmp_path / "f"), "a")
+        with pytest.raises(OSError):
+            handle.write("x\n")
+        handle.write("x\n")
+        handle.close()
+
+    def test_probabilistic_fsync_lie_tracked(self, tmp_path):
+        storage = FaultyStorage(StoragePlan(seed=11, fsync_lie_rate=1.0))
+        path = str(tmp_path / "f")
+        handle = storage.open(path, "a")
+        handle.write("x\n")
+        storage.fsync(handle)
+        assert storage.fsync_lies == 1
+        assert storage.durable_size(path) == 0
+
+
+class TestReplaceTracking:
+    def test_replace_moves_the_durable_offset(self, tmp_path):
+        storage = FaultyStorage()
+        tmp, dst = str(tmp_path / "t"), str(tmp_path / "d")
+        write_line(storage, tmp, "abc\n")
+        storage.replace(tmp, dst)
+        assert storage.durable_size(dst) == len("abc\n")
+        assert storage.durable_size(tmp) is None
+        # The replaced-in file survives a crash wholesale.
+        storage.crash()
+        assert open(dst).read() == "abc\n"

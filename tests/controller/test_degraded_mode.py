@@ -1,0 +1,144 @@
+"""Journaled-read-only degraded mode: graceful storage degradation.
+
+When the journal's disk refuses a write the controller must not crash
+and must not keep mutating state it cannot record: deploys are fenced
+(DEGRADED), a critical ``_controller`` alert fires, shed records are
+counted, and once storage heals ``try_resume_journal`` rebuilds a fresh
+fsync'd segment from live state and lifts the fence — all of it
+exercised here directly, and end-to-end via the orchestrator in
+``tests/integration/test_chaos_scenarios.py``.
+"""
+
+import pytest
+
+from repro.bootstrap import connect_inproc
+from repro.chaos.storage import FaultyStorage
+from repro.controller.apps import AppStatement, FunctionApplication
+from repro.controller.journal import StateJournal
+from repro.controller.obc import OpenBoxController
+from repro.obi.instance import ObiConfig, OpenBoxInstance
+from repro.protocol.errors import ErrorCode, ProtocolError
+from tests.conftest import build_firewall_graph, build_ips_graph
+
+
+def _app(name, builder, priority):
+    return FunctionApplication(
+        name, lambda: [AppStatement(graph=builder(name))], priority=priority,
+    )
+
+
+def degraded_setup(tmp_path, **controller_kwargs):
+    """A journaled controller with one OBI, on injectable storage."""
+    storage = FaultyStorage()
+    journal = StateJournal(tmp_path / "obc.journal", fsync_every=1,
+                           storage=storage)
+    controller = OpenBoxController(journal=journal, auto_deploy=False,
+                                   **controller_kwargs)
+    controller.register_application(_app("fw", build_firewall_graph, 1))
+    obi = OpenBoxInstance(ObiConfig(obi_id="obi-1", segment=""))
+    connect_inproc(controller, obi)
+    controller.deploy("obi-1")
+    return storage, controller, obi
+
+
+class TestEnteringDegradedMode:
+    def test_storage_failure_sheds_instead_of_crashing(self, tmp_path):
+        storage, controller, _obi = degraded_setup(tmp_path)
+        storage.fail_fsync(error="ENOSPC")
+        # The next journaled mutation hits the dead disk: no exception
+        # reaches the caller, the controller degrades.
+        controller.register_application(_app("ips", build_ips_graph, 2))
+        assert controller.degraded
+        assert controller.journal_dropped_records >= 1
+
+    def test_critical_controller_alert_fires_once(self, tmp_path):
+        storage, controller, _obi = degraded_setup(tmp_path)
+        storage.fail_fsync(error="ENOSPC")
+        controller.register_application(_app("ips", build_ips_graph, 2))
+        controller.register_application(_app("ids", build_ips_graph, 3))
+        alerts = [a for a in controller.alerts
+                  if a.origin_app == OpenBoxController.CONTROLLER_ORIGIN
+                  and a.severity == "critical"]
+        assert len(alerts) == 1  # entering twice does not re-alert
+        assert "journal storage failed" in alerts[0].message
+        assert "ENOSPC" in alerts[0].message
+
+    def test_deploys_are_fenced_while_degraded(self, tmp_path):
+        storage, controller, obi = degraded_setup(tmp_path)
+        deployed_version = obi.graph_version
+        storage.fail_fsync(error="ENOSPC")
+        controller.register_application(_app("ips", build_ips_graph, 2))
+        with pytest.raises(ProtocolError) as excinfo:
+            controller.deploy("obi-1")
+        assert excinfo.value.code == ErrorCode.DEGRADED
+        # The OBI keeps forwarding on what it already runs.
+        assert obi.graph_version == deployed_version
+
+    def test_degraded_since_records_the_clock(self, tmp_path):
+        now = [123.0]
+        storage, controller, _obi = degraded_setup(
+            tmp_path, clock=lambda: now[0]
+        )
+        storage.fail_fsync(error="ENOSPC")
+        controller.register_application(_app("ips", build_ips_graph, 2))
+        assert controller.degraded_since == 123.0
+
+
+class TestResuming:
+    def enter_degraded(self, tmp_path):
+        storage, controller, obi = degraded_setup(tmp_path)
+        storage.fail_fsync(error="ENOSPC")
+        controller.register_application(_app("ips", build_ips_graph, 2))
+        assert controller.degraded
+        return storage, controller, obi
+
+    def test_resume_fails_while_storage_is_still_broken(self, tmp_path):
+        storage, controller, _obi = self.enter_degraded(tmp_path)
+        assert controller.try_resume_journal() is False
+        assert controller.degraded
+
+    def test_resume_rebuilds_fresh_segment_and_lifts_fence(self, tmp_path):
+        storage, controller, _obi = self.enter_degraded(tmp_path)
+        storage.heal()
+        assert controller.try_resume_journal() is True
+        assert not controller.degraded
+        assert controller.journal_resumes == 1
+        assert controller.journal.rebuilds == 1
+        assert controller.journal.segment >= 1
+        # The fence is lifted: deploys work again.
+        assert controller.deploy("obi-1") is not None
+        info_alerts = [a for a in controller.alerts
+                       if a.severity == "info" and "healed" in a.message]
+        assert len(info_alerts) == 1
+
+    def test_rebuilt_segment_replays_to_live_intent(self, tmp_path):
+        # Nothing shed while degraded is lost: the rebuilt snapshot is
+        # taken from live state, which absorbed every dropped record.
+        storage, controller, _obi = self.enter_degraded(tmp_path)
+        storage.heal()
+        controller.try_resume_journal()
+        controller.deploy("obi-1")
+        replayed = StateJournal.replay(controller.journal.path).state
+        assert set(replayed.apps) == {"fw", "ips"}
+        assert replayed.generation == controller.generation
+        assert (replayed.obis["obi-1"]["digest"]
+                == controller.obis["obi-1"].intended_digest)
+
+    def test_recover_replays_the_rebuilt_journal(self, tmp_path):
+        # The acceptance criterion's last leg: a crash after the resume
+        # recovers from the new segment alone.
+        storage, controller, _obi = self.enter_degraded(tmp_path)
+        storage.heal()
+        controller.try_resume_journal()
+        recovered = OpenBoxController.recover(
+            controller.journal.path,
+            applications=[_app("fw", build_firewall_graph, 1),
+                          _app("ips", build_ips_graph, 2)],
+        )
+        assert recovered.generation == controller.generation + 1
+        assert set(recovered.applications) == {"fw", "ips"}
+        assert "obi-1" in recovered.expected_obis
+
+    def test_resume_without_journal_is_trivially_true(self):
+        controller = OpenBoxController()
+        assert controller.try_resume_journal() is True

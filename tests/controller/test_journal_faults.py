@@ -1,0 +1,248 @@
+"""StateJournal under storage faults: honest durability accounting,
+crash-safe compaction, degraded-resume rebuilds.
+
+The accounting rule under test (the satellite fix): ``flush`` may only
+reset the unsynced counter — and count an fsync — after the barrier
+*succeeded*. A refused fsync must re-surface on the next flush instead
+of silently marking the batch durable; a refused write must never be
+counted into the replication record count.
+"""
+
+import os
+
+import pytest
+
+from repro.chaos.storage import FaultyStorage
+from repro.controller.journal import JournalState, StateJournal
+
+
+def state_of(records):
+    state = JournalState()
+    for record in records:
+        state.apply(record)
+    return state
+
+
+SEGMENT = {"rec": "segment", "path": "corp"}
+
+
+class TestHonestFlushAccounting:
+    def test_failed_fsync_does_not_mark_the_batch_durable(self, tmp_path):
+        storage = FaultyStorage()
+        journal = StateJournal(tmp_path / "j", fsync_every=8,
+                               storage=storage)
+        for index in range(3):
+            journal.append({"rec": "segment", "path": f"s{index}"})
+        storage.fail_fsync(error="EIO", count=1)
+        with pytest.raises(OSError):
+            journal.flush()
+        assert journal.sync_failures == 1
+        assert journal.fsyncs == 0  # the batch is NOT durable
+        # The refused barrier re-surfaces as work for the next flush:
+        # once the disk heals, the same batch syncs and counts once.
+        journal.flush()
+        assert journal.fsyncs == 1
+        journal.flush()  # nothing unsynced now: no phantom fsync
+        assert journal.fsyncs == 1
+        journal.close()
+
+    def test_append_propagates_a_refused_batch_fsync(self, tmp_path):
+        storage = FaultyStorage()
+        journal = StateJournal(tmp_path / "j", fsync_every=1,
+                               storage=storage)
+        storage.fail_fsync(error="ENOSPC", count=1)
+        with pytest.raises(OSError):
+            journal.append(SEGMENT)
+        # The record was written (replay will see it) but the batch is
+        # still owed a barrier; healing and flushing settles the debt.
+        assert journal.record_count == 1
+        journal.flush()
+        assert journal.fsyncs == 1
+        journal.close()
+        assert StateJournal.replay(journal.path).records == 1
+
+    def test_failed_append_never_counts_the_record(self, tmp_path):
+        storage = FaultyStorage()
+        journal = StateJournal(tmp_path / "j", fsync_every=1,
+                               storage=storage)
+        storage.fail_writes(error="ENOSPC", count=1)
+        with pytest.raises(OSError):
+            journal.append(SEGMENT)
+        assert journal.append_failures == 1
+        assert journal.appended == 0
+        assert journal.record_count == 0  # replication cursors stay honest
+        journal.append(SEGMENT)
+        journal.close()
+        result = StateJournal.replay(journal.path)
+        assert result.records == 1
+        assert result.state.segments == ["corp"]
+
+    def test_lying_fsync_plus_power_loss_loses_only_the_lied_tail(
+        self, tmp_path
+    ):
+        storage = FaultyStorage()
+        journal = StateJournal(tmp_path / "j", fsync_every=1,
+                               storage=storage)
+        journal.append({"rec": "segment", "path": "durable"})
+        storage.lie_fsync(count=1)
+        journal.append({"rec": "segment", "path": "betrayed"})
+        storage.crash(torn_tail=True)
+        result = StateJournal.replay(journal.path)
+        assert result.state.segments == ["durable"]
+        assert result.truncated  # the torn half-record stopped the scan
+
+
+class TestCrashSafeCompaction:
+    def test_failed_replace_leaves_old_journal_authoritative(self, tmp_path):
+        storage = FaultyStorage()
+        journal = StateJournal(tmp_path / "j", fsync_every=1,
+                               storage=storage)
+        records = [{"rec": "segment", "path": f"s{i}"} for i in range(4)]
+        for record in records:
+            journal.append(record)
+        storage.fail_replace(count=1)
+        with pytest.raises(OSError):
+            journal.compact(state_of(records))
+        # Temp cleaned up, segment unchanged, journal fully usable.
+        assert not os.path.exists(journal.path + ".compact")
+        assert journal.segment == 0
+        assert journal.compactions == 0
+        journal.append({"rec": "segment", "path": "after"})
+        journal.close()
+        state = StateJournal.replay(journal.path).state
+        assert state.segments == [f"s{i}" for i in range(4)] + ["after"]
+
+    def test_refused_preflush_aborts_before_any_file_is_touched(
+        self, tmp_path
+    ):
+        storage = FaultyStorage()
+        journal = StateJournal(tmp_path / "j", fsync_every=8,
+                               storage=storage)
+        journal.append(SEGMENT)  # buffered, not yet durable
+        storage.fail_fsync(error="ENOSPC", count=1)
+        with pytest.raises(OSError):
+            journal.compact(state_of([SEGMENT]))
+        # A snapshot must never summarize records that are not durable:
+        # the compaction aborted at the flush, no temp file exists.
+        assert not os.path.exists(journal.path + ".compact")
+        assert journal.segment == 0
+        journal.close()
+
+    def test_failed_tmp_write_cleans_up_and_preserves_replay(self, tmp_path):
+        storage = FaultyStorage()
+        journal = StateJournal(tmp_path / "j", fsync_every=1,
+                               storage=storage)
+        journal.append(SEGMENT)
+        storage.fail_writes(error="ENOSPC", count=1)
+        with pytest.raises(OSError):
+            journal.compact(state_of([SEGMENT]))
+        assert not os.path.exists(journal.path + ".compact")
+        journal.append({"rec": "segment", "path": "later"})
+        journal.close()
+        assert StateJournal.replay(journal.path).state.segments == [
+            "corp", "later"
+        ]
+
+    def test_segment_numbering_is_monotonic_across_reopen(self, tmp_path):
+        storage = FaultyStorage()
+        journal = StateJournal(tmp_path / "j", fsync_every=1,
+                               storage=storage)
+        journal.append(SEGMENT)
+        journal.compact(state_of([SEGMENT]))
+        assert journal.segment == 1
+        # A failed compaction in between must not burn a segment number
+        # (followers key snapshot-vs-delta off exact segment identity).
+        storage.fail_replace(count=1)
+        with pytest.raises(OSError):
+            journal.compact(state_of([SEGMENT]))
+        assert journal.segment == 1
+        journal.compact(state_of([SEGMENT]))
+        assert journal.segment == 2
+        journal.close()
+        reopened = StateJournal(tmp_path / "j", fsync_every=1,
+                                storage=FaultyStorage())
+        assert reopened.segment == 2
+        reopened.close()
+
+    def test_stale_compact_tmp_removed_at_construction(self, tmp_path):
+        # A crash mid-compact leaves the temp file; the journal itself
+        # is intact (the replace never happened) and the stale attempt
+        # is discarded on the next open.
+        path = tmp_path / "j"
+        journal = StateJournal(path, fsync_every=1, storage=FaultyStorage())
+        journal.append(SEGMENT)
+        journal.close()
+        (tmp_path / "j.compact").write_text('{"rec":"snapshot","state":{}}\n')
+        reopened = StateJournal(path, fsync_every=1, storage=FaultyStorage())
+        assert not os.path.exists(str(path) + ".compact")
+        assert StateJournal.replay(path).state.segments == ["corp"]
+        reopened.close()
+
+    def test_power_loss_mid_compact_window_keeps_old_journal(self, tmp_path):
+        # Crash after the tmp snapshot was written but before replace:
+        # the old journal (durable) is what the next incarnation reads.
+        storage = FaultyStorage()
+        journal = StateJournal(tmp_path / "j", fsync_every=1,
+                               storage=storage)
+        journal.append(SEGMENT)
+        storage.fail_replace(count=1)
+        with pytest.raises(OSError):
+            journal.compact(state_of([SEGMENT]))
+        storage.crash()
+        assert StateJournal.replay(journal.path).state.segments == ["corp"]
+
+
+class TestRebuild:
+    def broken_journal(self, tmp_path):
+        storage = FaultyStorage()
+        journal = StateJournal(tmp_path / "j", fsync_every=1,
+                               storage=storage)
+        journal.append(SEGMENT)
+        storage.fail_fsync(error="ENOSPC")  # the disk fills, forever
+        with pytest.raises(OSError):
+            journal.append({"rec": "segment", "path": "shed"})
+        return storage, journal
+
+    def test_rebuild_starts_a_fresh_fsynced_segment(self, tmp_path):
+        storage, journal = self.broken_journal(tmp_path)
+        storage.heal()
+        live = state_of([SEGMENT, {"rec": "segment", "path": "live-only"}])
+        journal.rebuild(live)
+        assert journal.rebuilds == 1
+        assert journal.segment == 1  # monotonic: rebuild bumps like compact
+        assert journal.record_count == 1
+        replayed = StateJournal.replay(journal.path).state
+        # The in-memory state is the authority — including records the
+        # broken disk never accepted.
+        assert replayed.segments == ["corp", "live-only"]
+        journal.append({"rec": "segment", "path": "resumed"})
+        journal.close()
+        assert StateJournal.replay(journal.path).state.segments == [
+            "corp", "live-only", "resumed"
+        ]
+
+    def test_rebuild_on_still_broken_storage_raises_and_cleans_up(
+        self, tmp_path
+    ):
+        storage, journal = self.broken_journal(tmp_path)
+        with pytest.raises(OSError):
+            journal.rebuild(state_of([SEGMENT]))
+        assert not os.path.exists(journal.path + ".compact")
+        assert journal.rebuilds == 0
+        storage.heal()
+        journal.rebuild(state_of([SEGMENT]))
+        assert journal.rebuilds == 1
+        journal.close()
+
+    def test_rebuild_does_not_require_a_flushable_tail(self, tmp_path):
+        # Unlike compact, rebuild must not flush first: the tail is
+        # known-stale and the handle may be dead. Only the *snapshot*
+        # I/O needs to succeed.
+        storage, journal = self.broken_journal(tmp_path)
+        # Heal fsync for new handles but keep failing on the old one is
+        # not expressible per-handle — instead verify rebuild succeeds
+        # immediately after heal without an intervening flush() call.
+        storage.heal()
+        journal.rebuild(state_of([SEGMENT]))
+        assert journal.sync_failures == 1  # only the original failure
+        journal.close()

@@ -12,6 +12,7 @@ dropped by headless-buffered OBIs and ``split_brain_accepts == 0``.
 import pytest
 
 from repro.bootstrap import connect_inproc, rehome_inproc
+from repro.chaos import Scenario, ScenarioRunner, step
 from repro.controller.apps import AppStatement, FunctionApplication
 from repro.controller.journal import StateJournal
 from repro.controller.lease import InProcLeaseStore, LeaseManager
@@ -366,3 +367,110 @@ class TestAntiEntropyVsRecoverRace:
         report = AntiEntropyLoop(ghost).reconcile()
         assert report.superseded
         assert not report.checked  # round refused outright
+
+
+class TestSplitBrainScenario:
+    """:class:`TestSplitBrain`, migrated onto the declarative chaos
+    engine (``repro.chaos``, docs/CHAOS.md).
+
+    The same asymmetric partition — leader alive but cut off from the
+    lease store and the standby while its OBI channels still (half)
+    work — expressed as a replayable seeded :class:`Scenario`, with
+    every system-wide invariant re-checked after **every** step. The
+    ``split_brain_accepts`` invariant now *is* the headline assertion:
+    a fencing hole fails the scenario at the exact ghost-push step.
+    Phase-split runs against one environment preserve every original
+    assertion, including the ones the step vocabulary does not carry
+    (tick report internals, per-OBI fence counters).
+    """
+
+    SEED = 13
+
+    def _run(self, runner, name, steps, root=None, env=None):
+        result = runner.run(
+            Scenario(name=name, seed=self.SEED, steps=list(steps)),
+            root=root, env=env,
+        )
+        assert result.ok, result.summary()
+        return result
+
+    def _split(self, runner, tmp_path, partition_mode):
+        result = self._run(runner, "split-brain:setup", [
+            step("half_deploy"),
+            step("lease_partition", owner="c1"),
+            # The replication link dies like a closed TCP peer (the
+            # hub tolerates ChannelClosed); the OBI channels get the
+            # directional cut under test.
+            step("kill", point="transport:standby"),
+            step("partition", point="transport:obi-1",
+                 mode=partition_mode),
+            step("partition", point="transport:obi-2",
+                 mode=partition_mode),
+        ], root=str(tmp_path))
+        return result.env
+
+    @pytest.mark.parametrize("partition_mode", ["rx", "both"])
+    def test_zero_split_brain_accepts(self, tmp_path, partition_mode):
+        runner = ScenarioRunner()
+        env = self._split(runner, tmp_path, partition_mode)
+
+        # Inside its lease the partitioned leader may still act (its
+        # grant is valid) ...
+        in_lease = self._run(runner, "split-brain:in-lease",
+                             [step("tick")], env=env)
+        assert in_lease.observations[0]["outcome"]["leader"] is True
+
+        # ... past expiry its own tick demotes it and the loop does
+        # nothing southbound — no store round trip needed. (Direct
+        # tick: the step outcome does not carry polled/pushed.)
+        self._run(runner, "split-brain:lapse",
+                  [step("advance", seconds=61.0)], env=env)
+        report = env.loop.tick()
+        assert not report.leader
+        assert not report.polled and not report.reconcile_pushed
+
+        self._run(runner, "split-brain:failover",
+                  [step("fail_over"), step("converge")], env=env)
+        versions = {name: obi.graph_version
+                    for name, obi in env.obis.items()}
+
+        # The ghost ignores its demotion and pushes anyway, straight
+        # through its (rx-partitioned) channels. Under "rx" the OBI
+        # *receives* every push — and must fence it. An accepted push
+        # would fail the split_brain_accepts invariant right here.
+        ghost = self._run(runner, "split-brain:ghost",
+                          [step("ghost_deploy")], env=env)
+        assert ghost.observations[0]["outcome"] == 0
+        assert env.split_brain_accepts == 0
+        assert all(env.obis[name].graph_version == versions[name]
+                   for name in env.obis)
+        if partition_mode == "rx":
+            # The pushes really arrived (asymmetric cut) and were
+            # rejected by the epoch fence, not lost in transit.
+            assert sum(obi.stale_generation_rejections
+                       for obi in env.obis.values()) >= 2
+
+    def test_healed_ghost_stands_down(self, tmp_path):
+        runner = ScenarioRunner()
+        env = self._split(runner, tmp_path, "rx")
+        self._run(runner, "split-brain:heal", [
+            step("advance", seconds=61.0),
+            step("tick"),
+            step("fail_over"),
+            step("converge"),
+            step("lease_heal", owner="c1"),
+            step("heal", point="transport:obi-1"),
+            step("heal", point="transport:obi-2"),
+        ], env=env)
+        # Partition healed: the ghost's next tick reaches the store,
+        # finds the standby's live lease, and stays a follower. (The
+        # env tick verb addresses the *active* loop, i.e. the
+        # successor's — the deposed loop is driven directly.)
+        report = env.loop.tick()
+        assert not report.leader
+        assert not env.leader_lease.is_leader(env.leader_clock())
+        # A direct ghost push is fenced and flips superseded.
+        with pytest.raises(ProtocolError) as excinfo:
+            env.leader.deploy("obi-1")
+        assert excinfo.value.code == ErrorCode.STALE_GENERATION
+        assert env.leader.superseded

@@ -355,3 +355,93 @@ class TestDeriveSeed:
             rng = random.Random(derive_seed("http://obi-1/cb", epoch))
             return [policy.backoff(a, rng) for a in range(5)]
         assert stream(1) != stream(2)
+
+
+class TestReordering:
+    def test_held_send_times_out_without_delivering(self):
+        channel, calls = make_channel(FaultPlan(reorder_rate=1.0))
+        with pytest.raises(ChannelTimeout) as excinfo:
+            channel.request(ReadRequest(), timeout=2.0)
+        assert "held back for reordering" in str(excinfo.value)
+        assert calls == []  # held, not delivered — yet
+        assert channel.reorders == 1
+        assert channel.total_delay == 2.0  # charged like any timeout
+
+    def test_flush_after_next_successful_send_delivers_late(self):
+        # Seed 2: the first request is held, the second passes — the
+        # held message is flushed *behind* it, i.e. genuinely reordered.
+        channel, calls = make_channel(FaultPlan(seed=2, reorder_rate=0.5))
+        first = ReadRequest(block="first")
+        with pytest.raises(ChannelTimeout):
+            channel.request(first)
+        second = ReadRequest(block="second")
+        channel.request(second)
+        assert [m.xid for m in calls] == [second.xid, first.xid]
+        assert channel.reorder_flushes == 1
+
+    def test_holdback_depth_is_bounded(self):
+        channel, calls = make_channel(
+            FaultPlan(reorder_rate=1.0, reorder_depth=2)
+        )
+        sent = [KeepAlive(obi_id=f"k{i}") for i in range(3)]
+        for message in sent:
+            with pytest.raises(ChannelTimeout):
+                channel.notify(message)
+        # The third hold overflowed the 2-deep queue: the oldest held
+        # message was flushed (delivered late) to make room.
+        assert [m.xid for m in calls] == [sent[0].xid]
+        assert channel.reorder_flushes == 1
+        assert len(channel._holdback) == 2
+
+    def test_close_flushes_the_holdback(self):
+        channel, calls = make_channel(FaultPlan(reorder_rate=1.0))
+        with pytest.raises(ChannelTimeout):
+            channel.notify(KeepAlive(obi_id="held"))
+        assert calls == []
+        channel.close()
+        assert len(calls) == 1
+
+    def test_explicit_flush_is_deterministic_and_ordered(self):
+        channel, calls = make_channel(
+            FaultPlan(reorder_rate=1.0, reorder_depth=8)
+        )
+        sent = [KeepAlive(obi_id=f"k{i}") for i in range(3)]
+        for message in sent:
+            with pytest.raises(ChannelTimeout):
+                channel.notify(message)
+        assert channel.flush_holdback() == 3
+        assert [m.xid for m in calls] == [m.xid for m in sent]  # oldest first
+        assert channel.flush_holdback() == 0  # queue drained
+
+    def test_late_replay_to_dead_peer_is_swallowed(self):
+        pair = InProcPair()
+        calls = []
+        pair.right.set_handler(calls.append)
+        channel = FaultyChannel(pair.left, FaultPlan(reorder_rate=1.0))
+        with pytest.raises(ChannelTimeout):
+            channel.notify(KeepAlive(obi_id="held"))
+        pair.close()  # the peer dies with a message still held
+        channel.flush_holdback()  # late replay: suppressed, not raised
+        assert calls == []
+
+    def test_retry_plus_xid_dedup_absorb_the_late_replay(self):
+        """The at-least-once contract under reordering: the caller's
+        blind retry (same xid) succeeds, and when the held original is
+        flushed late the receiver's dedup replays the cached response
+        instead of applying the request twice."""
+        from repro.obi.instance import ObiConfig, OpenBoxInstance
+
+        obi = OpenBoxInstance(ObiConfig(obi_id="obi-1"))
+        pair = InProcPair()
+        pair.right.set_handler(obi.handle_message)
+        # Seed 2 (see above): attempt 1 held, attempt 2 delivered.
+        faulty = FaultyChannel(pair.left, FaultPlan(seed=2, reorder_rate=0.5))
+        channel = ResilientChannel(
+            faulty, RetryPolicy(max_attempts=3), sleep=lambda s: None
+        )
+        response = channel.request(ReadRequest(block="_obi", handle="uptime"))
+        assert response is not None
+        assert channel.retries == 1
+        # The flush delivered the held original behind the retry; the
+        # OBI recognized the replayed xid and did not dispatch it again.
+        assert obi.duplicate_requests == 1
